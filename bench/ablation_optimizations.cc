@@ -1,0 +1,169 @@
+// Ablation bench for the design choices and the Section 7.1.3 planned
+// optimizations:
+//
+//  * splay-tree bounds check vs direct ("fat-pointer"-style) bounds check
+//    — optimization 1 of Section 7.1.3;
+//  * static elision of provably-safe GEP checks — optimization 3;
+//  * skipping load-store checks on type-homogeneous pools — the core
+//    SAFECode design choice that makes partitioning pay off;
+//  * splay lookup cost as the pool's object count grows.
+//
+// Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/runtime/metapool_runtime.h"
+#include "src/safety/compiler.h"
+#include "src/svm/svm.h"
+#include "src/vir/parser.h"
+
+namespace sva::bench {
+namespace {
+
+// --- Runtime-level ablations ----------------------------------------------------
+
+void BM_BoundsCheckSplay(benchmark::State& state) {
+  runtime::MetaPoolRuntime rt;
+  runtime::MetaPool* pool = rt.CreatePool("MP", false, 0, true);
+  const int64_t objects = state.range(0);
+  for (int64_t i = 0; i < objects; ++i) {
+    (void)rt.RegisterObject(*pool, 0x10000 + static_cast<uint64_t>(i) * 256,
+                            128);
+  }
+  uint64_t base = 0x10000 + static_cast<uint64_t>(objects / 2) * 256;
+  uint64_t probe = base;
+  for (auto _ : state) {
+    // Rotate over a few objects to defeat pure splay-root hits while
+    // keeping locality realistic.
+    probe = probe == base ? base + 2560 : base;
+    benchmark::DoNotOptimize(rt.BoundsCheck(*pool, probe, probe + 64));
+  }
+}
+BENCHMARK(BM_BoundsCheckSplay)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BoundsCheckDirect(benchmark::State& state) {
+  runtime::MetaPoolRuntime rt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rt.BoundsCheckDirect(0x10000, 0x10040, 0x10080));
+  }
+}
+BENCHMARK(BM_BoundsCheckDirect);
+
+void BM_LoadStoreCheck(benchmark::State& state) {
+  runtime::MetaPoolRuntime rt;
+  runtime::MetaPool* pool = rt.CreatePool("MP", false, 0, true);
+  for (int i = 0; i < 1024; ++i) {
+    (void)rt.RegisterObject(*pool, 0x10000 + static_cast<uint64_t>(i) * 256,
+                            128);
+  }
+  uint64_t probe = 0x10000 + 512 * 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.LoadStoreCheck(*pool, probe));
+  }
+}
+BENCHMARK(BM_LoadStoreCheck);
+
+// --- Whole-pipeline ablations ------------------------------------------------------
+
+constexpr const char* kWorkload = R"(
+module "ablate"
+%node = type { i64, i64 }
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+define i64 @churn(i64 %rounds) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %raw = call i8* @kmalloc(i64 64)
+  %idx = and i64 %i, 7
+  %scaled = mul i64 %idx, 8
+  %slot8 = getelementptr i8* %raw, i64 %scaled
+  %slot = bitcast i8* %slot8 to i64*
+  store i64 %i, i64* %slot
+  %v = load i64, i64* %slot
+  %acc2 = add i64 %acc, %v
+  call void @kfree(i8* %raw)
+  %i2 = add i64 %i, 1
+  %more = icmp ult i64 %i2, %rounds
+  br i1 %more, label %loop, label %done
+done:
+  ret i64 %acc2
+}
+)";
+
+// One churn execution under a given compiler configuration.
+void RunPipeline(benchmark::State& state,
+                 const safety::SafetyCompilerOptions& options,
+                 bool enforce) {
+  auto m = vir::ParseModule(kWorkload);
+  if (!m.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  auto report = safety::RunSafetyCompiler(**m, options);
+  if (!report.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  svm::SvmOptions svm_options;
+  svm_options.interp.enforce_checks = enforce;
+  svm::SecureVirtualMachine vm(svm_options);
+  auto loaded = vm.LoadModule(std::move(m).value());
+  if (!loaded.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = (*loaded)->Run("churn", {200});
+    if (!r.status.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+
+void BM_PipelineChecksOff(benchmark::State& state) {
+  safety::SafetyCompilerOptions options;
+  RunPipeline(state, options, /*enforce=*/false);
+}
+BENCHMARK(BM_PipelineChecksOff);
+
+void BM_PipelineFullChecks(benchmark::State& state) {
+  safety::SafetyCompilerOptions options;
+  RunPipeline(state, options, /*enforce=*/true);
+}
+BENCHMARK(BM_PipelineFullChecks);
+
+void BM_PipelineNoDirectBounds(benchmark::State& state) {
+  // Ablate Section 7.1.3 optimization 1: force splay lookups even where
+  // object bounds are statically known.
+  safety::SafetyCompilerOptions options;
+  options.use_direct_bounds = false;
+  RunPipeline(state, options, /*enforce=*/true);
+}
+BENCHMARK(BM_PipelineNoDirectBounds);
+
+void BM_PipelineNoStaticElision(benchmark::State& state) {
+  // Ablate optimization 3: bounds-check even provably-safe constant GEPs.
+  safety::SafetyCompilerOptions options;
+  options.elide_static_safe_bounds = false;
+  RunPipeline(state, options, /*enforce=*/true);
+}
+BENCHMARK(BM_PipelineNoStaticElision);
+
+void BM_PipelineNoTHElision(benchmark::State& state) {
+  // Ablate the SAFECode TH optimization: load-store check even TH pools.
+  safety::SafetyCompilerOptions options;
+  options.elide_th_loadstore = false;
+  RunPipeline(state, options, /*enforce=*/true);
+}
+BENCHMARK(BM_PipelineNoTHElision);
+
+}  // namespace
+}  // namespace sva::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared helpers for the reproduction benches: wall-clock timing with
+// median-of-N repetition (HBench-OS style) and paper-style table printing.
+#ifndef SVA_BENCH_COMMON_H_
+#define SVA_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sva::bench {
+
+// Runs `fn` once and returns elapsed microseconds.
+inline double TimeOnceUs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+// HBench-OS methodology: run `repetitions` trials, report the median
+// per-iteration latency in microseconds (each trial runs `iters`
+// iterations of `fn`).
+inline double MedianLatencyUs(int repetitions, int iters,
+                              const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) {
+    double us = TimeOnceUs([&] {
+      for (int i = 0; i < iters; ++i) {
+        fn();
+      }
+    });
+    samples.push_back(us / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Percentage overhead of `t` versus `baseline` (paper convention:
+// 100 * (T_other - T_native) / T_native).
+inline double OverheadPct(double baseline, double t) {
+  return baseline <= 0 ? 0 : 100.0 * (t - baseline) / baseline;
+}
+
+// Simple fixed-width table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) {
+        std::printf("-");
+      }
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace sva::bench
+
+#endif  // SVA_BENCH_COMMON_H_

@@ -1,0 +1,110 @@
+// Figure 2 reproduction: the paper's instrumented fib_create_info fragment.
+// We compile the same shape of kernel code — a global properties table
+// indexed by a message field, plus a kmalloc'd fib_info object that is
+// zeroed and linked — and print the points-to partitioning and the checks
+// the compiler inserted: getBounds/boundscheck on the table indexing, the
+// direct (lookup-free) bounds check on the fresh kmalloc object, the
+// pchk.reg.obj registration, and the lscheck on the non-TH pointer loads.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analysis/pointsto.h"
+#include "src/safety/compiler.h"
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+
+namespace sva::bench {
+namespace {
+
+constexpr const char* kFibFragment = R"(
+module "fib_create_info"
+
+%fib_info = type { i32, i32, i64, i64* }
+
+global @fib_props : [12 x i32]
+
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+declare void @memset(i8*, i64, i64)
+
+define i64 @fib_create_info(i64 %rtm_type, i64 %rtm_scope, i64* %rta_priority) {
+entry:
+  %prop_slot = getelementptr [12 x i32]* @fib_props, i64 0, i64 %rtm_type
+  %scope = load i32, i32* %prop_slot
+  %scope64 = zext i32 %scope to i64
+  %bad = icmp sgt i64 %scope64, %rtm_scope
+  br i1 %bad, label %err_inval, label %alloc
+alloc:
+  %fi = call i8* @kmalloc(i64 96)
+  call void @memset(i8* %fi, i64 0, i64 96)
+  %prio_is_null = icmp eq i64* %rta_priority, null
+  br i1 %prio_is_null, label %done, label %set_prio
+set_prio:
+  %prio = load i64, i64* %rta_priority
+  %fi_typed = bitcast i8* %fi to %fib_info*
+  %prio_slot = getelementptr %fib_info* %fi_typed, i64 0, i32 2
+  store i64 %prio, i64* %prio_slot
+  br label %done
+done:
+  call void @kfree(i8* %fi)
+  ret i64 0
+err_inval:
+  ret i64 -22
+}
+)";
+
+void Run() {
+  std::printf(
+      "Figure 2: safety-checking compiler output for the fib_create_info "
+      "fragment\n\n");
+  auto m = vir::ParseModule(kFibFragment);
+  if (!m.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", m.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto report = safety::RunSafetyCompiler(**m);
+  if (!report.ok()) {
+    std::fprintf(stderr, "compiler failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::printf("--- Points-to partitioning (metapools) ---------------------\n");
+  for (const auto& [name, decl] : (*m)->metapools()) {
+    std::printf("  %-6s  %-22s %s%s\n", name.c_str(),
+                decl.type_homogeneous && decl.element_type != nullptr
+                    ? decl.element_type->ToString().c_str()
+                    : "(non-type-homogeneous)",
+                decl.complete ? "complete" : "incomplete",
+                decl.user_reachable ? ", user-reachable" : "");
+  }
+
+  std::printf("\n--- Instrumentation summary --------------------------------\n");
+  std::printf("  object registrations (pchk.reg.obj):    %llu\n",
+              static_cast<unsigned long long>(report->reg_obj));
+  std::printf("  deallocation drops (pchk.drop.obj):     %llu\n",
+              static_cast<unsigned long long>(report->drop_obj));
+  std::printf("  splay-tree bounds checks:               %llu\n",
+              static_cast<unsigned long long>(report->bounds_checks));
+  std::printf("  direct bounds checks (no lookup):       %llu\n",
+              static_cast<unsigned long long>(report->direct_bounds_checks));
+  std::printf("  load-store checks (non-TH pools):       %llu\n",
+              static_cast<unsigned long long>(report->ls_checks));
+  std::printf("  checks elided on TH pools:              %llu\n",
+              static_cast<unsigned long long>(report->elided_th_ls_checks));
+  std::printf("  statically-safe GEPs elided:            %llu\n",
+              static_cast<unsigned long long>(report->elided_bounds_checks));
+
+  std::printf("\n--- Instrumented bytecode ----------------------------------\n");
+  std::printf("%s\n",
+              vir::PrintFunction(**m, *(*m)->GetFunction("fib_create_info"))
+                  .c_str());
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::Run();
+  return 0;
+}

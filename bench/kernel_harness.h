@@ -1,0 +1,69 @@
+// A booted minikernel per configuration plus the "user program" snippets
+// the application/microbenchmark tables run against it.
+#ifndef SVA_BENCH_KERNEL_HARNESS_H_
+#define SVA_BENCH_KERNEL_HARNESS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+
+namespace sva::bench {
+
+class BootedKernel {
+ public:
+  explicit BootedKernel(kernel::KernelMode mode)
+      : machine_(std::make_unique<hw::Machine>(512ull << 20, 16384)) {
+    kernel::KernelConfig config;
+    config.mode = mode;
+    kernel_ = std::make_unique<kernel::Kernel>(*machine_, config);
+    Status s = kernel_->Boot();
+    assert(s.ok());
+    (void)s;
+  }
+
+  kernel::Kernel& k() { return *kernel_; }
+
+  uint64_t user(uint64_t offset = 0) const {
+    return kernel::kUserVirtualBase +
+           static_cast<uint64_t>(kernel_->current_pid()) * 0x100000 + offset;
+  }
+
+  // Syscall helper that asserts transport success.
+  uint64_t Call(kernel::Sys n, uint64_t a0 = 0, uint64_t a1 = 0,
+                uint64_t a2 = 0) {
+    auto r = kernel_->Syscall(n, a0, a1, a2);
+    assert(r.ok());
+    return *r;
+  }
+
+  // Opens (creating) a file and returns the fd.
+  uint64_t OpenFile(const std::string& path, uint64_t flags = 1) {
+    Status s = kernel_->PokeUserString(user(0), path);
+    assert(s.ok());
+    (void)s;
+    return Call(kernel::Sys::kOpen, user(0), flags);
+  }
+
+  // Writes `total` bytes to fd in user-buffer-sized chunks.
+  void FillFile(uint64_t fd, uint64_t total, uint64_t chunk = 4096) {
+    for (uint64_t done = 0; done < total;) {
+      uint64_t n = std::min(chunk, total - done);
+      Call(kernel::Sys::kWrite, fd, user(4096), n);
+      done += n;
+    }
+  }
+
+ private:
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+inline const kernel::KernelMode kAllModes[] = {
+    kernel::KernelMode::kNative, kernel::KernelMode::kSvaGcc,
+    kernel::KernelMode::kSvaLlvm, kernel::KernelMode::kSvaSafe};
+
+}  // namespace sva::bench
+
+#endif  // SVA_BENCH_KERNEL_HARNESS_H_

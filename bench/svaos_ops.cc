@@ -1,0 +1,112 @@
+// Tables 1 and 2 microbenchmarks: cost of the individual SVA-OS operations
+// (state save/restore, lazy FP save, interrupt context manipulation,
+// syscall dispatch, MMU and I/O operations), using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/svaos/svaos.h"
+
+namespace sva::bench {
+namespace {
+
+struct Fixture {
+  Fixture() : os(machine) {
+    (void)os.RegisterSyscall(1, [](const svaos::SyscallArgs&)
+                                 -> Result<uint64_t> { return 0; });
+    (void)os.RegisterInterrupt(32, [](svaos::InterruptContext*) {});
+  }
+  hw::Machine machine;
+  svaos::SvaOS os;
+};
+
+void BM_SaveIntegerState(benchmark::State& state) {
+  Fixture f;
+  svaos::SavedIntegerState buffer;
+  for (auto _ : state) {
+    f.os.SaveIntegerState(&buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_SaveIntegerState);
+
+void BM_LoadIntegerState(benchmark::State& state) {
+  Fixture f;
+  svaos::SavedIntegerState buffer;
+  f.os.SaveIntegerState(&buffer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.LoadIntegerState(buffer));
+  }
+}
+BENCHMARK(BM_LoadIntegerState);
+
+void BM_SaveFpStateLazySkip(benchmark::State& state) {
+  Fixture f;
+  svaos::SavedFpState buffer;
+  for (auto _ : state) {
+    // FP clean: the lazy save is skipped — the Table 1 fast path.
+    benchmark::DoNotOptimize(f.os.SaveFpState(&buffer, /*always=*/false));
+  }
+}
+BENCHMARK(BM_SaveFpStateLazySkip);
+
+void BM_SaveFpStateAlways(benchmark::State& state) {
+  Fixture f;
+  svaos::SavedFpState buffer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.SaveFpState(&buffer, /*always=*/true));
+  }
+}
+BENCHMARK(BM_SaveFpStateAlways);
+
+void BM_SyscallDispatch(benchmark::State& state) {
+  Fixture f;
+  std::array<uint64_t, 6> args{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.Syscall(1, args));
+  }
+}
+BENCHMARK(BM_SyscallDispatch);
+
+void BM_InterruptDispatch(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.RaiseInterrupt(32));
+  }
+}
+BENCHMARK(BM_InterruptDispatch);
+
+void BM_IPushFunction(benchmark::State& state) {
+  Fixture f;
+  (void)f.os.RegisterSyscall(
+      2, [&f](const svaos::SyscallArgs& call) -> Result<uint64_t> {
+        f.os.IPushFunction(call.icontext, [](uint64_t) {}, 7);
+        return 0;
+      });
+  std::array<uint64_t, 6> args{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.Syscall(2, args));
+  }
+}
+BENCHMARK(BM_IPushFunction);
+
+void BM_MmuMapUnmap(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.os.MmuMap(0x100000, 0x2000, hw::kPtePresent | hw::kPteWritable));
+    benchmark::DoNotOptimize(f.os.MmuUnmap(0x100000));
+  }
+}
+BENCHMARK(BM_MmuMapUnmap);
+
+void BM_IoWrite(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.os.IoWrite(hw::Machine::kPortTimer, 1));
+  }
+}
+BENCHMARK(BM_IoWrite);
+
+}  // namespace
+}  // namespace sva::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Table 4 reproduction: "Lines modified in the kernel for the SVA port",
+// measured with the paper's methodology applied to our minikernel: every
+// line the port touched carries an SVA-PORT(category) marker, and this
+// harness counts them per subsystem and category:
+//
+//   svaos    - privileged code rewritten onto the SVA-OS operations
+//   alloc    - allocator-contract changes (Section 4.4/6.2)
+//   analysis - changes that improve the safety analysis (Section 6.3)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+#ifndef SVA_SOURCE_DIR
+#define SVA_SOURCE_DIR "."
+#endif
+
+namespace sva::bench {
+namespace {
+
+struct FileStats {
+  int total_lines = 0;
+  int svaos = 0;
+  int alloc = 0;
+  int analysis = 0;
+};
+
+FileStats ScanFile(const std::string& path) {
+  FileStats stats;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++stats.total_lines;
+    if (line.find("SVA-PORT(svaos)") != std::string::npos) {
+      ++stats.svaos;
+    }
+    if (line.find("SVA-PORT(alloc)") != std::string::npos) {
+      ++stats.alloc;
+    }
+    if (line.find("SVA-PORT(analysis)") != std::string::npos) {
+      ++stats.analysis;
+    }
+  }
+  return stats;
+}
+
+struct Subsystem {
+  std::string name;
+  std::vector<std::string> files;
+  // The architecture-dependent layer is rewritten wholesale for the port
+  // (the paper's arch/llvm counts 4777 of 29237 lines): count every line
+  // as SVA-OS porting work.
+  bool whole_layer_is_port = false;
+};
+
+void Run() {
+  const std::string root = SVA_SOURCE_DIR;
+  std::vector<Subsystem> subsystems = {
+      {"Arch-indep core (kernel.cc/h)",
+       {root + "/src/kernel/kernel.cc", root + "/src/kernel/kernel.h",
+        root + "/src/kernel/config.h"}},
+      {"Allocators (alloc.cc/h)",
+       {root + "/src/kernel/alloc.cc", root + "/src/kernel/alloc.h"}},
+      {"Arch-dep layer (svaos port)",
+       {root + "/src/svaos/svaos.cc", root + "/src/svaos/svaos.h"},
+       /*whole_layer_is_port=*/true},
+  };
+
+  std::printf(
+      "Table 4: lines modified for the SVA port of the minikernel "
+      "(SVA-PORT markers)\n\n");
+  Table table({"Section", "Total LOC", "SVA-OS", "Allocators", "Analysis",
+               "% of total"});
+  int grand_total = 0;
+  int grand_changed = 0;
+  for (const Subsystem& sub : subsystems) {
+    FileStats stats;
+    for (const std::string& file : sub.files) {
+      FileStats fs = ScanFile(file);
+      if (fs.total_lines == 0) {
+        std::fprintf(stderr, "warning: could not read %s\n", file.c_str());
+      }
+      stats.total_lines += fs.total_lines;
+      stats.svaos += fs.svaos;
+      stats.alloc += fs.alloc;
+      stats.analysis += fs.analysis;
+    }
+    if (sub.whole_layer_is_port) {
+      stats.svaos = stats.total_lines;
+    }
+    int changed = stats.svaos + stats.alloc + stats.analysis;
+    if (!sub.whole_layer_is_port) {
+      // The "Total indep" row of the paper covers only the architecture-
+      // independent kernel.
+      grand_total += stats.total_lines;
+      grand_changed += changed;
+    }
+    table.AddRow({sub.name, std::to_string(stats.total_lines),
+                  std::to_string(stats.svaos), std::to_string(stats.alloc),
+                  std::to_string(stats.analysis),
+                  Fmt("%.2f%%", stats.total_lines == 0
+                                    ? 0
+                                    : 100.0 * changed / stats.total_lines)});
+  }
+  table.AddRow({"Total indep", std::to_string(grand_total), "", "", "",
+                Fmt("%.2f%%",
+                    grand_total == 0 ? 0
+                                     : 100.0 * grand_changed / grand_total)});
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: architecture-independent changes are a "
+      "fraction of a percent\nof the kernel; the architecture-dependent "
+      "layer (the SVA-OS port itself) is where\nthe work concentrates.\n");
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::Run();
+  return 0;
+}

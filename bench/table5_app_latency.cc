@@ -1,0 +1,179 @@
+// Table 5 reproduction: "Application latency increase as a percentage of
+// Linux native performance". The paper ran bzip2, lame, gcc, ldd, scp, and
+// thttpd; here each is a synthetic workload with the same kernel-time
+// profile (the column that determines the overhead shape):
+//
+//   bzip2-like  : compute-heavy with periodic file reads  (~16% sys time)
+//   lame-like   : FP-compute-heavy, almost no kernel time  (~1%)
+//   gcc-like    : mixed compute + open/read/close of many small files (~4%)
+//   ldd-like    : open/close dominated                      (~56%)
+//   scp-like    : bulk socket + file traffic
+//   thttpd-like : request loop serving a small file over sockets
+//
+// Expected shape: compute-bound apps see little overhead; syscall-heavy
+// ones (ldd, small-file serving) see the most, and most of it comes from
+// the safety checks, not the SVA-OS port.
+#include <cstdio>
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/kernel_harness.h"
+
+namespace sva::bench {
+namespace {
+
+using kernel::Sys;
+
+// Userspace compute kernels (run outside the kernel; identical across
+// configurations — they dilute kernel overhead exactly as app time does).
+uint64_t ComputeInt(uint64_t iters) {
+  volatile uint64_t acc = 0x9E3779B97F4A7C15ull;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    acc = acc ^ (acc >> 29);
+  }
+  return acc;
+}
+
+double ComputeFp(uint64_t iters) {
+  volatile double acc = 1.0;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc = acc * 1.0000001 + 0.5;
+    acc = acc / 1.0000002;
+  }
+  return acc;
+}
+
+struct App {
+  std::string name;
+  std::string sys_profile;
+  std::function<void(BootedKernel&)> run;
+  int repetitions = 9;
+};
+
+std::vector<App> BuildApps() {
+  std::vector<App> apps;
+  apps.push_back(
+      {"bzip2-like (compress)", "~16% sys", [](BootedKernel& k) {
+         uint64_t fd = k.OpenFile("/bench/input");
+         for (int block = 0; block < 24; ++block) {
+           k.Call(Sys::kLseek, fd, 0, 0);
+           k.Call(Sys::kRead, fd, k.user(4096), 4096);
+           ComputeInt(60000);
+         }
+         k.Call(Sys::kClose, fd);
+       }});
+  apps.push_back({"lame-like (mp3 encode)", "~1% sys", [](BootedKernel& k) {
+                    for (int frame = 0; frame < 8; ++frame) {
+                      ComputeFp(250000);
+                      k.Call(Sys::kWrite, 0, k.user(1024), 128);
+                    }
+                  }});
+  apps.push_back(
+      {"gcc-like (compile)", "~4% sys", [](BootedKernel& k) {
+         for (int unit = 0; unit < 12; ++unit) {
+           uint64_t fd =
+               k.OpenFile("/bench/hdr" + std::to_string(unit % 4));
+           k.Call(Sys::kWrite, fd, k.user(4096), 2048);
+           k.Call(Sys::kLseek, fd, 0, 0);
+           k.Call(Sys::kRead, fd, k.user(4096), 2048);
+           k.Call(Sys::kClose, fd);
+           ComputeInt(60000);
+         }
+       }});
+  apps.push_back(
+      {"ldd-like (library scan)", "~56% sys", [](BootedKernel& k) {
+         for (int lib = 0; lib < 1200; ++lib) {
+           uint64_t fd =
+               k.OpenFile("/lib/lib" + std::to_string(lib % 8));
+           k.Call(Sys::kRead, fd, k.user(4096), 512);
+           k.Call(Sys::kClose, fd);
+         }
+         ComputeInt(240000);
+       }});
+  apps.push_back(
+      {"scp-like (bulk transfer)", "bulk I/O", [](BootedKernel& k) {
+         uint64_t sock = k.Call(Sys::kSocket);
+         uint64_t fd = k.OpenFile("/bench/out");
+         for (int chunk = 0; chunk < 640; ++chunk) {
+           k.Call(Sys::kSend, sock, k.user(4096), 4096);
+           k.Call(Sys::kRecv, sock, k.user(8192), 4096);
+           k.Call(Sys::kWrite, fd, k.user(8192), 4096);
+           ComputeInt(4000);  // Cipher cost.
+         }
+         k.Call(Sys::kClose, fd);
+         k.Call(Sys::kClose, sock);
+       }});
+  apps.push_back(
+      {"thttpd-like (311B x 2000 req)", "request loop", [](BootedKernel& k) {
+         uint64_t fd = k.OpenFile("/www/index.html");
+         k.FillFile(fd, 311);
+         uint64_t sock = k.Call(Sys::kSocket);
+         for (int request = 0; request < 2000; ++request) {
+           k.Call(Sys::kRecv, sock, k.user(8192), 128);  // Request (empty).
+           k.Call(Sys::kLseek, fd, 0, 0);
+           k.Call(Sys::kRead, fd, k.user(4096), 311);
+           k.Call(Sys::kSend, sock, k.user(4096), 311);
+           k.Call(Sys::kRecv, sock, k.user(8192), 311);  // Drain loopback.
+         }
+         k.Call(Sys::kClose, fd);
+         k.Call(Sys::kClose, sock);
+       }});
+  return apps;
+}
+
+void Run() {
+  std::printf(
+      "Table 5: application latency increase vs Linux-native (median of "
+      "runs)\n\n");
+  Table table({"Application", "Sys profile", "Native (ms)", "SVA gcc (%)",
+               "SVA llvm (%)", "SVA Safe (%)"});
+  for (const App& app : BuildApps()) {
+    // Boot all four kernels and interleave runs (see table7).
+    std::vector<std::unique_ptr<BootedKernel>> kernels;
+    for (int m = 0; m < 4; ++m) {
+      kernels.push_back(std::make_unique<BootedKernel>(kAllModes[m]));
+      BootedKernel& k = *kernels.back();
+      (void)k.k().PokeUserString(k.user(0), "/dev/null");
+      k.Call(Sys::kOpen, k.user(0), 0);  // fd 0: /dev/null sink.
+      // Prepare a 4k input file for readers.
+      uint64_t fd = k.OpenFile("/bench/input");
+      k.FillFile(fd, 4096);
+      k.Call(Sys::kClose, fd);
+      app.run(k);  // Warm up.
+    }
+    std::vector<double> samples[4];
+    for (int rep = 0; rep < app.repetitions; ++rep) {
+      for (int m = 0; m < 4; ++m) {
+        samples[m].push_back(TimeOnceUs([&] { app.run(*kernels[m]); }));
+      }
+    }
+    double ms[4];
+    for (int m = 0; m < 4; ++m) {
+      std::sort(samples[m].begin(), samples[m].end());
+      ms[m] = samples[m][samples[m].size() / 2] / 1000.0;
+    }
+    table.AddRow({app.name, app.sys_profile, Fmt("%.2f", ms[0]),
+                  Fmt("%.1f", OverheadPct(ms[0], ms[1])),
+                  Fmt("%.1f", OverheadPct(ms[0], ms[2])),
+                  Fmt("%.1f", OverheadPct(ms[0], ms[3]))});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: compute-bound apps (bzip2/lame/gcc) show "
+      "small overheads;\nsyscall-heavy apps (ldd, small-file thttpd) show "
+      "the largest, dominated by the\nsafety checks rather than the SVA-OS "
+      "port.\n");
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::Run();
+  return 0;
+}

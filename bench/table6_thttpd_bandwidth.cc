@@ -1,0 +1,132 @@
+// Table 6 reproduction: "thttpd bandwidth reduction as a percentage of
+// Linux native performance" — serving a 311-byte page, an 85 KB file, and
+// a CGI-style request (fork/exec per request) over 25 logical connections.
+//
+// Expected shape: tiny-file serving and CGI suffer the most under safety
+// checks (~33% / ~22% reduction in the paper); large files amortize the
+// per-request cost (~2%).
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/kernel_harness.h"
+
+namespace sva::bench {
+namespace {
+
+using kernel::Sys;
+
+constexpr int kConnections = 25;  // Logical connections (8 socket fds pooled).
+
+// Pre-opened server state per kernel: one file plus the connection pool.
+struct Server {
+  explicit Server(BootedKernel& kernel, uint64_t file_size) : k(kernel) {
+    fd = k.OpenFile("/www/file");
+    k.FillFile(fd, file_size);
+    // The fd table caps at 16: model the 25 connections with the available
+    // socket fds, reusing them round-robin like a connection pool.
+    for (int c = 0; c < 8; ++c) {
+      socks.push_back(k.Call(Sys::kSocket));
+    }
+  }
+  BootedKernel& k;
+  uint64_t fd = 0;
+  std::vector<uint64_t> socks;
+};
+
+// Serves `file_size` bytes per request over `requests` requests round-robin
+// across connections; returns KB/s of payload moved.
+double ServeKBps(Server& server, uint64_t file_size, int requests,
+                 bool cgi) {
+  BootedKernel& k = server.k;
+  uint64_t fd = server.fd;
+  std::vector<uint64_t>& socks = server.socks;
+  double us = TimeOnceUs([&] {
+    for (int r = 0; r < requests; ++r) {
+      uint64_t sock = socks[static_cast<size_t>(r) % socks.size()];
+      if (cgi) {
+        // CGI: fork/exec a handler per request.
+        uint64_t child = k.Call(Sys::kFork);
+        (void)k.k().Yield();
+        k.Call(Sys::kExecve, k.user(0));
+        k.Call(Sys::kExit, 0);
+        k.Call(Sys::kWaitPid, child);
+      }
+      k.Call(Sys::kLseek, fd, 0, 0);
+      // Small responses go out in one write; large files stream in 16 KiB
+      // chunks (large-file serving amortizes per-request costs, which is
+      // exactly why the paper's 85 KB row barely degrades).
+      uint64_t chunk_size = file_size <= 4096 ? file_size : 16 * 1024;
+      for (uint64_t done = 0; done < file_size;) {
+        uint64_t n = std::min<uint64_t>(chunk_size, file_size - done);
+        k.Call(Sys::kRead, fd, k.user(16384), n);
+        k.Call(Sys::kSend, sock, k.user(16384), n);
+        k.Call(Sys::kRecv, sock, k.user(36864), n);  // Drain loopback peer.
+        done += n;
+      }
+    }
+  });
+  double bytes = static_cast<double>(file_size) * requests;
+  return bytes / us * 1000.0;  // KB/s given us.
+}
+
+void Run() {
+  std::printf(
+      "Table 6: thttpd-style bandwidth, %d concurrent connections\n\n",
+      kConnections);
+  struct Case {
+    std::string name;
+    uint64_t size;
+    int requests;
+    bool cgi;
+  };
+  const Case cases[] = {
+      {"311 B", 311, 400, false},
+      {"85 KB", 85 * 1024, 24, false},
+      {"cgi (311 B)", 311, 250, true},
+  };
+  Table table({"Request", "Native (KB/s)", "SVA gcc (%)", "SVA llvm (%)",
+               "SVA Safe (%)"});
+  for (const Case& c : cases) {
+    // Interleaved trials across all four kernels; median per mode.
+    std::vector<std::unique_ptr<BootedKernel>> kernels;
+    std::vector<std::unique_ptr<Server>> servers;
+    for (int m = 0; m < 4; ++m) {
+      kernels.push_back(std::make_unique<BootedKernel>(kAllModes[m]));
+      servers.push_back(std::make_unique<Server>(*kernels[m], c.size));
+      (void)ServeKBps(*servers[m], c.size, c.requests / 4 + 1, c.cgi);
+    }
+    std::vector<double> samples[4];
+    for (int rep = 0; rep < 9; ++rep) {
+      for (int m = 0; m < 4; ++m) {
+        samples[m].push_back(
+            ServeKBps(*servers[m], c.size, c.requests, c.cgi));
+      }
+    }
+    double kbps[4];
+    for (int m = 0; m < 4; ++m) {
+      std::sort(samples[m].begin(), samples[m].end());
+      kbps[m] = samples[m][samples[m].size() / 2];
+    }
+    table.AddRow({c.name, Fmt("%.0f", kbps[0]),
+                  Fmt("%.1f", -OverheadPct(kbps[0], kbps[1])),
+                  Fmt("%.1f", -OverheadPct(kbps[0], kbps[2])),
+                  Fmt("%.1f", -OverheadPct(kbps[0], kbps[3]))});
+  }
+  table.Print();
+  std::printf(
+      "\n(Positive = bandwidth reduction vs native.) Shape check: small "
+      "files and CGI suffer\nmost under safety checks; large files "
+      "amortize.\n");
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::Run();
+  return 0;
+}

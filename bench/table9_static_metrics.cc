@@ -1,0 +1,118 @@
+// Table 9 reproduction: "Static metrics of the effectiveness of the
+// safety-checking compiler" — the fraction of loads, stores, structure
+// indexing, and array indexing operations that touch incomplete vs
+// type-safe metapools, plus allocation-site coverage, for the two
+// configurations of the paper:
+//
+//   "As tested"     : the utility library is external (unanalyzed) code,
+//                     so partitions exposed to it are incomplete.
+//   "Entire kernel" : everything is compiled; all entry points are known
+//                     and userspace is a valid object, so no sources of
+//                     incompleteness remain.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "src/corpus/corpus.h"
+#include "src/safety/compiler.h"
+#include "src/vir/parser.h"
+
+namespace sva::bench {
+namespace {
+
+safety::SafetyReport CompileCorpus(bool entire_kernel) {
+  auto m = vir::ParseModule(corpus::KernelCorpusText(entire_kernel));
+  if (!m.ok()) {
+    std::fprintf(stderr, "corpus parse failed: %s\n",
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  safety::SafetyCompilerOptions options;
+  options.analysis = corpus::CorpusConfig(entire_kernel);
+  auto report = safety::RunSafetyCompiler(**m, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "safety compiler failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *report;
+}
+
+std::string Pct(uint64_t part, uint64_t total) {
+  if (total == 0) {
+    return "n/a";
+  }
+  return Fmt("%.0f%%", 100.0 * static_cast<double>(part) /
+                           static_cast<double>(total));
+}
+
+void PrintKernelRows(const char* label, const safety::SafetyReport& r,
+                     uint64_t total_sites, Table& table) {
+  std::string sites =
+      Pct(r.allocation_sites, total_sites == 0 ? r.allocation_sites
+                                               : total_sites);
+  table.AddRow({label, sites, "Loads", Pct(r.loads.to_incomplete,
+                                           r.loads.total),
+                Pct(r.loads.to_type_safe, r.loads.total)});
+  table.AddRow({"", "", "Stores", Pct(r.stores.to_incomplete,
+                                      r.stores.total),
+                Pct(r.stores.to_type_safe, r.stores.total)});
+  table.AddRow({"", "", "Structure Indexing",
+                Pct(r.struct_indexing.to_incomplete, r.struct_indexing.total),
+                Pct(r.struct_indexing.to_type_safe,
+                    r.struct_indexing.total)});
+  table.AddRow({"", "", "Array Indexing",
+                Pct(r.array_indexing.to_incomplete, r.array_indexing.total),
+                Pct(r.array_indexing.to_type_safe,
+                    r.array_indexing.total)});
+}
+
+void Run() {
+  std::printf(
+      "Table 9: static metrics of the safety-checking compiler over the "
+      "kernel corpus\n\n");
+  safety::SafetyReport as_tested = CompileCorpus(false);
+  safety::SafetyReport entire = CompileCorpus(true);
+  uint64_t total_sites = entire.allocation_sites;
+
+  Table table({"Kernel", "Alloc sites seen", "Access type", "Incomplete",
+               "Type safe"});
+  PrintKernelRows("As tested (libs excluded)", as_tested, total_sites,
+                  table);
+  PrintKernelRows("Entire kernel", entire, total_sites, table);
+  table.Print();
+
+  std::printf("\nDetail (as tested / entire kernel):\n");
+  std::printf("  metapools:            %llu / %llu\n",
+              static_cast<unsigned long long>(as_tested.metapools),
+              static_cast<unsigned long long>(entire.metapools));
+  std::printf("  TH metapools:         %llu / %llu\n",
+              static_cast<unsigned long long>(as_tested.th_metapools),
+              static_cast<unsigned long long>(entire.th_metapools));
+  std::printf("  complete metapools:   %llu / %llu\n",
+              static_cast<unsigned long long>(as_tested.complete_metapools),
+              static_cast<unsigned long long>(entire.complete_metapools));
+  std::printf("  bounds checks:        %llu / %llu\n",
+              static_cast<unsigned long long>(as_tested.bounds_checks +
+                                              as_tested.direct_bounds_checks),
+              static_cast<unsigned long long>(entire.bounds_checks +
+                                              entire.direct_bounds_checks));
+  std::printf("  load-store checks:    %llu / %llu (reduced: %llu / %llu)\n",
+              static_cast<unsigned long long>(as_tested.ls_checks),
+              static_cast<unsigned long long>(entire.ls_checks),
+              static_cast<unsigned long long>(as_tested.reduced_ls_checks),
+              static_cast<unsigned long long>(entire.reduced_ls_checks));
+  std::printf(
+      "\nShape check vs paper: the partial build leaves most accesses on "
+      "incomplete\npartitions while nearly all allocation sites are still "
+      "registered; the\nentire-kernel build has zero incomplete "
+      "accesses.\n");
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Minikernel tour: boots the SVA-ported kernel in the Linux-SVA-Safe
+// configuration on the simulated machine and exercises the subsystems the
+// paper's evaluation touches — files, pipes, fork/exec, signals delivered
+// through llva.ipush.function — then demonstrates the Section 4.6
+// userspace-object check stopping a user→kernel straddling buffer.
+//
+// Build and run:  ./build/examples/minikernel_demo
+#include <cstdio>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+
+using sva::kernel::Kernel;
+using sva::kernel::KernelConfig;
+using sva::kernel::KernelMode;
+using sva::kernel::Sys;
+
+int main() {
+  sva::hw::Machine machine(256ull << 20);
+  KernelConfig config;
+  config.mode = KernelMode::kSvaSafe;
+  Kernel kernel(machine, config);
+  if (sva::Status s = kernel.Boot(); !s.ok()) {
+    std::printf("boot failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("booted %s kernel, pid %d running\n",
+              KernelModeName(config.mode), kernel.current_pid());
+
+  uint64_t user = sva::kernel::kUserVirtualBase +
+                  static_cast<uint64_t>(kernel.current_pid()) * 0x100000;
+
+  // Files.
+  (void)kernel.PokeUserString(user, "/etc/motd");
+  uint64_t fd = *kernel.Syscall(Sys::kOpen, user, 1);
+  const char motd[] = "SVA: safe execution for commodity kernels";
+  (void)kernel.PokeUser(user + 256, motd, sizeof(motd));
+  (void)kernel.Syscall(Sys::kWrite, fd, user + 256, sizeof(motd));
+  (void)kernel.Syscall(Sys::kLseek, fd, 0, 0);
+  (void)kernel.Syscall(Sys::kRead, fd, user + 512, sizeof(motd));
+  char back[sizeof(motd)] = {};
+  (void)kernel.PeekUser(user + 512, back, sizeof(motd));
+  std::printf("file round-trip: \"%s\"\n", back);
+
+  // Pipes.
+  (void)kernel.Syscall(Sys::kPipe, user + 64);
+  uint32_t fds[2];
+  (void)kernel.PeekUser(user + 64, fds, 8);
+  (void)kernel.Syscall(Sys::kWrite, fds[1], user + 256, 16);
+  (void)kernel.Syscall(Sys::kRead, fds[0], user + 1024, 16);
+  std::printf("pipe round-trip: 16 bytes through fd %u -> fd %u\n", fds[1],
+              fds[0]);
+
+  // Signals through llva.ipush.function.
+  (void)kernel.Syscall(Sys::kSigaction, 10, /*handler id=*/1);
+  (void)kernel.Syscall(Sys::kKill, 1, 10);
+  std::printf("signal 10 delivered via llva.ipush.function: %llu handler "
+              "run(s)\n",
+              static_cast<unsigned long long>(
+                  kernel.FindTask(1)->signals_delivered));
+
+  // fork / exec / wait.
+  uint64_t child = *kernel.Syscall(Sys::kFork);
+  (void)kernel.Yield();
+  (void)kernel.Syscall(Sys::kExecve, user);
+  (void)kernel.Syscall(Sys::kExit, 0);
+  (void)kernel.Syscall(Sys::kWaitPid, child);
+  std::printf("fork/exec/exit/wait lifecycle for pid %llu complete\n",
+              static_cast<unsigned long long>(child));
+
+  // The Section 4.6 check: a buffer straddling out of userspace.
+  uint64_t user_bytes =
+      config.user_pages_per_task * sva::hw::kPageSize;
+  auto straddle = kernel.Syscall(Sys::kWrite, fd, user + user_bytes - 8, 64);
+  std::printf("user->kernel straddling write: %s\n",
+              straddle.ok() ? "NOT CAUGHT (bug!)" : "stopped by the SVM");
+  if (!straddle.ok()) {
+    std::printf("  %s\n", straddle.status().ToString().c_str());
+  }
+
+  const auto& checks = kernel.pools().stats();
+  const auto& svaos = kernel.svaos().stats();
+  std::printf(
+      "\ntotals: %llu syscalls | %llu SVA-OS interrupt contexts | %llu "
+      "run-time checks (%llu failed)\n",
+      static_cast<unsigned long long>(kernel.stats().syscalls),
+      static_cast<unsigned long long>(svaos.icontext_created),
+      static_cast<unsigned long long>(checks.total_performed()),
+      static_cast<unsigned long long>(checks.total_failed()));
+  return straddle.ok() ? 1 : 0;
+}

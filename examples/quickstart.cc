@@ -1,0 +1,78 @@
+// Quickstart: the complete SVA flow on twenty lines of kernel-style code.
+//
+//   1. Write (or front-end-compile to) SVA bytecode.
+//   2. Run the safety-checking compiler: it infers metapools from the
+//      pointer analysis and inserts object registration + run-time checks.
+//   3. Load into the Secure Virtual Machine: the bytecode verifier and the
+//      metapool type checker validate the module, then the translator runs
+//      it with checks live.
+//   4. Watch a heap overflow get stopped.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/safety/compiler.h"
+#include "src/svm/svm.h"
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+
+int main() {
+  // A kernel-ish function: allocate a 32-byte buffer, store at an
+  // attacker-controlled index.
+  const char* source = R"(
+module "quickstart"
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+define i8 @lookup(i64 %index) {
+entry:
+  %buf = call i8* @kmalloc(i64 32)
+  %slot = getelementptr i8* %buf, i64 %index
+  %v = load i8, i8* %slot
+  call void @kfree(i8* %buf)
+  ret i8 %v
+}
+)";
+
+  // 1. Front end.
+  auto module = sva::vir::ParseModule(source);
+  if (!module.ok()) {
+    std::printf("parse error: %s\n", module.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Safety-checking compiler (outside the trusted computing base).
+  auto report = sva::safety::RunSafetyCompiler(**module);
+  if (!report.ok()) {
+    std::printf("compile error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("safety compiler: %llu metapool(s), %llu registration(s), "
+              "%llu bounds check(s)\n\n",
+              static_cast<unsigned long long>(report->metapools),
+              static_cast<unsigned long long>(report->reg_obj),
+              static_cast<unsigned long long>(report->bounds_checks +
+                                              report->direct_bounds_checks));
+  std::printf("instrumented bytecode:\n%s\n",
+              sva::vir::PrintFunction(**module,
+                                      *(*module)->GetFunction("lookup"))
+                  .c_str());
+
+  // 3. The SVM verifies (structural + type check), translates, and caches.
+  sva::svm::SecureVirtualMachine vm;
+  auto loaded = vm.LoadModule(std::move(module).value());
+  if (!loaded.ok()) {
+    std::printf("SVM rejected module: %s\n",
+                loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Execute: a legal index works; an out-of-bounds one is stopped.
+  auto good = (*loaded)->Run("lookup", {31});
+  std::printf("lookup(31)  -> %s\n", good.status.ok() ? "ok" : "trapped");
+  auto bad = (*loaded)->Run("lookup", {32});
+  std::printf("lookup(32)  -> %s\n",
+              bad.status.ok() ? "NOT CAUGHT (bug!)" : "trapped");
+  std::printf("  %s\n", bad.status.ToString().c_str());
+  return bad.status.ok() ? 1 : 0;
+}

@@ -1,0 +1,82 @@
+#include "src/analysis/callgraph.h"
+
+#include "src/vir/intrinsics.h"
+
+namespace sva::analysis {
+
+using vir::CallInst;
+using vir::Function;
+
+CallGraph::CallGraph(PointsToAnalysis& analysis) : analysis_(analysis) {
+  vir::Module& module = analysis.module();
+  PointsToGraph& graph = analysis.graph();
+  for (const auto& fn : module.functions()) {
+    if (fn->is_declaration()) {
+      continue;
+    }
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        const auto* call = dynamic_cast<const CallInst*>(inst.get());
+        if (call == nullptr) {
+          continue;
+        }
+        if (const Function* direct = call->called_function()) {
+          if (vir::LookupIntrinsic(direct->name()) != vir::Intrinsic::kNone) {
+            continue;
+          }
+          callees_[call] = {direct};
+          unfiltered_counts_[call] = 1;
+          continue;
+        }
+        // Indirect: candidates from the points-to node of the callee.
+        PointsToNode* node = graph.NodeOf(call->callee());
+        std::vector<const Function*> candidates(
+            graph.Find(node)->functions().begin(),
+            graph.Find(node)->functions().end());
+        unfiltered_counts_[call] = candidates.size();
+        if (module.HasSignatureAssertion(call)) {
+          // Section 4.8 annotation: all real callees match the call's
+          // signature exactly, so filter by FunctionType identity.
+          const auto* callee_ptr_type =
+              static_cast<const vir::PointerType*>(call->callee()->type());
+          const vir::Type* expected = callee_ptr_type->pointee();
+          std::vector<const Function*> filtered;
+          for (const Function* f : candidates) {
+            if (f->function_type() == expected) {
+              filtered.push_back(f);
+            }
+          }
+          candidates = std::move(filtered);
+        }
+        callees_[call] = std::move(candidates);
+        indirect_sites_.push_back(call);
+      }
+    }
+  }
+}
+
+const std::vector<const Function*>& CallGraph::Callees(
+    const CallInst* call) const {
+  auto it = callees_.find(call);
+  return it == callees_.end() ? empty_ : it->second;
+}
+
+size_t CallGraph::UnfilteredCalleeCount(const CallInst* call) const {
+  auto it = unfiltered_counts_.find(call);
+  return it == unfiltered_counts_.end() ? 0 : it->second;
+}
+
+std::vector<const CallInst*> CallGraph::CallersOf(const Function* fn) const {
+  std::vector<const CallInst*> out;
+  for (const auto& [call, callees] : callees_) {
+    for (const Function* f : callees) {
+      if (f == fn) {
+        out.push_back(call);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sva::analysis

@@ -1,0 +1,69 @@
+// Configuration the kernel developer supplies to the safety-checking
+// compiler during porting (Section 4.4): which functions are allocators,
+// which are pool allocators, where the size argument lives, and which
+// functions are externally reachable entry points (system calls).
+#ifndef SVA_SRC_ANALYSIS_CONFIG_H_
+#define SVA_SRC_ANALYSIS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sva::analysis {
+
+// Describes one kernel allocator interface.
+struct AllocatorInfo {
+  std::string alloc_fn;
+  std::string free_fn;
+  // Index of the byte-size argument of alloc_fn, or -1 if the size is fixed
+  // per pool (pool allocators report it via the descriptor).
+  int size_arg = 0;
+  // Pool allocator (kmem_cache style): allocations from the same descriptor
+  // argument share one kernel pool. Ordinary allocators (kmalloc) have full
+  // internal reuse across all call sites.
+  bool is_pool = false;
+  int pool_arg = -1;  // Index of the descriptor argument for pool allocators.
+  // For ordinary allocators that are internally implemented over a pool
+  // allocator (kmalloc over kmem_cache, Section 6.2), naming the underlying
+  // relationship lets the compiler merge per size class instead of globally.
+  bool exposes_size_classes = false;
+};
+
+struct AnalysisConfig {
+  std::vector<AllocatorInfo> allocators;
+
+  // Whole-program ("entire kernel", Table 9 row 2): every entry point is
+  // known, so nothing is incomplete except what flows through inttoptr.
+  bool whole_program = false;
+
+  // Functions callable from outside the analyzed code (system call
+  // handlers). In whole-program mode their pointer arguments are treated as
+  // (checked) userspace pointers rather than incompleteness sources.
+  std::vector<std::string> entry_points;
+
+  // Functions treated as "copy" operations with the Section 4.8 heuristic:
+  // (dst, src, len) byte copies whose analysis merges only the outgoing
+  // edges of the copied objects, not the objects themselves.
+  std::vector<std::string> copy_functions = {"memcpy", "memmove",
+                                             "copy_from_user",
+                                             "copy_to_user"};
+
+  // Integer-to-pointer casts of constants with |value| <= this threshold
+  // are treated as null (error-code idiom, Section 4.8).
+  int64_t small_int_threshold = 4096;
+
+  // Allocator-infrastructure functions whose results are allocator-internal
+  // metadata (cache descriptors): calls to them neither create registered
+  // objects nor mark partitions incomplete. The paper notes that most
+  // unregistered allocation sites are "objects used internally by the
+  // allocators" — these are exactly those.
+  std::vector<std::string> allocator_metadata_functions = {
+      "kmem_cache_create", "kmem_cache_size", "kmem_cache_destroy"};
+
+  // The default configuration for a Linux-like kernel.
+  static AnalysisConfig LinuxLike();
+};
+
+}  // namespace sva::analysis
+
+#endif  // SVA_SRC_ANALYSIS_CONFIG_H_

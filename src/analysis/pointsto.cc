@@ -1,0 +1,607 @@
+#include <cstdlib>
+#include "src/analysis/pointsto.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/support/strings.h"
+#include "src/vir/instructions.h"
+#include "src/vir/intrinsics.h"
+
+namespace sva::analysis {
+
+using vir::CallInst;
+using vir::Function;
+using vir::GlobalVariable;
+using vir::Instruction;
+using vir::Opcode;
+using vir::Type;
+using vir::Value;
+
+AnalysisConfig AnalysisConfig::LinuxLike() {
+  AnalysisConfig config;
+  AllocatorInfo kmalloc;
+  kmalloc.alloc_fn = "kmalloc";
+  kmalloc.free_fn = "kfree";
+  kmalloc.size_arg = 0;
+  kmalloc.exposes_size_classes = true;
+  config.allocators.push_back(kmalloc);
+
+  AllocatorInfo bootmem;
+  bootmem.alloc_fn = "_alloc_bootmem";
+  bootmem.free_fn = "";
+  bootmem.size_arg = 0;
+  config.allocators.push_back(bootmem);
+
+  AllocatorInfo kmem_cache;
+  kmem_cache.alloc_fn = "kmem_cache_alloc";
+  kmem_cache.free_fn = "kmem_cache_free";
+  kmem_cache.size_arg = -1;
+  kmem_cache.is_pool = true;
+  kmem_cache.pool_arg = 0;
+  config.allocators.push_back(kmem_cache);
+
+  AllocatorInfo vmalloc;
+  vmalloc.alloc_fn = "vmalloc";
+  vmalloc.free_fn = "vfree";
+  vmalloc.size_arg = 0;
+  config.allocators.push_back(vmalloc);
+  return config;
+}
+
+// --- PointsToGraph -----------------------------------------------------------
+
+PointsToNode* PointsToGraph::MakeNode() {
+  nodes_.push_back(
+      std::make_unique<PointsToNode>(static_cast<uint32_t>(nodes_.size())));
+  return nodes_.back().get();
+}
+
+PointsToNode* PointsToGraph::Find(PointsToNode* n) const {
+  while (n->parent_ != nullptr) {
+    if (n->parent_->parent_ != nullptr) {
+      n->parent_ = n->parent_->parent_;  // Path halving.
+    }
+    n = n->parent_;
+  }
+  return n;
+}
+
+PointsToNode* PointsToGraph::NodeOf(const Value* v) {
+  auto it = value_nodes_.find(v);
+  if (it != value_nodes_.end()) {
+    PointsToNode* canon = Find(it->second);
+    it->second = canon;
+    return canon;
+  }
+  PointsToNode* n = MakeNode();
+  value_nodes_[v] = n;
+  return n;
+}
+
+PointsToNode* PointsToGraph::FindNode(const Value* v) const {
+  auto it = value_nodes_.find(v);
+  return it == value_nodes_.end() ? nullptr : Find(it->second);
+}
+
+void PointsToGraph::AccessType(PointsToNode* n, const Type* type) {
+  n = Find(n);
+  // Arrays of T are type-homogeneous as T (Section 4.1, T2).
+  while (type->IsArray()) {
+    type = static_cast<const vir::ArrayType*>(type)->element();
+  }
+  if (type->IsVoid()) {
+    return;
+  }
+  if (n->element_type_ == nullptr) {
+    if (!n->collapsed_) {
+      n->element_type_ = type;
+    }
+    return;
+  }
+  if (n->element_type_ == type) {
+    return;
+  }
+  // Accessing a member of the element type (struct field loads/stores via
+  // getelementptr) preserves type homogeneity; seeing the containing type
+  // after a member upgrades the element. Anything else collapses the node.
+  if (vir::TypeContainsMember(n->element_type_, type)) {
+    return;
+  }
+  if (vir::TypeContainsMember(type, n->element_type_)) {
+    n->element_type_ = type;
+    return;
+  }
+  n->collapsed_ = true;
+  n->element_type_ = nullptr;
+}
+
+PointsToNode* PointsToGraph::Unify(PointsToNode* a, PointsToNode* b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) {
+    return a;
+  }
+  // Keep the lower id as representative (stable naming for tests/benches).
+  if (b->id_ < a->id_) {
+    std::swap(a, b);
+  }
+  b->parent_ = a;
+  a->flags_ |= b->flags_;
+  a->functions_.insert(b->functions_.begin(), b->functions_.end());
+  a->allocator_sources_.insert(b->allocator_sources_.begin(),
+                               b->allocator_sources_.end());
+  if (b->collapsed_) {
+    a->collapsed_ = true;
+    a->element_type_ = nullptr;
+  } else if (b->element_type_ != nullptr) {
+    if (a->element_type_ == nullptr && !a->collapsed_) {
+      a->element_type_ = b->element_type_;
+    } else if (a->element_type_ != b->element_type_ && !a->collapsed_) {
+      if (vir::TypeContainsMember(a->element_type_, b->element_type_)) {
+        // Keep the containing type.
+      } else if (vir::TypeContainsMember(b->element_type_,
+                                         a->element_type_)) {
+        a->element_type_ = b->element_type_;
+      } else {
+        a->collapsed_ = true;
+        a->element_type_ = nullptr;
+      }
+    }
+  }
+  PointsToNode* b_pointee = b->pointee_;
+  b->pointee_ = nullptr;
+  if (b_pointee != nullptr) {
+    if (a->pointee_ == nullptr) {
+      a->pointee_ = b_pointee;
+    } else {
+      Unify(a->pointee_, b_pointee);
+    }
+  }
+  return Find(a);
+}
+
+PointsToNode* PointsToGraph::PointeeOf(PointsToNode* n) {
+  n = Find(n);
+  if (n->pointee_ == nullptr) {
+    n->pointee_ = MakeNode();
+  }
+  return Find(n->pointee_);
+}
+
+PointsToNode* PointsToGraph::FindPointee(PointsToNode* n) const {
+  n = Find(n);
+  return n->pointee_ == nullptr ? nullptr : Find(n->pointee_);
+}
+
+std::vector<PointsToNode*> PointsToGraph::CanonicalNodes() const {
+  std::vector<PointsToNode*> out;
+  for (const auto& n : nodes_) {
+    if (n->parent_ == nullptr) {
+      out.push_back(n.get());
+    }
+  }
+  return out;
+}
+
+void PointsToGraph::PropagateIncompleteness() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& n : nodes_) {
+      if (n->parent_ != nullptr) {
+        continue;
+      }
+      if (n->has_flag(PointsToNode::kIncomplete) && n->pointee_ != nullptr) {
+        PointsToNode* p = Find(n->pointee_);
+        if (!p->has_flag(PointsToNode::kIncomplete)) {
+          p->flags_ |= PointsToNode::kIncomplete;
+          changed = true;
+        }
+      }
+      // User-reachability flows to what the arguments point at.
+      if (n->has_flag(PointsToNode::kUserReachable) && n->pointee_ != nullptr) {
+        PointsToNode* p = Find(n->pointee_);
+        if (!p->has_flag(PointsToNode::kUserReachable)) {
+          p->flags_ |= PointsToNode::kUserReachable;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+// --- PointsToAnalysis ---------------------------------------------------------
+
+PointsToAnalysis::PointsToAnalysis(vir::Module& module, AnalysisConfig config)
+    : module_(module), config_(std::move(config)) {}
+
+const AllocatorInfo* PointsToAnalysis::AllocatorFor(
+    const std::string& name) const {
+  for (const AllocatorInfo& info : config_.allocators) {
+    if (info.alloc_fn == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+bool PointsToAnalysis::IsCopyFunction(const std::string& name) const {
+  return std::find(config_.copy_functions.begin(),
+                   config_.copy_functions.end(),
+                   name) != config_.copy_functions.end();
+}
+
+bool PointsToAnalysis::IsExternalFunction(const Function& fn) const {
+  if (!fn.is_declaration()) {
+    return false;
+  }
+  if (vir::LookupIntrinsic(fn.name()) != vir::Intrinsic::kNone) {
+    return false;
+  }
+  if (AllocatorFor(fn.name()) != nullptr || IsCopyFunction(fn.name())) {
+    return false;
+  }
+  for (const AllocatorInfo& info : config_.allocators) {
+    if (info.free_fn == fn.name()) {
+      return false;
+    }
+  }
+  if (std::find(config_.allocator_metadata_functions.begin(),
+                config_.allocator_metadata_functions.end(),
+                fn.name()) != config_.allocator_metadata_functions.end()) {
+    return false;
+  }
+  return true;
+}
+
+void PointsToAnalysis::ApplyCallBinding(const CallInst& call,
+                                        const Function& callee) {
+  for (size_t i = 0; i < call.num_args() && i < callee.num_args(); ++i) {
+    if (call.arg(i)->type()->IsPointer()) {
+      graph_.Unify(graph_.NodeOf(call.arg(i)),
+                   graph_.NodeOf(callee.arg(i)));
+    }
+  }
+  if (call.type()->IsPointer()) {
+    // The callee's return partition is keyed by the Function value itself
+    // shifted into a dedicated slot: use the function's own map entry's
+    // pointee as "returns" storage. We keep a simple convention: a defined
+    // function's pointer returns all unify with the node of each of its ret
+    // instructions, which ProcessInstruction links to this call below via
+    // the per-function return node.
+    graph_.Unify(graph_.NodeOf(&call), ReturnNodeOf(callee));
+  }
+}
+
+// Out-of-line helper: stable per-function return node.
+PointsToNode* PointsToAnalysis::ReturnNodeOf(const Function& fn) {
+  auto it = return_nodes_.find(&fn);
+  if (it != return_nodes_.end()) {
+    return graph_.Find(it->second);
+  }
+  PointsToNode* n = graph_.MakeNode();
+  return_nodes_[&fn] = n;
+  return n;
+}
+
+void PointsToAnalysis::ProcessCall(const Function& fn, const CallInst& call) {
+  (void)fn;
+  // Intrinsics: no dataflow effect (they are checks, not data operations).
+  if (const Function* direct = call.called_function()) {
+    vir::Intrinsic which = vir::LookupIntrinsic(direct->name());
+    if (which == vir::Intrinsic::kRegisterSyscall) {
+      // Section 4.8: map syscall numbers to handlers so internal syscalls
+      // analyze as direct calls.
+      if (call.num_args() == 2) {
+        const auto* num = dynamic_cast<const vir::ConstantInt*>(call.arg(0));
+        const Function* handler = nullptr;
+        if (const auto* cast =
+                dynamic_cast<const vir::CastInst*>(call.arg(1))) {
+          handler = dynamic_cast<const Function*>(cast->src());
+        } else {
+          handler = dynamic_cast<const Function*>(call.arg(1));
+        }
+        if (num != nullptr && handler != nullptr) {
+          syscall_table_[num->zext_value()] = handler;
+        }
+      }
+      return;
+    }
+    if (which != vir::Intrinsic::kNone) {
+      return;
+    }
+
+    // Kernel allocators (Section 4.3).
+    if (const AllocatorInfo* info = AllocatorFor(direct->name())) {
+      PointsToNode* obj = graph_.NodeOf(&call);
+      graph_.AddFlag(obj, PointsToNode::kHeap);
+      std::string source;
+      if (info->is_pool && info->pool_arg >= 0 &&
+          static_cast<size_t>(info->pool_arg) < call.num_args()) {
+        PointsToNode* desc =
+            graph_.NodeOf(call.arg(static_cast<size_t>(info->pool_arg)));
+        source = StrCat(info->alloc_fn, ":pool", graph_.Find(desc)->id());
+      } else if (info->exposes_size_classes && info->size_arg >= 0 &&
+                 static_cast<size_t>(info->size_arg) < call.num_args()) {
+        const auto* size = dynamic_cast<const vir::ConstantInt*>(
+            call.arg(static_cast<size_t>(info->size_arg)));
+        if (size != nullptr) {
+          // Size classes as in the runtime's OrdinaryAllocator.
+          uint64_t cls = 32;
+          while (cls < size->zext_value()) {
+            cls *= 2;
+          }
+          source = StrCat(info->alloc_fn, "-", cls);
+        } else {
+          source = info->alloc_fn;
+        }
+      } else {
+        source = info->alloc_fn;
+      }
+      graph_.AddAllocatorSource(obj, source);
+      if (sites_seen_.insert(&call).second) {
+        allocation_sites_.push_back(AllocationSite{&call, obj, source});
+      }
+      return;
+    }
+    // Free functions: no constraints.
+    for (const AllocatorInfo& info : config_.allocators) {
+      if (info.free_fn == direct->name()) {
+        return;
+      }
+    }
+    // Allocator metadata (cache descriptors): opaque allocator-internal
+    // objects; neither registered nor incompleteness-inducing.
+    if (std::find(config_.allocator_metadata_functions.begin(),
+                  config_.allocator_metadata_functions.end(),
+                  direct->name()) !=
+        config_.allocator_metadata_functions.end()) {
+      return;
+    }
+    // Copy-function heuristic (Section 4.8): merge only the outgoing edges
+    // of source and destination objects, like *p = *q rather than p = q.
+    // Applies only to external copy routines; a copy function compiled as
+    // bytecode analyzes like any other function (this distinction is what
+    // makes the ELF-loader exploit detectable once the library is compiled).
+    if (IsCopyFunction(direct->name()) && direct->is_declaration()) {
+      if (call.num_args() >= 2 && call.arg(0)->type()->IsPointer() &&
+          call.arg(1)->type()->IsPointer()) {
+        PointsToNode* dst = graph_.NodeOf(call.arg(0));
+        PointsToNode* src = graph_.NodeOf(call.arg(1));
+        graph_.Unify(graph_.PointeeOf(dst), graph_.PointeeOf(src));
+      }
+      return;
+    }
+
+    if (!direct->is_declaration()) {
+      ApplyCallBinding(call, *direct);
+      return;
+    }
+    // External code: everything passed or returned is exposed (Incomplete).
+    for (size_t i = 0; i < call.num_args(); ++i) {
+      if (call.arg(i)->type()->IsPointer()) {
+        graph_.AddFlag(graph_.NodeOf(call.arg(i)), PointsToNode::kIncomplete);
+      }
+    }
+    if (call.type()->IsPointer()) {
+      graph_.AddFlag(graph_.NodeOf(&call), PointsToNode::kIncomplete);
+    }
+    return;
+  }
+
+  // Indirect call: bind against every candidate callee seen so far.
+  PointsToNode* callee_node = graph_.NodeOf(call.callee());
+  for (const Function* candidate : graph_.Find(callee_node)->functions()) {
+    if (!candidate->is_declaration()) {
+      ApplyCallBinding(call, *candidate);
+    }
+  }
+  if (graph_.Find(callee_node)->has_flag(PointsToNode::kUnknown)) {
+    for (size_t i = 0; i < call.num_args(); ++i) {
+      if (call.arg(i)->type()->IsPointer()) {
+        graph_.AddFlag(graph_.NodeOf(call.arg(i)), PointsToNode::kIncomplete);
+      }
+    }
+  }
+}
+
+void PointsToAnalysis::ProcessInstruction(const Function& fn,
+                                          const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::kAlloca: {
+      const auto* a = static_cast<const vir::AllocaInst*>(&inst);
+      PointsToNode* n = graph_.NodeOf(&inst);
+      graph_.AddFlag(n, PointsToNode::kStack);
+      graph_.AccessType(n, a->allocated_type());
+      break;
+    }
+    case Opcode::kMalloc: {
+      const auto* m = static_cast<const vir::MallocInst*>(&inst);
+      PointsToNode* n = graph_.NodeOf(&inst);
+      graph_.AddFlag(n, PointsToNode::kHeap);
+      graph_.AccessType(n, m->allocated_type());
+      graph_.AddAllocatorSource(n, "malloc");
+      if (sites_seen_.insert(&inst).second) {
+        allocation_sites_.push_back(AllocationSite{&inst, n, "malloc"});
+      }
+      break;
+    }
+    case Opcode::kBitcast: {
+      const auto* cast = static_cast<const vir::CastInst*>(&inst);
+      if (cast->src()->type()->IsPointer() && inst.type()->IsPointer()) {
+        PointsToNode* n =
+            graph_.Unify(graph_.NodeOf(cast->src()), graph_.NodeOf(&inst));
+        // The i8* -> T* specialization idiom (kmalloc result casts) yields
+        // the element type; T* -> i8* genericization does not collapse.
+        const Type* src_pointee =
+            static_cast<const vir::PointerType*>(cast->src()->type())
+                ->pointee();
+        const Type* dst_pointee =
+            static_cast<const vir::PointerType*>(inst.type())->pointee();
+        if (src_pointee->IsInt() &&
+            static_cast<const vir::IntType*>(src_pointee)->bits() == 8 &&
+            !(dst_pointee->IsInt() &&
+              static_cast<const vir::IntType*>(dst_pointee)->bits() == 8)) {
+          graph_.AccessType(n, dst_pointee);
+        }
+      }
+      break;
+    }
+    case Opcode::kIntToPtr: {
+      const auto* cast = static_cast<const vir::CastInst*>(&inst);
+      const auto* c = dynamic_cast<const vir::ConstantInt*>(cast->src());
+      if (c != nullptr &&
+          std::llabs(c->sext_value()) <= config_.small_int_threshold) {
+        // Small-constant error-code idiom: treat as null (Section 4.8).
+        break;
+      }
+      PointsToNode* n = graph_.NodeOf(&inst);
+      graph_.AddFlag(n, PointsToNode::kUnknown);
+      graph_.AddFlag(n, PointsToNode::kIncomplete);
+      graph_.Collapse(n);
+      break;
+    }
+    case Opcode::kGetElementPtr: {
+      const auto* gep = static_cast<const vir::GetElementPtrInst*>(&inst);
+      graph_.Unify(graph_.NodeOf(gep->base()), graph_.NodeOf(&inst));
+      break;
+    }
+    case Opcode::kLoad: {
+      const auto* load = static_cast<const vir::LoadInst*>(&inst);
+      PointsToNode* obj = graph_.NodeOf(load->pointer());
+      graph_.AccessType(obj, inst.type());
+      if (inst.type()->IsPointer()) {
+        graph_.Unify(graph_.NodeOf(&inst), graph_.PointeeOf(obj));
+      }
+      break;
+    }
+    case Opcode::kStore: {
+      const auto* store = static_cast<const vir::StoreInst*>(&inst);
+      PointsToNode* obj = graph_.NodeOf(store->pointer());
+      graph_.AccessType(obj, store->stored_value()->type());
+      if (store->stored_value()->type()->IsPointer()) {
+        graph_.Unify(graph_.PointeeOf(obj),
+                     graph_.NodeOf(store->stored_value()));
+      }
+      break;
+    }
+    case Opcode::kAtomicLIS:
+    case Opcode::kCmpXchg: {
+      PointsToNode* obj = graph_.NodeOf(inst.operand(0));
+      graph_.AccessType(obj, inst.type());
+      break;
+    }
+    case Opcode::kSelect: {
+      if (inst.type()->IsPointer()) {
+        const auto* sel = static_cast<const vir::SelectInst*>(&inst);
+        graph_.Unify(graph_.NodeOf(&inst), graph_.NodeOf(sel->true_value()));
+        graph_.Unify(graph_.NodeOf(&inst), graph_.NodeOf(sel->false_value()));
+      }
+      break;
+    }
+    case Opcode::kPhi: {
+      if (inst.type()->IsPointer()) {
+        const auto* phi = static_cast<const vir::PhiInst*>(&inst);
+        for (size_t i = 0; i < phi->num_incoming(); ++i) {
+          graph_.Unify(graph_.NodeOf(&inst),
+                       graph_.NodeOf(phi->incoming_value(i)));
+        }
+      }
+      break;
+    }
+    case Opcode::kRet: {
+      const auto* ret = static_cast<const vir::RetInst*>(&inst);
+      if (ret->has_value() && ret->value()->type()->IsPointer()) {
+        graph_.Unify(ReturnNodeOf(fn), graph_.NodeOf(ret->value()));
+      }
+      break;
+    }
+    case Opcode::kCall:
+      ProcessCall(fn, *static_cast<const CallInst*>(&inst));
+      break;
+    default:
+      break;
+  }
+}
+
+void PointsToAnalysis::ProcessFunction(const Function& fn) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      ProcessInstruction(fn, *inst);
+    }
+  }
+}
+
+Status PointsToAnalysis::Run() {
+  // Seed globals and function constants.
+  for (const auto& gv : module_.globals()) {
+    if (vir::IsMetapoolHandle(gv.get())) {
+      continue;
+    }
+    PointsToNode* n = graph_.NodeOf(gv.get());
+    graph_.AddFlag(n, PointsToNode::kGlobal);
+    graph_.AccessType(n, gv->value_type());
+    if (gv->is_external() && !config_.whole_program) {
+      // External objects (BIOS areas, pre-kernel allocations) are
+      // unregistered in partial builds. In whole-program mode the kernel
+      // registers them via pseudo_alloc before first use (Section 4.7), so
+      // they behave like ordinary registered objects.
+      graph_.AddFlag(n, PointsToNode::kIncomplete);
+    }
+  }
+  for (const auto& fn : module_.functions()) {
+    PointsToNode* n = graph_.NodeOf(fn.get());
+    graph_.AddFunction(n, fn.get());
+  }
+  // Entry points: syscall-style external callers.
+  auto seed_entry = [&](const Function* fn) {
+    for (size_t i = 0; i < fn->num_args(); ++i) {
+      if (!fn->arg(i)->type()->IsPointer()) {
+        continue;
+      }
+      PointsToNode* n = graph_.NodeOf(fn->arg(i));
+      if (config_.whole_program) {
+        graph_.AddFlag(n, PointsToNode::kUserReachable);
+      } else {
+        graph_.AddFlag(n, PointsToNode::kIncomplete);
+      }
+    }
+  };
+  for (const std::string& name : config_.entry_points) {
+    if (const Function* fn = module_.GetFunction(name)) {
+      seed_entry(fn);
+    }
+  }
+
+  // Fixpoint: indirect-call bindings may discover new constraints.
+  uint64_t last_signature = ~uint64_t{0};
+  for (int iter = 0; iter < 64; ++iter) {
+    for (const auto& fn : module_.functions()) {
+      if (!fn->is_declaration()) {
+        ProcessFunction(*fn);
+      }
+    }
+    for (const auto& [num, handler] : syscall_table_) {
+      (void)num;
+      seed_entry(handler);
+    }
+    // Convergence check via a structural signature of the graph.
+    uint64_t sig = 1469598103934665603ull;
+    for (const auto& [value, node] : graph_.value_nodes()) {
+      (void)value;
+      PointsToNode* c = graph_.Find(node);
+      sig = (sig ^ c->id()) * 1099511628211ull;
+      sig = (sig ^ c->flags()) * 1099511628211ull;
+      sig = (sig ^ c->functions().size()) * 1099511628211ull;
+    }
+    if (sig == last_signature) {
+      break;
+    }
+    last_signature = sig;
+  }
+  graph_.PropagateIncompleteness();
+  return OkStatus();
+}
+
+}  // namespace sva::analysis

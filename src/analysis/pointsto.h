@@ -1,0 +1,192 @@
+// Unification-based ("Steensgaard-style", [41]) points-to analysis over SVA
+// bytecode. Every pointer value in the program maps to exactly one node of
+// the points-to graph; each node represents one static partition of memory
+// objects and later becomes one metapool (Section 4.3).
+//
+// Nodes carry the memory-class flags of the paper (Heap/Stack/Global/
+// Function/Unknown), an Incomplete flag for partitions exposed to
+// unanalyzed code, a type-homogeneity candidate type, and — per the
+// kernel-specific extensions of Section 4.8 — user-reachability for syscall
+// argument partitions and allocator provenance for kernel-pool correlation.
+#ifndef SVA_SRC_ANALYSIS_POINTSTO_H_
+#define SVA_SRC_ANALYSIS_POINTSTO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/config.h"
+#include "src/support/status.h"
+#include "src/vir/module.h"
+
+namespace sva::analysis {
+
+class PointsToGraph;
+
+class PointsToNode {
+ public:
+  enum Flag : uint32_t {
+    kHeap = 1 << 0,
+    kStack = 1 << 1,
+    kGlobal = 1 << 2,
+    kFunction = 1 << 3,
+    kUnknown = 1 << 4,      // Manufactured address may alias this node.
+    kIncomplete = 1 << 5,   // Exposed to unanalyzed code.
+    kUserReachable = 1 << 6,  // Reachable from syscall pointer arguments.
+  };
+
+  explicit PointsToNode(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+  uint32_t flags() const { return flags_; }
+  bool has_flag(Flag f) const { return (flags_ & f) != 0; }
+
+  // The single element type candidate, or nullptr when no typed access has
+  // been seen. Collapsed nodes have conflicting accesses and are never
+  // type-homogeneous.
+  const vir::Type* element_type() const { return element_type_; }
+  bool collapsed() const { return collapsed_; }
+
+  // Type-homogeneous: a single consistent element type, no unknown aliases.
+  bool IsTypeHomogeneous() const {
+    return !collapsed_ && element_type_ != nullptr && !has_flag(kUnknown);
+  }
+  bool IsComplete() const { return !has_flag(kIncomplete); }
+
+  // Functions whose address flows into this node (callee candidates).
+  const std::set<const vir::Function*>& functions() const {
+    return functions_;
+  }
+
+  // Names of the allocator interfaces that create objects in this node
+  // ("kmalloc-128", "kmem_cache:<descriptor site>") — used for kernel pool
+  // correlation and metapool merging.
+  const std::set<std::string>& allocator_sources() const {
+    return allocator_sources_;
+  }
+
+ private:
+  friend class PointsToGraph;
+  uint32_t id_;
+  uint32_t flags_ = 0;
+  const vir::Type* element_type_ = nullptr;
+  bool collapsed_ = false;
+  std::set<const vir::Function*> functions_;
+  std::set<std::string> allocator_sources_;
+
+  // Union-find state and the single outgoing points-to edge.
+  PointsToNode* parent_ = nullptr;
+  PointsToNode* pointee_ = nullptr;
+};
+
+class PointsToGraph {
+ public:
+  PointsToGraph() = default;
+  PointsToGraph(const PointsToGraph&) = delete;
+  PointsToGraph& operator=(const PointsToGraph&) = delete;
+
+  // The canonical node a pointer-typed value points to (creating it on
+  // first use).
+  PointsToNode* NodeOf(const vir::Value* v);
+  // NodeOf without creating: nullptr if the value was never seen.
+  PointsToNode* FindNode(const vir::Value* v) const;
+
+  PointsToNode* MakeNode();
+  PointsToNode* Find(PointsToNode* n) const;
+  // Unifies two partitions; returns the canonical survivor.
+  PointsToNode* Unify(PointsToNode* a, PointsToNode* b);
+  // The node this partition's pointers point to (created on demand).
+  PointsToNode* PointeeOf(PointsToNode* n);
+  // Pointee if present, nullptr otherwise.
+  PointsToNode* FindPointee(PointsToNode* n) const;
+
+  void AddFlag(PointsToNode* n, PointsToNode::Flag f) {
+    Find(n)->flags_ |= f;
+  }
+  void AddFunction(PointsToNode* n, const vir::Function* fn) {
+    Find(n)->functions_.insert(fn);
+    Find(n)->flags_ |= PointsToNode::kFunction;
+  }
+  void AddAllocatorSource(PointsToNode* n, const std::string& source) {
+    Find(n)->allocator_sources_.insert(source);
+  }
+  // Records a typed access (load/store/allocation element type); conflicting
+  // types collapse the node. Array types are normalized to their element.
+  void AccessType(PointsToNode* n, const vir::Type* type);
+  void Collapse(PointsToNode* n) { Find(n)->collapsed_ = true; }
+
+  // All canonical (representative) nodes.
+  std::vector<PointsToNode*> CanonicalNodes() const;
+  // All values mapped to nodes.
+  const std::map<const vir::Value*, PointsToNode*>& value_nodes() const {
+    return value_nodes_;
+  }
+
+  // Marks everything reachable from incomplete nodes incomplete.
+  void PropagateIncompleteness();
+
+ private:
+  std::vector<std::unique_ptr<PointsToNode>> nodes_;
+  std::map<const vir::Value*, PointsToNode*> value_nodes_;
+};
+
+// Runs the analysis over a module. The graph and per-value mapping stay
+// valid as long as the module does.
+class PointsToAnalysis {
+ public:
+  PointsToAnalysis(vir::Module& module, AnalysisConfig config);
+
+  // Builds constraints and iterates to a fixpoint.
+  Status Run();
+
+  PointsToGraph& graph() { return graph_; }
+  const AnalysisConfig& config() const { return config_; }
+  vir::Module& module() { return module_; }
+
+  // Allocation sites discovered (malloc instructions and allocator calls),
+  // with the node their result points into.
+  struct AllocationSite {
+    const vir::Instruction* inst = nullptr;
+    PointsToNode* node = nullptr;
+    std::string allocator;  // "malloc", "kmalloc", "kmem_cache_alloc", ...
+  };
+  const std::vector<AllocationSite>& allocation_sites() const {
+    return allocation_sites_;
+  }
+
+  // Syscall handlers discovered via sva.register.syscall (Section 4.8).
+  const std::map<uint64_t, const vir::Function*>& syscall_table() const {
+    return syscall_table_;
+  }
+
+  // True if `fn` is external to the analyzed portion (a declaration without
+  // a host allocator/copy role).
+  bool IsExternalFunction(const vir::Function& fn) const;
+
+  // The node representing the pointer objects returned by `fn`.
+  PointsToNode* ReturnNodeOf(const vir::Function& fn);
+
+ private:
+  void ProcessFunction(const vir::Function& fn);
+  void ProcessInstruction(const vir::Function& fn,
+                          const vir::Instruction& inst);
+  void ProcessCall(const vir::Function& fn, const vir::CallInst& call);
+  void ApplyCallBinding(const vir::CallInst& call, const vir::Function& callee);
+  const AllocatorInfo* AllocatorFor(const std::string& name) const;
+  bool IsCopyFunction(const std::string& name) const;
+
+  vir::Module& module_;
+  AnalysisConfig config_;
+  PointsToGraph graph_;
+  std::vector<AllocationSite> allocation_sites_;
+  std::set<const vir::Instruction*> sites_seen_;
+  std::map<const vir::Function*, PointsToNode*> return_nodes_;
+  std::map<uint64_t, const vir::Function*> syscall_table_;
+};
+
+}  // namespace sva::analysis
+
+#endif  // SVA_SRC_ANALYSIS_POINTSTO_H_

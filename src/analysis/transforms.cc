@@ -1,0 +1,352 @@
+#include "src/analysis/transforms.h"
+
+#include <map>
+#include <algorithm>
+
+#include "src/support/strings.h"
+#include "src/vir/instructions.h"
+#include "src/vir/intrinsics.h"
+
+namespace sva::analysis {
+
+using vir::BasicBlock;
+using vir::CallInst;
+using vir::Function;
+using vir::Instruction;
+using vir::Module;
+using vir::Opcode;
+using vir::Value;
+
+namespace {
+
+size_t InstructionCount(const Function& fn) {
+  size_t n = 0;
+  for (const auto& bb : fn.blocks()) {
+    n += bb->instructions().size();
+  }
+  return n;
+}
+
+size_t ModuleInstructionCount(const Module& module) {
+  size_t n = 0;
+  for (const auto& fn : module.functions()) {
+    n += InstructionCount(*fn);
+  }
+  return n;
+}
+
+}  // namespace
+
+Function* CloneFunction(Module& module, const Function& fn,
+                        const std::string& new_name) {
+  std::vector<std::string> arg_names;
+  for (const auto& arg : fn.args()) {
+    arg_names.push_back(arg->name());
+  }
+  Function* clone = module.CreateFunction(new_name, fn.function_type(),
+                                          /*is_declaration=*/false, arg_names);
+  std::map<const Value*, Value*> vmap;
+  std::map<const BasicBlock*, BasicBlock*> bmap;
+  for (size_t i = 0; i < fn.num_args(); ++i) {
+    vmap[fn.arg(i)] = clone->arg(i);
+  }
+  for (const auto& bb : fn.blocks()) {
+    bmap[bb.get()] = clone->CreateBlock(bb->name());
+  }
+  auto mapped = [&](Value* v) -> Value* {
+    auto it = vmap.find(v);
+    return it == vmap.end() ? v : it->second;
+  };
+
+  for (const auto& bb : fn.blocks()) {
+    BasicBlock* nbb = bmap[bb.get()];
+    for (const auto& inst : bb->instructions()) {
+      std::unique_ptr<Instruction> copy;
+      const Instruction* in = inst.get();
+      switch (in->opcode()) {
+        case Opcode::kICmp:
+        case Opcode::kFCmp: {
+          const auto* c = static_cast<const vir::CmpInst*>(in);
+          copy = std::make_unique<vir::CmpInst>(
+              in->opcode(), c->pred(),
+              static_cast<const vir::IntType*>(in->type()),
+              mapped(c->lhs()), mapped(c->rhs()), in->name());
+          break;
+        }
+        case Opcode::kSelect: {
+          const auto* s = static_cast<const vir::SelectInst*>(in);
+          copy = std::make_unique<vir::SelectInst>(
+              mapped(s->condition()), mapped(s->true_value()),
+              mapped(s->false_value()), in->name());
+          break;
+        }
+        case Opcode::kTrunc:
+        case Opcode::kZExt:
+        case Opcode::kSExt:
+        case Opcode::kBitcast:
+        case Opcode::kPtrToInt:
+        case Opcode::kIntToPtr:
+        case Opcode::kSIToFP:
+        case Opcode::kFPToSI: {
+          const auto* c = static_cast<const vir::CastInst*>(in);
+          copy = std::make_unique<vir::CastInst>(in->opcode(), mapped(c->src()),
+                                                 in->type(), in->name());
+          break;
+        }
+        case Opcode::kAlloca: {
+          const auto* a = static_cast<const vir::AllocaInst*>(in);
+          copy = std::make_unique<vir::AllocaInst>(
+              static_cast<const vir::PointerType*>(in->type()),
+              a->allocated_type(), mapped(a->count()), in->name());
+          break;
+        }
+        case Opcode::kMalloc: {
+          const auto* m = static_cast<const vir::MallocInst*>(in);
+          copy = std::make_unique<vir::MallocInst>(
+              static_cast<const vir::PointerType*>(in->type()),
+              m->allocated_type(), mapped(m->count()), in->name());
+          break;
+        }
+        case Opcode::kFree: {
+          const auto* f = static_cast<const vir::FreeInst*>(in);
+          copy = std::make_unique<vir::FreeInst>(module.types().VoidTy(),
+                                                 mapped(f->pointer()));
+          break;
+        }
+        case Opcode::kLoad: {
+          const auto* l = static_cast<const vir::LoadInst*>(in);
+          copy = std::make_unique<vir::LoadInst>(in->type(),
+                                                 mapped(l->pointer()),
+                                                 in->name());
+          break;
+        }
+        case Opcode::kStore: {
+          const auto* s = static_cast<const vir::StoreInst*>(in);
+          copy = std::make_unique<vir::StoreInst>(module.types().VoidTy(),
+                                                  mapped(s->stored_value()),
+                                                  mapped(s->pointer()));
+          break;
+        }
+        case Opcode::kGetElementPtr: {
+          const auto* g = static_cast<const vir::GetElementPtrInst*>(in);
+          std::vector<Value*> indices;
+          for (size_t i = 0; i < g->num_indices(); ++i) {
+            indices.push_back(mapped(g->index(i)));
+          }
+          copy = std::make_unique<vir::GetElementPtrInst>(
+              static_cast<const vir::PointerType*>(in->type()),
+              mapped(g->base()), std::move(indices), in->name());
+          break;
+        }
+        case Opcode::kAtomicLIS: {
+          const auto* a = static_cast<const vir::AtomicLISInst*>(in);
+          copy = std::make_unique<vir::AtomicLISInst>(
+              in->type(), mapped(a->pointer()), mapped(a->delta()),
+              in->name());
+          break;
+        }
+        case Opcode::kCmpXchg: {
+          const auto* c = static_cast<const vir::CmpXchgInst*>(in);
+          copy = std::make_unique<vir::CmpXchgInst>(
+              in->type(), mapped(c->pointer()), mapped(c->expected()),
+              mapped(c->desired()), in->name());
+          break;
+        }
+        case Opcode::kWriteBarrier:
+          copy = std::make_unique<vir::WriteBarrierInst>(
+              module.types().VoidTy());
+          break;
+        case Opcode::kCall: {
+          const auto* c = static_cast<const CallInst*>(in);
+          std::vector<Value*> args;
+          for (size_t i = 0; i < c->num_args(); ++i) {
+            args.push_back(mapped(c->arg(i)));
+          }
+          copy = std::make_unique<CallInst>(in->type(), mapped(c->callee()),
+                                            std::move(args), in->name());
+          break;
+        }
+        case Opcode::kPhi: {
+          const auto* p = static_cast<const vir::PhiInst*>(in);
+          auto phi = std::make_unique<vir::PhiInst>(in->type(), in->name());
+          for (size_t i = 0; i < p->num_incoming(); ++i) {
+            phi->AddIncoming(mapped(p->incoming_value(i)),
+                             bmap[p->incoming_block(i)]);
+          }
+          copy = std::move(phi);
+          break;
+        }
+        case Opcode::kBr: {
+          const auto* b = static_cast<const vir::BranchInst*>(in);
+          if (b->is_conditional()) {
+            copy = std::make_unique<vir::BranchInst>(
+                module.types().VoidTy(), mapped(b->condition()),
+                bmap[b->target(0)], bmap[b->target(1)]);
+          } else {
+            copy = std::make_unique<vir::BranchInst>(module.types().VoidTy(),
+                                                     bmap[b->target(0)]);
+          }
+          break;
+        }
+        case Opcode::kSwitch: {
+          const auto* s = static_cast<const vir::SwitchInst*>(in);
+          auto sw = std::make_unique<vir::SwitchInst>(
+              module.types().VoidTy(), mapped(s->condition()),
+              bmap[s->default_target()]);
+          for (size_t i = 0; i < s->num_cases(); ++i) {
+            sw->AddCase(s->case_value(i), bmap[s->case_target(i)]);
+          }
+          copy = std::move(sw);
+          break;
+        }
+        case Opcode::kRet: {
+          const auto* r = static_cast<const vir::RetInst*>(in);
+          copy = std::make_unique<vir::RetInst>(
+              module.types().VoidTy(),
+              r->has_value() ? mapped(r->value()) : nullptr);
+          break;
+        }
+        case Opcode::kUnreachable:
+          copy = std::make_unique<vir::UnreachableInst>(
+              module.types().VoidTy());
+          break;
+        default: {
+          // Binary arithmetic.
+          copy = std::make_unique<vir::BinaryInst>(
+              in->opcode(), mapped(in->operand(0)), mapped(in->operand(1)),
+              in->name());
+          break;
+        }
+      }
+      Instruction* placed = nbb->Append(std::move(copy));
+      vmap[in] = placed;
+      // Propagate metapool annotations if present (clones made after the
+      // safety compiler keep their typing).
+      const std::string& mp = module.MetapoolOf(in);
+      if (!mp.empty()) {
+        module.AnnotateValue(placed, mp);
+      }
+      if (module.HasSignatureAssertion(in)) {
+        module.AddSignatureAssertion(placed);
+      }
+    }
+  }
+  // Fix phi incoming values that referenced instructions defined after the
+  // phi (loop back-edges): the first pass mapped only already-seen values.
+  for (const auto& bb : clone->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != Opcode::kPhi) {
+        continue;
+      }
+      auto* phi = static_cast<vir::PhiInst*>(inst.get());
+      for (size_t i = 0; i < phi->num_incoming(); ++i) {
+        auto it = vmap.find(phi->incoming_value(i));
+        if (it != vmap.end()) {
+          phi->set_incoming_value(i, it->second);
+        }
+      }
+    }
+  }
+  return clone;
+}
+
+CloneReport CloneForPrecision(Module& module,
+                              const CloneHeuristics& heuristics) {
+  CloneReport report;
+  report.instructions_before = ModuleInstructionCount(module);
+  size_t budget = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(report.instructions_before) *
+                          heuristics.max_growth),
+      heuristics.max_instructions * 4);
+
+  // Collect direct call sites per callee. (Snapshot function list first:
+  // cloning appends to it.)
+  std::map<const Function*, std::vector<CallInst*>> sites;
+  std::vector<Function*> originals;
+  for (const auto& fn : module.functions()) {
+    if (!fn->is_declaration()) {
+      originals.push_back(fn.get());
+    }
+  }
+  for (Function* fn : originals) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        auto* call = dynamic_cast<CallInst*>(inst.get());
+        if (call == nullptr) {
+          continue;
+        }
+        Function* callee = call->called_function();
+        if (callee == nullptr || callee->is_declaration()) {
+          continue;
+        }
+        sites[callee].push_back(call);
+      }
+    }
+  }
+
+  size_t grown = 0;
+  for (Function* fn : originals) {
+    auto it = sites.find(fn);
+    if (it == sites.end() || it->second.size() < 2) {
+      continue;
+    }
+    size_t size = InstructionCount(*fn);
+    if (size > heuristics.max_instructions) {
+      continue;
+    }
+    if (heuristics.require_pointer_param) {
+      bool has_ptr = false;
+      for (const auto& arg : fn->args()) {
+        if (arg->type()->IsPointer()) {
+          has_ptr = true;
+          break;
+        }
+      }
+      if (!has_ptr) {
+        continue;
+      }
+    }
+    // Give every call site beyond the first its own clone, bounded.
+    size_t clones = 0;
+    for (size_t si = 1; si < it->second.size(); ++si) {
+      if (clones >= heuristics.max_clones_per_function ||
+          grown + size > budget) {
+        break;
+      }
+      Function* clone = CloneFunction(
+          module, *fn, StrCat(fn->name(), ".clone", si));
+      it->second[si]->set_operand(0, clone);
+      ++clones;
+      grown += size;
+      ++report.call_sites_rewritten;
+    }
+    if (clones > 0) {
+      ++report.functions_cloned;
+    }
+  }
+  report.instructions_after = ModuleInstructionCount(module);
+  return report;
+}
+
+DevirtReport Devirtualize(Module& module, const CallGraph& callgraph) {
+  DevirtReport report;
+  for (const CallInst* call : callgraph.indirect_sites()) {
+    if (!module.HasSignatureAssertion(call)) {
+      continue;
+    }
+    ++report.asserted_sites;
+    report.candidates_before += callgraph.UnfilteredCalleeCount(call);
+    const auto& callees = callgraph.Callees(call);
+    report.candidates_after += callees.size();
+    if (callees.size() == 1 && !callees.front()->is_declaration()) {
+      // The single possible callee: rewrite into a direct call, enabling
+      // inlining downstream and removing the run-time check entirely.
+      auto* mutable_call = const_cast<CallInst*>(call);
+      mutable_call->set_operand(0, const_cast<Function*>(callees.front()));
+      ++report.devirtualized_sites;
+    }
+  }
+  return report;
+}
+
+}  // namespace sva::analysis

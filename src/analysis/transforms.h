@@ -1,0 +1,63 @@
+// Precision-improving module transformations of Section 4.8:
+//
+//  * Function cloning: different objects passed through the same formal
+//    parameter from different call sites alias in a unification analysis;
+//    cloning small multi-caller functions separates the partitions.
+//  * Devirtualization: signature-asserted indirect call sites whose filtered
+//    callee set is a single function become direct calls.
+#ifndef SVA_SRC_ANALYSIS_TRANSFORMS_H_
+#define SVA_SRC_ANALYSIS_TRANSFORMS_H_
+
+#include <string>
+
+#include "src/analysis/callgraph.h"
+#include "src/support/status.h"
+#include "src/vir/module.h"
+
+namespace sva::analysis {
+
+// Deep-copies `fn` into `module` under `new_name` (returns the clone).
+// Metapool annotations are not copied; cloning runs before the safety
+// compiler assigns them.
+vir::Function* CloneFunction(vir::Module& module, const vir::Function& fn,
+                             const std::string& new_name);
+
+struct CloneHeuristics {
+  // Only clone functions with at most this many instructions (code-blowup
+  // guard; the paper reports < 10% bytecode growth).
+  size_t max_instructions = 48;
+  // Only clone when the function has at least one pointer parameter.
+  bool require_pointer_param = true;
+  // Maximum clones created per original function.
+  size_t max_clones_per_function = 8;
+  // Overall growth bound: stop when the module grew by this fraction.
+  double max_growth = 0.10;
+};
+
+struct CloneReport {
+  size_t functions_cloned = 0;
+  size_t call_sites_rewritten = 0;
+  size_t instructions_before = 0;
+  size_t instructions_after = 0;
+};
+
+// Clones eligible multi-caller functions so each (remaining) call site calls
+// a private copy. Must run before the points-to analysis that feeds the
+// safety compiler.
+CloneReport CloneForPrecision(vir::Module& module,
+                              const CloneHeuristics& heuristics = {});
+
+struct DevirtReport {
+  size_t asserted_sites = 0;
+  size_t devirtualized_sites = 0;
+  size_t candidates_before = 0;
+  size_t candidates_after = 0;
+};
+
+// Rewrites signature-asserted indirect call sites with a unique callee into
+// direct calls. Requires a CallGraph built on a completed analysis.
+DevirtReport Devirtualize(vir::Module& module, const CallGraph& callgraph);
+
+}  // namespace sva::analysis
+
+#endif  // SVA_SRC_ANALYSIS_TRANSFORMS_H_

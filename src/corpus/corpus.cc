@@ -1,0 +1,384 @@
+#include "src/corpus/corpus.h"
+
+#include "src/support/strings.h"
+
+namespace sva::corpus {
+namespace {
+
+// Shared type and global declarations.
+constexpr const char* kHeader = R"(
+module "kernel_corpus"
+
+%task_struct = type { i64, i64, [16 x i32], i64 }
+%inode = type { i64, i64, i8* }
+%file = type { %inode*, i64, i64 }
+%sk_buff = type { i8*, i64, i64 }
+
+global @task_cache : i8*
+global @inode_cache : i8*
+global @task_table : [8 x i64]
+global @fib_props : [12 x i32]
+global @file_ops : [4 x i64 (%file*, i64)*]
+global @jiffies : i64
+extern global @bios_area : [256 x i8]
+
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+declare i8* @kmem_cache_create(i64)
+declare i8* @kmem_cache_alloc(i8*)
+declare void @kmem_cache_free(i8*, i8*)
+)";
+
+// The low-level utility library: byte-wise memory/string/checksum loops and
+// an skb clone helper with its own allocation site. In the "as tested"
+// configuration these are external declarations only.
+constexpr const char* kLibDeclarations = R"(
+declare void @lib_memzero(i8*, i64)
+declare void @lib_copy(i8*, i8*, i64)
+declare i64 @lib_checksum(i8*, i64)
+declare i8* @lib_skb_clone(i8*, i64)
+declare i64 @lib_hash_obj(i8*)
+)";
+
+constexpr const char* kLibDefinitions = R"(
+define void @lib_memzero(i8* %dst, i64 %len) {
+entry:
+  %zero = icmp eq i64 %len, 0
+  br i1 %zero, label %done, label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %slot = getelementptr i8* %dst, i64 %i
+  store i8 0, i8* %slot
+  %i2 = add i64 %i, 1
+  %more = icmp ult i64 %i2, %len
+  br i1 %more, label %loop, label %done
+done:
+  ret void
+}
+
+define void @lib_copy(i8* %dst, i8* %src, i64 %len) {
+entry:
+  %zero = icmp eq i64 %len, 0
+  br i1 %zero, label %done, label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %s = getelementptr i8* %src, i64 %i
+  %v = load i8, i8* %s
+  %d = getelementptr i8* %dst, i64 %i
+  store i8 %v, i8* %d
+  %i2 = add i64 %i, 1
+  %more = icmp ult i64 %i2, %len
+  br i1 %more, label %loop, label %done
+done:
+  ret void
+}
+
+define i64 @lib_checksum(i8* %data, i64 %len) {
+entry:
+  %zero = icmp eq i64 %len, 0
+  br i1 %zero, label %done, label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %slot = getelementptr i8* %data, i64 %i
+  %v = load i8, i8* %slot
+  %v64 = zext i8 %v to i64
+  %acc2 = add i64 %acc, %v64
+  %i2 = add i64 %i, 1
+  %more = icmp ult i64 %i2, %len
+  br i1 %more, label %loop, label %done
+done:
+  %r = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  ret i64 %r
+}
+
+define i8* @lib_skb_clone(i8* %data, i64 %len) {
+entry:
+  %copy = call i8* @kmalloc(i64 %len)
+  call void @lib_copy(i8* %copy, i8* %data, i64 %len)
+  ret i8* %copy
+}
+
+define i64 @lib_hash_obj(i8* %obj) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 14695981039346656037, %entry ], [ %acc2, %loop ]
+  %slot = getelementptr i8* %obj, i64 %i
+  %v = load i8, i8* %slot
+  %v64 = zext i8 %v to i64
+  %mixed = xor i64 %acc, %v64
+  %acc2 = mul i64 %mixed, 1099511628211
+  %i2 = add i64 %i, 1
+  %more = icmp ult i64 %i2, 8
+  br i1 %more, label %loop, label %done
+done:
+  ret i64 %acc2
+}
+)";
+
+// Core: boot-time cache creation, task lifecycle, syscall registration, and
+// the scheduler's indirect dispatch.
+constexpr const char* kCore = R"(
+define void @boot() {
+entry:
+  %tc = call i8* @kmem_cache_create(i64 96)
+  store i8* %tc, i8** @task_cache
+  %ic = call i8* @kmem_cache_create(i64 24)
+  store i8* %ic, i8** @inode_cache
+  %h1 = bitcast i64 (i8*, i64)* @sys_read_impl to i8*
+  call void @sva.register.syscall(i64 3, i8* %h1)
+  %h2 = bitcast i64 (i8*, i64)* @sys_write_impl to i8*
+  call void @sva.register.syscall(i64 4, i8* %h2)
+  ret void
+}
+
+define %task_struct* @task_create(i64 %pid) {
+entry:
+  %cache = load i8*, i8** @task_cache
+  %raw = call i8* @kmem_cache_alloc(i8* %cache)
+  %task = bitcast i8* %raw to %task_struct*
+  %pid_slot = getelementptr %task_struct* %task, i64 0, i32 0
+  store i64 %pid, i64* %pid_slot
+  %state = getelementptr %task_struct* %task, i64 0, i32 1
+  store i64 0, i64* %state
+  %ptr64 = ptrtoint %task_struct* %task to i64
+  %index = and i64 %pid, 7
+  %table_slot = getelementptr [8 x i64]* @task_table, i64 0, i64 %index
+  store i64 %ptr64, i64* %table_slot
+  %audit = bitcast %task_struct* %task to i8*
+  %h = call i64 @lib_hash_obj(i8* %audit)
+  ret %task_struct* %task
+}
+
+define void @task_destroy(%task_struct* %task) {
+entry:
+  %cache = load i8*, i8** @task_cache
+  %raw = bitcast %task_struct* %task to i8*
+  call void @kmem_cache_free(i8* %cache, i8* %raw)
+  ret void
+}
+
+define i64 @task_tick(%task_struct* %task) {
+entry:
+  %state = getelementptr %task_struct* %task, i64 0, i32 1
+  %v = load i64, i64* %state
+  %v2 = add i64 %v, 1
+  store i64 %v2, i64* %state
+  %j = load i64, i64* @jiffies
+  %j2 = add i64 %j, 1
+  store i64 %j2, i64* @jiffies
+  ret i64 %v2
+}
+)";
+
+// Filesystem: inode/file objects, a block-copy read path through the
+// library, and indirect calls through the file-operations table.
+constexpr const char* kFs = R"(
+define %inode* @inode_alloc(i64 %size) {
+entry:
+  %cache = load i8*, i8** @inode_cache
+  %raw = call i8* @kmem_cache_alloc(i8* %cache)
+  %ino = bitcast i8* %raw to %inode*
+  %size_slot = getelementptr %inode* %ino, i64 0, i32 0
+  store i64 %size, i64* %size_slot
+  %data = call i8* @kmalloc(i64 %size)
+  %data_slot = getelementptr %inode* %ino, i64 0, i32 2
+  store i8* %data, i8** %data_slot
+  %audit = bitcast %inode* %ino to i8*
+  %h = call i64 @lib_hash_obj(i8* %audit)
+  ret %inode* %ino
+}
+
+define %file* @file_open(%inode* %ino) {
+entry:
+  %raw = call i8* @kmalloc(i64 24)
+  %f = bitcast i8* %raw to %file*
+  %ino_slot = getelementptr %file* %f, i64 0, i32 0
+  store %inode* %ino, %inode** %ino_slot
+  %off = getelementptr %file* %f, i64 0, i32 1
+  store i64 0, i64* %off
+  %audit = bitcast %file* %f to i8*
+  %h = call i64 @lib_hash_obj(i8* %audit)
+  ret %file* %f
+}
+
+define i64 @file_read(%file* %f, i8* %out, i64 %len) {
+entry:
+  %ino_slot = getelementptr %file* %f, i64 0, i32 0
+  %ino = load %inode*, %inode** %ino_slot
+  %data_slot = getelementptr %inode* %ino, i64 0, i32 2
+  %data = load i8*, i8** %data_slot
+  call void @lib_copy(i8* %out, i8* %data, i64 %len)
+  %sum = call i64 @lib_checksum(i8* %out, i64 %len)
+  ret i64 %sum
+}
+
+define i64 @file_dispatch(%file* %f, i64 %which, i64 %arg) {
+entry:
+  %index = and i64 %which, 3
+  %slot = getelementptr [4 x i64 (%file*, i64)*]* @file_ops, i64 0, i64 %index
+  %fp = load i64 (%file*, i64)*, i64 (%file*, i64)** %slot
+  %r = call i64 %fp(%file* %f, i64 %arg) !sig
+  ret i64 %r
+}
+
+define i64 @op_seek(%file* %f, i64 %pos) {
+entry:
+  %off = getelementptr %file* %f, i64 0, i32 1
+  store i64 %pos, i64* %off
+  ret i64 %pos
+}
+
+define i64 @op_size(%file* %f, i64 %unused) {
+entry:
+  %ino_slot = getelementptr %file* %f, i64 0, i32 0
+  %ino = load %inode*, %inode** %ino_slot
+  %size_slot = getelementptr %inode* %ino, i64 0, i32 0
+  %size = load i64, i64* %size_slot
+  ret i64 %size
+}
+
+define void @fs_setup_ops() {
+entry:
+  %s0 = getelementptr [4 x i64 (%file*, i64)*]* @file_ops, i64 0, i64 0
+  store i64 (%file*, i64)* @op_seek, i64 (%file*, i64)** %s0
+  %s1 = getelementptr [4 x i64 (%file*, i64)*]* @file_ops, i64 0, i64 1
+  store i64 (%file*, i64)* @op_size, i64 (%file*, i64)** %s1
+  ret void
+}
+)";
+
+// Network: skb allocation, header validation against the global properties
+// table, and a receive path that clones packets through the library.
+constexpr const char* kNet = R"(
+define %sk_buff* @skb_alloc(i64 %len) {
+entry:
+  %raw = call i8* @kmalloc(i64 24)
+  %skb = bitcast i8* %raw to %sk_buff*
+  %data = call i8* @kmalloc(i64 %len)
+  %data_slot = getelementptr %sk_buff* %skb, i64 0, i32 0
+  store i8* %data, i8** %data_slot
+  %len_slot = getelementptr %sk_buff* %skb, i64 0, i32 1
+  store i64 %len, i64* %len_slot
+  %audit = bitcast %sk_buff* %skb to i8*
+  %h = call i64 @lib_hash_obj(i8* %audit)
+  ret %sk_buff* %skb
+}
+
+define i64 @net_validate(i64 %rtm_type) {
+entry:
+  %slot = getelementptr [12 x i32]* @fib_props, i64 0, i64 %rtm_type
+  %v = load i32, i32* %slot
+  %r = zext i32 %v to i64
+  ret i64 %r
+}
+
+define i64 @net_rx(i8* %pkt, i64 %len) {
+entry:
+  %skb = call %sk_buff* @skb_alloc(i64 %len)
+  %data_slot = getelementptr %sk_buff* %skb, i64 0, i32 0
+  %data = load i8*, i8** %data_slot
+  call void @lib_copy(i8* %data, i8* %pkt, i64 %len)
+  %clone = call i8* @lib_skb_clone(i8* %data, i64 %len)
+  %sum = call i64 @lib_checksum(i8* %clone, i64 %len)
+  call void @kfree(i8* %clone)
+  ret i64 %sum
+}
+
+define i64 @sys_read_impl(i8* %ubuf, i64 %len) {
+entry:
+  %ino = call %inode* @inode_alloc(i64 256)
+  %f = call %file* @file_open(%inode* %ino)
+  %r = call i64 @file_read(%file* %f, i8* %ubuf, i64 %len)
+  ret i64 %r
+}
+
+define i64 @sys_write_impl(i8* %ubuf, i64 %len) {
+entry:
+  %r = call i64 @net_rx(i8* %pkt_alias, i64 %len)
+  ret i64 %r
+}
+)";
+
+// Drivers: a ring-buffer character driver with a descriptor table and an
+// ioctl-style dispatcher, plus the BIOS-scan idiom (manufactured address).
+constexpr const char* kDrivers = R"(
+define i64 @drv_write_ring(i8* %ring, i64 %pos, i64 %value) {
+entry:
+  %index = and i64 %pos, 63
+  %scaled = mul i64 %index, 8
+  %slot8 = getelementptr i8* %ring, i64 %scaled
+  %slot = bitcast i8* %slot8 to i64*
+  store i64 %value, i64* %slot
+  ret i64 %index
+}
+
+define i64 @drv_ioctl(i64 %cmd, i64 %argval) {
+entry:
+  %ring = call i8* @kmalloc(i64 512)
+  switch i64 %cmd, label %bad, [ 1, label %do_write ], [ 2, label %do_scan ]
+do_write:
+  %w = call i64 @drv_write_ring(i8* %ring, i64 %argval, i64 7)
+  call void @kfree(i8* %ring)
+  ret i64 %w
+do_scan:
+  %slot = getelementptr [256 x i8]* @bios_area, i64 0, i64 %argval
+  %v = load i8, i8* %slot
+  call void @kfree(i8* %ring)
+  %r = zext i8 %v to i64
+  ret i64 %r
+bad:
+  call void @kfree(i8* %ring)
+  ret i64 -22
+}
+)";
+
+}  // namespace
+
+std::string KernelCorpusText(bool include_libs) {
+  std::string text = kHeader;
+  // sys_write_impl references a packet alias global defined here to keep
+  // the net section self-contained.
+  text += "\nglobal @pkt_buffer : [128 x i8]\n";
+  text += "global @pkt_alias_storage : i8*\n";
+  text += include_libs ? kLibDefinitions : kLibDeclarations;
+  text += kCore;
+  text += kFs;
+  // Patch the net section: %pkt_alias is a load of the alias global.
+  std::string net = kNet;
+  std::string from = "  %r = call i64 @net_rx(i8* %pkt_alias, i64 %len)";
+  std::string to =
+      "  %pkt_alias = load i8*, i8** @pkt_alias_storage\n"
+      "  %r = call i64 @net_rx(i8* %pkt_alias, i64 %len)";
+  size_t pos = net.find(from);
+  if (pos != std::string::npos) {
+    net.replace(pos, from.size(), to);
+  }
+  text += net;
+  text += kDrivers;
+  return text;
+}
+
+analysis::AnalysisConfig CorpusConfig(bool entire_kernel) {
+  analysis::AnalysisConfig config = analysis::AnalysisConfig::LinuxLike();
+  config.whole_program = entire_kernel;
+  config.entry_points = {"sys_read_impl", "sys_write_impl", "drv_ioctl",
+                         "net_rx", "net_validate"};
+  // The library's byte-copy helpers are ordinary analyzed functions when
+  // compiled; when excluded they are NOT the known external copy routines
+  // (the paper's special-cased memcpy/copy_*_user), so they count as
+  // unanalyzed external code.
+  config.copy_functions = {"memcpy", "memmove", "copy_from_user",
+                           "copy_to_user"};
+  return config;
+}
+
+int TotalAllocationSites() {
+  // kmem_cache_create x2 are not object sites; counted sites: task_create,
+  // inode_alloc x2, file_open, skb_alloc x2, drv_ioctl, lib_skb_clone.
+  return 8;
+}
+
+}  // namespace sva::corpus

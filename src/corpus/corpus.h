@@ -1,0 +1,32 @@
+// A kernel-flavoured SVA bytecode corpus standing in for the Linux kernel
+// source tree in the static-analysis experiments (Table 9). The corpus has
+// core, filesystem, network, and driver "subsystems" plus a low-level
+// utility library that can be included as bytecode ("entire kernel") or
+// left as external declarations ("as tested" — the paper excluded mm/,
+// lib/, and the character drivers from the safety-checking compiler).
+#ifndef SVA_SRC_CORPUS_CORPUS_H_
+#define SVA_SRC_CORPUS_CORPUS_H_
+
+#include <string>
+
+#include "src/analysis/config.h"
+
+namespace sva::corpus {
+
+// The corpus module text. `include_libs` compiles the utility library as
+// bytecode; otherwise the library functions are declarations (external,
+// unanalyzed code — the source of incompleteness).
+std::string KernelCorpusText(bool include_libs);
+
+// The analysis configuration for each Table 9 row: "as tested" (libraries
+// excluded, partial knowledge) vs "entire kernel" (whole-program, userspace
+// treated as a valid object for syscall arguments).
+analysis::AnalysisConfig CorpusConfig(bool entire_kernel);
+
+// Number of heap allocation sites in the full corpus (library included) —
+// the denominator of the "Allocation Sites Seen" row.
+int TotalAllocationSites();
+
+}  // namespace sva::corpus
+
+#endif  // SVA_SRC_CORPUS_CORPUS_H_

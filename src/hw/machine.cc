@@ -1,0 +1,162 @@
+#include "src/hw/machine.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace sva::hw {
+
+Status Mmu::Map(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+  if (vaddr % kPageSize != 0 || paddr % kPageSize != 0) {
+    return InvalidArgument("mmu: unaligned mapping");
+  }
+  PageTableEntry& pte = entries_[vaddr / kPageSize];
+  if ((pte.flags & kPteSvmReserved) != 0) {
+    return FailedPrecondition(
+        "mmu: attempt to remap an SVM-reserved page");
+  }
+  pte.physical_page = paddr / kPageSize;
+  pte.flags = flags | kPtePresent;
+  return OkStatus();
+}
+
+Status Mmu::Unmap(uint64_t vaddr) {
+  auto it = entries_.find(vaddr / kPageSize);
+  if (it == entries_.end() || (it->second.flags & kPtePresent) == 0) {
+    return NotFound("mmu: unmap of unmapped page");
+  }
+  if ((it->second.flags & kPteSvmReserved) != 0) {
+    return FailedPrecondition("mmu: attempt to unmap an SVM-reserved page");
+  }
+  entries_.erase(it);
+  return OkStatus();
+}
+
+Result<uint64_t> Mmu::Translate(uint64_t vaddr, bool write,
+                                Privilege privilege) const {
+  auto it = entries_.find(vaddr / kPageSize);
+  if (it == entries_.end() || (it->second.flags & kPtePresent) == 0) {
+    ++faults_;
+    return SafetyViolation(StrCat("page fault at 0x", std::hex, vaddr));
+  }
+  const PageTableEntry& pte = it->second;
+  if (privilege == Privilege::kUser && (pte.flags & kPteUser) == 0) {
+    ++faults_;
+    return SafetyViolation(
+        StrCat("protection fault: user access to kernel page 0x", std::hex,
+               vaddr));
+  }
+  if (privilege != Privilege::kKernel &&
+      (pte.flags & kPteSvmReserved) != 0) {
+    ++faults_;
+    return SafetyViolation("protection fault: access to SVM page");
+  }
+  if (write && (pte.flags & kPteWritable) == 0) {
+    ++faults_;
+    return SafetyViolation(
+        StrCat("write to read-only page 0x", std::hex, vaddr));
+  }
+  return pte.physical_page * kPageSize + vaddr % kPageSize;
+}
+
+bool Mmu::IsMapped(uint64_t vaddr) const {
+  auto it = entries_.find(vaddr / kPageSize);
+  return it != entries_.end() && (it->second.flags & kPtePresent) != 0;
+}
+
+Result<uint64_t> PhysicalMemory::Read(uint64_t paddr, unsigned width) const {
+  if (paddr + width > bytes_.size()) {
+    return OutOfRange(StrCat("physical read beyond memory at 0x", std::hex,
+                             paddr));
+  }
+  uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(bytes_[paddr + i]) << (8 * i);
+  }
+  return v;
+}
+
+Status PhysicalMemory::Write(uint64_t paddr, unsigned width, uint64_t value) {
+  if (paddr + width > bytes_.size()) {
+    return OutOfRange(StrCat("physical write beyond memory at 0x", std::hex,
+                             paddr));
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    bytes_[paddr + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return OkStatus();
+}
+
+Status PhysicalMemory::Copy(uint64_t dst, uint64_t src, uint64_t len) {
+  if (dst + len > bytes_.size() || src + len > bytes_.size()) {
+    return OutOfRange("physical copy beyond memory");
+  }
+  std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
+  return OkStatus();
+}
+
+Status PhysicalMemory::Fill(uint64_t addr, uint8_t value, uint64_t len) {
+  if (addr + len > bytes_.size()) {
+    return OutOfRange("physical fill beyond memory");
+  }
+  std::memset(bytes_.data() + addr, value, len);
+  return OkStatus();
+}
+
+Status BlockDevice::ReadSector(uint64_t sector, uint8_t* out) {
+  if (sector >= num_sectors()) {
+    return OutOfRange(StrCat("disk read beyond device: sector ", sector));
+  }
+  std::memcpy(out, data_.data() + sector * kSectorSize, kSectorSize);
+  ++reads_;
+  return OkStatus();
+}
+
+Status BlockDevice::WriteSector(uint64_t sector, const uint8_t* in) {
+  if (sector >= num_sectors()) {
+    return OutOfRange(StrCat("disk write beyond device: sector ", sector));
+  }
+  std::memcpy(data_.data() + sector * kSectorSize, in, kSectorSize);
+  ++writes_;
+  return OkStatus();
+}
+
+Result<uint64_t> Machine::IoRead(uint16_t port) {
+  switch (port) {
+    case kPortTimer:
+      return timer_.ticks();
+    case kPortDiskSector:
+      return disk_sector_latch_;
+    default:
+      return NotFound(StrCat("io read from unknown port 0x", std::hex, port));
+  }
+}
+
+Status Machine::IoWrite(uint16_t port, uint64_t value) {
+  switch (port) {
+    case kPortConsole:
+      console_.PutChar(static_cast<char>(value));
+      return OkStatus();
+    case kPortTimer:
+      timer_.Tick(value);
+      return OkStatus();
+    case kPortDiskSector:
+      disk_sector_latch_ = value;
+      return OkStatus();
+    default:
+      return NotFound(StrCat("io write to unknown port 0x", std::hex, port));
+  }
+}
+
+uint64_t Machine::AllocatePhysicalPage() {
+  uint64_t page = next_free_page_;
+  if ((page + 1) * kPageSize > memory_.size()) {
+    return 0;
+  }
+  ++next_free_page_;
+  uint64_t addr = page * kPageSize;
+  (void)memory_.Fill(addr, 0, kPageSize);
+  return addr;
+}
+
+}  // namespace sva::hw

@@ -1,0 +1,205 @@
+// Simulated hardware platform the SVM controls: physical memory, a CPU with
+// privilege levels and control/FP state, an MMU with page tables, an
+// interrupt/trap vector, and simple devices (console, timer, block).
+//
+// This stands in for the 800 MHz Pentium III of the paper's evaluation
+// (see DESIGN.md §2): SVA-OS (src/svaos) is the only component allowed to
+// touch these privileged structures, exactly as the paper requires all
+// privileged operations to flow through the SVM.
+#ifndef SVA_SRC_HW_MACHINE_H_
+#define SVA_SRC_HW_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sva::hw {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr unsigned kNumGeneralRegisters = 16;
+inline constexpr unsigned kNumFpRegisters = 8;
+inline constexpr unsigned kNumVectors = 256;
+
+// Privilege levels (x86 ring style).
+enum class Privilege : uint8_t {
+  kKernel = 0,
+  kUser = 3,
+};
+
+// The control state of Section 3.3: program counter, general-purpose
+// registers, privilege, and control registers.
+struct ControlState {
+  uint64_t pc = 0;
+  uint64_t sp = 0;
+  std::array<uint64_t, kNumGeneralRegisters> regs{};
+  Privilege privilege = Privilege::kKernel;
+  uint64_t page_table_base = 0;
+  bool interrupts_enabled = true;
+};
+
+// Floating point state, saved lazily (Table 1).
+struct FpState {
+  std::array<double, kNumFpRegisters> regs{};
+  uint64_t control_word = 0x037F;
+};
+
+class Cpu {
+ public:
+  ControlState& control() { return control_; }
+  const ControlState& control() const { return control_; }
+  FpState& fp() { return fp_; }
+  const FpState& fp() const { return fp_; }
+
+  // Set whenever FP registers are written; llva.save.fp consults this for
+  // lazy saving.
+  bool fp_dirty() const { return fp_dirty_; }
+  void set_fp_dirty(bool dirty) { fp_dirty_ = dirty; }
+
+  void WriteFpRegister(unsigned index, double value) {
+    fp_.regs[index % kNumFpRegisters] = value;
+    fp_dirty_ = true;
+  }
+
+ private:
+  ControlState control_;
+  FpState fp_;
+  bool fp_dirty_ = false;
+};
+
+// Page table entry flags.
+enum PteFlags : uint32_t {
+  kPtePresent = 1 << 0,
+  kPteWritable = 1 << 1,
+  kPteUser = 1 << 2,
+  kPteSvmReserved = 1 << 3,  // Owned by the SVM; unmappable by the kernel.
+};
+
+struct PageTableEntry {
+  uint64_t physical_page = 0;
+  uint32_t flags = 0;
+};
+
+// A single-level page table keyed by virtual page number — enough structure
+// for SVM mediation semantics without multi-level walk detail.
+class Mmu {
+ public:
+  Status Map(uint64_t vaddr, uint64_t paddr, uint32_t flags);
+  Status Unmap(uint64_t vaddr);
+  // Physical address for a virtual one, honoring present bits; error on
+  // fault.
+  Result<uint64_t> Translate(uint64_t vaddr, bool write,
+                             Privilege privilege) const;
+  bool IsMapped(uint64_t vaddr) const;
+  const std::map<uint64_t, PageTableEntry>& entries() const {
+    return entries_;
+  }
+  uint64_t faults() const { return faults_; }
+
+ private:
+  std::map<uint64_t, PageTableEntry> entries_;  // vpage -> pte
+  mutable uint64_t faults_ = 0;
+};
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(uint64_t bytes) : bytes_(bytes, 0) {}
+
+  uint64_t size() const { return bytes_.size(); }
+  Result<uint64_t> Read(uint64_t paddr, unsigned width) const;
+  Status Write(uint64_t paddr, unsigned width, uint64_t value);
+  Status Copy(uint64_t dst, uint64_t src, uint64_t len);
+  Status Fill(uint64_t addr, uint8_t value, uint64_t len);
+  uint8_t* raw(uint64_t paddr) { return bytes_.data() + paddr; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// --- Devices -------------------------------------------------------------------
+
+class ConsoleDevice {
+ public:
+  void PutChar(char c) { output_.push_back(c); }
+  const std::string& output() const { return output_; }
+  void Clear() { output_.clear(); }
+
+ private:
+  std::string output_;
+};
+
+class TimerDevice {
+ public:
+  void Tick(uint64_t n = 1) { ticks_ += n; }
+  uint64_t ticks() const { return ticks_; }
+  // Microseconds-of-uptime fiction for gettimeofday.
+  uint64_t microseconds() const { return ticks_ * 100; }
+
+ private:
+  uint64_t ticks_ = 0;
+};
+
+class BlockDevice {
+ public:
+  static constexpr uint64_t kSectorSize = 512;
+  explicit BlockDevice(uint64_t sectors) : data_(sectors * kSectorSize, 0) {}
+
+  uint64_t num_sectors() const { return data_.size() / kSectorSize; }
+  Status ReadSector(uint64_t sector, uint8_t* out);
+  Status WriteSector(uint64_t sector, const uint8_t* in);
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::vector<uint8_t> data_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+// The whole platform.
+class Machine {
+ public:
+  explicit Machine(uint64_t memory_bytes = 64ull << 20,
+                   uint64_t disk_sectors = 16384)
+      : memory_(memory_bytes), disk_(disk_sectors) {}
+
+  Cpu& cpu() { return cpu_; }
+  Mmu& mmu() { return mmu_; }
+  PhysicalMemory& memory() { return memory_; }
+  ConsoleDevice& console() { return console_; }
+  TimerDevice& timer() { return timer_; }
+  BlockDevice& disk() { return disk_; }
+
+  // I/O port space (Section 3.3: I/O functions are SVA-OS operations).
+  enum Port : uint16_t {
+    kPortConsole = 0x3F8,
+    kPortTimer = 0x40,
+    kPortDiskSector = 0x1F0,
+    kPortDiskCommand = 0x1F7,
+  };
+  Result<uint64_t> IoRead(uint16_t port);
+  Status IoWrite(uint16_t port, uint64_t value);
+
+  // Physical page allocator for kernel boot (bump; pages never move).
+  // Returns the physical address of a fresh zeroed page, or 0 if exhausted.
+  uint64_t AllocatePhysicalPage();
+  uint64_t pages_allocated() const { return next_free_page_; }
+
+ private:
+  Cpu cpu_;
+  Mmu mmu_;
+  PhysicalMemory memory_;
+  ConsoleDevice console_;
+  TimerDevice timer_;
+  BlockDevice disk_;
+  uint64_t next_free_page_ = 1;  // Page 0 stays unmapped (null guard).
+  uint64_t disk_sector_latch_ = 0;
+};
+
+}  // namespace sva::hw
+
+#endif  // SVA_SRC_HW_MACHINE_H_

@@ -1,0 +1,256 @@
+// The minikernel: a commodity-kernel stand-in ported to SVA-OS, hosting the
+// subsystems the paper's evaluation exercises — processes with fork/exec,
+// a VFS with a ramfs, pipes, signals delivered via llva.ipush.function,
+// sockets, and the slab/kmalloc allocators of alloc.h.
+//
+// The kernel builds in the four configurations of Section 7.1 (config.h).
+// Porting markers: lines changed for the SVA port are tagged with
+// SVA-PORT(category) comments, which bench/table4_porting_effort counts the
+// way Table 4 counts Linux diff lines. Categories: svaos (SVA-OS calls
+// replacing privileged code), alloc (allocator contract changes), analysis
+// (changes aiding the safety analysis).
+#ifndef SVA_SRC_KERNEL_KERNEL_H_
+#define SVA_SRC_KERNEL_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/kernel/alloc.h"
+#include "src/kernel/config.h"
+#include "src/runtime/metapool_runtime.h"
+#include "src/support/status.h"
+#include "src/svaos/svaos.h"
+
+namespace sva::kernel {
+
+// System call numbers (Linux 2.4-flavoured).
+enum class Sys : uint64_t {
+  kExit = 1,
+  kFork = 2,
+  kRead = 3,
+  kWrite = 4,
+  kOpen = 5,
+  kClose = 6,
+  kWaitPid = 7,
+  kUnlink = 10,
+  kExecve = 11,
+  kLseek = 19,
+  kGetPid = 20,
+  kKill = 37,
+  kPipe = 42,
+  kBrk = 45,  // sbrk-style: argument is a delta, returns the new break.
+  kSigaction = 67,
+  kGetRusage = 77,
+  kGetTimeOfDay = 78,
+  kDup = 41,
+  kSocket = 97,
+  kSend = 98,
+  kRecv = 99,
+};
+
+inline constexpr int kMaxFds = 16;
+inline constexpr int kMaxSignals = 32;
+inline constexpr uint64_t kUserVirtualBase = 0x400000;
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint64_t kPipeCapacity = 16384;
+inline constexpr uint64_t kMaxPathLength = 64;
+
+struct SigAction {
+  // Handler ids are small integers the "user program" registers; 0 = default.
+  uint64_t handler = 0;
+};
+
+struct Task {
+  uint64_t addr = 0;  // Address of the task struct in the task cache.
+  int pid = 0;
+  int parent = 0;
+  bool zombie = false;
+  bool alive = false;
+  uint64_t brk = 0;
+  std::array<int, kMaxFds> fds;  // Open-file table indices; -1 = free.
+  // SVA-PORT(svaos): processor state is opaque SVA-OS buffers, not a
+  // hand-written struct pt_regs.
+  svaos::SavedIntegerState cpu_state;
+  svaos::SavedFpState fp_state;
+  std::vector<uint64_t> user_pages;  // Physical pages backing user memory.
+  std::array<SigAction, kMaxSignals> sigactions{};
+  uint32_t pending_signals = 0;
+  uint64_t signals_delivered = 0;
+};
+
+struct Inode {
+  uint64_t addr = 0;  // Inode cache object address.
+  int ino = 0;
+  std::string name;
+  std::vector<uint64_t> blocks;  // kmalloc'd data blocks.
+  uint64_t size = 0;
+  int nlink = 1;
+};
+
+struct Pipe {
+  uint64_t addr = 0;      // Pipe cache object address.
+  uint64_t buffer = 0;    // kmalloc'd ring buffer.
+  uint64_t rpos = 0;
+  uint64_t wpos = 0;
+  uint64_t count = 0;
+};
+
+struct Socket {
+  uint64_t addr = 0;
+  // Loopback queue of kmalloc'd skbs: (address, length).
+  std::vector<std::pair<uint64_t, uint64_t>> queue;
+  uint64_t queued_bytes = 0;
+};
+
+struct OpenFile {
+  uint64_t addr = 0;  // File cache object address.
+  int refs = 0;
+  int ino = -1;        // Ramfs inode, or
+  int pipe_id = -1;    // pipe (with end), or
+  bool pipe_read_end = false;
+  int socket_id = -1;  // socket.
+  uint64_t offset = 0;
+};
+
+struct KernelStats {
+  uint64_t syscalls = 0;
+  uint64_t context_switches = 0;
+  uint64_t forks = 0;
+  uint64_t execs = 0;
+  uint64_t signals_delivered = 0;
+  uint64_t bytes_copied_user = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(hw::Machine& machine, KernelConfig config);
+  ~Kernel();
+
+  // Boots: creates allocators and caches, registers syscall handlers with
+  // SVA-OS (SVA modes) or the direct dispatch table (native), registers
+  // the userspace metapool object (safe mode), and starts pid 1.
+  Status Boot();
+
+  // The user-program entry point: traps into the kernel through the path
+  // selected by the configuration.
+  Result<uint64_t> Syscall(Sys number, uint64_t a0 = 0, uint64_t a1 = 0,
+                           uint64_t a2 = 0, uint64_t a3 = 0);
+
+  // Cooperative scheduler: switch to the next runnable task (exercises the
+  // SVA-OS state save/restore path).
+  Status Yield();
+
+  // --- Host-side helpers for benchmarks and tests ----------------------------
+  // Read/write the current task's user memory directly (as the "user
+  // program" would, without entering the kernel).
+  Status PokeUser(uint64_t uaddr, const void* data, uint64_t len);
+  Status PeekUser(uint64_t uaddr, void* data, uint64_t len);
+  // Writes a NUL-terminated path into user memory at `uaddr`.
+  Status PokeUserString(uint64_t uaddr, const std::string& text);
+
+  Task* current_task() { return FindTask(current_pid_); }
+  Task* FindTask(int pid);
+  int current_pid() const { return current_pid_; }
+  const KernelStats& stats() const { return stats_; }
+  svaos::SvaOS& svaos() { return svaos_; }
+  runtime::MetaPoolRuntime& pools() { return pools_; }
+  KernelAllocators& allocators() { return *allocators_; }
+  const KernelConfig& config() const { return config_; }
+  hw::Machine& machine() { return machine_; }
+
+ private:
+  // Kernel entry through the configured path.
+  Result<uint64_t> Dispatch(Sys number, const std::array<uint64_t, 6>& args);
+  Result<uint64_t> HandleSyscall(Sys number,
+                                 const std::array<uint64_t, 6>& args,
+                                 svaos::InterruptContext* icontext);
+  // Simulated translator code-quality delta (kSvaLlvm and kSvaSafe).
+  void TranslatorTax();
+
+  // --- User memory ------------------------------------------------------------
+  // Translates a user virtual address, demand-allocating the backing page
+  // on first touch (real kernels demand-page user memory).
+  Result<uint64_t> UserToPhysical(Task& task, uint64_t uaddr);
+  Status CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
+                      uint64_t len);
+  Status CopyToUser(Task& task, uint64_t uaddr, uint64_t kaddr, uint64_t len);
+  // Copies with the safety checks hoisted by the caller (monotonic file
+  // block loops, Section 7.1.3 optimization 2).
+  Status CopyBlockToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
+                         uint64_t len);
+  Status CopyBlockFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
+                           uint64_t len);
+  // Safe mode: bounds-check a user range against the userspace object.
+  Status CheckUserRange(Task& task, uint64_t uaddr, uint64_t len);
+
+  // --- Syscall implementations ---------------------------------------------------
+  Result<uint64_t> SysGetPid();
+  Result<uint64_t> SysGetTimeOfDay(uint64_t uaddr);
+  Result<uint64_t> SysGetRusage(uint64_t uaddr);
+  Result<uint64_t> SysOpen(uint64_t path_uaddr, uint64_t flags);
+  Result<uint64_t> SysClose(uint64_t fd);
+  Result<uint64_t> SysRead(uint64_t fd, uint64_t uaddr, uint64_t len);
+  Result<uint64_t> SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len);
+  Result<uint64_t> SysLseek(uint64_t fd, uint64_t offset, uint64_t whence);
+  Result<uint64_t> SysUnlink(uint64_t path_uaddr);
+  Result<uint64_t> SysPipe(uint64_t uaddr_out);
+  Result<uint64_t> SysBrk(uint64_t delta);
+  Result<uint64_t> SysSigaction(uint64_t sig, uint64_t handler);
+  Result<uint64_t> SysKill(uint64_t pid, uint64_t sig,
+                           svaos::InterruptContext* icontext);
+  Result<uint64_t> SysFork();
+  Result<uint64_t> SysExecve(uint64_t path_uaddr);
+  Result<uint64_t> SysExit(uint64_t code);
+  Result<uint64_t> SysWaitPid(uint64_t pid);
+  Result<uint64_t> SysDup(uint64_t fd);
+  Result<uint64_t> SysSocket();
+  Result<uint64_t> SysSend(uint64_t fd, uint64_t uaddr, uint64_t len);
+  Result<uint64_t> SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
+
+  // --- Internals ---------------------------------------------------------------
+  Result<int> AllocateFd(Task& task, int file_index);
+  Result<OpenFile*> FileForFd(Task& task, uint64_t fd);
+  Result<Inode*> LookupInode(const std::string& name, bool create);
+  Status ReleaseFile(int file_index);
+  Result<int> CreateTask(int parent_pid);
+  void DeliverPendingSignals(Task& task, svaos::InterruptContext* icontext);
+  // Safe-mode check helpers (no-ops otherwise).
+  Status LsCheckObject(runtime::MetaPool* pool, uint64_t addr);
+  Status BoundsCheckObject(runtime::MetaPool* pool, uint64_t base,
+                           uint64_t derived);
+
+  hw::Machine& machine_;
+  KernelConfig config_;
+  svaos::SvaOS svaos_;
+  runtime::MetaPoolRuntime pools_;
+  std::unique_ptr<KernelAllocators> allocators_;
+
+  runtime::PoolAllocator* task_cache_ = nullptr;
+  runtime::PoolAllocator* inode_cache_ = nullptr;
+  runtime::PoolAllocator* file_cache_ = nullptr;
+  runtime::PoolAllocator* pipe_cache_ = nullptr;
+  runtime::PoolAllocator* socket_cache_ = nullptr;
+  runtime::MetaPool* user_pool_ = nullptr;
+
+  std::map<int, Task> tasks_;               // pid -> task
+  std::vector<std::unique_ptr<OpenFile>> open_files_;
+  std::map<int, Inode> inodes_;             // ino -> inode
+  std::vector<std::unique_ptr<Pipe>> pipes_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::map<std::string, int> namespace_;    // path -> ino
+
+  int current_pid_ = 0;
+  int next_pid_ = 1;
+  int next_ino_ = 1;
+  KernelStats stats_;
+  bool booted_ = false;
+};
+
+}  // namespace sva::kernel
+
+#endif  // SVA_SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,56 @@
+// Shared definitions for run-time safety check outcomes and statistics.
+#ifndef SVA_SRC_RUNTIME_CHECKS_H_
+#define SVA_SRC_RUNTIME_CHECKS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sva::runtime {
+
+enum class CheckKind {
+  kBounds,        // array bounds / object containment (Section 4.5 check 1)
+  kLoadStore,     // non-TH pool membership (check 2)
+  kIndirectCall,  // callee in call-graph target set (check 3)
+  kIllegalFree,   // free of a non-live or interior pointer (T5)
+  kRegistration,  // double registration / overlapping object
+};
+
+const char* CheckKindName(CheckKind kind);
+
+// One detected safety violation.
+struct Violation {
+  CheckKind kind = CheckKind::kBounds;
+  std::string pool;
+  uint64_t address = 0;  // The offending pointer.
+  uint64_t aux = 0;      // Source pointer / target-set id, kind-specific.
+  std::string detail;
+};
+
+// Counters kept per runtime, split by check kind. "Reduced" counts checks
+// that were skipped or weakened because the metapool is incomplete
+// (Section 4.5) — the sole source of false negatives in SVA.
+struct CheckStats {
+  uint64_t bounds_performed = 0;
+  uint64_t bounds_failed = 0;
+  uint64_t loadstore_performed = 0;
+  uint64_t loadstore_failed = 0;
+  uint64_t indirect_performed = 0;
+  uint64_t indirect_failed = 0;
+  uint64_t frees_checked = 0;
+  uint64_t frees_failed = 0;
+  uint64_t reduced_checks = 0;
+  uint64_t registrations = 0;
+  uint64_t drops = 0;
+
+  uint64_t total_performed() const {
+    return bounds_performed + loadstore_performed + indirect_performed +
+           frees_checked;
+  }
+  uint64_t total_failed() const {
+    return bounds_failed + loadstore_failed + indirect_failed + frees_failed;
+  }
+};
+
+}  // namespace sva::runtime
+
+#endif  // SVA_SRC_RUNTIME_CHECKS_H_

@@ -1,0 +1,182 @@
+#include "src/runtime/metapool_runtime.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace sva::runtime {
+
+const char* CheckKindName(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kBounds:
+      return "bounds";
+    case CheckKind::kLoadStore:
+      return "load-store";
+    case CheckKind::kIndirectCall:
+      return "indirect-call";
+    case CheckKind::kIllegalFree:
+      return "illegal-free";
+    case CheckKind::kRegistration:
+      return "registration";
+  }
+  return "unknown";
+}
+
+MetaPool* MetaPoolRuntime::CreatePool(const std::string& name,
+                                      bool type_homogeneous,
+                                      uint64_t element_size, bool complete) {
+  auto pool = std::make_unique<MetaPool>(name, type_homogeneous, element_size,
+                                         complete);
+  MetaPool* raw = pool.get();
+  pools_[name] = std::move(pool);
+  return raw;
+}
+
+MetaPool* MetaPoolRuntime::FindPool(const std::string& name) const {
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : it->second.get();
+}
+
+MetaPool* MetaPoolRuntime::GetPool(const std::string& name,
+                                   bool type_homogeneous,
+                                   uint64_t element_size, bool complete) {
+  if (MetaPool* p = FindPool(name)) {
+    return p;
+  }
+  return CreatePool(name, type_homogeneous, element_size, complete);
+}
+
+Status MetaPoolRuntime::Fail(CheckKind kind, const MetaPool* pool,
+                             uint64_t address, uint64_t aux,
+                             std::string detail) {
+  Violation v;
+  v.kind = kind;
+  v.pool = pool != nullptr ? pool->name() : "";
+  v.address = address;
+  v.aux = aux;
+  v.detail = std::move(detail);
+  violations_.push_back(v);
+  if (mode_ == EnforcementMode::kRecord) {
+    return OkStatus();
+  }
+  return SafetyViolation(StrCat(CheckKindName(kind), " check failed in pool ",
+                                v.pool, " at 0x", std::hex, address, ": ",
+                                violations_.back().detail));
+}
+
+Status MetaPoolRuntime::RegisterObject(MetaPool& pool, uint64_t start,
+                                       uint64_t size) {
+  ++stats_.registrations;
+  if (!pool.tree().Insert(start, size)) {
+    return Fail(CheckKind::kRegistration, &pool, start, size,
+                "object overlaps an already-registered object");
+  }
+  return OkStatus();
+}
+
+Status MetaPoolRuntime::DropObject(MetaPool& pool, uint64_t start) {
+  ++stats_.drops;
+  ++stats_.frees_checked;
+  std::optional<ObjectRange> removed = pool.tree().RemoveAt(start);
+  if (!removed.has_value()) {
+    ++stats_.frees_failed;
+    return Fail(CheckKind::kIllegalFree, &pool, start, 0,
+                "free of pointer that is not the start of a live object");
+  }
+  return OkStatus();
+}
+
+void MetaPoolRuntime::RegisterUserspace(MetaPool& pool, uint64_t user_base,
+                                        uint64_t user_size) {
+  // Idempotent: registering userspace twice in a pool is harmless but the
+  // tree rejects overlap, so check first.
+  if (!pool.Lookup(user_base).has_value()) {
+    pool.tree().Insert(user_base, user_size);
+  }
+}
+
+Status MetaPoolRuntime::BoundsCheck(MetaPool& pool, uint64_t src,
+                                    uint64_t derived) {
+  ++stats_.bounds_performed;
+  std::optional<ObjectRange> obj = pool.tree().LookupContaining(src);
+  if (obj.has_value()) {
+    if (obj->Contains(derived)) {
+      return OkStatus();
+    }
+    ++stats_.bounds_failed;
+    return Fail(CheckKind::kBounds, &pool, derived, src,
+                StrCat("derived pointer escapes object [0x", std::hex,
+                       obj->start, ", 0x", obj->end(), ")"));
+  }
+  if (!pool.complete()) {
+    // Reduced check (Section 4.5): the source may be a legal unregistered
+    // external object. If the *derived* pointer lands inside some other
+    // registered object, the indexing crossed an object boundary — fail.
+    ++stats_.reduced_checks;
+    std::optional<ObjectRange> hit = pool.tree().LookupContaining(derived);
+    if (hit.has_value() && !hit->Contains(src)) {
+      ++stats_.bounds_failed;
+      return Fail(CheckKind::kBounds, &pool, derived, src,
+                  "indexing from unregistered source into a registered "
+                  "object");
+    }
+    return OkStatus();
+  }
+  ++stats_.bounds_failed;
+  return Fail(CheckKind::kBounds, &pool, derived, src,
+              "source pointer not registered in its metapool");
+}
+
+Status MetaPoolRuntime::BoundsCheckDirect(uint64_t start, uint64_t derived,
+                                          uint64_t end) {
+  ++stats_.bounds_performed;
+  if (derived >= start && derived < end) {
+    return OkStatus();
+  }
+  ++stats_.bounds_failed;
+  return Fail(CheckKind::kBounds, nullptr, derived, start,
+              StrCat("derived pointer outside static bounds [0x", std::hex,
+                     start, ", 0x", end, ")"));
+}
+
+std::optional<ObjectRange> MetaPoolRuntime::GetBounds(MetaPool& pool,
+                                                      uint64_t addr) {
+  return pool.tree().LookupContaining(addr);
+}
+
+Status MetaPoolRuntime::LoadStoreCheck(MetaPool& pool, uint64_t addr) {
+  if (!pool.complete()) {
+    // No load-store checks are possible on incomplete partitions (I2).
+    ++stats_.reduced_checks;
+    return OkStatus();
+  }
+  ++stats_.loadstore_performed;
+  if (pool.tree().LookupContaining(addr).has_value()) {
+    return OkStatus();
+  }
+  ++stats_.loadstore_failed;
+  return Fail(CheckKind::kLoadStore, &pool, addr, 0,
+              "pointer does not reference a registered object of its "
+              "metapool");
+}
+
+uint64_t MetaPoolRuntime::RegisterTargetSet(std::vector<uint64_t> targets) {
+  std::sort(targets.begin(), targets.end());
+  target_sets_.push_back(std::move(targets));
+  return target_sets_.size() - 1;
+}
+
+Status MetaPoolRuntime::IndirectCallCheck(uint64_t fp, uint64_t set_id) {
+  ++stats_.indirect_performed;
+  if (set_id < target_sets_.size()) {
+    const std::vector<uint64_t>& set = target_sets_[set_id];
+    if (std::binary_search(set.begin(), set.end(), fp)) {
+      return OkStatus();
+    }
+  }
+  ++stats_.indirect_failed;
+  return Fail(CheckKind::kIndirectCall, nullptr, fp, set_id,
+              "indirect call target not in the compiler-computed callee set");
+}
+
+}  // namespace sva::runtime

@@ -1,0 +1,131 @@
+// The MetaPool runtime (Sections 4.3-4.6): object registries keyed by
+// metapool, plus the three run-time checks the SVM verifier inserts into
+// kernel bytecode. This is part of the SVA trusted computing base.
+#ifndef SVA_SRC_RUNTIME_METAPOOL_RUNTIME_H_
+#define SVA_SRC_RUNTIME_METAPOOL_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/runtime/checks.h"
+#include "src/runtime/splay_tree.h"
+
+namespace sva::runtime {
+
+// What the runtime does when a check fails. The paper's SVM stops the
+// offending operation; kRecord exists for the benchmark harness and for the
+// exploit study's reporting.
+enum class EnforcementMode {
+  kTrap,    // Checks return a SafetyViolation status.
+  kRecord,  // Violations are logged; checks return OK.
+};
+
+class MetaPoolRuntime;
+
+// One metapool: the run-time reflection of one points-to partition.
+class MetaPool {
+ public:
+  MetaPool(std::string name, bool type_homogeneous, uint64_t element_size,
+           bool complete)
+      : name_(std::move(name)),
+        type_homogeneous_(type_homogeneous),
+        element_size_(element_size),
+        complete_(complete) {}
+
+  const std::string& name() const { return name_; }
+  bool type_homogeneous() const { return type_homogeneous_; }
+  uint64_t element_size() const { return element_size_; }
+  bool complete() const { return complete_; }
+  void set_complete(bool c) { complete_ = c; }
+
+  size_t live_objects() const { return tree_.size(); }
+  SplayTree& tree() { return tree_; }
+
+  // Direct (uninstrumented) registry access used by the runtime and tests.
+  bool RegisterRange(uint64_t start, uint64_t size) {
+    return tree_.Insert(start, size);
+  }
+  std::optional<ObjectRange> Lookup(uint64_t addr) {
+    return tree_.LookupContaining(addr);
+  }
+
+ private:
+  const std::string name_;
+  const bool type_homogeneous_;
+  const uint64_t element_size_;
+  bool complete_;
+  SplayTree tree_;
+};
+
+// Owns all metapools of one executing kernel/program and implements the
+// pchk.*/sva.* operations against them.
+class MetaPoolRuntime {
+ public:
+  explicit MetaPoolRuntime(EnforcementMode mode = EnforcementMode::kTrap)
+      : mode_(mode) {}
+
+  MetaPool* CreatePool(const std::string& name, bool type_homogeneous,
+                       uint64_t element_size, bool complete);
+  MetaPool* FindPool(const std::string& name) const;
+  // Finds or creates with the given properties.
+  MetaPool* GetPool(const std::string& name, bool type_homogeneous,
+                    uint64_t element_size, bool complete);
+
+  // --- Object registration (Table 3) ---------------------------------------
+  // pchk.reg.obj: registers [start, start+size) in `pool`.
+  Status RegisterObject(MetaPool& pool, uint64_t start, uint64_t size);
+  // pchk.drop.obj: removes the object starting at `start`.
+  Status DropObject(MetaPool& pool, uint64_t start);
+  // Registers all of userspace as a single object (Section 4.6) so that
+  // syscall pointer arguments check out but cannot straddle into the kernel.
+  void RegisterUserspace(MetaPool& pool, uint64_t user_base,
+                         uint64_t user_size);
+
+  // --- Run-time checks (Section 4.5) ----------------------------------------
+  // sva.boundscheck: `derived` must lie within the same registered object as
+  // `src`. For incomplete pools the check degrades to the "reduced" form.
+  Status BoundsCheck(MetaPool& pool, uint64_t src, uint64_t derived);
+  // sva.boundscheck.direct: bounds known statically, no splay lookup.
+  Status BoundsCheckDirect(uint64_t start, uint64_t derived, uint64_t end);
+  // sva.getbounds: object lookup without failing (incomplete-pool misses
+  // return nullopt).
+  std::optional<ObjectRange> GetBounds(MetaPool& pool, uint64_t addr);
+  // sva.lscheck: `addr` must lie inside some registered object. No-op
+  // (reduced) for incomplete pools.
+  Status LoadStoreCheck(MetaPool& pool, uint64_t addr);
+  // sva.indirectcheck support: target sets computed by the call graph.
+  uint64_t RegisterTargetSet(std::vector<uint64_t> targets);
+  Status IndirectCallCheck(uint64_t fp, uint64_t set_id);
+
+  // --- State -----------------------------------------------------------------
+  EnforcementMode mode() const { return mode_; }
+  void set_mode(EnforcementMode mode) { mode_ = mode; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  void ClearViolations() { violations_.clear(); }
+  const CheckStats& stats() const { return stats_; }
+  CheckStats& mutable_stats() { return stats_; }
+  void ResetStats() { stats_ = CheckStats{}; }
+
+  const std::map<std::string, std::unique_ptr<MetaPool>>& pools() const {
+    return pools_;
+  }
+
+ private:
+  Status Fail(CheckKind kind, const MetaPool* pool, uint64_t address,
+              uint64_t aux, std::string detail);
+
+  EnforcementMode mode_;
+  std::map<std::string, std::unique_ptr<MetaPool>> pools_;
+  std::vector<std::vector<uint64_t>> target_sets_;
+  std::vector<Violation> violations_;
+  CheckStats stats_;
+};
+
+}  // namespace sva::runtime
+
+#endif  // SVA_SRC_RUNTIME_METAPOOL_RUNTIME_H_

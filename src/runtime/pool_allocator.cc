@@ -1,0 +1,122 @@
+#include "src/runtime/pool_allocator.h"
+
+#include "src/support/strings.h"
+
+namespace sva::runtime {
+
+namespace {
+constexpr uint64_t kMinStride = 8;
+}  // namespace
+
+PoolAllocator::PoolAllocator(std::string name, uint64_t object_size,
+                             PageProvider& pages)
+    : name_(std::move(name)),
+      object_size_(object_size == 0 ? 1 : object_size),
+      pages_(pages) {
+  stride_ = (object_size_ + kMinStride - 1) / kMinStride * kMinStride;
+}
+
+bool PoolAllocator::Grow() {
+  uint64_t page = pages_.AllocatePage();
+  if (page == 0) {
+    return false;
+  }
+  ++pages_owned_;
+  uint64_t count = pages_.page_size() / stride_;
+  if (count == 0) {
+    // Object larger than a page: allocate contiguous pages.
+    uint64_t needed = (stride_ + pages_.page_size() - 1) / pages_.page_size();
+    for (uint64_t i = 1; i < needed; ++i) {
+      uint64_t next = pages_.AllocatePage();
+      if (next == 0) {
+        return false;
+      }
+      ++pages_owned_;
+      // Pages from the simulated machine are contiguous by construction;
+      // non-contiguous providers would need a vmalloc-style mapping here.
+    }
+    free_list_.push_back(page);
+    return true;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    free_list_.push_back(page + i * stride_);
+  }
+  return true;
+}
+
+uint64_t PoolAllocator::Allocate() {
+  if (free_list_.empty() && !Grow()) {
+    return 0;
+  }
+  uint64_t addr = free_list_.back();
+  free_list_.pop_back();
+  live_.insert(addr);
+  ++total_allocations_;
+  return addr;
+}
+
+Status PoolAllocator::Free(uint64_t addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    return InvalidArgument(StrCat("pool ", name_, ": free of 0x", std::hex,
+                                  addr, " which is not a live object"));
+  }
+  live_.erase(it);
+  // Reuse stays within this pool: the address goes back on our own free
+  // list and is never handed to another pool (SLAB_NO_REAP).
+  free_list_.push_back(addr);
+  return OkStatus();
+}
+
+OrdinaryAllocator::OrdinaryAllocator(PageProvider& pages) : pages_(pages) {
+  // Linux-style geometric size classes.
+  for (uint64_t size : {32ull, 64ull, 128ull, 256ull, 512ull, 1024ull,
+                        2048ull, 4096ull, 8192ull, 16384ull, 32768ull,
+                        65536ull, 131072ull}) {
+    caches_.push_back(std::make_unique<PoolAllocator>(
+        StrCat("kmalloc-", size), size, pages_));
+  }
+}
+
+PoolAllocator* OrdinaryAllocator::CacheFor(uint64_t size) const {
+  for (const auto& cache : caches_) {
+    if (size <= cache->object_size()) {
+      return cache.get();
+    }
+  }
+  return nullptr;
+}
+
+uint64_t OrdinaryAllocator::largest_class() const {
+  return caches_.back()->object_size();
+}
+
+uint64_t OrdinaryAllocator::Allocate(uint64_t size) {
+  PoolAllocator* cache = CacheFor(size == 0 ? 1 : size);
+  if (cache == nullptr) {
+    return 0;
+  }
+  uint64_t addr = cache->Allocate();
+  if (addr != 0) {
+    live_sizes_[addr] = cache->object_size();
+  }
+  return addr;
+}
+
+Status OrdinaryAllocator::Free(uint64_t addr) {
+  auto it = live_sizes_.find(addr);
+  if (it == live_sizes_.end()) {
+    return InvalidArgument(
+        StrCat("kmalloc: free of unknown address 0x", std::hex, addr));
+  }
+  PoolAllocator* cache = CacheFor(it->second);
+  live_sizes_.erase(it);
+  return cache->Free(addr);
+}
+
+uint64_t OrdinaryAllocator::AllocationSize(uint64_t addr) const {
+  auto it = live_sizes_.find(addr);
+  return it == live_sizes_.end() ? 0 : it->second;
+}
+
+}  // namespace sva::runtime

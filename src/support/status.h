@@ -1,0 +1,149 @@
+// Lightweight Status / Result error-handling primitives used across the SVA
+// libraries. Recoverable errors (parse failures, verification failures,
+// safety violations surfaced to callers) travel as Status; programming errors
+// use assertions.
+#ifndef SVA_SRC_SUPPORT_STATUS_H_
+#define SVA_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sva {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  // A run-time safety check rejected an operation (bounds, load-store,
+  // indirect call, illegal free).
+  kSafetyViolation,
+  // The bytecode type checker rejected a module.
+  kVerificationFailed,
+  kParseError,
+};
+
+// Returns a short stable name for a status code ("OK", "SAFETY_VIOLATION", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() or OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status SafetyViolation(std::string msg) {
+  return Status(StatusCode::kSafetyViolation, std::move(msg));
+}
+inline Status VerificationFailed(std::string msg) {
+  return Status(StatusCode::kVerificationFailed, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+
+// A value-or-error. The value is only accessible when ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "cannot build a Result<T> from an OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok() && "value() on an error Result");
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok() && "value() on an error Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() on an error Result");
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression producing a Status.
+#define SVA_RETURN_IF_ERROR(expr)        \
+  do {                                   \
+    ::sva::Status _sva_status = (expr);  \
+    if (!_sva_status.ok()) {             \
+      return _sva_status;                \
+    }                                    \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its error.
+#define SVA_STATUS_CONCAT_INNER(a, b) a##b
+#define SVA_STATUS_CONCAT(a, b) SVA_STATUS_CONCAT_INNER(a, b)
+#define SVA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+#define SVA_ASSIGN_OR_RETURN(lhs, expr) \
+  SVA_ASSIGN_OR_RETURN_IMPL(SVA_STATUS_CONCAT(_sva_result_, __LINE__), lhs, expr)
+
+}  // namespace sva
+
+#endif  // SVA_SRC_SUPPORT_STATUS_H_

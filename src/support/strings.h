@@ -1,0 +1,32 @@
+// Small string helpers shared by the parser, printers, and report generators.
+#ifndef SVA_SRC_SUPPORT_STRINGS_H_
+#define SVA_SRC_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sva {
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace sva
+
+#endif  // SVA_SRC_SUPPORT_STRINGS_H_

@@ -1,0 +1,197 @@
+#include "src/svaos/svaos.h"
+
+#include "src/support/strings.h"
+
+namespace sva::svaos {
+
+SvaOS::SvaOS(hw::Machine& machine) : machine_(machine) {}
+
+// --- Table 1 ---------------------------------------------------------------------
+
+void SvaOS::SaveIntegerState(SavedIntegerState* buffer) {
+  ++stats_.save_integer;
+  buffer->control = machine_.cpu().control();
+  buffer->valid = true;
+}
+
+Status SvaOS::LoadIntegerState(const SavedIntegerState& buffer) {
+  if (!buffer.valid) {
+    return FailedPrecondition(
+        "llva.load.integer: buffer never saved");
+  }
+  ++stats_.load_integer;
+  machine_.cpu().control() = buffer.control;
+  return OkStatus();
+}
+
+bool SvaOS::SaveFpState(SavedFpState* buffer, bool always) {
+  if (!always && !machine_.cpu().fp_dirty()) {
+    ++stats_.save_fp_skipped;
+    return false;  // Lazy save: FP untouched since the last load.
+  }
+  ++stats_.save_fp;
+  buffer->fp = machine_.cpu().fp();
+  buffer->valid = true;
+  machine_.cpu().set_fp_dirty(false);
+  return true;
+}
+
+Status SvaOS::LoadFpState(const SavedFpState& buffer) {
+  if (!buffer.valid) {
+    return FailedPrecondition("llva.load.fp: buffer never saved");
+  }
+  ++stats_.load_fp;
+  machine_.cpu().fp() = buffer.fp;
+  machine_.cpu().set_fp_dirty(false);
+  return OkStatus();
+}
+
+// --- Table 2 ---------------------------------------------------------------------
+
+void SvaOS::IContextSave(const InterruptContext* icp, SavedIntegerState* out) {
+  out->control = icp->interrupted_;
+  out->valid = true;
+}
+
+Status SvaOS::IContextLoad(InterruptContext* icp,
+                           const SavedIntegerState& in) {
+  if (!in.valid) {
+    return FailedPrecondition("llva.icontext.load: buffer never saved");
+  }
+  icp->interrupted_ = in.control;
+  return OkStatus();
+}
+
+void SvaOS::IContextCommit(InterruptContext* icp) {
+  // In hardware this writes the remaining shadow-register state to memory;
+  // in the simulation the context is already memory-resident, so commit is
+  // a flag plus accounting.
+  icp->committed_ = true;
+  ++stats_.icontext_committed;
+}
+
+void SvaOS::IPushFunction(InterruptContext* icp,
+                          std::function<void(uint64_t)> fn,
+                          uint64_t argument) {
+  ++stats_.ipush_function;
+  icp->pushed_.push_back(PushedCall{std::move(fn), argument});
+}
+
+bool SvaOS::WasPrivileged(const InterruptContext* icp) const {
+  return icp->from_privileged_;
+}
+
+// --- Registration -----------------------------------------------------------------
+
+Status SvaOS::RegisterSyscall(uint64_t number, SyscallHandler handler) {
+  syscalls_[number] = std::move(handler);
+  return OkStatus();
+}
+
+Status SvaOS::RegisterInterrupt(unsigned vector, InterruptHandler handler) {
+  if (vector >= hw::kNumVectors) {
+    return InvalidArgument(StrCat("bad interrupt vector ", vector));
+  }
+  interrupts_[vector] = std::move(handler);
+  return OkStatus();
+}
+
+// --- Dispatch ---------------------------------------------------------------------
+
+InterruptContext* SvaOS::EnterKernel() {
+  ++stats_.icontext_created;
+  InterruptContext* icp = &icontext_slab_[icontext_depth_ %
+                                          kMaxNestedContexts];
+  ++icontext_depth_;
+  icp->id_ = next_icontext_id_++;
+  icp->committed_ = false;
+  icp->pushed_.clear();
+  hw::Cpu& cpu = machine_.cpu();
+  icp->interrupted_ = cpu.control();
+  icp->from_privileged_ = cpu.control().privilege == hw::Privilege::kKernel;
+  cpu.control().privilege = hw::Privilege::kKernel;
+  return icp;
+}
+
+void SvaOS::ReturnFromInterrupt(InterruptContext* icp) {
+  // Run the functions pushed by llva.ipush.function (signal dispatch) in
+  // push order before resuming the interrupted computation.
+  for (PushedCall& call : icp->pushed_) {
+    call.fn(call.argument);
+  }
+  icp->pushed_.clear();
+  machine_.cpu().control() = icp->interrupted_;
+  // Pop the context (it must be the innermost one).
+  if (icontext_depth_ > 0 &&
+      &icontext_slab_[(icontext_depth_ - 1) % kMaxNestedContexts] == icp) {
+    --icontext_depth_;
+  }
+}
+
+Result<uint64_t> SvaOS::Syscall(uint64_t number,
+                                const std::array<uint64_t, 6>& args) {
+  auto it = syscalls_.find(number);
+  if (it == syscalls_.end()) {
+    return NotFound(StrCat("unregistered system call ", number));
+  }
+  ++stats_.syscalls_dispatched;
+  InterruptContext* icp = EnterKernel();
+  SyscallArgs call;
+  call.args = args;
+  call.icontext = icp;
+  Result<uint64_t> result = it->second(call);
+  ReturnFromInterrupt(icp);
+  return result;
+}
+
+Status SvaOS::RaiseInterrupt(unsigned vector) {
+  if (vector >= hw::kNumVectors || !interrupts_[vector]) {
+    return NotFound(StrCat("unregistered interrupt vector ", vector));
+  }
+  ++stats_.interrupts_dispatched;
+  InterruptContext* icp = EnterKernel();
+  interrupts_[vector](icp);
+  ReturnFromInterrupt(icp);
+  return OkStatus();
+}
+
+// --- MMU / IO ---------------------------------------------------------------------
+
+Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+  ++stats_.mmu_ops;
+  // SVM mediation: the kernel may never create a mapping into SVM pages.
+  if ((flags & hw::kPteSvmReserved) != 0) {
+    return FailedPrecondition("kernel may not create SVM-reserved mappings");
+  }
+  return machine_.mmu().Map(vaddr, paddr, flags);
+}
+
+Status SvaOS::MmuUnmap(uint64_t vaddr) {
+  ++stats_.mmu_ops;
+  return machine_.mmu().Unmap(vaddr);
+}
+
+Status SvaOS::LoadPageTable(uint64_t base) {
+  ++stats_.mmu_ops;
+  machine_.cpu().control().page_table_base = base;
+  return OkStatus();
+}
+
+Status SvaOS::ReserveSvmPage(uint64_t vaddr, uint64_t paddr) {
+  ++stats_.mmu_ops;
+  return machine_.mmu().Map(vaddr, paddr,
+                            hw::kPtePresent | hw::kPteWritable |
+                                hw::kPteSvmReserved);
+}
+
+Result<uint64_t> SvaOS::IoRead(uint16_t port) {
+  ++stats_.io_ops;
+  return machine_.IoRead(port);
+}
+
+Status SvaOS::IoWrite(uint16_t port, uint64_t value) {
+  ++stats_.io_ops;
+  return machine_.IoWrite(port, value);
+}
+
+}  // namespace sva::svaos

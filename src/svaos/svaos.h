@@ -1,0 +1,162 @@
+// SVA-OS: the OS support operations of Section 3.3, Tables 1 and 2. These
+// abstract every privileged hardware operation a kernel performs — state
+// save/restore, interrupt contexts, MMU configuration, interrupt/syscall
+// handler registration, and I/O — so that a ported kernel contains no
+// assembly and the SVM mediates all privileged behaviour.
+//
+// Design choice carried over from the paper: SVA-OS provides *mechanisms
+// only*; all policy (scheduling, signal semantics, fd tables) lives in the
+// minikernel (src/kernel).
+#ifndef SVA_SRC_SVAOS_SVAOS_H_
+#define SVA_SRC_SVAOS_SVAOS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/support/status.h"
+
+namespace sva::svaos {
+
+// Opaque buffer for llva.save.integer / llva.load.integer (Table 1). The
+// kernel sees only this handle; the layout belongs to the SVM.
+struct SavedIntegerState {
+  hw::ControlState control;
+  bool valid = false;
+};
+
+// Opaque buffer for llva.save.fp / llva.load.fp.
+struct SavedFpState {
+  hw::FpState fp;
+  bool valid = false;
+};
+
+// A function call pushed onto an interrupted context by
+// llva.ipush.function — the signal-dispatch mechanism of Table 2.
+struct PushedCall {
+  std::function<void(uint64_t)> fn;
+  uint64_t argument = 0;
+};
+
+// The interrupt context of Section 3.3: the interrupted control state, kept
+// on the kernel stack by the SVM, manipulated only through the llva.icontext
+// operations.
+class InterruptContext {
+ public:
+  uint64_t id() const { return id_; }
+  bool committed() const { return committed_; }
+
+ private:
+  friend class SvaOS;
+  uint64_t id_ = 0;
+  hw::ControlState interrupted_;
+  bool from_privileged_ = false;
+  bool committed_ = false;
+  std::vector<PushedCall> pushed_;
+};
+
+// Per-operation counters; the Table 7 analysis attributes syscall overhead
+// to these operations.
+struct SvaOsStats {
+  uint64_t save_integer = 0;
+  uint64_t load_integer = 0;
+  uint64_t save_fp = 0;
+  uint64_t save_fp_skipped = 0;  // Lazy saves avoided (Table 1 `always=0`).
+  uint64_t load_fp = 0;
+  uint64_t icontext_created = 0;
+  uint64_t icontext_committed = 0;
+  uint64_t ipush_function = 0;
+  uint64_t syscalls_dispatched = 0;
+  uint64_t interrupts_dispatched = 0;
+  uint64_t mmu_ops = 0;
+  uint64_t io_ops = 0;
+};
+
+struct SyscallArgs {
+  std::array<uint64_t, 6> args{};
+  InterruptContext* icontext = nullptr;
+};
+
+using SyscallHandler = std::function<Result<uint64_t>(const SyscallArgs&)>;
+using InterruptHandler = std::function<void(InterruptContext*)>;
+
+class SvaOS {
+ public:
+  explicit SvaOS(hw::Machine& machine);
+
+  // --- Table 1: native state save/restore ------------------------------------
+  void SaveIntegerState(SavedIntegerState* buffer);
+  Status LoadIntegerState(const SavedIntegerState& buffer);
+  // Returns true if state was actually written (lazy when always == false).
+  bool SaveFpState(SavedFpState* buffer, bool always);
+  Status LoadFpState(const SavedFpState& buffer);
+
+  // --- Table 2: interrupt contexts ---------------------------------------------
+  // llva.icontext.save: capture the context as Integer State.
+  void IContextSave(const InterruptContext* icp, SavedIntegerState* out);
+  // llva.icontext.load: replace the interrupted state.
+  Status IContextLoad(InterruptContext* icp, const SavedIntegerState& in);
+  // llva.icontext.commit: write the full context to memory.
+  void IContextCommit(InterruptContext* icp);
+  // llva.ipush.function: make `fn(argument)` run when the context resumes.
+  void IPushFunction(InterruptContext* icp, std::function<void(uint64_t)> fn,
+                     uint64_t argument);
+  // llva.was.privileged.
+  bool WasPrivileged(const InterruptContext* icp) const;
+
+  // --- Handler registration -----------------------------------------------------
+  Status RegisterSyscall(uint64_t number, SyscallHandler handler);
+  Status RegisterInterrupt(unsigned vector, InterruptHandler handler);
+  bool HasSyscall(uint64_t number) const {
+    return syscalls_.count(number) != 0;
+  }
+
+  // --- Dispatch -------------------------------------------------------------------
+  // Raises the syscall trap: builds an interrupt context, elevates to
+  // kernel privilege, runs the registered handler, runs pushed functions,
+  // and restores the interrupted state. This is the kernel entry path the
+  // Table 7 microbenchmarks measure.
+  Result<uint64_t> Syscall(uint64_t number,
+                           const std::array<uint64_t, 6>& args);
+  // Raises a hardware interrupt through the registered vector.
+  Status RaiseInterrupt(unsigned vector);
+
+  // --- MMU and I/O (privileged operations) -------------------------------------
+  Status MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags);
+  Status MmuUnmap(uint64_t vaddr);
+  Status LoadPageTable(uint64_t base);
+  // Reserves a page for the SVM itself: the kernel can never map over or
+  // unmap it (Section 3.4: SVM memory is invisible to the kernel).
+  Status ReserveSvmPage(uint64_t vaddr, uint64_t paddr);
+
+  Result<uint64_t> IoRead(uint16_t port);
+  Status IoWrite(uint16_t port, uint64_t value);
+
+  hw::Machine& machine() { return machine_; }
+  const SvaOsStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SvaOsStats{}; }
+
+ private:
+  InterruptContext* EnterKernel();
+  void ReturnFromInterrupt(InterruptContext* icp);
+
+  hw::Machine& machine_;
+  SvaOsStats stats_;
+  std::map<uint64_t, SyscallHandler> syscalls_;
+  std::array<InterruptHandler, hw::kNumVectors> interrupts_;
+  // The kernel-stack region holding live interrupt contexts: a fixed slab,
+  // like the real kernel stack — no allocation on the trap path. Nested
+  // interrupts stack up to the slab depth.
+  static constexpr size_t kMaxNestedContexts = 32;
+  std::array<InterruptContext, kMaxNestedContexts> icontext_slab_;
+  size_t icontext_depth_ = 0;
+  uint64_t next_icontext_id_ = 1;
+};
+
+}  // namespace sva::svaos
+
+#endif  // SVA_SRC_SVAOS_SVAOS_H_

@@ -1,0 +1,91 @@
+#include "src/svm/address_space.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace sva::svm {
+
+AddressSpace::AddressSpace(uint64_t size_bytes)
+    : bytes_(size_bytes, 0), bump_(kernel_base()), pages_(*this) {}
+
+Status AddressSpace::CheckRange(uint64_t addr, uint64_t len) const {
+  if (addr < kNullGuard) {
+    return SafetyViolation(
+        StrCat("hardware fault: null-page access at 0x", std::hex, addr));
+  }
+  if (addr + len > bytes_.size() || addr + len < addr) {
+    return SafetyViolation(
+        StrCat("hardware fault: access beyond physical memory at 0x",
+               std::hex, addr));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> AddressSpace::Read(uint64_t addr, unsigned bytes) const {
+  SVA_RETURN_IF_ERROR(CheckRange(addr, bytes));
+  uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(bytes_[addr + i]) << (8 * i);
+  }
+  return v;
+}
+
+Status AddressSpace::Write(uint64_t addr, unsigned bytes, uint64_t value) {
+  SVA_RETURN_IF_ERROR(CheckRange(addr, bytes));
+  for (unsigned i = 0; i < bytes; ++i) {
+    bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return OkStatus();
+}
+
+Result<double> AddressSpace::ReadF64(uint64_t addr) const {
+  SVA_ASSIGN_OR_RETURN(uint64_t bits, Read(addr, 8));
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Status AddressSpace::WriteF64(uint64_t addr, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Write(addr, 8, bits);
+}
+
+Result<float> AddressSpace::ReadF32(uint64_t addr) const {
+  SVA_ASSIGN_OR_RETURN(uint64_t bits, Read(addr, 4));
+  uint32_t b32 = static_cast<uint32_t>(bits);
+  float v;
+  std::memcpy(&v, &b32, sizeof(v));
+  return v;
+}
+
+Status AddressSpace::WriteF32(uint64_t addr, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Write(addr, 4, bits);
+}
+
+Status AddressSpace::Copy(uint64_t dst, uint64_t src, uint64_t len) {
+  SVA_RETURN_IF_ERROR(CheckRange(dst, len));
+  SVA_RETURN_IF_ERROR(CheckRange(src, len));
+  std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
+  return OkStatus();
+}
+
+Status AddressSpace::Fill(uint64_t addr, uint8_t value, uint64_t len) {
+  SVA_RETURN_IF_ERROR(CheckRange(addr, len));
+  std::memset(bytes_.data() + addr, value, len);
+  return OkStatus();
+}
+
+uint64_t AddressSpace::AllocateRegion(uint64_t size, uint64_t align) {
+  uint64_t base = (bump_ + align - 1) / align * align;
+  if (base + size > bytes_.size() || base + size < base) {
+    return 0;
+  }
+  bump_ = base + size;
+  return base;
+}
+
+}  // namespace sva::svm

@@ -1,0 +1,127 @@
+// The SVM translator/execution engine. Executes SVA bytecode against the
+// flat virtual address space, routing the pchk.*/sva.* operations to the
+// MetaPool runtime and kernel allocator calls to host implementations.
+//
+// In the paper the translator emits native code; here it interprets. All
+// four benchmark configurations run on the same engine, so relative
+// overheads between configurations remain meaningful (see DESIGN.md §2).
+#ifndef SVA_SRC_SVM_INTERP_H_
+#define SVA_SRC_SVM_INTERP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/runtime/metapool_runtime.h"
+#include "src/runtime/pool_allocator.h"
+#include "src/support/status.h"
+#include "src/svm/address_space.h"
+#include "src/vir/module.h"
+
+namespace sva::svm {
+
+// Outcome of executing one entry point.
+struct ExecResult {
+  Status status;           // OK, or the first trap (safety violation/fault).
+  uint64_t value = 0;      // Integer/pointer return value.
+  double fvalue = 0;       // Floating return value.
+  uint64_t steps = 0;      // Instructions executed.
+};
+
+struct InterpOptions {
+  // When false, the pchk.*/sva.* operations become no-ops: this is the
+  // "Linux-native"-style configuration used to isolate check overheads.
+  bool enforce_checks = true;
+  // Abort after this many executed instructions (runaway-loop guard).
+  uint64_t max_steps = 500'000'000;
+};
+
+class Interpreter {
+ public:
+  // A host function receives the raw 64-bit argument slots and returns the
+  // 64-bit result slot.
+  using HostFn =
+      std::function<Result<uint64_t>(Interpreter&, std::span<const uint64_t>)>;
+
+  Interpreter(vir::Module& module, runtime::MetaPoolRuntime& pools,
+              InterpOptions options = {});
+  ~Interpreter();
+
+  // Lays out globals, creates run-time metapools from the module's
+  // declarations, registers the userspace object in user-reachable pools,
+  // registers indirect-call target sets, and binds the default kernel
+  // allocator host functions (kmalloc/kfree/kmem_cache_*).
+  Status Initialize();
+
+  // Binds (or overrides) a host implementation for a declared function.
+  void BindHost(const std::string& name, HostFn fn);
+
+  // Runs @name with the given integer/pointer arguments.
+  ExecResult Run(const std::string& name, const std::vector<uint64_t>& args);
+
+  // --- Introspection used by tests, exploits, and benches -------------------
+  AddressSpace& memory() { return *memory_; }
+  runtime::MetaPoolRuntime& pools() { return pools_; }
+  runtime::OrdinaryAllocator& kmalloc() { return *kmalloc_; }
+  vir::Module& module() { return module_; }
+
+  // Address of a global (0 if unknown).
+  uint64_t GlobalAddress(const std::string& name) const;
+  // Code address assigned to a function (0 if unknown).
+  uint64_t FunctionAddress(const std::string& name) const;
+  const vir::Function* FunctionAt(uint64_t code_address) const;
+  // The run-time metapool behind a metapool handle global, or nullptr.
+  runtime::MetaPool* PoolForHandle(uint64_t handle_address) const;
+  runtime::MetaPool* PoolByName(const std::string& name) const;
+
+  // Registers a kmem_cache created by bytecode or host code; returns its
+  // descriptor address (usable as the first argument of kmem_cache_alloc).
+  uint64_t CreateKmemCache(const std::string& name, uint64_t object_size);
+  runtime::PoolAllocator* KmemCacheAt(uint64_t descriptor);
+
+ private:
+  class Frame;
+
+  // Evaluates a constant or SSA value in the current frame.
+  Result<uint64_t> Eval(const Frame& frame, const vir::Value* v) const;
+  Result<double> EvalF(const Frame& frame, const vir::Value* v) const;
+
+  ExecResult RunFunction(const vir::Function& fn,
+                         const std::vector<uint64_t>& args,
+                         const std::vector<double>& fargs, uint64_t depth);
+
+  // Executes an intrinsic; `handled` is false if `callee` is not one.
+  Result<uint64_t> RunIntrinsic(const vir::Function& callee,
+                                std::span<const uint64_t> args, bool* handled);
+
+  Status LayoutGlobals();
+  Status CreatePools();
+
+  vir::Module& module_;
+  runtime::MetaPoolRuntime& pools_;
+  InterpOptions options_;
+  std::unique_ptr<AddressSpace> memory_;
+  std::unique_ptr<runtime::OrdinaryAllocator> kmalloc_;
+
+  std::map<std::string, uint64_t> global_addresses_;
+  std::map<std::string, uint64_t> function_addresses_;
+  std::map<uint64_t, const vir::Function*> functions_by_address_;
+  std::map<uint64_t, runtime::MetaPool*> pools_by_handle_;
+  std::map<uint64_t, std::unique_ptr<runtime::PoolAllocator>> kmem_caches_;
+  std::map<std::string, HostFn> host_fns_;
+  // Maps module target-set ids to runtime target-set ids.
+  std::vector<uint64_t> runtime_set_ids_;
+
+  uint64_t steps_ = 0;
+  uint64_t stack_arena_ = 0;
+  uint64_t stack_top_ = 0;
+  uint64_t stack_limit_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace sva::svm
+
+#endif  // SVA_SRC_SVM_INTERP_H_

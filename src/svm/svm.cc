@@ -1,0 +1,66 @@
+#include "src/svm/svm.h"
+
+#include "src/support/strings.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/bytecode.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::svm {
+
+LoadedModule::LoadedModule(std::unique_ptr<vir::Module> module,
+                           SvmOptions options)
+    : module_(std::move(module)),
+      pools_(std::make_unique<runtime::MetaPoolRuntime>(options.enforcement)),
+      interp_(std::make_unique<Interpreter>(*module_, *pools_,
+                                            options.interp)) {}
+
+Status LoadedModule::Initialize() { return interp_->Initialize(); }
+
+ExecResult LoadedModule::Run(const std::string& entry,
+                             const std::vector<uint64_t>& args) {
+  return interp_->Run(entry, args);
+}
+
+Result<std::unique_ptr<LoadedModule>> SecureVirtualMachine::LoadBytecode(
+    const std::vector<uint8_t>& bytecode) {
+  SVA_ASSIGN_OR_RETURN(std::unique_ptr<vir::Module> module,
+                       vir::ReadBytecode(bytecode));
+  uint64_t digest = vir::DigestBytes(bytecode);
+  SVA_RETURN_IF_ERROR(vir::VerifyModule(*module));
+  CacheEntry entry;
+  entry.digest = digest;
+  entry.verified = true;
+  if (options_.run_type_check) {
+    SVA_RETURN_IF_ERROR(verifier::TypeCheckOrError(*module));
+    entry.type_checked = true;
+  }
+  cache_[digest] = entry;
+  auto loaded = std::make_unique<LoadedModule>(std::move(module), options_);
+  SVA_RETURN_IF_ERROR(loaded->Initialize());
+  return loaded;
+}
+
+Result<std::unique_ptr<LoadedModule>> SecureVirtualMachine::LoadModule(
+    std::unique_ptr<vir::Module> module) {
+  std::vector<uint8_t> bytes = vir::WriteBytecode(*module);
+  uint64_t digest = vir::DigestBytes(bytes);
+  SVA_RETURN_IF_ERROR(vir::VerifyModule(*module));
+  CacheEntry entry;
+  entry.digest = digest;
+  entry.verified = true;
+  if (options_.run_type_check) {
+    SVA_RETURN_IF_ERROR(verifier::TypeCheckOrError(*module));
+    entry.type_checked = true;
+  }
+  cache_[digest] = entry;
+  auto loaded = std::make_unique<LoadedModule>(std::move(module), options_);
+  SVA_RETURN_IF_ERROR(loaded->Initialize());
+  return loaded;
+}
+
+bool SecureVirtualMachine::CacheContains(
+    const std::vector<uint8_t>& bytecode) const {
+  return cache_.count(vir::DigestBytes(bytecode)) != 0;
+}
+
+}  // namespace sva::svm

@@ -1,0 +1,84 @@
+// The Secure Virtual Machine (Section 3.4): loads SVA bytecode, runs the
+// structural verifier and the metapool type checker, "translates" it (our
+// translator is the interpreter back end), caches and signs the
+// bytecode/translation pair, and executes entry points with the runtime
+// checks live.
+#ifndef SVA_SRC_SVM_SVM_H_
+#define SVA_SRC_SVM_SVM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/metapool_runtime.h"
+#include "src/support/status.h"
+#include "src/svm/interp.h"
+#include "src/vir/module.h"
+
+namespace sva::svm {
+
+struct SvmOptions {
+  InterpOptions interp;
+  runtime::EnforcementMode enforcement = runtime::EnforcementMode::kTrap;
+  // Skip the bytecode type check (only the benchmark harness uses this, to
+  // isolate verification cost).
+  bool run_type_check = true;
+};
+
+// One loaded, verified, executable module.
+class LoadedModule {
+ public:
+  LoadedModule(std::unique_ptr<vir::Module> module, SvmOptions options);
+
+  Status Initialize();
+  ExecResult Run(const std::string& entry, const std::vector<uint64_t>& args);
+
+  vir::Module& module() { return *module_; }
+  Interpreter& interpreter() { return *interp_; }
+  runtime::MetaPoolRuntime& pools() { return *pools_; }
+
+ private:
+  std::unique_ptr<vir::Module> module_;
+  std::unique_ptr<runtime::MetaPoolRuntime> pools_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+// Entry in the native-code cache: in the paper the pair (bytecode, native
+// code) is digitally signed; here the "native code" is the verified module
+// and the signature is a digest over the bytecode.
+struct CacheEntry {
+  uint64_t digest = 0;
+  bool verified = false;
+  bool type_checked = false;
+};
+
+class SecureVirtualMachine {
+ public:
+  explicit SecureVirtualMachine(SvmOptions options = {})
+      : options_(options) {}
+
+  // Full load path: deserialize -> structural verify -> type check ->
+  // translate -> cache signature. Returns the executable module.
+  Result<std::unique_ptr<LoadedModule>> LoadBytecode(
+      const std::vector<uint8_t>& bytecode);
+
+  // Load path for an already-parsed module (the offline-translation route);
+  // serializes internally to produce the cache signature.
+  Result<std::unique_ptr<LoadedModule>> LoadModule(
+      std::unique_ptr<vir::Module> module);
+
+  // Checks whether previously loaded bytecode would hit the signed cache.
+  bool CacheContains(const std::vector<uint8_t>& bytecode) const;
+  const std::map<uint64_t, CacheEntry>& cache() const { return cache_; }
+
+  const SvmOptions& options() const { return options_; }
+
+ private:
+  SvmOptions options_;
+  std::map<uint64_t, CacheEntry> cache_;
+};
+
+}  // namespace sva::svm
+
+#endif  // SVA_SRC_SVM_SVM_H_

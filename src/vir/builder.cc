@@ -1,0 +1,190 @@
+#include "src/vir/builder.h"
+
+#include <cassert>
+
+#include "src/support/strings.h"
+
+namespace sva::vir {
+
+Result<const Type*> GepIndexedType(const Type* base_pointee,
+                                   const std::vector<Value*>& indices) {
+  if (indices.empty()) {
+    return InvalidArgument("getelementptr requires at least one index");
+  }
+  // The first index steps over the pointee as if it were an array element;
+  // it does not change the type.
+  const Type* current = base_pointee;
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (current->IsArray()) {
+      current = static_cast<const ArrayType*>(current)->element();
+    } else if (current->IsStruct()) {
+      const auto* st = static_cast<const StructType*>(current);
+      if (st->IsOpaque()) {
+        return InvalidArgument(
+            StrCat("getelementptr into opaque struct %", st->name()));
+      }
+      const auto* ci = dynamic_cast<const ConstantInt*>(indices[i]);
+      if (ci == nullptr) {
+        return InvalidArgument("struct index must be a constant integer");
+      }
+      uint64_t field = ci->zext_value();
+      if (field >= st->fields().size()) {
+        return InvalidArgument(
+            StrCat("struct index ", field, " out of range for ",
+                   st->ToString()));
+      }
+      current = st->fields()[field];
+    } else {
+      return InvalidArgument(
+          StrCat("cannot index into type ", current->ToString()));
+    }
+  }
+  return current;
+}
+
+Instruction* IRBuilder::Insert(std::unique_ptr<Instruction> inst) {
+  assert(block_ != nullptr && "no insertion point set");
+  if (track_insert_index_) {
+    Instruction* raw = block_->InsertAt(insert_index_, std::move(inst));
+    ++insert_index_;
+    return raw;
+  }
+  return block_->Append(std::move(inst));
+}
+
+Value* IRBuilder::CreateBinary(Opcode op, Value* lhs, Value* rhs,
+                               std::string name) {
+  assert(lhs->type() == rhs->type() && "binary op operand type mismatch");
+  return Insert(std::make_unique<BinaryInst>(op, lhs, rhs, std::move(name)));
+}
+
+Value* IRBuilder::CreateICmp(CmpPred pred, Value* lhs, Value* rhs,
+                             std::string name) {
+  return Insert(std::make_unique<CmpInst>(Opcode::kICmp, pred, types().I1(),
+                                          lhs, rhs, std::move(name)));
+}
+
+Value* IRBuilder::CreateFCmp(CmpPred pred, Value* lhs, Value* rhs,
+                             std::string name) {
+  return Insert(std::make_unique<CmpInst>(Opcode::kFCmp, pred, types().I1(),
+                                          lhs, rhs, std::move(name)));
+}
+
+Value* IRBuilder::CreateSelect(Value* cond, Value* tval, Value* fval,
+                               std::string name) {
+  return Insert(
+      std::make_unique<SelectInst>(cond, tval, fval, std::move(name)));
+}
+
+Value* IRBuilder::CreateCast(Opcode op, Value* src, const Type* dst,
+                             std::string name) {
+  return Insert(std::make_unique<CastInst>(op, src, dst, std::move(name)));
+}
+
+Value* IRBuilder::CreateAlloca(const Type* allocated, Value* count,
+                               std::string name) {
+  const PointerType* result = types().PointerTo(allocated);
+  return Insert(
+      std::make_unique<AllocaInst>(result, allocated, count, std::move(name)));
+}
+
+Value* IRBuilder::CreateMalloc(const Type* allocated, Value* count,
+                               std::string name) {
+  const PointerType* result = types().PointerTo(allocated);
+  return Insert(
+      std::make_unique<MallocInst>(result, allocated, count, std::move(name)));
+}
+
+void IRBuilder::CreateFree(Value* ptr) {
+  Insert(std::make_unique<FreeInst>(types().VoidTy(), ptr));
+}
+
+Value* IRBuilder::CreateLoad(Value* ptr, std::string name) {
+  assert(ptr->type()->IsPointer() && "load from non-pointer");
+  const Type* result =
+      static_cast<const PointerType*>(ptr->type())->pointee();
+  return Insert(std::make_unique<LoadInst>(result, ptr, std::move(name)));
+}
+
+void IRBuilder::CreateStore(Value* value, Value* ptr) {
+  assert(ptr->type()->IsPointer() && "store to non-pointer");
+  Insert(std::make_unique<StoreInst>(types().VoidTy(), value, ptr));
+}
+
+Value* IRBuilder::CreateGEP(Value* base, std::vector<Value*> indices,
+                            std::string name) {
+  assert(base->type()->IsPointer() && "gep base must be a pointer");
+  const Type* pointee =
+      static_cast<const PointerType*>(base->type())->pointee();
+  Result<const Type*> indexed = GepIndexedType(pointee, indices);
+  assert(indexed.ok() && "malformed getelementptr indices");
+  const PointerType* result = types().PointerTo(indexed.value());
+  return Insert(std::make_unique<GetElementPtrInst>(
+      result, base, std::move(indices), std::move(name)));
+}
+
+Value* IRBuilder::CreateAtomicLIS(Value* ptr, Value* delta, std::string name) {
+  const Type* result =
+      static_cast<const PointerType*>(ptr->type())->pointee();
+  return Insert(
+      std::make_unique<AtomicLISInst>(result, ptr, delta, std::move(name)));
+}
+
+Value* IRBuilder::CreateCmpXchg(Value* ptr, Value* expected, Value* desired,
+                                std::string name) {
+  const Type* result =
+      static_cast<const PointerType*>(ptr->type())->pointee();
+  return Insert(std::make_unique<CmpXchgInst>(result, ptr, expected, desired,
+                                              std::move(name)));
+}
+
+void IRBuilder::CreateWriteBarrier() {
+  Insert(std::make_unique<WriteBarrierInst>(types().VoidTy()));
+}
+
+Value* IRBuilder::CreateCall(Value* callee, std::vector<Value*> args,
+                             std::string name) {
+  const Type* callee_type = callee->type();
+  assert(callee_type->IsPointer() && "callee must be a function pointer");
+  const Type* pointee =
+      static_cast<const PointerType*>(callee_type)->pointee();
+  assert(pointee->IsFunction() && "callee must point to a function type");
+  const Type* result =
+      static_cast<const FunctionType*>(pointee)->return_type();
+  return Insert(std::make_unique<CallInst>(result, callee, std::move(args),
+                                           std::move(name)));
+}
+
+PhiInst* IRBuilder::CreatePhi(const Type* type, std::string name) {
+  return static_cast<PhiInst*>(
+      Insert(std::make_unique<PhiInst>(type, std::move(name))));
+}
+
+void IRBuilder::CreateBr(BasicBlock* target) {
+  Insert(std::make_unique<BranchInst>(types().VoidTy(), target));
+}
+
+void IRBuilder::CreateCondBr(Value* cond, BasicBlock* if_true,
+                             BasicBlock* if_false) {
+  Insert(std::make_unique<BranchInst>(types().VoidTy(), cond, if_true,
+                                      if_false));
+}
+
+SwitchInst* IRBuilder::CreateSwitch(Value* value, BasicBlock* default_target) {
+  return static_cast<SwitchInst*>(Insert(
+      std::make_unique<SwitchInst>(types().VoidTy(), value, default_target)));
+}
+
+void IRBuilder::CreateRet(Value* value) {
+  Insert(std::make_unique<RetInst>(types().VoidTy(), value));
+}
+
+void IRBuilder::CreateRetVoid() {
+  Insert(std::make_unique<RetInst>(types().VoidTy(), nullptr));
+}
+
+void IRBuilder::CreateUnreachable() {
+  Insert(std::make_unique<UnreachableInst>(types().VoidTy()));
+}
+
+}  // namespace sva::vir

@@ -1,0 +1,139 @@
+// IRBuilder: convenience construction of SVA-Core instructions at an
+// insertion point. Used by tests, the exploit/corpus generators, and the
+// safety-checking compiler's instrumentation pass.
+#ifndef SVA_SRC_VIR_BUILDER_H_
+#define SVA_SRC_VIR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/vir/module.h"
+
+namespace sva::vir {
+
+// Computes the result *pointee* type of a getelementptr with the given base
+// pointee type and indices (the result is a pointer to the returned type).
+// Returns an error for malformed index lists.
+Result<const Type*> GepIndexedType(const Type* base_pointee,
+                                   const std::vector<Value*>& indices);
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+  TypeContext& types() { return module_.types(); }
+
+  void SetInsertPoint(BasicBlock* bb) {
+    block_ = bb;
+    insert_index_ = bb->instructions().size();
+    track_insert_index_ = false;
+  }
+  // Inserts before instruction at `index` in `bb`; subsequent insertions
+  // keep appending before the same original instruction.
+  void SetInsertPoint(BasicBlock* bb, size_t index) {
+    block_ = bb;
+    insert_index_ = index;
+    track_insert_index_ = true;
+  }
+  BasicBlock* insert_block() const { return block_; }
+
+  // --- Arithmetic ---------------------------------------------------------
+  Value* CreateBinary(Opcode op, Value* lhs, Value* rhs, std::string name = "");
+  Value* CreateAdd(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kAdd, l, r, std::move(name));
+  }
+  Value* CreateSub(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kSub, l, r, std::move(name));
+  }
+  Value* CreateMul(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kMul, l, r, std::move(name));
+  }
+  Value* CreateAnd(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kAnd, l, r, std::move(name));
+  }
+  Value* CreateOr(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kOr, l, r, std::move(name));
+  }
+  Value* CreateShl(Value* l, Value* r, std::string name = "") {
+    return CreateBinary(Opcode::kShl, l, r, std::move(name));
+  }
+
+  Value* CreateICmp(CmpPred pred, Value* lhs, Value* rhs,
+                    std::string name = "");
+  Value* CreateFCmp(CmpPred pred, Value* lhs, Value* rhs,
+                    std::string name = "");
+  Value* CreateSelect(Value* cond, Value* tval, Value* fval,
+                      std::string name = "");
+
+  // --- Casts ---------------------------------------------------------------
+  Value* CreateCast(Opcode op, Value* src, const Type* dst,
+                    std::string name = "");
+  Value* CreateBitcast(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kBitcast, src, dst, std::move(name));
+  }
+  Value* CreateZExt(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kZExt, src, dst, std::move(name));
+  }
+  Value* CreateSExt(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kSExt, src, dst, std::move(name));
+  }
+  Value* CreateTrunc(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kTrunc, src, dst, std::move(name));
+  }
+  Value* CreatePtrToInt(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kPtrToInt, src, dst, std::move(name));
+  }
+  Value* CreateIntToPtr(Value* src, const Type* dst, std::string name = "") {
+    return CreateCast(Opcode::kIntToPtr, src, dst, std::move(name));
+  }
+
+  // --- Memory --------------------------------------------------------------
+  Value* CreateAlloca(const Type* allocated, Value* count,
+                      std::string name = "");
+  Value* CreateMalloc(const Type* allocated, Value* count,
+                      std::string name = "");
+  void CreateFree(Value* ptr);
+  Value* CreateLoad(Value* ptr, std::string name = "");
+  void CreateStore(Value* value, Value* ptr);
+  Value* CreateGEP(Value* base, std::vector<Value*> indices,
+                   std::string name = "");
+  Value* CreateAtomicLIS(Value* ptr, Value* delta, std::string name = "");
+  Value* CreateCmpXchg(Value* ptr, Value* expected, Value* desired,
+                       std::string name = "");
+  void CreateWriteBarrier();
+
+  // --- Calls & control flow --------------------------------------------------
+  Value* CreateCall(Value* callee, std::vector<Value*> args,
+                    std::string name = "");
+  PhiInst* CreatePhi(const Type* type, std::string name = "");
+  void CreateBr(BasicBlock* target);
+  void CreateCondBr(Value* cond, BasicBlock* if_true, BasicBlock* if_false);
+  SwitchInst* CreateSwitch(Value* value, BasicBlock* default_target);
+  void CreateRet(Value* value);
+  void CreateRetVoid();
+  void CreateUnreachable();
+
+  // --- Constants (forwarders) ------------------------------------------------
+  ConstantInt* Int32(uint64_t v) { return module_.GetInt32(v); }
+  ConstantInt* Int64(uint64_t v) { return module_.GetInt64(v); }
+  ConstantInt* Int8(uint64_t v) { return module_.GetInt(types().I8(), v); }
+  ConstantInt* Int1(bool v) { return module_.GetInt(types().I1(), v ? 1 : 0); }
+  ConstantNull* Null(const Type* pointee) {
+    return module_.GetNull(types().PointerTo(pointee));
+  }
+
+ private:
+  Instruction* Insert(std::unique_ptr<Instruction> inst);
+
+  Module& module_;
+  BasicBlock* block_ = nullptr;
+  size_t insert_index_ = 0;
+  bool track_insert_index_ = false;
+};
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_BUILDER_H_

@@ -1,0 +1,127 @@
+#include "src/vir/intrinsics.h"
+
+#include "src/support/strings.h"
+
+namespace sva::vir {
+
+Intrinsic LookupIntrinsic(std::string_view name) {
+  if (name == "pchk.reg.obj") {
+    return Intrinsic::kPchkRegObj;
+  }
+  if (name == "pchk.drop.obj") {
+    return Intrinsic::kPchkDropObj;
+  }
+  if (name == "sva.boundscheck") {
+    return Intrinsic::kBoundsCheck;
+  }
+  if (name == "sva.boundscheck.direct") {
+    return Intrinsic::kBoundsCheckDirect;
+  }
+  if (name == "sva.getbounds") {
+    return Intrinsic::kGetBounds;
+  }
+  if (name == "sva.lscheck") {
+    return Intrinsic::kLSCheck;
+  }
+  if (name == "sva.indirectcheck") {
+    return Intrinsic::kIndirectCheck;
+  }
+  if (name == "sva.pseudo.alloc") {
+    return Intrinsic::kPseudoAlloc;
+  }
+  if (name == "sva.register.syscall") {
+    return Intrinsic::kRegisterSyscall;
+  }
+  return Intrinsic::kNone;
+}
+
+std::string_view IntrinsicName(Intrinsic which) {
+  switch (which) {
+    case Intrinsic::kNone:
+      return "";
+    case Intrinsic::kPchkRegObj:
+      return "pchk.reg.obj";
+    case Intrinsic::kPchkDropObj:
+      return "pchk.drop.obj";
+    case Intrinsic::kBoundsCheck:
+      return "sva.boundscheck";
+    case Intrinsic::kBoundsCheckDirect:
+      return "sva.boundscheck.direct";
+    case Intrinsic::kGetBounds:
+      return "sva.getbounds";
+    case Intrinsic::kLSCheck:
+      return "sva.lscheck";
+    case Intrinsic::kIndirectCheck:
+      return "sva.indirectcheck";
+    case Intrinsic::kPseudoAlloc:
+      return "sva.pseudo.alloc";
+    case Intrinsic::kRegisterSyscall:
+      return "sva.register.syscall";
+  }
+  return "";
+}
+
+Function* DeclareIntrinsic(Module& module, Intrinsic which) {
+  TypeContext& types = module.types();
+  const Type* void_ty = types.VoidTy();
+  const PointerType* i8p = types.PointerTo(types.I8());
+  const PointerType* i8pp = types.PointerTo(i8p);
+  const IntType* i64 = types.I64();
+  const StructType* mp_struct =
+      types.NamedStruct(std::string(kMetapoolStructName));
+  const PointerType* mpp = types.PointerTo(mp_struct);
+
+  const FunctionType* fn_type = nullptr;
+  switch (which) {
+    case Intrinsic::kNone:
+      return nullptr;
+    case Intrinsic::kPchkRegObj:
+      fn_type = types.FunctionTy(void_ty, {mpp, i8p, i64});
+      break;
+    case Intrinsic::kPchkDropObj:
+      fn_type = types.FunctionTy(void_ty, {mpp, i8p});
+      break;
+    case Intrinsic::kBoundsCheck:
+      fn_type = types.FunctionTy(void_ty, {mpp, i8p, i8p});
+      break;
+    case Intrinsic::kBoundsCheckDirect:
+      fn_type = types.FunctionTy(void_ty, {i8p, i8p, i8p});
+      break;
+    case Intrinsic::kGetBounds:
+      fn_type = types.FunctionTy(void_ty, {mpp, i8p, i8pp, i8pp});
+      break;
+    case Intrinsic::kLSCheck:
+      fn_type = types.FunctionTy(void_ty, {mpp, i8p});
+      break;
+    case Intrinsic::kIndirectCheck:
+      fn_type = types.FunctionTy(void_ty, {i8p, i64});
+      break;
+    case Intrinsic::kPseudoAlloc:
+      fn_type = types.FunctionTy(void_ty, {i64, i64});
+      break;
+    case Intrinsic::kRegisterSyscall:
+      fn_type = types.FunctionTy(void_ty, {i64, i8p});
+      break;
+  }
+  return module.GetOrDeclareFunction(std::string(IntrinsicName(which)),
+                                     fn_type);
+}
+
+GlobalVariable* MetapoolHandle(Module& module, const std::string& name) {
+  if (GlobalVariable* gv = module.GetGlobal(name)) {
+    return gv;
+  }
+  const StructType* mp_struct =
+      module.types().NamedStruct(std::string(kMetapoolStructName));
+  return module.CreateGlobal(name, mp_struct, /*is_external=*/false);
+}
+
+bool IsMetapoolHandle(const GlobalVariable* gv) {
+  const Type* vt = gv->value_type();
+  if (!vt->IsStruct()) {
+    return false;
+  }
+  return static_cast<const StructType*>(vt)->name() == kMetapoolStructName;
+}
+
+}  // namespace sva::vir

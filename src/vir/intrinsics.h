@@ -1,0 +1,57 @@
+// SVA intrinsic operations, modeled as calls to well-known declarations.
+//
+// - pchk.reg.obj / pchk.drop.obj: object registration (Table 3).
+// - sva.boundscheck / sva.boundscheck.direct / sva.getbounds: array bounds
+//   checks (Section 4.5, check #1).
+// - sva.lscheck: load-store check for non-TH metapools (check #2).
+// - sva.indirectcheck: indirect call check (check #3).
+// - sva.pseudo.alloc: manufactured-address registration (Section 4.7).
+// - sva.register.syscall: the SVA-OS syscall registration hook the pointer
+//   analysis inspects to resolve internal system calls (Section 4.8).
+//
+// The SVM interpreter executes these natively against the MetaPool runtime;
+// they never appear as ordinary user functions.
+#ifndef SVA_SRC_VIR_INTRINSICS_H_
+#define SVA_SRC_VIR_INTRINSICS_H_
+
+#include <string_view>
+
+#include "src/vir/module.h"
+
+namespace sva::vir {
+
+enum class Intrinsic {
+  kNone = 0,
+  kPchkRegObj,        // void pchk.reg.obj(%sva.metapool* MP, i8* p, i64 len)
+  kPchkDropObj,       // void pchk.drop.obj(%sva.metapool* MP, i8* p)
+  kBoundsCheck,       // void sva.boundscheck(%sva.metapool* MP, i8* src, i8* derived)
+  kBoundsCheckDirect,  // void sva.boundscheck.direct(i8* start, i8* derived, i8* end)
+  kGetBounds,         // void sva.getbounds(%sva.metapool* MP, i8* p, i8** s, i8** e)
+  kLSCheck,           // void sva.lscheck(%sva.metapool* MP, i8* p)
+  kIndirectCheck,     // void sva.indirectcheck(i8* fp, i64 target_set_id)
+  kPseudoAlloc,       // void sva.pseudo.alloc(i64 start, i64 end)
+  kRegisterSyscall,   // void sva.register.syscall(i64 number, i8* handler)
+};
+
+// The name of the opaque struct type used for metapool handles in bytecode.
+inline constexpr std::string_view kMetapoolStructName = "sva.metapool";
+
+// Maps a function name to its intrinsic id (kNone if not an intrinsic).
+Intrinsic LookupIntrinsic(std::string_view name);
+
+// The canonical name of an intrinsic.
+std::string_view IntrinsicName(Intrinsic which);
+
+// Declares (or returns the existing declaration of) an intrinsic in `module`.
+Function* DeclareIntrinsic(Module& module, Intrinsic which);
+
+// Returns (creating if needed) the global variable that serves as the
+// run-time handle for metapool `name` (type %sva.metapool).
+GlobalVariable* MetapoolHandle(Module& module, const std::string& name);
+
+// True if `gv` is a metapool handle global.
+bool IsMetapoolHandle(const GlobalVariable* gv);
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_INTRINSICS_H_

@@ -1,0 +1,143 @@
+// A Module is the SVA object file (Section 3.1): functions, global variables,
+// type declarations, and — after the safety-checking compiler runs — the
+// metapool declarations and per-pointer metapool annotations that the
+// bytecode verifier type-checks (Section 5).
+#ifndef SVA_SRC_VIR_MODULE_H_
+#define SVA_SRC_VIR_MODULE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vir/function.h"
+#include "src/vir/type.h"
+#include "src/vir/value.h"
+
+namespace sva::vir {
+
+// Declared properties of one metapool, encoded as type attributes on the
+// bytecode. The verifier re-checks the annotation consistency; the runtime
+// uses th/type_size to enforce the allocator alignment contract.
+struct MetapoolDecl {
+  std::string name;
+  bool type_homogeneous = false;
+  bool complete = false;
+  // Reachable from system call pointer arguments: the SVM registers all of
+  // userspace as one object in this pool at load time (Section 4.6).
+  bool user_reachable = false;
+  // Section 9 extension ("encoding security policies as types"): pools
+  // holding security-sensitive objects. The type checker enforces a simple
+  // information-flow rule: pointers into classified pools may not be stored
+  // into objects of unclassified pools (no capability leaks), checked
+  // purely locally like the other metapool typing rules.
+  bool classified = false;
+  // Element type for TH pools (empty string otherwise, in serialized form).
+  const Type* element_type = nullptr;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  TypeContext& types() { return types_; }
+  const TypeContext& types() const { return types_; }
+
+  // --- Functions -----------------------------------------------------------
+  Function* CreateFunction(const std::string& name, const FunctionType* type,
+                           bool is_declaration,
+                           const std::vector<std::string>& arg_names = {});
+  Function* GetFunction(const std::string& name) const;
+  // Declares if absent, returns existing otherwise.
+  Function* GetOrDeclareFunction(const std::string& name,
+                                 const FunctionType* type);
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  // --- Globals -------------------------------------------------------------
+  GlobalVariable* CreateGlobal(const std::string& name, const Type* value_type,
+                               bool is_external = false);
+  GlobalVariable* GetGlobal(const std::string& name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const {
+    return globals_;
+  }
+
+  // --- Constants (interned, owned by the module) ----------------------------
+  ConstantInt* GetInt(const IntType* type, uint64_t bits);
+  ConstantInt* GetInt32(uint64_t v) { return GetInt(types_.I32(), v); }
+  ConstantInt* GetInt64(uint64_t v) { return GetInt(types_.I64(), v); }
+  ConstantFloat* GetFloat(const FloatType* type, double value);
+  ConstantNull* GetNull(const PointerType* type);
+  ConstantUndef* GetUndef(const Type* type);
+
+  // --- Metapool annotations (Sections 4.3, 5) -------------------------------
+  MetapoolDecl& DeclareMetapool(const std::string& name);
+  const MetapoolDecl* FindMetapool(const std::string& name) const;
+  const std::map<std::string, MetapoolDecl>& metapools() const {
+    return metapools_;
+  }
+  std::map<std::string, MetapoolDecl>& mutable_metapools() {
+    return metapools_;
+  }
+
+  // Binds a pointer-typed value to its metapool. These are the `int *M1 Q`
+  // style type qualifiers of Section 5, stored out-of-band.
+  void AnnotateValue(const Value* v, const std::string& metapool) {
+    value_metapool_[v] = metapool;
+  }
+  // Returns the metapool name for `v`, or empty string.
+  const std::string& MetapoolOf(const Value* v) const;
+  const std::map<const Value*, std::string>& value_annotations() const {
+    return value_metapool_;
+  }
+  std::map<const Value*, std::string>& mutable_value_annotations() {
+    return value_metapool_;
+  }
+
+  // Indirect-call signature assertions (Section 4.8): call sites the kernel
+  // programmer annotated as "all callees match this signature".
+  void AddSignatureAssertion(const Value* call) {
+    signature_asserted_.push_back(call);
+  }
+  bool HasSignatureAssertion(const Value* call) const;
+  const std::vector<const Value*>& signature_assertions() const {
+    return signature_asserted_;
+  }
+
+  // Indirect-call target sets computed by the call-graph analysis. Each set
+  // lists the functions an sva.indirectcheck with that set id accepts.
+  uint64_t AddTargetSet(std::vector<std::string> function_names) {
+    target_sets_.push_back(std::move(function_names));
+    return target_sets_.size() - 1;
+  }
+  const std::vector<std::vector<std::string>>& target_sets() const {
+    return target_sets_;
+  }
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::map<std::string, Function*> function_map_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::map<std::string, GlobalVariable*> global_map_;
+
+  std::vector<std::unique_ptr<Value>> constants_;
+  std::map<std::pair<const Type*, uint64_t>, ConstantInt*> int_constants_;
+  std::map<std::pair<const Type*, double>, ConstantFloat*> float_constants_;
+  std::map<const Type*, ConstantNull*> null_constants_;
+  std::map<const Type*, ConstantUndef*> undef_constants_;
+
+  std::map<std::string, MetapoolDecl> metapools_;
+  std::map<const Value*, std::string> value_metapool_;
+  std::vector<const Value*> signature_asserted_;
+  std::vector<std::vector<std::string>> target_sets_;
+};
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_MODULE_H_

@@ -1,0 +1,20 @@
+// Parser for the textual SVA bytecode form produced by PrintModule. The
+// exploit scenarios and the kernel IR corpus are authored in this syntax.
+#ifndef SVA_SRC_VIR_PARSER_H_
+#define SVA_SRC_VIR_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/support/status.h"
+#include "src/vir/module.h"
+
+namespace sva::vir {
+
+// Parses a whole module from text. On failure returns a ParseError status
+// with a line number.
+Result<std::unique_ptr<Module>> ParseModule(std::string_view text);
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_PARSER_H_

@@ -1,0 +1,411 @@
+#include "src/vir/printer.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/strings.h"
+#include "src/vir/instructions.h"
+#include "src/vir/intrinsics.h"
+
+namespace sva::vir {
+namespace {
+
+// Assigns printable local names (%name or %N) to arguments, blocks, and
+// instruction results of one function.
+class ValueNamer {
+ public:
+  explicit ValueNamer(const Function& fn) {
+    for (const auto& arg : fn.args()) {
+      Assign(arg.get(), arg->name());
+    }
+    for (const auto& bb : fn.blocks()) {
+      std::string base = bb->name().empty() ? "bb" : bb->name();
+      block_names_[bb.get()] = Unique(base);
+      for (const auto& inst : bb->instructions()) {
+        if (!inst->type()->IsVoid()) {
+          Assign(inst.get(), inst->name());
+        }
+      }
+    }
+  }
+
+  std::string NameOf(const Value* v) const {
+    auto it = names_.find(v);
+    if (it != names_.end()) {
+      return it->second;
+    }
+    return "<unnamed>";
+  }
+
+  std::string BlockName(const BasicBlock* bb) const {
+    auto it = block_names_.find(bb);
+    return it == block_names_.end() ? "<bb>" : it->second;
+  }
+
+ private:
+  void Assign(const Value* v, const std::string& preferred) {
+    std::string base = preferred.empty() ? "v" : preferred;
+    names_[v] = Unique(base);
+  }
+
+  std::string Unique(const std::string& base) {
+    int& count = used_[base];
+    std::string name = count == 0 ? base : StrCat(base, ".", count);
+    ++count;
+    // Rare collision with an explicit name like "v.1": keep bumping.
+    while (taken_.count(name) != 0) {
+      name = StrCat(base, ".", count++);
+    }
+    taken_.insert(name);
+    return name;
+  }
+
+  std::map<const Value*, std::string> names_;
+  std::map<const BasicBlock*, std::string> block_names_;
+  std::map<std::string, int> used_;
+  std::set<std::string> taken_;
+};
+
+std::string ConstantToString(const Value* v) {
+  switch (v->value_kind()) {
+    case ValueKind::kConstantInt:
+      return std::to_string(
+          static_cast<const ConstantInt*>(v)->sext_value());
+    case ValueKind::kConstantFloat: {
+      std::ostringstream os;
+      os << static_cast<const ConstantFloat*>(v)->value();
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueKind::kConstantNull:
+      return "null";
+    case ValueKind::kConstantUndef:
+      return "undef";
+    case ValueKind::kGlobalVariable:
+    case ValueKind::kFunction:
+      return StrCat("@", v->name());
+    default:
+      return "<not-a-constant>";
+  }
+}
+
+class FunctionPrinter {
+ public:
+  FunctionPrinter(const Module& module, const Function& fn)
+      : module_(module), fn_(fn), namer_(fn) {}
+
+  std::string Print() {
+    std::ostringstream os;
+    os << "define " << fn_.function_type()->return_type()->ToString() << " @"
+       << fn_.name() << "(";
+    for (size_t i = 0; i < fn_.num_args(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      const Argument* arg = fn_.arg(i);
+      os << arg->type()->ToString() << " %" << namer_.NameOf(arg);
+      AppendAnnotation(os, arg);
+    }
+    os << ") {\n";
+    for (const auto& bb : fn_.blocks()) {
+      os << namer_.BlockName(bb.get()) << ":\n";
+      for (const auto& inst : bb->instructions()) {
+        os << "  " << RenderInstruction(*inst) << "\n";
+      }
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+ private:
+  std::string Ref(const Value* v) const {
+    if (v->IsConstant()) {
+      return ConstantToString(v);
+    }
+    return StrCat("%", namer_.NameOf(v));
+  }
+
+  std::string TypedRef(const Value* v) const {
+    return StrCat(v->type()->ToString(), " ", Ref(v));
+  }
+
+  void AppendAnnotation(std::ostringstream& os, const Value* v) const {
+    const std::string& mp = module_.MetapoolOf(v);
+    if (!mp.empty()) {
+      os << " !" << mp;
+    }
+  }
+
+  std::string RenderInstruction(const Instruction& inst) const {
+    std::ostringstream os;
+    if (!inst.type()->IsVoid()) {
+      os << "%" << namer_.NameOf(&inst) << " = ";
+    }
+    switch (inst.opcode()) {
+      case Opcode::kICmp:
+      case Opcode::kFCmp: {
+        const auto& cmp = static_cast<const CmpInst&>(inst);
+        os << OpcodeName(inst.opcode()) << " " << CmpPredName(cmp.pred()) << " "
+           << cmp.lhs()->type()->ToString() << " " << Ref(cmp.lhs()) << ", "
+           << Ref(cmp.rhs());
+        break;
+      }
+      case Opcode::kSelect: {
+        const auto& sel = static_cast<const SelectInst&>(inst);
+        os << "select i1 " << Ref(sel.condition()) << ", "
+           << TypedRef(sel.true_value()) << ", " << TypedRef(sel.false_value());
+        break;
+      }
+      case Opcode::kTrunc:
+      case Opcode::kZExt:
+      case Opcode::kSExt:
+      case Opcode::kBitcast:
+      case Opcode::kPtrToInt:
+      case Opcode::kIntToPtr:
+      case Opcode::kSIToFP:
+      case Opcode::kFPToSI: {
+        const auto& cast = static_cast<const CastInst&>(inst);
+        os << OpcodeName(inst.opcode()) << " " << TypedRef(cast.src()) << " to "
+           << inst.type()->ToString();
+        break;
+      }
+      case Opcode::kAlloca: {
+        const auto& a = static_cast<const AllocaInst&>(inst);
+        os << "alloca " << a.allocated_type()->ToString() << ", "
+           << TypedRef(a.count());
+        break;
+      }
+      case Opcode::kMalloc: {
+        const auto& m = static_cast<const MallocInst&>(inst);
+        os << "malloc " << m.allocated_type()->ToString() << ", "
+           << TypedRef(m.count());
+        break;
+      }
+      case Opcode::kFree: {
+        const auto& f = static_cast<const FreeInst&>(inst);
+        os << "free " << TypedRef(f.pointer());
+        break;
+      }
+      case Opcode::kLoad: {
+        const auto& l = static_cast<const LoadInst&>(inst);
+        os << "load " << inst.type()->ToString() << ", "
+           << TypedRef(l.pointer());
+        break;
+      }
+      case Opcode::kStore: {
+        const auto& s = static_cast<const StoreInst&>(inst);
+        os << "store " << TypedRef(s.stored_value()) << ", "
+           << TypedRef(s.pointer());
+        break;
+      }
+      case Opcode::kGetElementPtr: {
+        const auto& gep = static_cast<const GetElementPtrInst&>(inst);
+        os << "getelementptr " << TypedRef(gep.base());
+        for (size_t i = 0; i < gep.num_indices(); ++i) {
+          os << ", " << TypedRef(gep.index(i));
+        }
+        break;
+      }
+      case Opcode::kAtomicLIS: {
+        const auto& a = static_cast<const AtomicLISInst&>(inst);
+        os << "atomiclis " << TypedRef(a.pointer()) << ", " << Ref(a.delta());
+        break;
+      }
+      case Opcode::kCmpXchg: {
+        const auto& c = static_cast<const CmpXchgInst&>(inst);
+        os << "cmpxchg " << TypedRef(c.pointer()) << ", " << Ref(c.expected())
+           << ", " << Ref(c.desired());
+        break;
+      }
+      case Opcode::kWriteBarrier:
+        os << "writebarrier";
+        break;
+      case Opcode::kCall: {
+        const auto& call = static_cast<const CallInst&>(inst);
+        os << "call " << inst.type()->ToString() << " " << Ref(call.callee())
+           << "(";
+        for (size_t i = 0; i < call.num_args(); ++i) {
+          if (i != 0) {
+            os << ", ";
+          }
+          os << TypedRef(call.arg(i));
+        }
+        os << ")";
+        break;
+      }
+      case Opcode::kPhi: {
+        const auto& phi = static_cast<const PhiInst&>(inst);
+        os << "phi " << inst.type()->ToString();
+        for (size_t i = 0; i < phi.num_incoming(); ++i) {
+          os << (i == 0 ? " " : ", ") << "[ " << Ref(phi.incoming_value(i))
+             << ", %" << namer_.BlockName(phi.incoming_block(i)) << " ]";
+        }
+        break;
+      }
+      case Opcode::kBr: {
+        const auto& br = static_cast<const BranchInst&>(inst);
+        if (br.is_conditional()) {
+          os << "br i1 " << Ref(br.condition()) << ", label %"
+             << namer_.BlockName(br.target(0)) << ", label %"
+             << namer_.BlockName(br.target(1));
+        } else {
+          os << "br label %" << namer_.BlockName(br.target(0));
+        }
+        break;
+      }
+      case Opcode::kSwitch: {
+        const auto& sw = static_cast<const SwitchInst&>(inst);
+        os << "switch " << TypedRef(sw.condition()) << ", label %"
+           << namer_.BlockName(sw.default_target());
+        for (size_t i = 0; i < sw.num_cases(); ++i) {
+          os << ", [ " << sw.case_value(i) << ", label %"
+             << namer_.BlockName(sw.case_target(i)) << " ]";
+        }
+        break;
+      }
+      case Opcode::kRet: {
+        const auto& ret = static_cast<const RetInst&>(inst);
+        if (ret.has_value()) {
+          os << "ret " << TypedRef(ret.value());
+        } else {
+          os << "ret void";
+        }
+        break;
+      }
+      case Opcode::kUnreachable:
+        os << "unreachable";
+        break;
+      default:
+        // Binary arithmetic ops.
+        os << OpcodeName(inst.opcode()) << " " << inst.type()->ToString() << " "
+           << Ref(inst.operand(0)) << ", " << Ref(inst.operand(1));
+        break;
+    }
+    AppendAnnotation(os, &inst);
+    return os.str();
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  ValueNamer namer_;
+};
+
+}  // namespace
+
+std::string PrintFunction(const Module& module, const Function& fn) {
+  FunctionPrinter printer(module, fn);
+  return printer.Print();
+}
+
+std::string PrintModule(const Module& module) {
+  std::ostringstream os;
+  os << "module \"" << module.name() << "\"\n\n";
+
+  for (const StructType* st : module.types().named_structs()) {
+    if (st->name() == kMetapoolStructName) {
+      continue;  // Implicitly known.
+    }
+    os << "%" << st->name() << " = type ";
+    if (st->IsOpaque()) {
+      os << "opaque\n";
+      continue;
+    }
+    os << "{ ";
+    for (size_t i = 0; i < st->fields().size(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << st->fields()[i]->ToString();
+    }
+    os << " }\n";
+  }
+  os << "\n";
+
+  for (const auto& [name, decl] : module.metapools()) {
+    os << "metapool " << name;
+    if (decl.type_homogeneous && decl.element_type != nullptr) {
+      os << " th " << decl.element_type->ToString();
+    }
+    if (decl.complete) {
+      os << " complete";
+    }
+    if (decl.user_reachable) {
+      os << " user";
+    }
+    if (decl.classified) {
+      os << " classified";
+    }
+    os << "\n";
+  }
+  if (!module.metapools().empty()) {
+    os << "\n";
+  }
+
+  for (size_t i = 0; i < module.target_sets().size(); ++i) {
+    os << "targetset " << i << " =";
+    for (const std::string& f : module.target_sets()[i]) {
+      os << " @" << f;
+    }
+    os << "\n";
+  }
+  if (!module.target_sets().empty()) {
+    os << "\n";
+  }
+
+  for (const auto& gv : module.globals()) {
+    if (IsMetapoolHandle(gv.get())) {
+      continue;  // Reconstructed from metapool declarations at parse time.
+    }
+    if (gv->is_external()) {
+      os << "extern ";
+    }
+    os << "global @" << gv->name() << " : " << gv->value_type()->ToString();
+    if (gv->has_int_initializer()) {
+      os << " = " << gv->int_initializer();
+    }
+    const std::string& mp = module.MetapoolOf(gv.get());
+    if (!mp.empty()) {
+      os << " !" << mp;
+    }
+    os << "\n";
+  }
+  os << "\n";
+
+  for (const auto& fn : module.functions()) {
+    if (!fn->is_declaration()) {
+      continue;
+    }
+    if (LookupIntrinsic(fn->name()) != Intrinsic::kNone) {
+      continue;  // Intrinsics are implicitly declared.
+    }
+    const FunctionType* ft = fn->function_type();
+    os << "declare " << ft->return_type()->ToString() << " @" << fn->name()
+       << "(";
+    for (size_t i = 0; i < ft->params().size(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << ft->params()[i]->ToString();
+    }
+    if (ft->is_vararg()) {
+      os << (ft->params().empty() ? "..." : ", ...");
+    }
+    os << ")\n";
+  }
+  os << "\n";
+
+  for (const auto& fn : module.functions()) {
+    if (fn->is_declaration()) {
+      continue;
+    }
+    os << PrintFunction(module, *fn) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sva::vir

@@ -1,0 +1,21 @@
+// Textual rendering of SVA bytecode modules. The text form round-trips
+// through the parser and is the format used by the on-disk corpus.
+#ifndef SVA_SRC_VIR_PRINTER_H_
+#define SVA_SRC_VIR_PRINTER_H_
+
+#include <string>
+
+#include "src/vir/module.h"
+
+namespace sva::vir {
+
+// Prints the whole module: named types, metapool declarations, globals,
+// declarations, and function definitions with metapool annotations.
+std::string PrintModule(const Module& module);
+
+// Prints a single function definition (used in diagnostics and tests).
+std::string PrintFunction(const Module& module, const Function& fn);
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_PRINTER_H_

@@ -1,0 +1,386 @@
+#include "src/vir/structural_verifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/strings.h"
+#include "src/vir/builder.h"
+#include "src/vir/instructions.h"
+
+namespace sva::vir {
+namespace {
+
+// Reverse post-order over reachable blocks.
+std::vector<const BasicBlock*> ReversePostOrder(const Function& fn) {
+  std::vector<const BasicBlock*> order;
+  std::set<const BasicBlock*> visited;
+  std::vector<std::pair<const BasicBlock*, size_t>> stack;
+  const BasicBlock* entry = fn.entry();
+  if (entry == nullptr) {
+    return order;
+  }
+  stack.emplace_back(entry, 0);
+  visited.insert(entry);
+  std::vector<const BasicBlock*> post;
+  while (!stack.empty()) {
+    auto& [bb, next] = stack.back();
+    std::vector<BasicBlock*> succs = bb->Successors();
+    if (next < succs.size()) {
+      BasicBlock* s = succs[next++];
+      if (visited.insert(s).second) {
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(bb);
+      stack.pop_back();
+    }
+  }
+  order.assign(post.rbegin(), post.rend());
+  return order;
+}
+
+}  // namespace
+
+std::map<const BasicBlock*, std::vector<const BasicBlock*>> PredecessorMap(
+    const Function& fn) {
+  std::map<const BasicBlock*, std::vector<const BasicBlock*>> preds;
+  for (const auto& bb : fn.blocks()) {
+    for (BasicBlock* succ : bb->Successors()) {
+      preds[succ].push_back(bb.get());
+    }
+  }
+  return preds;
+}
+
+DominatorTree::DominatorTree(const Function& fn) {
+  std::vector<const BasicBlock*> rpo = ReversePostOrder(fn);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index_[rpo[i]] = static_cast<int>(i);
+  }
+  if (rpo.empty()) {
+    return;
+  }
+  auto preds = PredecessorMap(fn);
+  const BasicBlock* entry = rpo.front();
+  idom_[entry] = entry;
+
+  auto intersect = [&](const BasicBlock* a,
+                       const BasicBlock* b) -> const BasicBlock* {
+    while (a != b) {
+      while (rpo_index_.at(a) > rpo_index_.at(b)) {
+        a = idom_.at(a);
+      }
+      while (rpo_index_.at(b) > rpo_index_.at(a)) {
+        b = idom_.at(b);
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < rpo.size(); ++i) {
+      const BasicBlock* bb = rpo[i];
+      const BasicBlock* new_idom = nullptr;
+      for (const BasicBlock* p : preds[bb]) {
+        if (idom_.find(p) == idom_.end()) {
+          continue;  // Unreachable or not yet processed.
+        }
+        new_idom = new_idom == nullptr ? p : intersect(p, new_idom);
+      }
+      if (new_idom != nullptr) {
+        auto it = idom_.find(bb);
+        if (it == idom_.end() || it->second != new_idom) {
+          idom_[bb] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+const BasicBlock* DominatorTree::ImmediateDominator(
+    const BasicBlock* bb) const {
+  auto it = idom_.find(bb);
+  if (it == idom_.end() || it->second == bb) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+bool DominatorTree::Dominates(const BasicBlock* a, const BasicBlock* b) const {
+  if (!IsReachable(a) || !IsReachable(b)) {
+    return false;
+  }
+  const BasicBlock* cur = b;
+  while (true) {
+    if (cur == a) {
+      return true;
+    }
+    auto it = idom_.find(cur);
+    if (it == idom_.end() || it->second == cur) {
+      return false;
+    }
+    cur = it->second;
+  }
+}
+
+bool DominatorTree::IsReachable(const BasicBlock* bb) const {
+  return rpo_index_.find(bb) != rpo_index_.end();
+}
+
+Status VerifyFunction(const Module& module, const Function& fn) {
+  (void)module;
+  if (fn.is_declaration()) {
+    return OkStatus();
+  }
+  if (fn.blocks().empty()) {
+    return VerificationFailed(
+        StrCat("@", fn.name(), ": defined function has no blocks"));
+  }
+  auto preds = PredecessorMap(fn);
+
+  // Every block must end with exactly one terminator, and only at the end.
+  for (const auto& bb : fn.blocks()) {
+    if (bb->terminator() == nullptr) {
+      return VerificationFailed(
+          StrCat("@", fn.name(), " block ", bb->name(), ": no terminator"));
+    }
+    for (size_t i = 0; i + 1 < bb->instructions().size(); ++i) {
+      if (bb->instructions()[i]->IsTerminator()) {
+        return VerificationFailed(StrCat("@", fn.name(), " block ", bb->name(),
+                                         ": terminator in mid-block"));
+      }
+      if (bb->instructions()[i]->opcode() == Opcode::kPhi &&
+          i > 0 &&
+          bb->instructions()[i - 1]->opcode() != Opcode::kPhi) {
+        return VerificationFailed(StrCat("@", fn.name(), " block ", bb->name(),
+                                         ": phi not at block start"));
+      }
+    }
+  }
+
+  // Type agreement checks.
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->IsBinaryOp()) {
+        if (inst->operand(0)->type() != inst->operand(1)->type() ||
+            inst->operand(0)->type() != inst->type()) {
+          return VerificationFailed(StrCat("@", fn.name(),
+                                           ": binary operand type mismatch"));
+        }
+      }
+      switch (inst->opcode()) {
+        case Opcode::kLoad: {
+          const auto* load = static_cast<const LoadInst*>(inst.get());
+          const Type* pt = load->pointer()->type();
+          if (!pt->IsPointer() ||
+              static_cast<const PointerType*>(pt)->pointee() != inst->type()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": load type mismatch"));
+          }
+          break;
+        }
+        case Opcode::kStore: {
+          const auto* store = static_cast<const StoreInst*>(inst.get());
+          const Type* pt = store->pointer()->type();
+          if (!pt->IsPointer() ||
+              static_cast<const PointerType*>(pt)->pointee() !=
+                  store->stored_value()->type()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": store type mismatch"));
+          }
+          break;
+        }
+        case Opcode::kGetElementPtr: {
+          const auto* gep = static_cast<const GetElementPtrInst*>(inst.get());
+          if (!gep->base()->type()->IsPointer()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": gep base not a pointer"));
+          }
+          std::vector<Value*> indices;
+          for (size_t i = 0; i < gep->num_indices(); ++i) {
+            indices.push_back(gep->index(i));
+          }
+          Result<const Type*> indexed = GepIndexedType(
+              static_cast<const PointerType*>(gep->base()->type())->pointee(),
+              indices);
+          if (!indexed.ok()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": ", indexed.status().message()));
+          }
+          if (!gep->type()->IsPointer() ||
+              static_cast<const PointerType*>(gep->type())->pointee() !=
+                  indexed.value()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": gep result type mismatch"));
+          }
+          break;
+        }
+        case Opcode::kCall: {
+          const auto* call = static_cast<const CallInst*>(inst.get());
+          const Type* ct = call->callee()->type();
+          if (!ct->IsPointer() ||
+              !static_cast<const PointerType*>(ct)->pointee()->IsFunction()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": call callee not a function pointer"));
+          }
+          const auto* ft = static_cast<const FunctionType*>(
+              static_cast<const PointerType*>(ct)->pointee());
+          if (ft->return_type() != inst->type()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": call return type mismatch"));
+          }
+          if (!ft->is_vararg() && ft->params().size() != call->num_args()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": call arity mismatch calling ",
+                       call->callee()->name()));
+          }
+          for (size_t i = 0; i < ft->params().size() && i < call->num_args();
+               ++i) {
+            if (call->arg(i)->type() != ft->params()[i]) {
+              return VerificationFailed(StrCat("@", fn.name(), ": call arg ", i,
+                                               " type mismatch calling ",
+                                               call->callee()->name()));
+            }
+          }
+          break;
+        }
+        case Opcode::kBr: {
+          const auto* br = static_cast<const BranchInst*>(inst.get());
+          if (br->is_conditional() && !br->condition()->type()->IsInt()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": branch condition not i1"));
+          }
+          break;
+        }
+        case Opcode::kRet: {
+          const auto* ret = static_cast<const RetInst*>(inst.get());
+          const Type* expected = fn.function_type()->return_type();
+          if (ret->has_value()) {
+            if (ret->value()->type() != expected) {
+              return VerificationFailed(
+                  StrCat("@", fn.name(), ": ret value type mismatch"));
+            }
+          } else if (!expected->IsVoid()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": ret void from non-void function"));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Phi coherence: incoming blocks exactly match predecessors.
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != Opcode::kPhi) {
+        continue;
+      }
+      const auto* phi = static_cast<const PhiInst*>(inst.get());
+      std::set<const BasicBlock*> incoming;
+      for (size_t i = 0; i < phi->num_incoming(); ++i) {
+        if (phi->incoming_value(i)->type() != phi->type()) {
+          return VerificationFailed(
+              StrCat("@", fn.name(), ": phi incoming type mismatch"));
+        }
+        incoming.insert(phi->incoming_block(i));
+      }
+      std::set<const BasicBlock*> expected(preds[bb.get()].begin(),
+                                           preds[bb.get()].end());
+      if (incoming != expected) {
+        return VerificationFailed(StrCat(
+            "@", fn.name(), " block ", bb->name(),
+            ": phi incoming blocks do not match predecessors"));
+      }
+    }
+  }
+
+  // SSA dominance: every instruction operand that is itself an instruction
+  // must dominate the use; arguments/constants always dominate.
+  DominatorTree dom(fn);
+  std::map<const Instruction*, std::pair<const BasicBlock*, size_t>> position;
+  for (const auto& bb : fn.blocks()) {
+    for (size_t i = 0; i < bb->instructions().size(); ++i) {
+      position[bb->instructions()[i].get()] = {bb.get(), i};
+    }
+  }
+  for (const auto& bb : fn.blocks()) {
+    if (!dom.IsReachable(bb.get())) {
+      continue;
+    }
+    for (size_t i = 0; i < bb->instructions().size(); ++i) {
+      const Instruction* inst = bb->instructions()[i].get();
+      auto check_use = [&](const Value* operand,
+                           const BasicBlock* use_block,
+                           size_t use_index) -> Status {
+        const auto* def = dynamic_cast<const Instruction*>(operand);
+        if (def == nullptr) {
+          return OkStatus();
+        }
+        auto it = position.find(def);
+        if (it == position.end()) {
+          return VerificationFailed(
+              StrCat("@", fn.name(), ": use of instruction from another "
+                     "function"));
+        }
+        const auto& [def_block, def_index] = it->second;
+        if (def_block == use_block) {
+          if (def_index >= use_index) {
+            return VerificationFailed(StrCat("@", fn.name(), " block ",
+                                             use_block->name(),
+                                             ": def does not precede use"));
+          }
+          return OkStatus();
+        }
+        if (!dom.Dominates(def_block, use_block)) {
+          return VerificationFailed(StrCat("@", fn.name(),
+                                           ": definition does not dominate "
+                                           "use of %", def->name()));
+        }
+        return OkStatus();
+      };
+
+      if (inst->opcode() == Opcode::kPhi) {
+        const auto* phi = static_cast<const PhiInst*>(inst);
+        for (size_t k = 0; k < phi->num_incoming(); ++k) {
+          // A phi use must dominate the end of the incoming block.
+          const auto* def =
+              dynamic_cast<const Instruction*>(phi->incoming_value(k));
+          if (def == nullptr) {
+            continue;
+          }
+          auto it = position.find(def);
+          if (it == position.end()) {
+            return VerificationFailed(
+                StrCat("@", fn.name(), ": phi uses foreign instruction"));
+          }
+          const BasicBlock* in = phi->incoming_block(k);
+          if (it->second.first != in && !dom.Dominates(it->second.first, in)) {
+            return VerificationFailed(
+                StrCat("@", fn.name(),
+                       ": phi incoming def does not dominate incoming edge"));
+          }
+        }
+        continue;
+      }
+      for (size_t oi = 0; oi < inst->num_operands(); ++oi) {
+        SVA_RETURN_IF_ERROR(check_use(inst->operand(oi), bb.get(), i));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status VerifyModule(const Module& module) {
+  for (const auto& fn : module.functions()) {
+    SVA_RETURN_IF_ERROR(VerifyFunction(module, *fn));
+  }
+  return OkStatus();
+}
+
+}  // namespace sva::vir

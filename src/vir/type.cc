@@ -1,0 +1,284 @@
+#include "src/vir/type.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/support/strings.h"
+
+namespace sva::vir {
+
+void StructType::SetBody(std::vector<const Type*> fields) {
+  assert(opaque_ && "SetBody on a struct that already has a body");
+  fields_ = std::move(fields);
+  opaque_ = false;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt:
+      return StrCat("i", static_cast<const IntType*>(this)->bits());
+    case TypeKind::kFloat:
+      return StrCat("f", static_cast<const FloatType*>(this)->bits());
+    case TypeKind::kPointer:
+      return StrCat(static_cast<const PointerType*>(this)->pointee()->ToString(),
+                    "*");
+    case TypeKind::kArray: {
+      const auto* at = static_cast<const ArrayType*>(this);
+      return StrCat("[", at->length(), " x ", at->element()->ToString(), "]");
+    }
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(this);
+      if (!st->name().empty()) {
+        return StrCat("%", st->name());
+      }
+      std::string out = "{ ";
+      for (size_t i = 0; i < st->fields().size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += st->fields()[i]->ToString();
+      }
+      out += " }";
+      return out;
+    }
+    case TypeKind::kFunction: {
+      const auto* ft = static_cast<const FunctionType*>(this);
+      std::string out = ft->return_type()->ToString() + " (";
+      for (size_t i = 0; i < ft->params().size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += ft->params()[i]->ToString();
+      }
+      if (ft->is_vararg()) {
+        out += ft->params().empty() ? "..." : ", ...";
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "<bad-type>";
+}
+
+TypeContext::TypeContext() {
+  auto v = std::unique_ptr<Type>(new Type(TypeKind::kVoid));
+  void_ = v.get();
+  owned_.push_back(std::move(v));
+}
+
+const IntType* TypeContext::IntTy(unsigned bits) {
+  assert(bits == 1 || bits == 8 || bits == 16 || bits == 32 || bits == 64);
+  auto it = ints_.find(bits);
+  if (it != ints_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<IntType>(new IntType(bits));
+  const IntType* raw = t.get();
+  owned_.push_back(std::move(t));
+  ints_[bits] = raw;
+  return raw;
+}
+
+const FloatType* TypeContext::FloatTy(unsigned bits) {
+  assert(bits == 32 || bits == 64);
+  auto it = floats_.find(bits);
+  if (it != floats_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<FloatType>(new FloatType(bits));
+  const FloatType* raw = t.get();
+  owned_.push_back(std::move(t));
+  floats_[bits] = raw;
+  return raw;
+}
+
+const PointerType* TypeContext::PointerTo(const Type* pointee) {
+  auto it = pointers_.find(pointee);
+  if (it != pointers_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<PointerType>(new PointerType(pointee));
+  const PointerType* raw = t.get();
+  owned_.push_back(std::move(t));
+  pointers_[pointee] = raw;
+  return raw;
+}
+
+const ArrayType* TypeContext::ArrayOf(const Type* element, uint64_t length) {
+  auto key = std::make_pair(element, length);
+  auto it = arrays_.find(key);
+  if (it != arrays_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<ArrayType>(new ArrayType(element, length));
+  const ArrayType* raw = t.get();
+  owned_.push_back(std::move(t));
+  arrays_[key] = raw;
+  return raw;
+}
+
+const StructType* TypeContext::Struct(const std::vector<const Type*>& fields) {
+  auto it = literal_structs_.find(fields);
+  if (it != literal_structs_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<StructType>(new StructType("", fields, false));
+  const StructType* raw = t.get();
+  owned_.push_back(std::move(t));
+  literal_structs_[fields] = raw;
+  return raw;
+}
+
+StructType* TypeContext::NamedStruct(const std::string& name) {
+  auto it = named_structs_.find(name);
+  if (it != named_structs_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<StructType>(new StructType(name, {}, true));
+  StructType* raw = t.get();
+  owned_.push_back(std::move(t));
+  named_structs_[name] = raw;
+  named_order_.push_back(raw);
+  return raw;
+}
+
+StructType* TypeContext::NamedStruct(const std::string& name,
+                                     const std::vector<const Type*>& fields) {
+  StructType* st = NamedStruct(name);
+  if (st->IsOpaque()) {
+    st->SetBody(fields);
+  }
+  return st;
+}
+
+StructType* TypeContext::FindNamedStruct(const std::string& name) const {
+  auto it = named_structs_.find(name);
+  return it == named_structs_.end() ? nullptr : it->second;
+}
+
+const FunctionType* TypeContext::FunctionTy(
+    const Type* ret, const std::vector<const Type*>& params, bool vararg) {
+  auto key = std::make_tuple(ret, params, vararg);
+  auto it = functions_.find(key);
+  if (it != functions_.end()) {
+    return it->second;
+  }
+  auto t = std::unique_ptr<FunctionType>(new FunctionType(ret, params, vararg));
+  const FunctionType* raw = t.get();
+  owned_.push_back(std::move(t));
+  functions_[key] = raw;
+  return raw;
+}
+
+uint64_t AlignOf(const Type* type) {
+  switch (type->kind()) {
+    case TypeKind::kVoid:
+      return 1;
+    case TypeKind::kInt: {
+      unsigned bits = static_cast<const IntType*>(type)->bits();
+      return bits <= 8 ? 1 : bits / 8;
+    }
+    case TypeKind::kFloat:
+      return static_cast<const FloatType*>(type)->bits() / 8;
+    case TypeKind::kPointer:
+    case TypeKind::kFunction:
+      return 8;
+    case TypeKind::kArray:
+      return AlignOf(static_cast<const ArrayType*>(type)->element());
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(type);
+      uint64_t align = 1;
+      for (const Type* f : st->fields()) {
+        align = std::max(align, AlignOf(f));
+      }
+      return align;
+    }
+  }
+  return 1;
+}
+
+uint64_t SizeOf(const Type* type) {
+  switch (type->kind()) {
+    case TypeKind::kVoid:
+      return 0;
+    case TypeKind::kInt: {
+      unsigned bits = static_cast<const IntType*>(type)->bits();
+      return bits <= 8 ? 1 : bits / 8;
+    }
+    case TypeKind::kFloat:
+      return static_cast<const FloatType*>(type)->bits() / 8;
+    case TypeKind::kPointer:
+    case TypeKind::kFunction:
+      return 8;
+    case TypeKind::kArray: {
+      const auto* at = static_cast<const ArrayType*>(type);
+      return SizeOf(at->element()) * at->length();
+    }
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(type);
+      assert(!st->IsOpaque() && "SizeOf on opaque struct");
+      uint64_t offset = 0;
+      for (const Type* f : st->fields()) {
+        uint64_t align = AlignOf(f);
+        offset = (offset + align - 1) / align * align;
+        offset += SizeOf(f);
+      }
+      uint64_t align = AlignOf(st);
+      offset = (offset + align - 1) / align * align;
+      return offset;
+    }
+  }
+  return 0;
+}
+
+namespace {
+bool TypeContainsMemberImpl(const Type* hay, const Type* needle, int depth) {
+  if (depth > 16) {
+    return false;
+  }
+  while (hay->IsArray()) {
+    hay = static_cast<const ArrayType*>(hay)->element();
+  }
+  while (needle->IsArray()) {
+    needle = static_cast<const ArrayType*>(needle)->element();
+  }
+  if (hay == needle) {
+    return true;
+  }
+  if (hay->IsStruct()) {
+    const auto* st = static_cast<const StructType*>(hay);
+    if (st->IsOpaque()) {
+      return false;
+    }
+    for (const Type* f : st->fields()) {
+      if (TypeContainsMemberImpl(f, needle, depth + 1)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool TypeContainsMember(const Type* hay, const Type* needle) {
+  return TypeContainsMemberImpl(hay, needle, 0);
+}
+
+uint64_t StructFieldOffset(const StructType* type, unsigned index) {
+  assert(index < type->fields().size());
+  uint64_t offset = 0;
+  for (unsigned i = 0; i <= index; ++i) {
+    const Type* f = type->fields()[i];
+    uint64_t align = AlignOf(f);
+    offset = (offset + align - 1) / align * align;
+    if (i == index) {
+      return offset;
+    }
+    offset += SizeOf(f);
+  }
+  return offset;
+}
+
+}  // namespace sva::vir

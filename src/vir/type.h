@@ -1,0 +1,220 @@
+// The SVA-Core type system (Section 3.1/3.2 of the paper).
+//
+// The virtual instruction set is typed: every value carries a Type, and the
+// safety analyses (points-to, type-homogeneity inference, metapool typing)
+// are driven by these types. Types are immutable and interned in a
+// TypeContext, so pointer equality is type equality — with the single
+// exception of named struct types, whose bodies may be set once after
+// creation to permit recursive kernel data structures (e.g. list heads).
+#ifndef SVA_SRC_VIR_TYPE_H_
+#define SVA_SRC_VIR_TYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace sva::vir {
+
+enum class TypeKind {
+  kVoid,
+  kInt,       // i1, i8, i16, i32, i64
+  kFloat,     // f32, f64
+  kPointer,   // T*
+  kArray,     // [N x T]
+  kStruct,    // { T0, T1, ... }, optionally named
+  kFunction,  // R (A0, A1, ...) possibly vararg
+};
+
+class TypeContext;
+
+// Base class for all types. Instances are owned by a TypeContext and live as
+// long as it does.
+class Type {
+ public:
+  virtual ~Type() = default;
+
+  TypeKind kind() const { return kind_; }
+
+  bool IsVoid() const { return kind_ == TypeKind::kVoid; }
+  bool IsInt() const { return kind_ == TypeKind::kInt; }
+  bool IsFloat() const { return kind_ == TypeKind::kFloat; }
+  bool IsPointer() const { return kind_ == TypeKind::kPointer; }
+  bool IsArray() const { return kind_ == TypeKind::kArray; }
+  bool IsStruct() const { return kind_ == TypeKind::kStruct; }
+  bool IsFunction() const { return kind_ == TypeKind::kFunction; }
+  // Integer or float.
+  bool IsArithmetic() const { return IsInt() || IsFloat(); }
+  // A type that can be the element of a load/store (not void/function).
+  bool IsFirstClass() const { return !IsVoid() && !IsFunction(); }
+
+  // Renders the type in the textual bytecode syntax (e.g. "i32**",
+  // "[4 x %struct.task]").
+  std::string ToString() const;
+
+ protected:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+ private:
+  friend class TypeContext;
+  const TypeKind kind_;
+};
+
+class IntType : public Type {
+ public:
+  unsigned bits() const { return bits_; }
+
+ private:
+  friend class TypeContext;
+  explicit IntType(unsigned bits) : Type(TypeKind::kInt), bits_(bits) {}
+  const unsigned bits_;
+};
+
+class FloatType : public Type {
+ public:
+  unsigned bits() const { return bits_; }
+
+ private:
+  friend class TypeContext;
+  explicit FloatType(unsigned bits) : Type(TypeKind::kFloat), bits_(bits) {}
+  const unsigned bits_;
+};
+
+class PointerType : public Type {
+ public:
+  const Type* pointee() const { return pointee_; }
+
+ private:
+  friend class TypeContext;
+  explicit PointerType(const Type* pointee)
+      : Type(TypeKind::kPointer), pointee_(pointee) {}
+  const Type* const pointee_;
+};
+
+class ArrayType : public Type {
+ public:
+  const Type* element() const { return element_; }
+  uint64_t length() const { return length_; }
+
+ private:
+  friend class TypeContext;
+  ArrayType(const Type* element, uint64_t length)
+      : Type(TypeKind::kArray), element_(element), length_(length) {}
+  const Type* const element_;
+  const uint64_t length_;
+};
+
+class StructType : public Type {
+ public:
+  // Empty for anonymous (literal) structs.
+  const std::string& name() const { return name_; }
+  bool IsOpaque() const { return opaque_; }
+  const std::vector<const Type*>& fields() const { return fields_; }
+
+  // Sets the body of a named struct created opaque. May be called once.
+  void SetBody(std::vector<const Type*> fields);
+
+ private:
+  friend class TypeContext;
+  StructType(std::string name, std::vector<const Type*> fields, bool opaque)
+      : Type(TypeKind::kStruct),
+        name_(std::move(name)),
+        fields_(std::move(fields)),
+        opaque_(opaque) {}
+  const std::string name_;
+  std::vector<const Type*> fields_;
+  bool opaque_;
+};
+
+class FunctionType : public Type {
+ public:
+  const Type* return_type() const { return return_type_; }
+  const std::vector<const Type*>& params() const { return params_; }
+  bool is_vararg() const { return vararg_; }
+
+ private:
+  friend class TypeContext;
+  FunctionType(const Type* ret, std::vector<const Type*> params, bool vararg)
+      : Type(TypeKind::kFunction),
+        return_type_(ret),
+        params_(std::move(params)),
+        vararg_(vararg) {}
+  const Type* const return_type_;
+  const std::vector<const Type*> params_;
+  const bool vararg_;
+};
+
+// Owns and interns all types of one Module. Interning makes `const Type*`
+// comparison sufficient for type equality everywhere in the compiler.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  const Type* VoidTy() const { return void_; }
+  const IntType* IntTy(unsigned bits);
+  const IntType* I1() { return IntTy(1); }
+  const IntType* I8() { return IntTy(8); }
+  const IntType* I16() { return IntTy(16); }
+  const IntType* I32() { return IntTy(32); }
+  const IntType* I64() { return IntTy(64); }
+  const FloatType* FloatTy(unsigned bits);
+  const FloatType* F32() { return FloatTy(32); }
+  const FloatType* F64() { return FloatTy(64); }
+  const PointerType* PointerTo(const Type* pointee);
+  const ArrayType* ArrayOf(const Type* element, uint64_t length);
+  // Anonymous literal struct; structurally interned.
+  const StructType* Struct(const std::vector<const Type*>& fields);
+  // Named struct. Returns the existing one if already created (opaque structs
+  // may later receive a body via SetBody).
+  StructType* NamedStruct(const std::string& name);
+  StructType* NamedStruct(const std::string& name,
+                          const std::vector<const Type*>& fields);
+  // Looks up a previously created named struct or returns nullptr.
+  StructType* FindNamedStruct(const std::string& name) const;
+  const FunctionType* FunctionTy(const Type* ret,
+                                 const std::vector<const Type*>& params,
+                                 bool vararg = false);
+
+  // All named structs, in creation order (for printing).
+  const std::vector<StructType*>& named_structs() const { return named_order_; }
+
+ private:
+  std::vector<std::unique_ptr<Type>> owned_;
+  const Type* void_;
+  std::map<unsigned, const IntType*> ints_;
+  std::map<unsigned, const FloatType*> floats_;
+  std::map<const Type*, const PointerType*> pointers_;
+  std::map<std::pair<const Type*, uint64_t>, const ArrayType*> arrays_;
+  std::map<std::vector<const Type*>, const StructType*> literal_structs_;
+  std::map<std::string, StructType*> named_structs_;
+  std::vector<StructType*> named_order_;
+  std::map<std::tuple<const Type*, std::vector<const Type*>, bool>,
+           const FunctionType*>
+      functions_;
+};
+
+// Byte size of a value of this type in the virtual memory model used by the
+// SVM translator/interpreter: i1/i8 -> 1, i16 -> 2, i32/f32 -> 4,
+// i64/f64/pointers -> 8, arrays/structs -> aggregate with natural alignment.
+uint64_t SizeOf(const Type* type);
+
+// Natural alignment of the type (power of two, <= 8).
+uint64_t AlignOf(const Type* type);
+
+// Byte offset of struct field `index` honouring natural alignment padding.
+uint64_t StructFieldOffset(const StructType* type, unsigned index);
+
+// True if `needle` equals `hay` or is a (recursively nested) member type of
+// it, after normalizing arrays to their element type. Used by the type
+// checker and the points-to type tracking: accessing a field of a struct
+// object does not break the object's type homogeneity.
+bool TypeContainsMember(const Type* hay, const Type* needle);
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_TYPE_H_

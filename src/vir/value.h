@@ -1,0 +1,153 @@
+// Values of the SVA-Core virtual instruction set: constants, globals,
+// function arguments, and instruction results. The instruction set is in SSA
+// form (Section 3.1), so every Value has exactly one definition.
+#ifndef SVA_SRC_VIR_VALUE_H_
+#define SVA_SRC_VIR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vir/type.h"
+
+namespace sva::vir {
+
+enum class ValueKind {
+  kArgument,
+  kConstantInt,
+  kConstantFloat,
+  kConstantNull,
+  kConstantUndef,
+  kGlobalVariable,
+  kFunction,
+  kInstruction,
+};
+
+class Function;
+
+class Value {
+ public:
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind value_kind() const { return value_kind_; }
+  const Type* type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool IsConstant() const {
+    return value_kind_ == ValueKind::kConstantInt ||
+           value_kind_ == ValueKind::kConstantFloat ||
+           value_kind_ == ValueKind::kConstantNull ||
+           value_kind_ == ValueKind::kConstantUndef ||
+           value_kind_ == ValueKind::kGlobalVariable ||
+           value_kind_ == ValueKind::kFunction;
+  }
+  bool IsInstruction() const { return value_kind_ == ValueKind::kInstruction; }
+
+ protected:
+  Value(ValueKind kind, const Type* type, std::string name)
+      : value_kind_(kind), type_(type), name_(std::move(name)) {}
+
+ private:
+  const ValueKind value_kind_;
+  const Type* const type_;
+  std::string name_;
+};
+
+// An integer literal. Stored sign-agnostically in 64 bits; instructions
+// interpret the bits as signed or unsigned as appropriate.
+class ConstantInt : public Value {
+ public:
+  ConstantInt(const IntType* type, uint64_t bits)
+      : Value(ValueKind::kConstantInt, type, ""), bits_(bits) {}
+
+  uint64_t zext_value() const { return bits_; }
+  int64_t sext_value() const {
+    unsigned width = static_cast<const IntType*>(type())->bits();
+    if (width == 64) {
+      return static_cast<int64_t>(bits_);
+    }
+    uint64_t sign = uint64_t{1} << (width - 1);
+    return static_cast<int64_t>((bits_ ^ sign)) - static_cast<int64_t>(sign);
+  }
+
+ private:
+  const uint64_t bits_;
+};
+
+class ConstantFloat : public Value {
+ public:
+  ConstantFloat(const FloatType* type, double value)
+      : Value(ValueKind::kConstantFloat, type, ""), value_(value) {}
+  double value() const { return value_; }
+
+ private:
+  const double value_;
+};
+
+// The null pointer of a given pointer type.
+class ConstantNull : public Value {
+ public:
+  explicit ConstantNull(const PointerType* type)
+      : Value(ValueKind::kConstantNull, type, "") {}
+};
+
+// An undefined value (the result of reading uninitialized state the dataflow
+// analysis in SAFECode would flag; kept for completeness of the IR).
+class ConstantUndef : public Value {
+ public:
+  explicit ConstantUndef(const Type* type)
+      : Value(ValueKind::kConstantUndef, type, "") {}
+};
+
+// A formal parameter of a Function.
+class Argument : public Value {
+ public:
+  Argument(const Type* type, std::string name, Function* parent, unsigned index)
+      : Value(ValueKind::kArgument, type, std::move(name)),
+        parent_(parent),
+        index_(index) {}
+
+  Function* parent() const { return parent_; }
+  unsigned index() const { return index_; }
+
+ private:
+  Function* const parent_;
+  const unsigned index_;
+};
+
+// A module-level global. Its Value type is a pointer to `value_type`, like an
+// LLVM global. Externals have no initializer and model objects allocated
+// outside the analyzed portion of the kernel (Section 4.5 "Incomplete").
+class GlobalVariable : public Value {
+ public:
+  GlobalVariable(const PointerType* ptr_type, const Type* value_type,
+                 std::string name, bool is_external)
+      : Value(ValueKind::kGlobalVariable, ptr_type, std::move(name)),
+        value_type_(value_type),
+        is_external_(is_external) {}
+
+  const Type* value_type() const { return value_type_; }
+  bool is_external() const { return is_external_; }
+
+  // Optional scalar integer initializer payload, applied byte-wise at offset 0
+  // when the SVM maps globals. Aggregate initialization happens in kernel
+  // "entry" code in this reproduction, as registration does in the paper.
+  bool has_int_initializer() const { return has_init_; }
+  uint64_t int_initializer() const { return init_bits_; }
+  void set_int_initializer(uint64_t bits) {
+    has_init_ = true;
+    init_bits_ = bits;
+  }
+
+ private:
+  const Type* const value_type_;
+  const bool is_external_;
+  bool has_init_ = false;
+  uint64_t init_bits_ = 0;
+};
+
+}  // namespace sva::vir
+
+#endif  // SVA_SRC_VIR_VALUE_H_

@@ -1,0 +1,199 @@
+// Allocator-correlation tests (Section 4.3/6.2): kernel pool allocators map
+// to per-descriptor metapools, ordinary allocators merge per size class (or
+// globally when the class relationship is not exposed), and vmalloc-style
+// allocators are ordinary.
+#include <gtest/gtest.h>
+
+#include "src/analysis/pointsto.h"
+#include "src/safety/compiler.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::analysis {
+namespace {
+
+std::unique_ptr<vir::Module> Parse(const char* text) {
+  auto m = vir::ParseModule(text);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+TEST(AllocatorCorrelationTest, DistinctCachesGetDistinctMetapools) {
+  auto m = Parse(R"(
+module "caches"
+declare i8* @kmem_cache_create(i64)
+declare i8* @kmem_cache_alloc(i8*)
+
+global @cache_a : i8*
+global @cache_b : i8*
+
+define void @boot() {
+entry:
+  %a = call i8* @kmem_cache_create(i64 96)
+  store i8* %a, i8** @cache_a
+  %b = call i8* @kmem_cache_create(i64 24)
+  store i8* %b, i8** @cache_b
+  ret void
+}
+define void @use() {
+entry:
+  %ca = load i8*, i8** @cache_a
+  %oa = call i8* @kmem_cache_alloc(i8* %ca)
+  store i8 1, i8* %oa
+  %cb = load i8*, i8** @cache_b
+  %ob = call i8* @kmem_cache_alloc(i8* %cb)
+  store i8 2, i8* %ob
+  ret void
+}
+)");
+  auto report = safety::RunSafetyCompiler(*m);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  vir::Function* use = m->GetFunction("use");
+  const auto& insts = use->blocks()[0]->instructions();
+  // Instruction layout shifts with instrumentation; find the two
+  // kmem_cache_alloc calls.
+  std::vector<std::string> pools;
+  for (const auto& inst : insts) {
+    const auto* call = dynamic_cast<const vir::CallInst*>(inst.get());
+    if (call != nullptr && call->called_function() != nullptr &&
+        call->called_function()->name() == "kmem_cache_alloc") {
+      pools.push_back(m->MetapoolOf(call));
+    }
+  }
+  ASSERT_EQ(pools.size(), 2u);
+  EXPECT_FALSE(pools[0].empty());
+  // Two kernel pools -> two metapools (no false merging).
+  EXPECT_NE(pools[0], pools[1]);
+}
+
+TEST(AllocatorCorrelationTest, SameCacheSitesMerge) {
+  auto m = Parse(R"(
+module "samecache"
+declare i8* @kmem_cache_create(i64)
+declare i8* @kmem_cache_alloc(i8*)
+
+global @cache : i8*
+
+define void @boot() {
+entry:
+  %c = call i8* @kmem_cache_create(i64 64)
+  store i8* %c, i8** @cache
+  ret void
+}
+define void @site1() {
+entry:
+  %c = load i8*, i8** @cache
+  %o = call i8* @kmem_cache_alloc(i8* %c)
+  store i8 1, i8* %o
+  ret void
+}
+define void @site2() {
+entry:
+  %c = load i8*, i8** @cache
+  %o = call i8* @kmem_cache_alloc(i8* %c)
+  store i8 2, i8* %o
+  ret void
+}
+)");
+  auto report = safety::RunSafetyCompiler(*m);
+  ASSERT_TRUE(report.ok());
+  // Both allocation sites draw from one kernel pool with internal reuse, so
+  // they must share a metapool (a dangling pointer from site1's object
+  // could otherwise cross metapools when site2 reuses the slot).
+  std::vector<std::string> pools;
+  for (const char* fn : {"site1", "site2"}) {
+    for (vir::Instruction* inst : m->GetFunction(fn)->AllInstructions()) {
+      const auto* call = dynamic_cast<const vir::CallInst*>(inst);
+      if (call != nullptr && call->called_function() != nullptr &&
+          call->called_function()->name() == "kmem_cache_alloc") {
+        pools.push_back(m->MetapoolOf(call));
+      }
+    }
+  }
+  ASSERT_EQ(pools.size(), 2u);
+  EXPECT_EQ(pools[0], pools[1]);
+  EXPECT_GE(report->merged_by_kernel_pools, 1u);
+}
+
+TEST(AllocatorCorrelationTest, KmallocDifferentClassesStaySeparate) {
+  auto m = Parse(R"(
+module "classes"
+declare i8* @kmalloc(i64)
+define void @f() {
+entry:
+  %small = call i8* @kmalloc(i64 24)
+  store i8 1, i8* %small
+  %big = call i8* @kmalloc(i64 5000)
+  store i8 2, i8* %big
+  ret void
+}
+)");
+  auto report = safety::RunSafetyCompiler(*m);
+  ASSERT_TRUE(report.ok());
+  std::vector<std::string> pools;
+  for (vir::Instruction* inst : m->GetFunction("f")->AllInstructions()) {
+    const auto* call = dynamic_cast<const vir::CallInst*>(inst);
+    if (call != nullptr && call->called_function() != nullptr &&
+        call->called_function()->name() == "kmalloc") {
+      pools.push_back(m->MetapoolOf(call));
+    }
+  }
+  ASSERT_EQ(pools.size(), 2u);
+  // Different size classes never share slab pages, so the exposed
+  // kmalloc/kmem_cache relationship keeps them in separate metapools.
+  EXPECT_NE(pools[0], pools[1]);
+}
+
+TEST(AllocatorCorrelationTest, UnknownSizeKmallocMergesConservatively) {
+  auto m = Parse(R"(
+module "dynsize"
+declare i8* @kmalloc(i64)
+define void @f(i64 %n) {
+entry:
+  %a = call i8* @kmalloc(i64 %n)
+  store i8 1, i8* %a
+  %b = call i8* @kmalloc(i64 %n)
+  store i8 2, i8* %b
+  ret void
+}
+)");
+  auto report = safety::RunSafetyCompiler(*m);
+  ASSERT_TRUE(report.ok());
+  std::vector<std::string> pools;
+  for (vir::Instruction* inst : m->GetFunction("f")->AllInstructions()) {
+    const auto* call = dynamic_cast<const vir::CallInst*>(inst);
+    if (call != nullptr && call->called_function() != nullptr &&
+        call->called_function()->name() == "kmalloc") {
+      pools.push_back(m->MetapoolOf(call));
+    }
+  }
+  ASSERT_EQ(pools.size(), 2u);
+  // Dynamic sizes could land in any class: all such sites merge (the
+  // conservative direction).
+  EXPECT_EQ(pools[0], pools[1]);
+}
+
+TEST(AllocatorCorrelationTest, VmallocIsAnOrdinaryAllocator) {
+  auto m = Parse(R"(
+module "vm"
+declare i8* @vmalloc(i64)
+declare void @vfree(i8*)
+define i8 @f(i64 %idx) {
+entry:
+  %region = call i8* @vmalloc(i64 8192)
+  %slot = getelementptr i8* %region, i64 %idx
+  %v = load i8, i8* %slot
+  call void @vfree(i8* %region)
+  ret i8 %v
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  ASSERT_EQ(pta.allocation_sites().size(), 1u);
+  EXPECT_EQ(pta.allocation_sites()[0].allocator, "vmalloc");
+  EXPECT_TRUE(pta.allocation_sites()[0].node->has_flag(
+      PointsToNode::kHeap));
+}
+
+}  // namespace
+}  // namespace sva::analysis

@@ -1,0 +1,569 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/pointsto.h"
+#include "src/analysis/transforms.h"
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::analysis {
+namespace {
+
+std::unique_ptr<vir::Module> Parse(const char* text) {
+  auto m = vir::ParseModule(text);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  Status v = vir::VerifyModule(**m);
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  return std::move(m).value();
+}
+
+TEST(PointsToTest, DistinctAllocationsGetDistinctNodes) {
+  auto m = Parse(R"(
+module "two"
+define void @f() {
+entry:
+  %a = malloc i32, i64 1
+  %b = malloc i64, i64 1
+  store i32 1, i32* %a
+  store i64 2, i64* %b
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  const auto* a = f->blocks()[0]->instructions()[0].get();
+  const auto* b = f->blocks()[0]->instructions()[1].get();
+  PointsToNode* na = pta.graph().FindNode(a);
+  PointsToNode* nb = pta.graph().FindNode(b);
+  ASSERT_NE(na, nullptr);
+  ASSERT_NE(nb, nullptr);
+  EXPECT_NE(na, nb);
+  EXPECT_TRUE(na->has_flag(PointsToNode::kHeap));
+  EXPECT_TRUE(na->IsTypeHomogeneous());
+  EXPECT_EQ(na->element_type()->ToString(), "i32");
+  EXPECT_EQ(nb->element_type()->ToString(), "i64");
+  EXPECT_EQ(pta.allocation_sites().size(), 2u);
+}
+
+TEST(PointsToTest, AssignmentUnifies) {
+  auto m = Parse(R"(
+module "unify"
+define i32* @f(i1 %c) {
+entry:
+  %a = malloc i32, i64 1
+  %b = malloc i32, i64 1
+  br i1 %c, label %t, label %e
+t:
+  br label %merge
+e:
+  br label %merge
+merge:
+  %p = phi i32* [ %a, %t ], [ %b, %e ]
+  ret i32* %p
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  const auto* a = f->blocks()[0]->instructions()[0].get();
+  const auto* b = f->blocks()[0]->instructions()[1].get();
+  // Unification: both allocations flow into one phi -> one partition.
+  EXPECT_EQ(pta.graph().FindNode(a), pta.graph().FindNode(b));
+  EXPECT_TRUE(pta.graph().FindNode(a)->IsTypeHomogeneous());
+}
+
+TEST(PointsToTest, StoreLoadThroughMemory) {
+  auto m = Parse(R"(
+module "indir"
+define i32* @f(i32** %slot) {
+entry:
+  %obj = malloc i32, i64 1
+  store i32* %obj, i32** %slot
+  %back = load i32*, i32** %slot
+  ret i32* %back
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  const auto* obj = f->blocks()[0]->instructions()[0].get();
+  const auto* back = f->blocks()[0]->instructions()[2].get();
+  EXPECT_EQ(pta.graph().FindNode(obj), pta.graph().FindNode(back));
+}
+
+TEST(PointsToTest, TypeConflictCollapses) {
+  auto m = Parse(R"(
+module "conflict"
+define void @f() {
+entry:
+  %a = malloc i32, i64 4
+  %c = bitcast i32* %a to i64*
+  store i64 1, i64* %c
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  const auto* a = f->blocks()[0]->instructions()[0].get();
+  PointsToNode* n = pta.graph().FindNode(a);
+  EXPECT_FALSE(n->IsTypeHomogeneous());
+  EXPECT_TRUE(n->collapsed());
+}
+
+TEST(PointsToTest, KmallocBitcastGivesType) {
+  auto m = Parse(R"(
+module "km"
+%fib_info = type { i32, i32, i64 }
+declare i8* @kmalloc(i64)
+define void @f() {
+entry:
+  %raw = call i8* @kmalloc(i64 96)
+  %fi = bitcast i8* %raw to %fib_info*
+  %field = getelementptr %fib_info* %fi, i64 0, i32 0
+  store i32 1, i32* %field
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  ASSERT_EQ(pta.allocation_sites().size(), 1u);
+  PointsToNode* n = pta.graph().Find(pta.allocation_sites()[0].node);
+  EXPECT_TRUE(n->has_flag(PointsToNode::kHeap));
+  // kmalloc with constant size and exposed size classes -> per-class source.
+  EXPECT_EQ(pta.allocation_sites()[0].allocator, "kmalloc-128");
+  // Hmm: 96 rounds to class 128.
+  EXPECT_TRUE(n->allocator_sources().count("kmalloc-128"));
+}
+
+TEST(PointsToTest, GepKeepsPartitionFieldInsensitive) {
+  auto m = Parse(R"(
+module "gep"
+%pair = type { i32, i32 }
+define void @f() {
+entry:
+  %p = malloc %pair, i64 1
+  %f0 = getelementptr %pair* %p, i64 0, i32 0
+  %f1 = getelementptr %pair* %p, i64 0, i32 1
+  store i32 1, i32* %f0
+  store i32 2, i32* %f1
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  const auto* p = f->blocks()[0]->instructions()[0].get();
+  const auto* f0 = f->blocks()[0]->instructions()[1].get();
+  EXPECT_EQ(pta.graph().FindNode(p), pta.graph().FindNode(f0));
+}
+
+TEST(PointsToTest, ExternalCallsMarkIncomplete) {
+  auto m = Parse(R"(
+module "ext"
+declare void @unknown_library(i8*)
+define void @f() {
+entry:
+  %p = malloc i8, i64 16
+  call void @unknown_library(i8* %p)
+  ret void
+}
+define void @g() {
+entry:
+  %q = malloc i8, i64 16
+  store i8 1, i8* %q
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  vir::Function* g = m->GetFunction("g");
+  PointsToNode* escaped =
+      pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+  PointsToNode* internal =
+      pta.graph().FindNode(g->blocks()[0]->instructions()[0].get());
+  EXPECT_FALSE(escaped->IsComplete());
+  EXPECT_TRUE(internal->IsComplete());
+}
+
+TEST(PointsToTest, IncompletenessPropagatesToReachableObjects) {
+  auto m = Parse(R"(
+module "prop"
+declare void @sink(i8**)
+define void @f() {
+entry:
+  %inner = malloc i8, i64 8
+  %holder = malloc i8*, i64 1
+  store i8* %inner, i8** %holder
+  call void @sink(i8** %holder)
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  PointsToNode* inner =
+      pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+  // The holder escaped; objects stored inside it are reachable by the
+  // external code, so they are incomplete too.
+  EXPECT_FALSE(inner->IsComplete());
+}
+
+TEST(PointsToTest, SmallIntToPtrTreatedAsNull) {
+  auto m = Parse(R"(
+module "errptr"
+define void @f() {
+entry:
+  %e = inttoptr i64 -1 to i8*
+  %p = malloc i8, i64 8
+  br label %merge
+merge:
+  %q = phi i8* [ %p, %entry ]
+  store i8 1, i8* %q
+  ret void
+}
+define i8* @error_path(i1 %c) {
+entry:
+  %obj = malloc i8, i64 8
+  %err = inttoptr i64 -22 to i8*
+  %r = select i1 %c, i8* %obj, i8* %err
+  ret i8* %r
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* ep = m->GetFunction("error_path");
+  PointsToNode* obj =
+      pta.graph().FindNode(ep->blocks()[0]->instructions()[0].get());
+  // The -EINVAL-style constant does not poison the partition (Section 4.8).
+  EXPECT_FALSE(obj->has_flag(PointsToNode::kUnknown));
+}
+
+TEST(PointsToTest, LargeIntToPtrIsManufactured) {
+  auto m = Parse(R"(
+module "manuf"
+define void @f() {
+entry:
+  %p = inttoptr i64 917504 to i8*
+  store i8 0, i8* %p
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  PointsToNode* n =
+      pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+  EXPECT_TRUE(n->has_flag(PointsToNode::kUnknown));
+  EXPECT_FALSE(n->IsComplete());
+  EXPECT_FALSE(n->IsTypeHomogeneous());
+}
+
+TEST(PointsToTest, InterproceduralArgBinding) {
+  auto m = Parse(R"(
+module "inter"
+define void @init(i32* %p) {
+entry:
+  store i32 0, i32* %p
+  ret void
+}
+define void @f() {
+entry:
+  %a = malloc i32, i64 1
+  call void @init(i32* %a)
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* init = m->GetFunction("init");
+  vir::Function* f = m->GetFunction("f");
+  EXPECT_EQ(pta.graph().FindNode(init->arg(0)),
+            pta.graph().FindNode(f->blocks()[0]->instructions()[0].get()));
+}
+
+TEST(PointsToTest, EntryPointsIncompleteVsUserReachable) {
+  const char* text = R"(
+module "entry"
+define i64 @sys_read(i8* %ubuf, i64 %len) {
+entry:
+  store i8 0, i8* %ubuf
+  ret i64 0
+}
+)";
+  {
+    auto m = Parse(text);
+    AnalysisConfig cfg = AnalysisConfig::LinuxLike();
+    cfg.entry_points = {"sys_read"};
+    cfg.whole_program = false;
+    PointsToAnalysis pta(*m, cfg);
+    ASSERT_TRUE(pta.Run().ok());
+    PointsToNode* n =
+        pta.graph().FindNode(m->GetFunction("sys_read")->arg(0));
+    EXPECT_FALSE(n->IsComplete());
+    EXPECT_FALSE(n->has_flag(PointsToNode::kUserReachable));
+  }
+  {
+    auto m = Parse(text);
+    AnalysisConfig cfg = AnalysisConfig::LinuxLike();
+    cfg.entry_points = {"sys_read"};
+    cfg.whole_program = true;
+    PointsToAnalysis pta(*m, cfg);
+    ASSERT_TRUE(pta.Run().ok());
+    PointsToNode* n =
+        pta.graph().FindNode(m->GetFunction("sys_read")->arg(0));
+    // Entire-kernel mode: userspace is a valid object, nothing incomplete.
+    EXPECT_TRUE(n->IsComplete());
+    EXPECT_TRUE(n->has_flag(PointsToNode::kUserReachable));
+  }
+}
+
+TEST(PointsToTest, SyscallRegistrationSeedsHandlers) {
+  auto m = Parse(R"(
+module "sysreg"
+define i64 @sys_foo(i8* %ubuf) {
+entry:
+  store i8 0, i8* %ubuf
+  ret i64 0
+}
+define void @boot() {
+entry:
+  %h = bitcast i64 (i8*)* @sys_foo to i8*
+  call void @sva.register.syscall(i64 42, i8* %h)
+  ret void
+}
+)");
+  AnalysisConfig cfg = AnalysisConfig::LinuxLike();
+  cfg.whole_program = true;
+  PointsToAnalysis pta(*m, cfg);
+  ASSERT_TRUE(pta.Run().ok());
+  ASSERT_EQ(pta.syscall_table().size(), 1u);
+  EXPECT_EQ(pta.syscall_table().at(42)->name(), "sys_foo");
+  PointsToNode* n = pta.graph().FindNode(m->GetFunction("sys_foo")->arg(0));
+  EXPECT_TRUE(n->has_flag(PointsToNode::kUserReachable));
+}
+
+TEST(PointsToTest, CopyHeuristicAvoidsMergingObjects) {
+  auto m = Parse(R"(
+module "copyh"
+declare void @copy_from_user(i8*, i8*, i64)
+define void @f(i8* %user) {
+entry:
+  %kbuf = malloc i8, i64 64
+  call void @copy_from_user(i8* %kbuf, i8* %user, i64 64)
+  store i8 1, i8* %kbuf
+  ret void
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  vir::Function* f = m->GetFunction("f");
+  PointsToNode* kbuf =
+      pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+  PointsToNode* user = pta.graph().FindNode(f->arg(0));
+  // The copy merges outgoing edges only: kernel buffer and user buffer stay
+  // in separate partitions (Section 4.8).
+  EXPECT_NE(kbuf, user);
+}
+
+TEST(CallGraphTest, DirectAndIndirectResolution) {
+  auto m = Parse(R"(
+module "cg"
+define i64 @a(i64 %x) {
+entry:
+  ret i64 %x
+}
+define i64 @b(i64 %x) {
+entry:
+  ret i64 %x
+}
+define i64 @c(i64 %x, i64 %y) {
+entry:
+  ret i64 %x
+}
+global @tab : [2 x i64 (i64)*]
+
+define void @setup() {
+entry:
+  %s0 = getelementptr [2 x i64 (i64)*]* @tab, i64 0, i64 0
+  store i64 (i64)* @a, i64 (i64)** %s0
+  %s1 = getelementptr [2 x i64 (i64)*]* @tab, i64 0, i64 1
+  store i64 (i64)* @b, i64 (i64)** %s1
+  ret void
+}
+define i64 @go(i64 %i) {
+entry:
+  %direct = call i64 @a(i64 1)
+  %slot = getelementptr [2 x i64 (i64)*]* @tab, i64 0, i64 %i
+  %fp = load i64 (i64)*, i64 (i64)** %slot
+  %r = call i64 %fp(i64 %direct)
+  ret i64 %r
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  CallGraph cg(pta);
+  ASSERT_EQ(cg.indirect_sites().size(), 1u);
+  const auto& callees = cg.Callees(cg.indirect_sites()[0]);
+  EXPECT_EQ(callees.size(), 2u);  // @a and @b, not @c.
+  auto callers = cg.CallersOf(m->GetFunction("a"));
+  EXPECT_EQ(callers.size(), 2u);  // The direct call and the indirect site.
+}
+
+TEST(CallGraphTest, SignatureAssertionFiltersCandidates) {
+  auto m = Parse(R"(
+module "sig"
+define i64 @good(i64 %x) {
+entry:
+  ret i64 %x
+}
+define void @bad(i8* %p) {
+entry:
+  ret void
+}
+global @mixed : [2 x i8*]
+
+define void @setup() {
+entry:
+  %s0 = getelementptr [2 x i8*]* @mixed, i64 0, i64 0
+  %a = bitcast i64 (i64)* @good to i8*
+  store i8* %a, i8** %s0
+  %s1 = getelementptr [2 x i8*]* @mixed, i64 0, i64 1
+  %b = bitcast void (i8*)* @bad to i8*
+  store i8* %b, i8** %s1
+  ret void
+}
+define i64 @go(i64 %i) {
+entry:
+  %slot = getelementptr [2 x i8*]* @mixed, i64 0, i64 %i
+  %raw = load i8*, i8** %slot
+  %fp = bitcast i8* %raw to i64 (i64)*
+  %r = call i64 %fp(i64 7) !sig
+  ret i64 %r
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  CallGraph cg(pta);
+  ASSERT_EQ(cg.indirect_sites().size(), 1u);
+  const vir::CallInst* site = cg.indirect_sites()[0];
+  // Both functions flow into the table node; the signature assertion
+  // filters @bad out (Section 4.8: two orders of magnitude in Linux).
+  EXPECT_EQ(cg.UnfilteredCalleeCount(site), 2u);
+  ASSERT_EQ(cg.Callees(site).size(), 1u);
+  EXPECT_EQ(cg.Callees(site)[0]->name(), "good");
+}
+
+TEST(TransformsTest, CloneFunctionIsFaithful) {
+  auto m = Parse(R"(
+module "clone"
+define i64 @sum(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  %done = icmp sge i64 %i2, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc2
+}
+)");
+  vir::Function* clone =
+      CloneFunction(*m, *m->GetFunction("sum"), "sum.clone0");
+  ASSERT_NE(clone, nullptr);
+  Status s = vir::VerifyFunction(*m, *clone);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << vir::PrintFunction(*m, *clone);
+  EXPECT_EQ(clone->blocks().size(), 3u);
+}
+
+TEST(TransformsTest, CloningSeparatesPartitions) {
+  const char* text = R"(
+module "cl2"
+define void @init(i32* %p) {
+entry:
+  store i32 0, i32* %p
+  ret void
+}
+define void @f() {
+entry:
+  %a = malloc i32, i64 1
+  %b = malloc i64, i64 2
+  %bc = bitcast i64* %b to i32*
+  call void @init(i32* %a)
+  call void @init(i32* %bc)
+  ret void
+}
+)";
+  // Without cloning: both allocations unify through @init's parameter, and
+  // the i32/i64 conflict collapses the partition.
+  {
+    auto m = Parse(text);
+    PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+    ASSERT_TRUE(pta.Run().ok());
+    vir::Function* f = m->GetFunction("f");
+    PointsToNode* a =
+        pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+    EXPECT_FALSE(a->IsTypeHomogeneous());
+  }
+  // With cloning: each call site gets its own copy; partitions separate.
+  {
+    auto m = Parse(text);
+    CloneReport report = CloneForPrecision(*m);
+    EXPECT_EQ(report.functions_cloned, 1u);
+    EXPECT_EQ(report.call_sites_rewritten, 1u);
+    ASSERT_TRUE(vir::VerifyModule(*m).ok());
+    PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+    ASSERT_TRUE(pta.Run().ok());
+    vir::Function* f = m->GetFunction("f");
+    PointsToNode* a =
+        pta.graph().FindNode(f->blocks()[0]->instructions()[0].get());
+    PointsToNode* b =
+        pta.graph().FindNode(f->blocks()[0]->instructions()[1].get());
+    EXPECT_NE(pta.graph().Find(a), pta.graph().Find(b));
+    EXPECT_TRUE(a->IsTypeHomogeneous());
+  }
+}
+
+TEST(TransformsTest, DevirtualizeUniqueCallee) {
+  auto m = Parse(R"(
+module "devirt"
+define i64 @only(i64 %x) {
+entry:
+  ret i64 %x
+}
+global @slot : i64 (i64)*
+define void @setup() {
+entry:
+  store i64 (i64)* @only, i64 (i64)** @slot
+  ret void
+}
+define i64 @go() {
+entry:
+  %fp = load i64 (i64)*, i64 (i64)** @slot
+  %r = call i64 %fp(i64 5) !sig
+  ret i64 %r
+}
+)");
+  PointsToAnalysis pta(*m, AnalysisConfig::LinuxLike());
+  ASSERT_TRUE(pta.Run().ok());
+  CallGraph cg(pta);
+  DevirtReport report = Devirtualize(*m, cg);
+  EXPECT_EQ(report.asserted_sites, 1u);
+  EXPECT_EQ(report.devirtualized_sites, 1u);
+  // The call is now direct.
+  vir::Function* go = m->GetFunction("go");
+  const auto* call = dynamic_cast<const vir::CallInst*>(
+      go->blocks()[0]->instructions()[1].get());
+  ASSERT_NE(call, nullptr);
+  EXPECT_NE(call->called_function(), nullptr);
+  EXPECT_EQ(call->called_function()->name(), "only");
+}
+
+}  // namespace
+}  // namespace sva::analysis

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/corpus/corpus.h"
+#include "src/safety/compiler.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::corpus {
+namespace {
+
+TEST(CorpusTest, BothVariantsParseAndVerify) {
+  for (bool libs : {false, true}) {
+    auto m = vir::ParseModule(KernelCorpusText(libs));
+    ASSERT_TRUE(m.ok()) << "libs=" << libs << ": " << m.status().ToString();
+    Status v = vir::VerifyModule(**m);
+    EXPECT_TRUE(v.ok()) << "libs=" << libs << ": " << v.ToString();
+  }
+}
+
+TEST(CorpusTest, SafetyCompilerHandlesBothVariants) {
+  for (bool entire : {false, true}) {
+    auto m = vir::ParseModule(KernelCorpusText(entire));
+    ASSERT_TRUE(m.ok());
+    safety::SafetyCompilerOptions options;
+    options.analysis = CorpusConfig(entire);
+    auto report = safety::RunSafetyCompiler(**m, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->metapools, 3u);
+    EXPECT_GT(report->reg_obj, 3u);
+    EXPECT_GT(report->loads.total, 10u);
+    Status v = vir::VerifyModule(**m);
+    EXPECT_TRUE(v.ok()) << v.ToString();
+    verifier::TypeCheckResult tc = verifier::TypeCheckModule(**m);
+    EXPECT_TRUE(tc.ok) << (tc.errors.empty() ? "" : tc.errors[0]);
+  }
+}
+
+TEST(CorpusTest, AsTestedHasIncompleteAccessesEntireKernelHasNone) {
+  // The Table 9 contrast: excluding the library leaves most pointer
+  // accesses on incomplete partitions; compiling the whole kernel removes
+  // every source of incompleteness.
+  safety::SafetyReport as_tested;
+  safety::SafetyReport entire;
+  {
+    auto m = vir::ParseModule(KernelCorpusText(false));
+    ASSERT_TRUE(m.ok());
+    safety::SafetyCompilerOptions options;
+    options.analysis = CorpusConfig(false);
+    as_tested = *safety::RunSafetyCompiler(**m, options);
+  }
+  {
+    auto m = vir::ParseModule(KernelCorpusText(true));
+    ASSERT_TRUE(m.ok());
+    safety::SafetyCompilerOptions options;
+    options.analysis = CorpusConfig(true);
+    entire = *safety::RunSafetyCompiler(**m, options);
+  }
+  EXPECT_GT(as_tested.loads.to_incomplete, 0u);
+  EXPECT_EQ(entire.loads.to_incomplete, 0u);
+  EXPECT_EQ(entire.stores.to_incomplete, 0u);
+  EXPECT_EQ(entire.array_indexing.to_incomplete, 0u);
+  // Some accesses are type-safe in both configurations.
+  EXPECT_GT(entire.loads.to_type_safe, 0u);
+  // The library's allocation site is only seen in the entire-kernel build.
+  EXPECT_LT(as_tested.allocation_sites, entire.allocation_sites);
+  EXPECT_EQ(static_cast<int>(entire.allocation_sites),
+            TotalAllocationSites());
+}
+
+TEST(CorpusTest, SyscallRegistrationsDiscovered) {
+  auto m = vir::ParseModule(KernelCorpusText(true));
+  ASSERT_TRUE(m.ok());
+  analysis::PointsToAnalysis pta(**m, CorpusConfig(true));
+  ASSERT_TRUE(pta.Run().ok());
+  EXPECT_EQ(pta.syscall_table().size(), 2u);
+  EXPECT_EQ(pta.syscall_table().at(3)->name(), "sys_read_impl");
+  EXPECT_EQ(pta.syscall_table().at(4)->name(), "sys_write_impl");
+}
+
+TEST(CorpusTest, IndirectFileOpsResolvedWithSignatureAssertion) {
+  auto m = vir::ParseModule(KernelCorpusText(true));
+  ASSERT_TRUE(m.ok());
+  analysis::PointsToAnalysis pta(**m, CorpusConfig(true));
+  ASSERT_TRUE(pta.Run().ok());
+  analysis::CallGraph cg(pta);
+  ASSERT_GE(cg.indirect_sites().size(), 1u);
+  bool found_file_dispatch = false;
+  for (const vir::CallInst* site : cg.indirect_sites()) {
+    const auto& callees = cg.Callees(site);
+    for (const vir::Function* f : callees) {
+      if (f->name() == "op_seek" || f->name() == "op_size") {
+        found_file_dispatch = true;
+      }
+      // The signature assertion keeps only matching signatures.
+      EXPECT_EQ(f->function_type()->params().size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_file_dispatch);
+}
+
+}  // namespace
+}  // namespace sva::corpus

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace sva::hw {
+namespace {
+
+TEST(PhysicalMemoryTest, ReadWriteWidths) {
+  PhysicalMemory mem(1 << 16);
+  ASSERT_TRUE(mem.Write(0x100, 8, 0x1122334455667788ull).ok());
+  EXPECT_EQ(*mem.Read(0x100, 8), 0x1122334455667788ull);
+  EXPECT_EQ(*mem.Read(0x100, 4), 0x55667788ull);
+  EXPECT_EQ(*mem.Read(0x100, 2), 0x7788ull);
+  EXPECT_EQ(*mem.Read(0x100, 1), 0x88ull);
+  EXPECT_FALSE(mem.Read(1 << 16, 1).ok());
+  EXPECT_FALSE(mem.Write((1 << 16) - 3, 8, 0).ok());
+}
+
+TEST(PhysicalMemoryTest, CopyAndFill) {
+  PhysicalMemory mem(1 << 16);
+  ASSERT_TRUE(mem.Fill(0x200, 0xAB, 64).ok());
+  ASSERT_TRUE(mem.Copy(0x400, 0x200, 64).ok());
+  EXPECT_EQ(*mem.Read(0x43F, 1), 0xABull);
+  EXPECT_FALSE(mem.Copy(0x400, (1 << 16) - 8, 64).ok());
+}
+
+TEST(MmuTest, MapTranslateUnmap) {
+  Mmu mmu;
+  ASSERT_TRUE(mmu.Map(0x10000, 0x3000, kPteWritable).ok());
+  auto pa = mmu.Translate(0x10123, /*write=*/false, Privilege::kKernel);
+  ASSERT_TRUE(pa.ok());
+  EXPECT_EQ(*pa, 0x3123u);
+  EXPECT_TRUE(mmu.IsMapped(0x10000));
+  ASSERT_TRUE(mmu.Unmap(0x10000).ok());
+  EXPECT_FALSE(mmu.Translate(0x10123, false, Privilege::kKernel).ok());
+  EXPECT_FALSE(mmu.Unmap(0x10000).ok());
+}
+
+TEST(MmuTest, RejectsUnalignedAndFaults) {
+  Mmu mmu;
+  EXPECT_FALSE(mmu.Map(0x10001, 0x3000, 0).ok());
+  EXPECT_FALSE(mmu.Map(0x10000, 0x3001, 0).ok());
+  EXPECT_FALSE(mmu.Translate(0x99999, false, Privilege::kKernel).ok());
+  EXPECT_GT(mmu.faults(), 0u);
+}
+
+TEST(MmuTest, PrivilegeEnforcement) {
+  Mmu mmu;
+  ASSERT_TRUE(mmu.Map(0x10000, 0x3000, kPteWritable).ok());  // Kernel page.
+  ASSERT_TRUE(
+      mmu.Map(0x20000, 0x4000, kPteWritable | kPteUser).ok());  // User page.
+  EXPECT_TRUE(mmu.Translate(0x10000, false, Privilege::kKernel).ok());
+  EXPECT_FALSE(mmu.Translate(0x10000, false, Privilege::kUser).ok());
+  EXPECT_TRUE(mmu.Translate(0x20000, true, Privilege::kUser).ok());
+}
+
+TEST(MmuTest, ReadOnlyPages) {
+  Mmu mmu;
+  ASSERT_TRUE(mmu.Map(0x10000, 0x3000, kPteUser).ok());
+  EXPECT_TRUE(mmu.Translate(0x10000, false, Privilege::kUser).ok());
+  EXPECT_FALSE(mmu.Translate(0x10000, true, Privilege::kUser).ok());
+}
+
+TEST(MmuTest, SvmReservedPagesAreProtected) {
+  Mmu mmu;
+  ASSERT_TRUE(
+      mmu.Map(0x50000, 0x5000, kPteWritable | kPteSvmReserved).ok());
+  // The kernel cannot remap or unmap SVM pages.
+  EXPECT_FALSE(mmu.Map(0x50000, 0x6000, kPteWritable).ok());
+  EXPECT_FALSE(mmu.Unmap(0x50000).ok());
+  // Only kernel-privilege (SVM) code touches them.
+  EXPECT_FALSE(mmu.Translate(0x50000, false, Privilege::kUser).ok());
+}
+
+TEST(CpuTest, FpDirtyTracking) {
+  Cpu cpu;
+  EXPECT_FALSE(cpu.fp_dirty());
+  cpu.WriteFpRegister(2, 3.5);
+  EXPECT_TRUE(cpu.fp_dirty());
+  EXPECT_EQ(cpu.fp().regs[2], 3.5);
+  cpu.set_fp_dirty(false);
+  EXPECT_FALSE(cpu.fp_dirty());
+}
+
+TEST(DeviceTest, ConsoleAndTimer) {
+  Machine m;
+  ASSERT_TRUE(m.IoWrite(Machine::kPortConsole, 'h').ok());
+  ASSERT_TRUE(m.IoWrite(Machine::kPortConsole, 'i').ok());
+  EXPECT_EQ(m.console().output(), "hi");
+  ASSERT_TRUE(m.IoWrite(Machine::kPortTimer, 5).ok());
+  EXPECT_EQ(*m.IoRead(Machine::kPortTimer), 5u);
+  EXPECT_FALSE(m.IoRead(0x9999).ok());
+}
+
+TEST(DeviceTest, BlockDeviceSectors) {
+  Machine m;
+  std::vector<uint8_t> sector(BlockDevice::kSectorSize, 0x5A);
+  ASSERT_TRUE(m.disk().WriteSector(7, sector.data()).ok());
+  std::vector<uint8_t> back(BlockDevice::kSectorSize, 0);
+  ASSERT_TRUE(m.disk().ReadSector(7, back.data()).ok());
+  EXPECT_EQ(back[0], 0x5A);
+  EXPECT_EQ(back[511], 0x5A);
+  EXPECT_FALSE(m.disk().ReadSector(m.disk().num_sectors(), back.data()).ok());
+  EXPECT_EQ(m.disk().reads(), 1u);
+  EXPECT_EQ(m.disk().writes(), 1u);
+}
+
+TEST(MachineTest, PhysicalPageAllocator) {
+  Machine m(/*memory_bytes=*/16 * kPageSize);
+  uint64_t first = m.AllocatePhysicalPage();
+  EXPECT_EQ(first, kPageSize);  // Page 0 is the null guard.
+  uint64_t second = m.AllocatePhysicalPage();
+  EXPECT_EQ(second, 2 * kPageSize);
+  // Pages come back zeroed.
+  EXPECT_EQ(*m.memory().Read(second, 8), 0u);
+  // Exhaustion returns 0.
+  for (int i = 0; i < 32; ++i) {
+    m.AllocatePhysicalPage();
+  }
+  EXPECT_EQ(m.AllocatePhysicalPage(), 0u);
+}
+
+}  // namespace
+}  // namespace sva::hw

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <cctype>
+
+#include "src/kernel/kernel.h"
+
+namespace sva::kernel {
+namespace {
+
+// Boots a kernel in the given mode and exposes syscall shorthand.
+class KernelHarness {
+ public:
+  explicit KernelHarness(KernelMode mode) : machine_(256ull << 20) {
+    KernelConfig config;
+    config.mode = mode;
+    kernel_ = std::make_unique<Kernel>(machine_, config);
+    Status s = kernel_->Boot();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Kernel& k() { return *kernel_; }
+
+  uint64_t user(uint64_t offset = 0) {
+    return kUserVirtualBase +
+           static_cast<uint64_t>(kernel_->current_pid()) * 0x100000 + offset;
+  }
+
+  // Syscall that must succeed at the transport level.
+  uint64_t Call(Sys n, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0) {
+    auto r = kernel_->Syscall(n, a0, a1, a2);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ~uint64_t{0};
+  }
+
+  hw::Machine machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+class KernelModesTest : public ::testing::TestWithParam<KernelMode> {};
+
+TEST_P(KernelModesTest, GetPidAndTimeOfDay) {
+  KernelHarness h(GetParam());
+  EXPECT_EQ(h.Call(Sys::kGetPid), 1u);
+  h.machine_.timer().Tick(12345);
+  ASSERT_EQ(h.Call(Sys::kGetTimeOfDay, h.user(0)), 0u);
+  uint64_t tv[2] = {0, 0};
+  ASSERT_TRUE(h.k().PeekUser(h.user(0), tv, 16).ok());
+  EXPECT_EQ(tv[0], 1u);          // 1.2345 seconds.
+  EXPECT_EQ(tv[1], 234500u);
+}
+
+TEST_P(KernelModesTest, FileWriteReadRoundTrip) {
+  KernelHarness h(GetParam());
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/data").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  ASSERT_LT(fd, 16u);
+
+  const char payload[] = "the quick brown fox jumps over the lazy dog";
+  ASSERT_TRUE(h.k().PokeUser(h.user(256), payload, sizeof(payload)).ok());
+  EXPECT_EQ(h.Call(Sys::kWrite, fd, h.user(256), sizeof(payload)),
+            sizeof(payload));
+  EXPECT_EQ(h.Call(Sys::kLseek, fd, 0, 0), 0u);
+  EXPECT_EQ(h.Call(Sys::kRead, fd, h.user(512), sizeof(payload)),
+            sizeof(payload));
+  char back[sizeof(payload)] = {};
+  ASSERT_TRUE(h.k().PeekUser(h.user(512), back, sizeof(payload)).ok());
+  EXPECT_STREQ(back, payload);
+  EXPECT_EQ(h.Call(Sys::kClose, fd), 0u);
+}
+
+TEST_P(KernelModesTest, LargeFileSpansBlocks) {
+  KernelHarness h(GetParam());
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/big").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  std::vector<char> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), data.data(), data.size()).ok());
+  EXPECT_EQ(h.Call(Sys::kWrite, fd, h.user(64), data.size()), data.size());
+  EXPECT_EQ(h.Call(Sys::kLseek, fd, 4000, 0), 4000u);
+  EXPECT_EQ(h.Call(Sys::kRead, fd, h.user(64), 3000), 3000u);
+  std::vector<char> back(3000);
+  ASSERT_TRUE(h.k().PeekUser(h.user(64), back.data(), back.size()).ok());
+  EXPECT_EQ(back[0], data[4000]);
+  EXPECT_EQ(back[2999], data[6999]);
+}
+
+TEST_P(KernelModesTest, DevNullSemantics) {
+  KernelHarness h(GetParam());
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/dev/null").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 0);
+  ASSERT_LT(fd, 16u);
+  EXPECT_EQ(h.Call(Sys::kWrite, fd, h.user(64), 100), 100u);
+  EXPECT_EQ(h.Call(Sys::kRead, fd, h.user(64), 100), 0u);  // EOF.
+  EXPECT_EQ(h.Call(Sys::kClose, fd), 0u);
+}
+
+TEST_P(KernelModesTest, PipeRoundTrip) {
+  KernelHarness h(GetParam());
+  ASSERT_EQ(h.Call(Sys::kPipe, h.user(0)), 0u);
+  uint32_t fds[2];
+  ASSERT_TRUE(h.k().PeekUser(h.user(0), fds, 8).ok());
+  const char msg[] = "pipe payload";
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), msg, sizeof(msg)).ok());
+  EXPECT_EQ(h.Call(Sys::kWrite, fds[1], h.user(64), sizeof(msg)),
+            sizeof(msg));
+  EXPECT_EQ(h.Call(Sys::kRead, fds[0], h.user(128), sizeof(msg)),
+            sizeof(msg));
+  char back[sizeof(msg)] = {};
+  ASSERT_TRUE(h.k().PeekUser(h.user(128), back, sizeof(msg)).ok());
+  EXPECT_STREQ(back, msg);
+  // Wrong ends fail.
+  auto bad_read = h.k().Syscall(Sys::kRead, fds[1], h.user(128), 4);
+  ASSERT_TRUE(bad_read.ok());
+  EXPECT_GT(*bad_read, uint64_t{1} << 60);  // -EINVAL.
+}
+
+TEST_P(KernelModesTest, PipeWrapsAroundRing) {
+  KernelHarness h(GetParam());
+  ASSERT_EQ(h.Call(Sys::kPipe, h.user(0)), 0u);
+  uint32_t fds[2];
+  ASSERT_TRUE(h.k().PeekUser(h.user(0), fds, 8).ok());
+  std::vector<char> chunk(6000, 'x');
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), chunk.data(), chunk.size()).ok());
+  // Fill and drain repeatedly to force wraparound.
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_EQ(h.Call(Sys::kWrite, fds[1], h.user(64), chunk.size()),
+              chunk.size());
+    ASSERT_EQ(h.Call(Sys::kRead, fds[0], h.user(8192), chunk.size()),
+              chunk.size());
+  }
+}
+
+TEST_P(KernelModesTest, ForkExecWaitLifecycle) {
+  KernelHarness h(GetParam());
+  uint64_t child = h.Call(Sys::kFork);
+  EXPECT_EQ(child, 2u);
+  // The child exists and inherited the parent's pid-1 fds (none).
+  ASSERT_NE(h.k().FindTask(2), nullptr);
+  // Parent stays current (our fork returns to the parent).
+  EXPECT_EQ(h.Call(Sys::kGetPid), 1u);
+  EXPECT_EQ(h.k().stats().forks, 1u);
+  // "Run" the child: switch, exec, exit.
+  ASSERT_TRUE(h.k().Yield().ok());
+  EXPECT_EQ(h.Call(Sys::kGetPid), 2u);
+  EXPECT_EQ(h.Call(Sys::kExecve, h.user(0)), 0u);
+  EXPECT_EQ(h.k().stats().execs, 1u);
+  EXPECT_EQ(h.Call(Sys::kExit, 0), 0u);
+  // Back in the parent; reap the child.
+  EXPECT_EQ(h.Call(Sys::kGetPid), 1u);
+  EXPECT_EQ(h.Call(Sys::kWaitPid, 2), 2u);
+  EXPECT_EQ(h.k().FindTask(2), nullptr);
+}
+
+TEST_P(KernelModesTest, ForkCopiesUserMemory) {
+  KernelHarness h(GetParam());
+  const char secret[] = "parent data";
+  ASSERT_TRUE(h.k().PokeUser(h.user(100), secret, sizeof(secret)).ok());
+  ASSERT_EQ(h.Call(Sys::kFork), 2u);
+  ASSERT_TRUE(h.k().Yield().ok());
+  ASSERT_EQ(h.k().current_pid(), 2);
+  char back[sizeof(secret)] = {};
+  ASSERT_TRUE(h.k().PeekUser(h.user(100), back, sizeof(secret)).ok());
+  EXPECT_STREQ(back, secret);
+}
+
+TEST_P(KernelModesTest, SignalDeliveryOnSyscallReturn) {
+  KernelHarness h(GetParam());
+  EXPECT_EQ(h.Call(Sys::kSigaction, 10, /*handler=*/77), 0u);
+  EXPECT_EQ(h.Call(Sys::kKill, 1, 10), 0u);
+  // The signal was delivered on the way out of a kernel entry.
+  Task* init = h.k().FindTask(1);
+  ASSERT_NE(init, nullptr);
+  EXPECT_EQ(init->signals_delivered, 1u);
+  EXPECT_EQ(init->pending_signals, 0u);
+  // Unhandled signals are dropped (default action).
+  EXPECT_EQ(h.Call(Sys::kKill, 1, 11), 0u);
+  EXPECT_EQ(h.Call(Sys::kGetPid), 1u);
+  EXPECT_EQ(init->signals_delivered, 1u);
+}
+
+TEST_P(KernelModesTest, SocketsSendRecv) {
+  KernelHarness h(GetParam());
+  uint64_t fd = h.Call(Sys::kSocket);
+  ASSERT_LT(fd, 16u);
+  const char msg[] = "GET / HTTP/1.0";
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), msg, sizeof(msg)).ok());
+  EXPECT_EQ(h.Call(Sys::kSend, fd, h.user(64), sizeof(msg)), sizeof(msg));
+  EXPECT_EQ(h.Call(Sys::kRecv, fd, h.user(256), sizeof(msg)), sizeof(msg));
+  char back[sizeof(msg)] = {};
+  ASSERT_TRUE(h.k().PeekUser(h.user(256), back, sizeof(msg)).ok());
+  EXPECT_STREQ(back, msg);
+  // Empty queue recv returns 0.
+  EXPECT_EQ(h.Call(Sys::kRecv, fd, h.user(256), 16), 0u);
+}
+
+TEST_P(KernelModesTest, SbrkMovesBreak) {
+  KernelHarness h(GetParam());
+  uint64_t brk0 = h.Call(Sys::kBrk, 0);
+  uint64_t brk1 = h.Call(Sys::kBrk, 4096);
+  EXPECT_EQ(brk1, brk0 + 4096);
+}
+
+TEST_P(KernelModesTest, UnlinkReleasesStorage) {
+  KernelHarness h(GetParam());
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/gone").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  std::vector<char> data(8192, 'z');
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), data.data(), data.size()).ok());
+  ASSERT_EQ(h.Call(Sys::kWrite, fd, h.user(64), data.size()), data.size());
+  ASSERT_EQ(h.Call(Sys::kClose, fd), 0u);
+  EXPECT_EQ(h.Call(Sys::kUnlink, h.user(0)), 0u);
+  // Reopening without O_CREAT fails.
+  auto r = h.k().Syscall(Sys::kOpen, h.user(0), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(*r, uint64_t{1} << 60);  // -ENOENT.
+}
+
+TEST_P(KernelModesTest, DupSharesOffset) {
+  KernelHarness h(GetParam());
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/dup").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  uint64_t fd2 = h.Call(Sys::kDup, fd);
+  EXPECT_NE(fd, fd2);
+  const char msg[] = "abcd";
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), msg, 4).ok());
+  ASSERT_EQ(h.Call(Sys::kWrite, fd, h.user(64), 4), 4u);
+  // The dup shares the offset: reading from fd2 starts at 4 (EOF).
+  EXPECT_EQ(h.Call(Sys::kRead, fd2, h.user(128), 4), 0u);
+}
+
+TEST_P(KernelModesTest, BadFdsAreRejected) {
+  KernelHarness h(GetParam());
+  auto r = h.k().Syscall(Sys::kRead, 12, h.user(0), 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(*r, uint64_t{1} << 60);  // -EBADF.
+  auto r2 = h.k().Syscall(Sys::kClose, 99, 0, 0);
+  // fd out of range: safe mode traps it as a safety violation; other modes
+  // return -EBADF.
+  if (GetParam() == KernelMode::kSvaSafe) {
+    EXPECT_TRUE(!r2.ok() || *r2 > (uint64_t{1} << 60));
+  } else {
+    ASSERT_TRUE(r2.ok());
+    EXPECT_GT(*r2, uint64_t{1} << 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, KernelModesTest,
+                         ::testing::Values(KernelMode::kNative,
+                                           KernelMode::kSvaGcc,
+                                           KernelMode::kSvaLlvm,
+                                           KernelMode::kSvaSafe),
+                         [](const auto& info) {
+                           std::string name(KernelModeName(info.param));
+                           std::string out;
+                           for (char c : name.substr(6)) {  // Strip "Linux-".
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out.push_back(c);
+                             }
+                           }
+                           return out;
+                         });
+
+TEST(KernelSafetyTest, UserRangeStraddleIsCaught) {
+  KernelHarness h(KernelMode::kSvaSafe);
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/f").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  // A write whose user buffer runs off the end of the task's user region:
+  // the Section 4.6 userspace-object bounds check rejects it.
+  uint64_t user_size = h.k().config().user_pages_per_task * hw::kPageSize;
+  auto r = h.k().Syscall(Sys::kWrite, fd, h.user(user_size - 8), 64);
+  EXPECT_EQ(r.status().code(), StatusCode::kSafetyViolation);
+  EXPECT_FALSE(h.k().pools().violations().empty());
+}
+
+TEST(KernelSafetyTest, SvaOsStatsTrackKernelEntries) {
+  KernelHarness h(KernelMode::kSvaGcc);
+  for (int i = 0; i < 10; ++i) {
+    h.Call(Sys::kGetPid);
+  }
+  EXPECT_EQ(h.k().svaos().stats().syscalls_dispatched, 10u);
+  EXPECT_EQ(h.k().svaos().stats().icontext_created, 10u);
+  // Native mode uses no SVA-OS entries.
+  KernelHarness native(KernelMode::kNative);
+  for (int i = 0; i < 10; ++i) {
+    native.Call(Sys::kGetPid);
+  }
+  EXPECT_EQ(native.k().svaos().stats().syscalls_dispatched, 0u);
+}
+
+TEST(KernelSafetyTest, SafeModeRegistersAllocationsInMetapools) {
+  KernelHarness h(KernelMode::kSvaSafe);
+  uint64_t before = h.k().pools().stats().registrations;
+  ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/x").ok());
+  uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+  std::vector<char> data(4096, 'q');
+  ASSERT_TRUE(h.k().PokeUser(h.user(64), data.data(), data.size()).ok());
+  h.Call(Sys::kWrite, fd, h.user(64), data.size());
+  // open allocated inode+filp objects; write allocated a data block; all
+  // were registered.
+  EXPECT_GE(h.k().pools().stats().registrations, before + 3);
+  EXPECT_EQ(h.k().pools().stats().total_failed(), 0u);
+}
+
+TEST(KernelSafetyTest, ContextSwitchUsesLazyFpSave) {
+  KernelHarness h(KernelMode::kSvaGcc);
+  ASSERT_EQ(h.Call(Sys::kFork), 2u);
+  // No FP activity: switches skip the FP save.
+  ASSERT_TRUE(h.k().Yield().ok());
+  ASSERT_TRUE(h.k().Yield().ok());
+  EXPECT_GE(h.k().svaos().stats().save_fp_skipped, 2u);
+  uint64_t saved_before = h.k().svaos().stats().save_fp;
+  // Dirty the FP state: the next save is real.
+  h.machine_.cpu().WriteFpRegister(0, 1.25);
+  ASSERT_TRUE(h.k().Yield().ok());
+  EXPECT_EQ(h.k().svaos().stats().save_fp, saved_before + 1);
+}
+
+}  // namespace
+}  // namespace sva::kernel

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/runtime/pool_allocator.h"
+
+namespace sva::runtime {
+namespace {
+
+// A simple bump page provider over an abstract address range.
+class TestPages : public PageProvider {
+ public:
+  explicit TestPages(uint64_t limit_pages = 1 << 20)
+      : limit_pages_(limit_pages) {}
+  uint64_t AllocatePage() override {
+    if (allocated_ >= limit_pages_) {
+      return 0;
+    }
+    ++allocated_;
+    uint64_t addr = next_;
+    next_ += page_size();
+    return addr;
+  }
+  uint64_t page_size() const override { return 4096; }
+  uint64_t allocated() const { return allocated_; }
+
+ private:
+  uint64_t next_ = 0x100000;
+  uint64_t allocated_ = 0;
+  uint64_t limit_pages_;
+};
+
+TEST(PoolAllocatorTest, AllocatesAlignedDistinctObjects) {
+  TestPages pages;
+  PoolAllocator pool("task_cache", 96, pages);
+  EXPECT_EQ(pool.object_size(), 96u);
+  EXPECT_EQ(pool.slot_stride(), 96u);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = pool.Allocate();
+    ASSERT_NE(a, 0u);
+    // SVA alignment constraint: object starts are stride-aligned within the
+    // page, so dangling pointers can never see a type-misaligned object.
+    EXPECT_EQ((a - 0x100000) % 8, 0u);
+    EXPECT_TRUE(seen.insert(a).second) << "duplicate allocation";
+  }
+  EXPECT_EQ(pool.live_objects(), 200u);
+}
+
+TEST(PoolAllocatorTest, StrideRoundsUpToMinimum) {
+  TestPages pages;
+  PoolAllocator pool("tiny", 5, pages);
+  EXPECT_EQ(pool.slot_stride(), 8u);
+  uint64_t a = pool.Allocate();
+  uint64_t b = pool.Allocate();
+  EXPECT_GE(b > a ? b - a : a - b, 8u);
+}
+
+TEST(PoolAllocatorTest, ReusesFreedMemoryInternally) {
+  TestPages pages;
+  PoolAllocator pool("obj", 64, pages);
+  uint64_t a = pool.Allocate();
+  ASSERT_TRUE(pool.Free(a).ok());
+  uint64_t pages_before = pool.pages_owned();
+  // The freed slot is reused before any new page is taken (internal reuse
+  // is allowed; releasing to other pools is not).
+  uint64_t b = pool.Allocate();
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.pages_owned(), pages_before);
+}
+
+TEST(PoolAllocatorTest, DetectsBadFree) {
+  TestPages pages;
+  PoolAllocator pool("obj", 64, pages);
+  uint64_t a = pool.Allocate();
+  EXPECT_FALSE(pool.Free(a + 8).ok());   // Interior pointer.
+  EXPECT_TRUE(pool.Free(a).ok());
+  EXPECT_FALSE(pool.Free(a).ok());       // Double free.
+}
+
+TEST(PoolAllocatorTest, NeverReleasesPages) {
+  TestPages pages;
+  PoolAllocator pool("obj", 128, pages);
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    addrs.push_back(pool.Allocate());
+  }
+  uint64_t owned = pool.pages_owned();
+  for (uint64_t a : addrs) {
+    ASSERT_TRUE(pool.Free(a).ok());
+  }
+  // SLAB_NO_REAP: freeing everything does not shrink the pool.
+  EXPECT_EQ(pool.pages_owned(), owned);
+  EXPECT_EQ(pool.live_objects(), 0u);
+}
+
+TEST(PoolAllocatorTest, ExhaustionReturnsZero) {
+  TestPages pages(/*limit_pages=*/1);
+  PoolAllocator pool("obj", 1024, pages);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(pool.Allocate(), 0u);
+  }
+  EXPECT_EQ(pool.Allocate(), 0u);
+}
+
+TEST(PoolAllocatorTest, LiveObjectTrackingAndEnumeration) {
+  TestPages pages;
+  PoolAllocator pool("obj", 32, pages);
+  uint64_t a = pool.Allocate();
+  uint64_t b = pool.Allocate();
+  EXPECT_TRUE(pool.IsLiveObject(a));
+  EXPECT_FALSE(pool.IsLiveObject(a + 4));
+  auto live = pool.LiveObjects();
+  EXPECT_EQ(live.size(), 2u);
+  ASSERT_TRUE(pool.Free(b).ok());
+  EXPECT_EQ(pool.LiveObjects().size(), 1u);
+}
+
+TEST(OrdinaryAllocatorTest, SizeClassRouting) {
+  TestPages pages;
+  OrdinaryAllocator kmalloc(pages);
+  EXPECT_EQ(kmalloc.CacheFor(1)->object_size(), 32u);
+  EXPECT_EQ(kmalloc.CacheFor(32)->object_size(), 32u);
+  EXPECT_EQ(kmalloc.CacheFor(33)->object_size(), 64u);
+  EXPECT_EQ(kmalloc.CacheFor(100)->object_size(), 128u);
+  EXPECT_EQ(kmalloc.CacheFor(1 << 20), nullptr);
+}
+
+TEST(OrdinaryAllocatorTest, AllocationSizeQuery) {
+  TestPages pages;
+  OrdinaryAllocator kmalloc(pages);
+  uint64_t a = kmalloc.Allocate(100);
+  ASSERT_NE(a, 0u);
+  // The Section 4.4 size query: usable size is the class size.
+  EXPECT_EQ(kmalloc.AllocationSize(a), 128u);
+  EXPECT_EQ(kmalloc.AllocationSize(a + 1), 0u);
+  ASSERT_TRUE(kmalloc.Free(a).ok());
+  EXPECT_EQ(kmalloc.AllocationSize(a), 0u);
+  EXPECT_FALSE(kmalloc.Free(a).ok());
+}
+
+TEST(OrdinaryAllocatorTest, ExposesKmallocCacheRelationship) {
+  TestPages pages;
+  OrdinaryAllocator kmalloc(pages);
+  // Section 6.2: kmalloc is a collection of caches; the safety compiler
+  // merges per cache rather than globally.
+  EXPECT_GE(kmalloc.caches().size(), 10u);
+  uint64_t a = kmalloc.Allocate(60);
+  EXPECT_TRUE(kmalloc.CacheFor(60)->IsLiveObject(a));
+}
+
+// Parameterized sweep over object sizes: allocation/free cycles preserve
+// the pool invariants for every size.
+class PoolSizeSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolSizeSweepTest, ChurnPreservesInvariants) {
+  TestPages pages;
+  PoolAllocator pool("sweep", GetParam(), pages);
+  std::vector<uint64_t> live;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      uint64_t a = pool.Allocate();
+      ASSERT_NE(a, 0u);
+      live.push_back(a);
+    }
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.Free(live.back()).ok());
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.live_objects(), live.size());
+  // All live objects are distinct and stride-separated.
+  std::set<uint64_t> unique(live.begin(), live.end());
+  EXPECT_EQ(unique.size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizeSweepTest,
+                         ::testing::Values(1u, 8u, 12u, 32u, 96u, 100u, 512u,
+                                           4096u));
+
+}  // namespace
+}  // namespace sva::runtime

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/metapool_runtime.h"
+
+namespace sva::runtime {
+namespace {
+
+class MetaPoolRuntimeTest : public ::testing::Test {
+ protected:
+  MetaPoolRuntime rt_{EnforcementMode::kTrap};
+};
+
+TEST_F(MetaPoolRuntimeTest, PoolCreationAndLookup) {
+  MetaPool* p = rt_.CreatePool("MP1", /*type_homogeneous=*/true,
+                               /*element_size=*/16, /*complete=*/true);
+  EXPECT_EQ(rt_.FindPool("MP1"), p);
+  EXPECT_EQ(rt_.FindPool("MP2"), nullptr);
+  EXPECT_EQ(rt_.GetPool("MP1", false, 0, false), p);
+  EXPECT_TRUE(p->type_homogeneous());
+  EXPECT_EQ(p->element_size(), 16u);
+}
+
+TEST_F(MetaPoolRuntimeTest, RegisterDropLifecycle) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  EXPECT_TRUE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  EXPECT_EQ(p->live_objects(), 1u);
+  // Double registration is a violation (overlap).
+  EXPECT_FALSE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  EXPECT_TRUE(rt_.DropObject(*p, 0x1000).ok());
+  EXPECT_EQ(p->live_objects(), 0u);
+  // Double free -> illegal free (guarantee T5).
+  Status s = rt_.DropObject(*p, 0x1000);
+  EXPECT_EQ(s.code(), StatusCode::kSafetyViolation);
+  EXPECT_EQ(rt_.stats().frees_failed, 1u);
+}
+
+TEST_F(MetaPoolRuntimeTest, InteriorFreeIsIllegal) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  EXPECT_FALSE(rt_.DropObject(*p, 0x1008).ok());
+  EXPECT_EQ(rt_.violations().back().kind, CheckKind::kIllegalFree);
+}
+
+TEST_F(MetaPoolRuntimeTest, BoundsCheckWithinObjectPasses) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000, 0x105F).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1010, 0x1000).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, BoundsCheckOverflowFails) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  Status s = rt_.BoundsCheck(*p, 0x1000, 0x1060);  // One past the end.
+  EXPECT_EQ(s.code(), StatusCode::kSafetyViolation);
+  EXPECT_EQ(rt_.stats().bounds_failed, 1u);
+  // Underflow too.
+  EXPECT_FALSE(rt_.BoundsCheck(*p, 0x1000, 0x0FFF).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, BoundsCheckUnregisteredSourceCompletePool) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  // Complete pool: every legal object is registered, so an unknown source
+  // pointer is itself a violation.
+  EXPECT_FALSE(rt_.BoundsCheck(*p, 0x9000, 0x9004).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, ReducedChecksOnIncompletePool) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, /*complete=*/false);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 96).ok());
+  // Unknown source, unknown target: nothing can be said -> pass (this is
+  // the documented false-negative channel, I1/I2).
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x9000, 0x9004).ok());
+  EXPECT_GT(rt_.stats().reduced_checks, 0u);
+  // Unknown source indexing *into* a registered object: caught.
+  EXPECT_FALSE(rt_.BoundsCheck(*p, 0x0F00, 0x1008).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, LoadStoreCheck) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x2000, 64).ok());
+  EXPECT_TRUE(rt_.LoadStoreCheck(*p, 0x2020).ok());
+  EXPECT_FALSE(rt_.LoadStoreCheck(*p, 0x3000).ok());
+  // Incomplete pools: no load-store checks possible (I2).
+  MetaPool* q = rt_.CreatePool("MQ", false, 0, false);
+  EXPECT_TRUE(rt_.LoadStoreCheck(*q, 0x3000).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, DirectBoundsCheckSkipsLookup) {
+  EXPECT_TRUE(rt_.BoundsCheckDirect(0x1000, 0x1004, 0x1060).ok());
+  EXPECT_FALSE(rt_.BoundsCheckDirect(0x1000, 0x1060, 0x1060).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, GetBounds) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, false);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x4000, 128).ok());
+  auto b = rt_.GetBounds(*p, 0x4040);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->start, 0x4000u);
+  EXPECT_FALSE(rt_.GetBounds(*p, 0x5000).has_value());
+}
+
+TEST_F(MetaPoolRuntimeTest, IndirectCallCheck) {
+  uint64_t set = rt_.RegisterTargetSet({0xAAAA, 0xBBBB, 0xCCCC});
+  EXPECT_TRUE(rt_.IndirectCallCheck(0xBBBB, set).ok());
+  EXPECT_FALSE(rt_.IndirectCallCheck(0xDDDD, set).ok());
+  EXPECT_FALSE(rt_.IndirectCallCheck(0xAAAA, set + 17).ok());
+  EXPECT_EQ(rt_.stats().indirect_performed, 3u);
+  EXPECT_EQ(rt_.stats().indirect_failed, 2u);
+}
+
+TEST_F(MetaPoolRuntimeTest, UserspaceObjectStopsStraddling) {
+  // Section 4.6: all of userspace is one object per reachable metapool, so
+  // a buffer starting in userspace and ending in kernel space fails the
+  // bounds check.
+  constexpr uint64_t kUserBase = 0x0000000000010000;
+  constexpr uint64_t kUserSize = 0x0000000010000000;
+  MetaPool* p = rt_.CreatePool("MP_syscall", false, 0, true);
+  rt_.RegisterUserspace(*p, kUserBase, kUserSize);
+  // In-userspace access passes.
+  EXPECT_TRUE(rt_.BoundsCheck(*p, kUserBase + 0x100, kUserBase + 0x200).ok());
+  // Derived pointer in kernel space fails.
+  EXPECT_FALSE(
+      rt_.BoundsCheck(*p, kUserBase + 0x100, kUserBase + kUserSize).ok());
+  // Registration is idempotent.
+  rt_.RegisterUserspace(*p, kUserBase, kUserSize);
+  EXPECT_EQ(p->live_objects(), 1u);
+}
+
+TEST_F(MetaPoolRuntimeTest, RecordModeLogsButDoesNotTrap) {
+  rt_.set_mode(EnforcementMode::kRecord);
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 16).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000, 0x2000).ok());  // No trap...
+  EXPECT_EQ(rt_.violations().size(), 1u);                  // ...but logged.
+  EXPECT_EQ(rt_.violations()[0].kind, CheckKind::kBounds);
+  rt_.ClearViolations();
+  EXPECT_TRUE(rt_.violations().empty());
+}
+
+TEST_F(MetaPoolRuntimeTest, StatsAccumulate) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 16).ok());
+  rt_.BoundsCheck(*p, 0x1000, 0x1008);
+  rt_.LoadStoreCheck(*p, 0x1008);
+  EXPECT_EQ(rt_.stats().total_performed(), 2u);
+  EXPECT_EQ(rt_.stats().total_failed(), 0u);
+  EXPECT_EQ(rt_.stats().registrations, 1u);
+  rt_.ResetStats();
+  EXPECT_EQ(rt_.stats().total_performed(), 0u);
+}
+
+}  // namespace
+}  // namespace sva::runtime

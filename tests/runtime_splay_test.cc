@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "src/runtime/splay_tree.h"
+
+namespace sva::runtime {
+namespace {
+
+TEST(SplayTreeTest, InsertLookupRemove) {
+  SplayTree tree;
+  EXPECT_TRUE(tree.Insert(100, 16));
+  EXPECT_TRUE(tree.Insert(200, 32));
+  EXPECT_TRUE(tree.Insert(50, 8));
+  EXPECT_EQ(tree.size(), 3u);
+
+  auto hit = tree.LookupContaining(100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->start, 100u);
+  EXPECT_EQ(hit->size, 16u);
+  EXPECT_TRUE(tree.LookupContaining(115).has_value());
+  EXPECT_FALSE(tree.LookupContaining(116).has_value());
+  EXPECT_FALSE(tree.LookupContaining(99).has_value());
+  EXPECT_TRUE(tree.LookupContaining(231).has_value());
+  EXPECT_FALSE(tree.LookupContaining(232).has_value());
+
+  auto removed = tree.RemoveAt(100);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->size, 16u);
+  EXPECT_FALSE(tree.LookupContaining(100).has_value());
+  EXPECT_EQ(tree.size(), 2u);
+  // Removing an interior pointer or absent start fails.
+  EXPECT_FALSE(tree.RemoveAt(201).has_value());
+  EXPECT_FALSE(tree.RemoveAt(100).has_value());
+}
+
+TEST(SplayTreeTest, RejectsOverlaps) {
+  SplayTree tree;
+  EXPECT_TRUE(tree.Insert(100, 16));
+  EXPECT_FALSE(tree.Insert(100, 16));  // Exact duplicate.
+  EXPECT_FALSE(tree.Insert(90, 20));   // Overlaps front.
+  EXPECT_FALSE(tree.Insert(110, 20));  // Overlaps back.
+  EXPECT_FALSE(tree.Insert(104, 4));   // Inside.
+  EXPECT_FALSE(tree.Insert(90, 100));  // Encloses.
+  EXPECT_TRUE(tree.Insert(116, 4));    // Adjacent after is fine.
+  EXPECT_TRUE(tree.Insert(96, 4));     // Adjacent before is fine.
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(SplayTreeTest, ZeroSizedRanges) {
+  SplayTree tree;
+  EXPECT_TRUE(tree.Insert(500, 0));
+  auto hit = tree.LookupContaining(500);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size, 0u);
+  EXPECT_FALSE(tree.LookupContaining(501).has_value());
+  EXPECT_TRUE(tree.RemoveAt(500).has_value());
+}
+
+TEST(SplayTreeTest, LookupStart) {
+  SplayTree tree;
+  tree.Insert(1000, 64);
+  EXPECT_TRUE(tree.LookupStart(1000).has_value());
+  EXPECT_FALSE(tree.LookupStart(1001).has_value());
+}
+
+TEST(SplayTreeTest, ClearEmptiesTree) {
+  SplayTree tree;
+  for (uint64_t i = 0; i < 100; ++i) {
+    tree.Insert(i * 32, 16);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.LookupContaining(0).has_value());
+  EXPECT_TRUE(tree.Insert(0, 16));
+}
+
+TEST(SplayTreeTest, RepeatedLookupsAmortize) {
+  SplayTree tree;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    tree.Insert(i * 64, 32);
+  }
+  // First lookup of a cold address may be deep.
+  tree.LookupContaining(512 * 64);
+  tree.ResetStats();
+  // Once splayed to the root, repeated lookups cost O(1) comparisons.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.LookupContaining(512 * 64 + 7).has_value());
+  }
+  EXPECT_LE(tree.comparisons(), 400u);  // ~1-3 comparisons per hit.
+}
+
+// Property test: the splay tree agrees with a std::map reference model
+// across a randomized workload of inserts, removals, and lookups.
+class SplayPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SplayPropertyTest, MatchesReferenceModel) {
+  std::mt19937 rng(GetParam());
+  SplayTree tree;
+  std::map<uint64_t, uint64_t> model;  // start -> size
+
+  auto model_overlaps = [&](uint64_t start, uint64_t size) {
+    uint64_t end = size == 0 ? start + 1 : start + size;
+    for (const auto& [s, sz] : model) {
+      uint64_t e = sz == 0 ? s + 1 : s + sz;
+      if (start < e && s < end) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto model_containing =
+      [&](uint64_t addr) -> std::optional<std::pair<uint64_t, uint64_t>> {
+    for (const auto& [s, sz] : model) {
+      if (sz == 0 ? addr == s : (addr >= s && addr < s + sz)) {
+        return std::make_pair(s, sz);
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::uniform_int_distribution<uint64_t> addr_dist(0, 4096);
+  std::uniform_int_distribution<uint64_t> size_dist(0, 64);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  for (int step = 0; step < 3000; ++step) {
+    int op = op_dist(rng);
+    if (op < 4) {  // Insert.
+      uint64_t start = addr_dist(rng);
+      uint64_t size = size_dist(rng);
+      bool expect_ok = !model_overlaps(start, size);
+      EXPECT_EQ(tree.Insert(start, size), expect_ok)
+          << "insert [" << start << "," << size << ") step " << step;
+      if (expect_ok) {
+        model[start] = size;
+      }
+    } else if (op < 6) {  // Remove.
+      uint64_t start = addr_dist(rng);
+      bool in_model = model.count(start) != 0;
+      auto removed = tree.RemoveAt(start);
+      EXPECT_EQ(removed.has_value(), in_model) << "remove " << start;
+      if (in_model) {
+        EXPECT_EQ(removed->size, model[start]);
+        model.erase(start);
+      }
+    } else {  // Lookup.
+      uint64_t addr = addr_dist(rng);
+      auto expected = model_containing(addr);
+      auto got = tree.LookupContaining(addr);
+      ASSERT_EQ(got.has_value(), expected.has_value())
+          << "lookup " << addr << " step " << step;
+      if (expected.has_value()) {
+        EXPECT_EQ(got->start, expected->first);
+        EXPECT_EQ(got->size, expected->second);
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplayPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u, 0xDEADu));
+
+}  // namespace
+}  // namespace sva::runtime

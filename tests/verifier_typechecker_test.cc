@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/safety/compiler.h"
+#include "src/verifier/injector.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/bytecode.h"
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+
+namespace sva::verifier {
+namespace {
+
+// A kernel-flavoured module with several metapools, pointer nesting, and
+// checks — rich enough that every bug kind has injection sites.
+constexpr const char* kRichKernel = R"(
+module "richk"
+%inode = type { i64, i64, i8* }
+%dentry = type { %inode*, i64 }
+
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+global @root_inode : %inode
+global @name_table : [8 x i8*]
+
+define %inode* @alloc_inode() {
+entry:
+  %raw = call i8* @kmalloc(i64 24)
+  %i = bitcast i8* %raw to %inode*
+  ret %inode* %i
+}
+define %dentry* @alloc_dentry(%inode* %ino) {
+entry:
+  %raw = call i8* @kmalloc(i64 16)
+  %d = bitcast i8* %raw to %dentry*
+  %slot = getelementptr %dentry* %d, i64 0, i32 0
+  store %inode* %ino, %inode** %slot
+  ret %dentry* %d
+}
+define i64 @read_size(%dentry* %d) {
+entry:
+  %slot = getelementptr %dentry* %d, i64 0, i32 0
+  %ino = load %inode*, %inode** %slot
+  %szp = getelementptr %inode* %ino, i64 0, i32 0
+  %sz = load i64, i64* %szp
+  ret i64 %sz
+}
+define void @drive(i64 %n) {
+entry:
+  %ino = call %inode* @alloc_inode()
+  %d = call %dentry* @alloc_dentry(%inode* %ino)
+  %sz = call i64 @read_size(%dentry* %d)
+  %szp = getelementptr %inode* %ino, i64 0, i32 0
+  store i64 %n, i64* %szp
+  %dc = bitcast %dentry* %d to i8*
+  call void @kfree(i8* %dc)
+  %ic = bitcast %inode* %ino to i8*
+  call void @kfree(i8* %ic)
+  ret void
+}
+)";
+
+std::unique_ptr<vir::Module> CompiledModule() {
+  auto m = vir::ParseModule(kRichKernel);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  auto r = safety::RunSafetyCompiler(**m);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(m).value();
+}
+
+TEST(TypeCheckerTest, AcceptsCompilerOutput) {
+  auto m = CompiledModule();
+  TypeCheckResult result = TypeCheckModule(*m);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(TypeCheckerTest, AcceptsUnannotatedModules) {
+  auto m = vir::ParseModule(kRichKernel);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(TypeCheckModule(**m).ok);
+}
+
+TEST(TypeCheckerTest, RejectsUndeclaredPool) {
+  auto m = CompiledModule();
+  vir::Function* fn = m->GetFunction("read_size");
+  m->AnnotateValue(fn->arg(0), "MP_undeclared");
+  EXPECT_FALSE(TypeCheckModule(*m).ok);
+}
+
+TEST(TypeCheckerTest, CollectAllGathersMultipleErrors) {
+  auto m = CompiledModule();
+  ASSERT_TRUE(InjectBug(*m, BugKind::kWrongAlias, 1).ok());
+  ASSERT_TRUE(InjectBug(*m, BugKind::kFalseTypeHomogeneity, 2).ok());
+  TypeCheckOptions options;
+  options.collect_all = true;
+  TypeCheckResult result = TypeCheckModule(*m, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.errors.size(), 2u);
+}
+
+// The Section 5 experiment: 4 bug kinds x 5 seeds = 20 injected pointer
+// analysis bugs; the type checker must catch every one of them.
+class InjectionTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(InjectionTest, VerifierCatchesInjectedBug) {
+  auto [kind_index, seed] = GetParam();
+  BugKind kind = static_cast<BugKind>(kind_index);
+  auto m = CompiledModule();
+  ASSERT_TRUE(TypeCheckModule(*m).ok);
+  Status injected = InjectBug(*m, kind, seed);
+  ASSERT_TRUE(injected.ok())
+      << BugKindName(kind) << ": " << injected.ToString();
+  TypeCheckResult result = TypeCheckModule(*m);
+  EXPECT_FALSE(result.ok) << "verifier missed " << BugKindName(kind)
+                          << " with seed " << seed << "\n"
+                          << vir::PrintModule(*m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwentyBugs, InjectionTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+
+// The Section 9 extension: a security policy (information flow) encoded as
+// a metapool type qualifier and enforced by the same local typing rules.
+TEST(TypeCheckerTest, InformationFlowQualifier) {
+  constexpr const char* kFlow = R"(
+module "flow"
+%key = type { i64, i64 }
+
+metapool MPsecret th %key complete classified
+metapool MPsbox complete classified
+metapool MPpub complete
+
+global @key_slot : %key* !MPsbox
+global @log_slot : %key* !MPpub
+
+define void @ok(%key* %k !MPsecret) {
+entry:
+  store %key* %k, %key** @key_slot
+  ret void
+}
+)";
+  auto m = vir::ParseModule(kFlow);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Pointee annotations: key_slot holds MPsecret pointers.
+  vir::GlobalVariable* key_slot = (*m)->GetGlobal("key_slot");
+  vir::GlobalVariable* log_slot = (*m)->GetGlobal("log_slot");
+  ASSERT_NE(key_slot, nullptr);
+  ASSERT_NE(log_slot, nullptr);
+  EXPECT_TRUE((*m)->FindMetapool("MPsecret")->classified);
+  EXPECT_FALSE((*m)->FindMetapool("MPpub")->classified);
+  EXPECT_TRUE(TypeCheckModule(**m).ok);
+
+  // Now add a leak: the classified key pointer stored through a public
+  // pool's object.
+  constexpr const char* kLeak = R"(
+module "leak"
+%key = type { i64, i64 }
+
+metapool MPsecret th %key complete classified
+metapool MPpub complete
+
+global @log_slot : %key* !MPpub
+
+define void @leak(%key* %k !MPsecret) {
+entry:
+  store %key* %k, %key** @log_slot
+  ret void
+}
+)";
+  auto leak = vir::ParseModule(kLeak);
+  ASSERT_TRUE(leak.ok()) << leak.status().ToString();
+  TypeCheckResult result = TypeCheckModule(**leak);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.errors.front().find("information-flow"),
+            std::string::npos)
+      << result.errors.front();
+}
+
+TEST(TypeCheckerTest, ClassifiedQualifierSurvivesBytecode) {
+  constexpr const char* kFlow = R"(
+module "flowbc"
+metapool MPsecret classified
+define void @nop() {
+entry:
+  ret void
+}
+)";
+  auto m = vir::ParseModule(kFlow);
+  ASSERT_TRUE(m.ok());
+  auto round = vir::ReadBytecode(vir::WriteBytecode(**m));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const vir::MetapoolDecl* decl = (*round)->FindMetapool("MPsecret");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_TRUE(decl->classified);
+}
+
+}  // namespace
+}  // namespace sva::verifier

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/vir/bytecode.h"
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::vir {
+namespace {
+
+constexpr const char* kRichModule = R"(
+module "rich"
+
+%fib_info = type { i32, i32*, [4 x i8] }
+%list = type { %list*, i64 }
+
+metapool MP1 th %fib_info complete
+metapool MP2
+
+global @props : [8 x i32] !MP2
+global @counter : i64 = 42
+extern global @bios : [16 x i8]
+
+declare i8* @kmalloc(i64)
+
+define i32 @work(%fib_info* %fi !MP1, i32 %n) {
+entry:
+  %cmp = icmp sgt i32 %n, 0
+  br i1 %cmp, label %loop, label %exit
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  %f = getelementptr %fib_info* %fi, i64 0, i32 0
+  store i32 %i, i32* %f
+  %i2 = add i32 %i, 1
+  %done = icmp sge i32 %i2, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  %raw = call i8* @kmalloc(i64 96)
+  call void @pchk.reg.obj(%sva.metapool* @MP2, i8* %raw, i64 96)
+  %sel = select i1 %cmp, i32 %n, i32 7
+  switch i32 %sel, label %done_bb, [ 1, label %one ]
+one:
+  ret i32 1
+done_bb:
+  ret i32 %sel
+}
+)";
+
+TEST(BytecodeTest, RoundTripPreservesText) {
+  auto m1 = ParseModule(kRichModule);
+  ASSERT_TRUE(m1.ok()) << m1.status().ToString();
+  ASSERT_TRUE(VerifyModule(**m1).ok()) << VerifyModule(**m1).ToString();
+
+  std::vector<uint8_t> bytes = WriteBytecode(**m1);
+  ASSERT_GT(bytes.size(), 64u);
+  auto m2 = ReadBytecode(bytes);
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString();
+  EXPECT_TRUE(VerifyModule(**m2).ok()) << VerifyModule(**m2).ToString();
+
+  // Semantics-preserving round trip: re-serializing gives identical bytes.
+  std::vector<uint8_t> bytes2 = WriteBytecode(**m2);
+  EXPECT_EQ(bytes, bytes2);
+}
+
+TEST(BytecodeTest, PreservesMetapoolDeclsAndAnnotations) {
+  auto m1 = ParseModule(kRichModule);
+  ASSERT_TRUE(m1.ok());
+  auto m2 = ReadBytecode(WriteBytecode(**m1));
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString();
+  const MetapoolDecl* mp1 = (*m2)->FindMetapool("MP1");
+  ASSERT_NE(mp1, nullptr);
+  EXPECT_TRUE(mp1->type_homogeneous);
+  EXPECT_TRUE(mp1->complete);
+  ASSERT_NE(mp1->element_type, nullptr);
+  EXPECT_EQ(mp1->element_type->ToString(), "%fib_info");
+  Function* work = (*m2)->GetFunction("work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ((*m2)->MetapoolOf(work->arg(0)), "MP1");
+  EXPECT_EQ((*m2)->MetapoolOf((*m2)->GetGlobal("props")), "MP2");
+  EXPECT_EQ((*m2)->GetGlobal("counter")->int_initializer(), 42u);
+  EXPECT_TRUE((*m2)->GetGlobal("bios")->is_external());
+}
+
+TEST(BytecodeTest, RejectsCorruptedMagic) {
+  auto m1 = ParseModule(kRichModule);
+  ASSERT_TRUE(m1.ok());
+  std::vector<uint8_t> bytes = WriteBytecode(**m1);
+  bytes[0] = 'X';
+  EXPECT_FALSE(ReadBytecode(bytes).ok());
+}
+
+TEST(BytecodeTest, RejectsTruncation) {
+  auto m1 = ParseModule(kRichModule);
+  ASSERT_TRUE(m1.ok());
+  std::vector<uint8_t> bytes = WriteBytecode(**m1);
+  // Every truncation point must fail cleanly, never crash.
+  for (size_t cut : {size_t{3}, bytes.size() / 4, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ReadBytecode(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(BytecodeTest, DigestIsStableAndSensitive) {
+  auto m1 = ParseModule(kRichModule);
+  ASSERT_TRUE(m1.ok());
+  std::vector<uint8_t> bytes = WriteBytecode(**m1);
+  uint64_t d1 = DigestBytes(bytes);
+  EXPECT_EQ(d1, DigestBytes(bytes));
+  std::vector<uint8_t> tampered = bytes;
+  tampered[tampered.size() / 2] ^= 0x01;
+  EXPECT_NE(d1, DigestBytes(tampered));
+}
+
+}  // namespace
+}  // namespace sva::vir

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "src/vir/builder.h"
+#include "src/vir/instructions.h"
+#include "src/vir/intrinsics.h"
+#include "src/vir/module.h"
+#include "src/vir/printer.h"
+
+namespace sva::vir {
+namespace {
+
+// Builds: i32 @sum(i32 %n) { loop summing 0..n-1 }.
+Function* BuildSumFunction(Module& m) {
+  TypeContext& t = m.types();
+  const FunctionType* ft = t.FunctionTy(t.I32(), {t.I32()});
+  Function* fn = m.CreateFunction("sum", ft, false, {"n"});
+  BasicBlock* entry = fn->CreateBlock("entry");
+  BasicBlock* loop = fn->CreateBlock("loop");
+  BasicBlock* exit = fn->CreateBlock("exit");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateBr(loop);
+  b.SetInsertPoint(loop);
+  PhiInst* i = b.CreatePhi(t.I32(), "i");
+  PhiInst* acc = b.CreatePhi(t.I32(), "acc");
+  Value* acc2 = b.CreateAdd(acc, i, "acc2");
+  Value* i2 = b.CreateAdd(i, m.GetInt32(1), "i2");
+  Value* done = b.CreateICmp(CmpPred::kSGe, i2, fn->arg(0), "done");
+  b.CreateCondBr(done, exit, loop);
+  i->AddIncoming(m.GetInt32(0), entry);
+  i->AddIncoming(i2, loop);
+  acc->AddIncoming(m.GetInt32(0), entry);
+  acc->AddIncoming(acc2, loop);
+  b.SetInsertPoint(exit);
+  b.CreateRet(acc2);
+  return fn;
+}
+
+TEST(IRTest, FunctionStructure) {
+  Module m("test");
+  Function* fn = BuildSumFunction(m);
+  EXPECT_EQ(fn->num_args(), 1u);
+  EXPECT_EQ(fn->blocks().size(), 3u);
+  EXPECT_EQ(m.GetFunction("sum"), fn);
+  EXPECT_FALSE(fn->is_declaration());
+  BasicBlock* loop = fn->blocks()[1].get();
+  EXPECT_NE(loop->terminator(), nullptr);
+  auto succs = loop->Successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[1], loop);
+}
+
+TEST(IRTest, ConstantsAreInterned) {
+  Module m("test");
+  EXPECT_EQ(m.GetInt32(7), m.GetInt32(7));
+  EXPECT_NE(m.GetInt32(7), m.GetInt64(7));
+  const PointerType* i8p = m.types().PointerTo(m.types().I8());
+  EXPECT_EQ(m.GetNull(i8p), m.GetNull(i8p));
+  // Same bit pattern masked by width interns equally.
+  EXPECT_EQ(m.GetInt(m.types().I8(), 0x1FF), m.GetInt(m.types().I8(), 0xFF));
+}
+
+TEST(IRTest, ConstantIntSignExtension) {
+  Module m("test");
+  ConstantInt* minus_one = m.GetInt(m.types().I8(), 0xFF);
+  EXPECT_EQ(minus_one->sext_value(), -1);
+  EXPECT_EQ(minus_one->zext_value(), 0xFFu);
+  ConstantInt* big = m.GetInt(m.types().I32(), 0x80000000u);
+  EXPECT_EQ(big->sext_value(), -2147483648LL);
+}
+
+TEST(IRTest, ReplaceAllUsesWith) {
+  Module m("test");
+  Function* fn = BuildSumFunction(m);
+  // Replace the argument with a constant everywhere.
+  Value* c = m.GetInt32(10);
+  fn->ReplaceAllUsesWith(fn->arg(0), c);
+  for (Instruction* inst : fn->AllInstructions()) {
+    for (const Value* op : inst->operands()) {
+      EXPECT_NE(op, fn->arg(0));
+    }
+  }
+}
+
+TEST(IRTest, InsertAtPlacesChecksBeforeGuardedOp) {
+  Module m("test");
+  TypeContext& t = m.types();
+  Function* fn =
+      m.CreateFunction("f", t.FunctionTy(t.VoidTy(), {t.PointerTo(t.I32())}),
+                       false, {"p"});
+  BasicBlock* bb = fn->CreateBlock("entry");
+  IRBuilder b(m);
+  b.SetInsertPoint(bb);
+  Value* loaded = b.CreateLoad(fn->arg(0), "x");
+  (void)loaded;
+  b.CreateRetVoid();
+  // Insert a check before the load (index 0), as the verifier pass does.
+  Function* lscheck = DeclareIntrinsic(m, Intrinsic::kLSCheck);
+  b.SetInsertPoint(bb, 0);
+  GlobalVariable* mp = MetapoolHandle(m, "MP0");
+  Value* cast = b.CreateBitcast(fn->arg(0), t.PointerTo(t.I8()));
+  b.CreateCall(lscheck, {mp, cast});
+  EXPECT_EQ(bb->instructions().size(), 4u);
+  EXPECT_EQ(bb->instructions()[0]->opcode(), Opcode::kBitcast);
+  EXPECT_EQ(bb->instructions()[1]->opcode(), Opcode::kCall);
+  EXPECT_EQ(bb->instructions()[2]->opcode(), Opcode::kLoad);
+}
+
+TEST(IRTest, IntrinsicDeclarations) {
+  Module m("test");
+  Function* reg = DeclareIntrinsic(m, Intrinsic::kPchkRegObj);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_TRUE(reg->is_declaration());
+  EXPECT_EQ(reg->name(), "pchk.reg.obj");
+  EXPECT_EQ(reg->function_type()->params().size(), 3u);
+  // Idempotent.
+  EXPECT_EQ(DeclareIntrinsic(m, Intrinsic::kPchkRegObj), reg);
+  EXPECT_EQ(LookupIntrinsic("pchk.reg.obj"), Intrinsic::kPchkRegObj);
+  EXPECT_EQ(LookupIntrinsic("sva.lscheck"), Intrinsic::kLSCheck);
+  EXPECT_EQ(LookupIntrinsic("printf"), Intrinsic::kNone);
+}
+
+TEST(IRTest, MetapoolHandlesAreTypedGlobals) {
+  Module m("test");
+  GlobalVariable* mp1 = MetapoolHandle(m, "MP1");
+  EXPECT_TRUE(IsMetapoolHandle(mp1));
+  EXPECT_EQ(MetapoolHandle(m, "MP1"), mp1);
+  GlobalVariable* plain = m.CreateGlobal("counter", m.types().I64());
+  EXPECT_FALSE(IsMetapoolHandle(plain));
+}
+
+TEST(IRTest, MetapoolAnnotations) {
+  Module m("test");
+  MetapoolDecl& decl = m.DeclareMetapool("MP1");
+  decl.type_homogeneous = true;
+  decl.element_type = m.types().I32();
+  GlobalVariable* g = m.CreateGlobal("g", m.types().I32());
+  m.AnnotateValue(g, "MP1");
+  EXPECT_EQ(m.MetapoolOf(g), "MP1");
+  EXPECT_NE(m.FindMetapool("MP1"), nullptr);
+  EXPECT_EQ(m.FindMetapool("MP9"), nullptr);
+  EXPECT_TRUE(m.MetapoolOf(m.GetInt32(0)).empty());
+}
+
+TEST(IRTest, PrinterProducesDefinition) {
+  Module m("test");
+  BuildSumFunction(m);
+  std::string text = PrintModule(m);
+  EXPECT_NE(text.find("define i32 @sum(i32 %n)"), std::string::npos);
+  EXPECT_NE(text.find("phi i32"), std::string::npos);
+  EXPECT_NE(text.find("icmp sge i32"), std::string::npos);
+  EXPECT_NE(text.find("br i1"), std::string::npos);
+}
+
+TEST(IRTest, GepIndexedTypeStructWalk) {
+  Module m("test");
+  TypeContext& t = m.types();
+  StructType* task = t.NamedStruct(
+      "task", {t.I32(), t.ArrayOf(t.I8(), 16), t.PointerTo(t.I64())});
+  std::vector<Value*> idx = {m.GetInt64(0), m.GetInt32(1), m.GetInt64(3)};
+  auto r = GepIndexedType(task, idx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), t.I8());
+  // Out-of-range struct field is rejected.
+  std::vector<Value*> bad = {m.GetInt64(0), m.GetInt32(9)};
+  EXPECT_FALSE(GepIndexedType(task, bad).ok());
+  // Non-constant struct index is rejected.
+  Function* fn =
+      m.CreateFunction("f", t.FunctionTy(t.VoidTy(), {t.I32()}), false);
+  std::vector<Value*> nonconst = {m.GetInt64(0), fn->arg(0)};
+  EXPECT_FALSE(GepIndexedType(task, nonconst).ok());
+}
+
+}  // namespace
+}  // namespace sva::vir

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "src/vir/parser.h"
+#include "src/vir/printer.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::vir {
+namespace {
+
+constexpr const char* kSumModule = R"(
+module "sum"
+
+define i32 @sum(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %done = icmp sge i32 %i2, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i32 %acc2
+}
+)";
+
+TEST(ParserTest, ParsesLoopWithForwardReferences) {
+  auto m = ParseModule(kSumModule);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  Function* fn = (*m)->GetFunction("sum");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->blocks().size(), 3u);
+  EXPECT_TRUE(VerifyModule(**m).ok());
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  auto m1 = ParseModule(kSumModule);
+  ASSERT_TRUE(m1.ok());
+  std::string text1 = PrintModule(**m1);
+  auto m2 = ParseModule(text1);
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString() << "\n" << text1;
+  std::string text2 = PrintModule(**m2);
+  EXPECT_EQ(text1, text2);
+}
+
+TEST(ParserTest, ParsesTypesGlobalsAndMetapools) {
+  constexpr const char* kText = R"(
+module "kernelish"
+
+%fib_info = type { i32, i32*, [4 x i8] }
+%list = type { %list*, i64 }
+
+metapool MP1 th %fib_info complete
+metapool MP2
+
+global @fib_props : [12 x i32] !MP1
+extern global @bios_area : [256 x i8]
+
+declare i8* @kmalloc(i64)
+
+define void @touch(%fib_info* %fi !MP1) {
+entry:
+  %field = getelementptr %fib_info* %fi, i64 0, i32 0
+  store i32 7, i32* %field
+  ret void
+}
+)";
+  auto m = ParseModule(kText);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  Module& mod = **m;
+  const MetapoolDecl* mp1 = mod.FindMetapool("MP1");
+  ASSERT_NE(mp1, nullptr);
+  EXPECT_TRUE(mp1->type_homogeneous);
+  EXPECT_TRUE(mp1->complete);
+  EXPECT_EQ(mp1->element_type, mod.types().FindNamedStruct("fib_info"));
+  const MetapoolDecl* mp2 = mod.FindMetapool("MP2");
+  ASSERT_NE(mp2, nullptr);
+  EXPECT_FALSE(mp2->type_homogeneous);
+
+  GlobalVariable* props = mod.GetGlobal("fib_props");
+  ASSERT_NE(props, nullptr);
+  EXPECT_EQ(mod.MetapoolOf(props), "MP1");
+  EXPECT_TRUE(mod.GetGlobal("bios_area")->is_external());
+
+  Function* kmalloc = mod.GetFunction("kmalloc");
+  ASSERT_NE(kmalloc, nullptr);
+  EXPECT_TRUE(kmalloc->is_declaration());
+
+  Function* touch = mod.GetFunction("touch");
+  ASSERT_NE(touch, nullptr);
+  EXPECT_EQ(mod.MetapoolOf(touch->arg(0)), "MP1");
+  EXPECT_TRUE(VerifyModule(mod).ok());
+
+  // Recursive struct parsed correctly.
+  StructType* list = mod.types().FindNamedStruct("list");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->fields()[0], mod.types().PointerTo(list));
+}
+
+TEST(ParserTest, ParsesCallsIntrinsicsAndSwitch) {
+  constexpr const char* kText = R"(
+module "calls"
+
+metapool MP1
+
+declare i32 @helper(i32)
+
+define i32 @dispatch(i32 %which, i32 (i32)* %fp) {
+entry:
+  switch i32 %which, label %default, [ 0, label %a ], [ 1, label %b ]
+a:
+  %ra = call i32 @helper(i32 1)
+  ret i32 %ra
+b:
+  %rb = call i32 %fp(i32 2) !sig
+  ret i32 %rb
+default:
+  %p = malloc i8, i64 16
+  call void @pchk.reg.obj(%sva.metapool* @MP1, i8* %p, i64 16)
+  free i8* %p
+  unreachable
+}
+)";
+  auto m = ParseModule(kText);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(VerifyModule(**m).ok());
+  Function* dispatch = (*m)->GetFunction("dispatch");
+  // The indirect call carries a signature assertion.
+  bool found_assert = false;
+  for (Instruction* inst : dispatch->AllInstructions()) {
+    if (inst->opcode() == Opcode::kCall &&
+        (*m)->HasSignatureAssertion(inst)) {
+      found_assert = true;
+    }
+  }
+  EXPECT_TRUE(found_assert);
+  // Intrinsic got implicitly declared.
+  EXPECT_NE((*m)->GetFunction("pchk.reg.obj"), nullptr);
+}
+
+TEST(ParserTest, ParsesScalarOpsSelectCastsAtomics) {
+  constexpr const char* kText = R"(
+module "ops"
+
+define i64 @mix(i64 %a, i64 %b, i64* %p) {
+entry:
+  %c = sub i64 %a, %b
+  %d = mul i64 %c, 3
+  %e = udiv i64 %d, 2
+  %f = and i64 %e, 255
+  %g = shl i64 %f, 4
+  %h = ashr i64 %g, 1
+  %cmp = icmp ult i64 %h, %a
+  %sel = select i1 %cmp, i64 %h, i64 %a
+  %tr = trunc i64 %sel to i32
+  %zx = zext i32 %tr to i64
+  %old = atomiclis i64* %p, 1
+  %swapped = cmpxchg i64* %p, %old, %zx
+  writebarrier
+  %neg = sub i64 0, -5
+  %sum = add i64 %swapped, %neg
+  ret i64 %sum
+}
+)";
+  auto m = ParseModule(kText);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(VerifyModule(**m).ok()) << VerifyModule(**m).ToString();
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseModule("module \"x\"\n\ndefine i32 @f() {\nentry:\n  %a = bogus i32 1\n}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 5"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, RejectsUnknownValues) {
+  auto r = ParseModule(
+      "module \"x\"\ndefine i32 @f() {\nentry:\n  ret i32 %missing\n}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsLoadTypeMismatch) {
+  auto r = ParseModule(
+      "module \"x\"\ndefine i32 @f(i64* %p) {\nentry:\n  %v = load i32, i64* "
+      "%p\n  ret i32 %v\n}\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ParsesFunctionPointerTypes) {
+  constexpr const char* kText = R"(
+module "fp"
+
+global @handler_table : [4 x i64 (i64, i64)*]
+
+define i64 @invoke(i64 %n, i64 %arg) {
+entry:
+  %slot = getelementptr [4 x i64 (i64, i64)*]* @handler_table, i64 0, i64 %n
+  %fp = load i64 (i64, i64)*, i64 (i64, i64)** %slot
+  %r = call i64 %fp(i64 %arg, i64 0)
+  ret i64 %r
+}
+)";
+  auto m = ParseModule(kText);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(VerifyModule(**m).ok()) << VerifyModule(**m).ToString();
+}
+
+}  // namespace
+}  // namespace sva::vir

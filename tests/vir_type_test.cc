@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/vir/type.h"
+
+namespace sva::vir {
+namespace {
+
+TEST(TypeTest, InterningGivesPointerEquality) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.I32(), ctx.IntTy(32));
+  EXPECT_EQ(ctx.PointerTo(ctx.I32()), ctx.PointerTo(ctx.I32()));
+  EXPECT_EQ(ctx.ArrayOf(ctx.I8(), 16), ctx.ArrayOf(ctx.I8(), 16));
+  EXPECT_NE(ctx.ArrayOf(ctx.I8(), 16),
+            static_cast<const ArrayType*>(ctx.ArrayOf(ctx.I8(), 17)));
+  EXPECT_EQ(ctx.Struct({ctx.I32(), ctx.I64()}),
+            ctx.Struct({ctx.I32(), ctx.I64()}));
+  EXPECT_EQ(ctx.FunctionTy(ctx.VoidTy(), {ctx.I32()}),
+            ctx.FunctionTy(ctx.VoidTy(), {ctx.I32()}));
+}
+
+TEST(TypeTest, NamedStructIdentityAndRecursion) {
+  TypeContext ctx;
+  StructType* node = ctx.NamedStruct("list_head");
+  EXPECT_TRUE(node->IsOpaque());
+  node->SetBody({ctx.PointerTo(node), ctx.PointerTo(node)});
+  EXPECT_FALSE(node->IsOpaque());
+  EXPECT_EQ(ctx.NamedStruct("list_head"), node);
+  EXPECT_EQ(ctx.FindNamedStruct("list_head"), node);
+  EXPECT_EQ(ctx.FindNamedStruct("missing"), nullptr);
+}
+
+TEST(TypeTest, ToStringRendering) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.I32()->ToString(), "i32");
+  EXPECT_EQ(ctx.PointerTo(ctx.PointerTo(ctx.I8()))->ToString(), "i8**");
+  EXPECT_EQ(ctx.ArrayOf(ctx.I16(), 4)->ToString(), "[4 x i16]");
+  EXPECT_EQ(ctx.Struct({ctx.I32(), ctx.F64()})->ToString(), "{ i32, f64 }");
+  EXPECT_EQ(ctx.NamedStruct("task")->ToString(), "%task");
+  EXPECT_EQ(
+      ctx.FunctionTy(ctx.I32(), {ctx.PointerTo(ctx.I8())}, true)->ToString(),
+      "i32 (i8*, ...)");
+}
+
+TEST(TypeTest, SizeOfScalars) {
+  TypeContext ctx;
+  EXPECT_EQ(SizeOf(ctx.I1()), 1u);
+  EXPECT_EQ(SizeOf(ctx.I8()), 1u);
+  EXPECT_EQ(SizeOf(ctx.I16()), 2u);
+  EXPECT_EQ(SizeOf(ctx.I32()), 4u);
+  EXPECT_EQ(SizeOf(ctx.I64()), 8u);
+  EXPECT_EQ(SizeOf(ctx.F32()), 4u);
+  EXPECT_EQ(SizeOf(ctx.F64()), 8u);
+  EXPECT_EQ(SizeOf(ctx.PointerTo(ctx.I8())), 8u);
+}
+
+TEST(TypeTest, SizeOfAggregatesWithPadding) {
+  TypeContext ctx;
+  // { i8, i32 } -> i8 at 0, pad to 4, i32 at 4, total 8.
+  const StructType* s = ctx.Struct({ctx.I8(), ctx.I32()});
+  EXPECT_EQ(SizeOf(s), 8u);
+  EXPECT_EQ(AlignOf(s), 4u);
+  EXPECT_EQ(StructFieldOffset(s, 0), 0u);
+  EXPECT_EQ(StructFieldOffset(s, 1), 4u);
+  // { i8, i8, i16, i64 } -> offsets 0,1,2,8, size 16.
+  const StructType* t =
+      ctx.Struct({ctx.I8(), ctx.I8(), ctx.I16(), ctx.I64()});
+  EXPECT_EQ(StructFieldOffset(t, 2), 2u);
+  EXPECT_EQ(StructFieldOffset(t, 3), 8u);
+  EXPECT_EQ(SizeOf(t), 16u);
+  EXPECT_EQ(SizeOf(ctx.ArrayOf(s, 3)), 24u);
+}
+
+TEST(TypeTest, StructTailPadding) {
+  TypeContext ctx;
+  // { i64, i8 } pads to alignment 8 -> 16 bytes.
+  EXPECT_EQ(SizeOf(ctx.Struct({ctx.I64(), ctx.I8()})), 16u);
+}
+
+TEST(TypeTest, PredicateHelpers) {
+  TypeContext ctx;
+  EXPECT_TRUE(ctx.I32()->IsArithmetic());
+  EXPECT_TRUE(ctx.F64()->IsArithmetic());
+  EXPECT_FALSE(ctx.PointerTo(ctx.I8())->IsArithmetic());
+  EXPECT_TRUE(ctx.PointerTo(ctx.I8())->IsFirstClass());
+  EXPECT_FALSE(ctx.VoidTy()->IsFirstClass());
+  EXPECT_FALSE(ctx.FunctionTy(ctx.VoidTy(), {})->IsFirstClass());
+}
+
+// Parameterized sweep: array sizes scale linearly for every element type.
+class ArraySizeTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint64_t>> {};
+
+TEST_P(ArraySizeTest, LinearScaling) {
+  TypeContext ctx;
+  auto [bits, count] = GetParam();
+  const Type* elem = ctx.IntTy(bits);
+  EXPECT_EQ(SizeOf(ctx.ArrayOf(elem, count)), SizeOf(elem) * count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArraySizeTest,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u, 64u),
+                       ::testing::Values(0u, 1u, 7u, 64u, 4096u)));
+
+}  // namespace
+}  // namespace sva::vir

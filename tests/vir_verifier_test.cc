@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "src/vir/builder.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva::vir {
+namespace {
+
+TEST(StructuralVerifierTest, AcceptsWellFormedModule) {
+  auto m = ParseModule(R"(
+module "ok"
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+  ret i32 %y
+}
+)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(VerifyModule(**m).ok());
+}
+
+TEST(StructuralVerifierTest, RejectsMissingTerminator) {
+  Module m("bad");
+  TypeContext& t = m.types();
+  Function* fn = m.CreateFunction("f", t.FunctionTy(t.VoidTy(), {}), false);
+  fn->CreateBlock("entry");  // Empty block, no terminator.
+  Status s = VerifyModule(m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no terminator"), std::string::npos);
+}
+
+TEST(StructuralVerifierTest, RejectsUseBeforeDef) {
+  Module m("bad");
+  TypeContext& t = m.types();
+  Function* fn = m.CreateFunction("f", t.FunctionTy(t.I32(), {}), false);
+  BasicBlock* bb = fn->CreateBlock("entry");
+  IRBuilder b(m);
+  b.SetInsertPoint(bb);
+  // Build %a = add %b, 1; %b = add 1, 1; ret %a  (use before def).
+  Value* one = m.GetInt32(1);
+  Value* b_val = b.CreateAdd(one, one, "b");
+  Value* a_val = b.CreateAdd(b_val, one, "a");
+  b.CreateRet(a_val);
+  // Manually swap the first two instructions to create the violation.
+  // (Rebuild in wrong order instead: construct a new function.)
+  Function* fn2 = m.CreateFunction("g", t.FunctionTy(t.I32(), {}), false);
+  BasicBlock* bb2 = fn2->CreateBlock("entry");
+  auto* add_b = new BinaryInst(Opcode::kAdd, one, one, "b");
+  auto* add_a = new BinaryInst(Opcode::kAdd, add_b, one, "a");
+  bb2->Append(std::unique_ptr<Instruction>(add_a));
+  bb2->Append(std::unique_ptr<Instruction>(add_b));
+  bb2->Append(std::make_unique<RetInst>(t.VoidTy(), add_a));
+  Status s = VerifyFunction(m, *fn2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("precede"), std::string::npos);
+  EXPECT_TRUE(VerifyFunction(m, *fn).ok());
+}
+
+TEST(StructuralVerifierTest, RejectsDefNotDominatingUse) {
+  // %v defined only on one path but used after the merge.
+  auto m = ParseModule(R"(
+module "bad"
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i32 1, 2
+  br label %merge
+b:
+  br label %merge
+merge:
+  ret i32 %v
+}
+)");
+  ASSERT_TRUE(m.ok());
+  Status s = VerifyModule(**m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("dominate"), std::string::npos);
+}
+
+TEST(StructuralVerifierTest, AcceptsPhiMergeOfBothPaths) {
+  auto m = ParseModule(R"(
+module "ok"
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i32 1, 2
+  br label %merge
+b:
+  %w = add i32 3, 4
+  br label %merge
+merge:
+  %r = phi i32 [ %v, %a ], [ %w, %b ]
+  ret i32 %r
+}
+)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(VerifyModule(**m).ok()) << VerifyModule(**m).ToString();
+}
+
+TEST(StructuralVerifierTest, RejectsPhiMissingPredecessor) {
+  auto m = ParseModule(R"(
+module "bad"
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %merge
+a:
+  %v = add i32 1, 2
+  br label %merge
+merge:
+  %r = phi i32 [ %v, %a ]
+  ret i32 %r
+}
+)");
+  ASSERT_TRUE(m.ok());
+  Status s = VerifyModule(**m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("predecessors"), std::string::npos);
+}
+
+TEST(StructuralVerifierTest, RejectsCallArityMismatch) {
+  auto m = ParseModule(R"(
+module "bad"
+declare i32 @two(i32, i32)
+define i32 @f() {
+entry:
+  %r = call i32 @two(i32 1)
+  ret i32 %r
+}
+)");
+  ASSERT_TRUE(m.ok());
+  Status s = VerifyModule(**m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("arity"), std::string::npos);
+}
+
+TEST(StructuralVerifierTest, RejectsRetTypeMismatch) {
+  auto m = ParseModule(R"(
+module "bad"
+define i64 @f() {
+entry:
+  ret i32 1
+}
+)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(VerifyModule(**m).ok());
+}
+
+TEST(DominatorTreeTest, DiamondDominance) {
+  auto m = ParseModule(R"(
+module "dom"
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %merge
+b:
+  br label %merge
+merge:
+  ret void
+}
+)");
+  ASSERT_TRUE(m.ok());
+  Function* fn = (*m)->GetFunction("f");
+  DominatorTree dom(*fn);
+  const BasicBlock* entry = fn->blocks()[0].get();
+  const BasicBlock* a = fn->blocks()[1].get();
+  const BasicBlock* b = fn->blocks()[2].get();
+  const BasicBlock* merge = fn->blocks()[3].get();
+  EXPECT_TRUE(dom.Dominates(entry, merge));
+  EXPECT_TRUE(dom.Dominates(entry, a));
+  EXPECT_FALSE(dom.Dominates(a, merge));
+  EXPECT_FALSE(dom.Dominates(b, merge));
+  EXPECT_TRUE(dom.Dominates(merge, merge));
+  EXPECT_EQ(dom.ImmediateDominator(merge), entry);
+  EXPECT_EQ(dom.ImmediateDominator(entry), nullptr);
+}
+
+TEST(DominatorTreeTest, UnreachableBlocksAreFlagged) {
+  auto m = ParseModule(R"(
+module "dom"
+define void @f() {
+entry:
+  ret void
+dead:
+  ret void
+}
+)");
+  ASSERT_TRUE(m.ok());
+  Function* fn = (*m)->GetFunction("f");
+  DominatorTree dom(*fn);
+  EXPECT_TRUE(dom.IsReachable(fn->blocks()[0].get()));
+  EXPECT_FALSE(dom.IsReachable(fn->blocks()[1].get()));
+}
+
+}  // namespace
+}  // namespace sva::vir

@@ -1,0 +1,86 @@
+// svm-run: loads SVA bytecode into the Secure Virtual Machine and executes
+// an entry point with the run-time checks live.
+//
+// Usage:
+//   svm-run module.svb [--entry NAME] [--arg N]... [--no-checks] [--stats]
+//
+// Exit status: 0 on clean execution, 2 on a safety violation, 1 on other
+// errors — usable from scripts and CI.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/svm/svm.h"
+#include "src/vir/bytecode.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "svm-run: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string entry = "main";
+  std::vector<uint64_t> args;
+  bool stats = false;
+  sva::svm::SvmOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--entry" && i + 1 < argc) {
+      entry = argv[++i];
+    } else if (arg == "--arg" && i + 1 < argc) {
+      args.push_back(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--no-checks") {
+      options.interp.enforce_checks = false;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
+                  "[--no-checks] [--stats]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown option " + arg);
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    return Fail("no bytecode file (try --help)");
+  }
+  std::ifstream in(input, std::ios::binary);
+  if (!in) {
+    return Fail("cannot open " + input);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+
+  sva::svm::SecureVirtualMachine vm(options);
+  auto loaded = vm.LoadBytecode(bytes);
+  if (!loaded.ok()) {
+    return Fail("load rejected: " + loaded.status().ToString());
+  }
+  auto result = (*loaded)->Run(entry, args);
+  if (stats) {
+    const auto& check_stats = (*loaded)->pools().stats();
+    std::fprintf(stderr,
+                 "svm-run: %llu instructions, %llu checks performed, %llu "
+                 "failed\n",
+                 static_cast<unsigned long long>(result.steps),
+                 static_cast<unsigned long long>(
+                     check_stats.total_performed()),
+                 static_cast<unsigned long long>(check_stats.total_failed()));
+  }
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "svm-run: %s\n", result.status.ToString().c_str());
+    return result.status.code() == sva::StatusCode::kSafetyViolation ? 2 : 1;
+  }
+  std::printf("%llu\n", static_cast<unsigned long long>(result.value));
+  return 0;
+}
