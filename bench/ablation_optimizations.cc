@@ -21,24 +21,46 @@ namespace {
 
 // --- Runtime-level ablations ----------------------------------------------------
 
-void BM_BoundsCheckSplay(benchmark::State& state) {
+// Shared body for the splay-vs-cache bounds check ablation. The probe
+// rotates over a few objects to defeat pure splay-root hits while keeping
+// locality realistic; with the lookup cache enabled both hot objects fit
+// in the 4-way cache, so most checks never reach the tree.
+void BoundsCheckSplayBody(benchmark::State& state, bool use_cache) {
   runtime::MetaPoolRuntime rt;
+  rt.set_lookup_cache_enabled(use_cache);
   runtime::MetaPool* pool = rt.CreatePool("MP", false, 0, true);
   const int64_t objects = state.range(0);
   for (int64_t i = 0; i < objects; ++i) {
     (void)rt.RegisterObject(*pool, 0x10000 + static_cast<uint64_t>(i) * 256,
                             128);
   }
+  rt.ResetStats();
   uint64_t base = 0x10000 + static_cast<uint64_t>(objects / 2) * 256;
   uint64_t probe = base;
   for (auto _ : state) {
-    // Rotate over a few objects to defeat pure splay-root hits while
-    // keeping locality realistic.
     probe = probe == base ? base + 2560 : base;
     benchmark::DoNotOptimize(rt.BoundsCheck(*pool, probe, probe + 64));
   }
+  const runtime::CheckStats& stats = rt.stats();
+  if (stats.bounds_performed > 0) {
+    state.counters["cmp/check"] = benchmark::Counter(
+        static_cast<double>(stats.splay_comparisons) /
+        static_cast<double>(stats.bounds_performed));
+  }
+  state.counters["hit_rate"] =
+      benchmark::Counter(stats.cache_hit_rate());
+}
+
+void BM_BoundsCheckSplay(benchmark::State& state) {
+  // The pre-cache configuration: every check pays the splay lookup.
+  BoundsCheckSplayBody(state, /*use_cache=*/false);
 }
 BENCHMARK(BM_BoundsCheckSplay)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BoundsCheckCached(benchmark::State& state) {
+  BoundsCheckSplayBody(state, /*use_cache=*/true);
+}
+BENCHMARK(BM_BoundsCheckCached)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_BoundsCheckDirect(benchmark::State& state) {
   runtime::MetaPoolRuntime rt;
@@ -97,7 +119,7 @@ done:
 // One churn execution under a given compiler configuration.
 void RunPipeline(benchmark::State& state,
                  const safety::SafetyCompilerOptions& options,
-                 bool enforce) {
+                 bool enforce, bool use_lookup_cache = true) {
   auto m = vir::ParseModule(kWorkload);
   if (!m.ok()) {
     state.SkipWithError("parse failed");
@@ -110,6 +132,7 @@ void RunPipeline(benchmark::State& state,
   }
   svm::SvmOptions svm_options;
   svm_options.interp.enforce_checks = enforce;
+  svm_options.interp.use_lookup_cache = use_lookup_cache;
   svm::SecureVirtualMachine vm(svm_options);
   auto loaded = vm.LoadModule(std::move(m).value());
   if (!loaded.ok()) {
@@ -137,6 +160,14 @@ void BM_PipelineFullChecks(benchmark::State& state) {
   RunPipeline(state, options, /*enforce=*/true);
 }
 BENCHMARK(BM_PipelineFullChecks);
+
+void BM_PipelineNoLookupCache(benchmark::State& state) {
+  // Ablate the metapool lookup cache: all surviving splay-tree checks pay
+  // the full tree lookup.
+  safety::SafetyCompilerOptions options;
+  RunPipeline(state, options, /*enforce=*/true, /*use_lookup_cache=*/false);
+}
+BENCHMARK(BM_PipelineNoLookupCache);
 
 void BM_PipelineNoDirectBounds(benchmark::State& state) {
   // Ablate Section 7.1.3 optimization 1: force splay lookups even where

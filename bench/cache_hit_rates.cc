@@ -1,0 +1,244 @@
+// Measures the per-metapool object-lookup cache in front of the splay
+// trees: check latency, hit rate, and splay comparisons per check with the
+// cache enabled vs. disabled, across check streams of varying locality.
+// Also replays the Section 7.2 exploit suite in both configurations and
+// verifies the detections are identical — the fast path must change cost,
+// never outcome.
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/exploits/exploits.h"
+#include "src/runtime/metapool_runtime.h"
+
+namespace sva::bench {
+namespace {
+
+using runtime::EnforcementMode;
+using runtime::MetaPool;
+using runtime::MetaPoolRuntime;
+
+constexpr uint64_t kObjectBase = 0x10000;
+constexpr uint64_t kObjectStride = 256;
+constexpr uint64_t kObjectSize = 128;
+
+// One synthetic check stream: a sequence of (src, derived) probe pairs.
+struct Workload {
+  const char* name;
+  std::vector<uint64_t> probes;
+};
+
+uint64_t ObjectStart(uint64_t index) {
+  return kObjectBase + index * kObjectStride;
+}
+
+// Offsets stay 16 bytes clear of the object end so that probe+16 derived
+// pointers are always in bounds: the micro table measures latency, not
+// violation handling (parity on violations is covered by the churn and
+// exploit sections below).
+uint64_t SafeOffset(size_t i) { return i % (kObjectSize - 16); }
+
+// Check streams modeled on kernel behaviour: most checks hit a handful of
+// hot objects (the buffer being copied, the current task struct), with a
+// uniform-random stream as the adversarial case.
+std::vector<Workload> MakeWorkloads(uint64_t objects, size_t stream_len) {
+  std::mt19937_64 rng(42);
+  std::vector<Workload> workloads;
+
+  Workload hot{"hot-1 (single object)", {}};
+  for (size_t i = 0; i < stream_len; ++i) {
+    hot.probes.push_back(ObjectStart(objects / 2) + SafeOffset(i));
+  }
+  workloads.push_back(std::move(hot));
+
+  Workload rot{"rotate-4 (4 hot objects)", {}};
+  for (size_t i = 0; i < stream_len; ++i) {
+    rot.probes.push_back(ObjectStart(objects / 2 + i % 4) +
+                         SafeOffset(i));
+  }
+  workloads.push_back(std::move(rot));
+
+  Workload skew{"skewed (90% 8 objects)", {}};
+  std::uniform_int_distribution<uint64_t> pct(0, 99);
+  std::uniform_int_distribution<uint64_t> any(0, objects - 1);
+  std::uniform_int_distribution<uint64_t> hot8(0, 7);
+  for (size_t i = 0; i < stream_len; ++i) {
+    uint64_t obj = pct(rng) < 90 ? (objects / 2 + hot8(rng)) : any(rng);
+    skew.probes.push_back(ObjectStart(obj) + SafeOffset(i));
+  }
+  workloads.push_back(std::move(skew));
+
+  Workload uni{"uniform (no locality)", {}};
+  for (size_t i = 0; i < stream_len; ++i) {
+    uni.probes.push_back(ObjectStart(any(rng)) + SafeOffset(i));
+  }
+  workloads.push_back(std::move(uni));
+  return workloads;
+}
+
+struct RunResult {
+  double ns_per_check = 0;
+  double hit_rate = 0;
+  double comparisons_per_check = 0;
+  uint64_t violations = 0;
+};
+
+RunResult RunChecks(const Workload& w, uint64_t objects, bool cache_on) {
+  MetaPoolRuntime rt(EnforcementMode::kRecord);
+  rt.set_lookup_cache_enabled(cache_on);
+  MetaPool* pool = rt.CreatePool("MP", false, 0, true);
+  for (uint64_t i = 0; i < objects; ++i) {
+    (void)rt.RegisterObject(*pool, ObjectStart(i), kObjectSize);
+  }
+  rt.ResetStats();
+
+  size_t cursor = 0;
+  auto one_pass = [&] {
+    const uint64_t probe = w.probes[cursor];
+    cursor = cursor + 1 == w.probes.size() ? 0 : cursor + 1;
+    (void)rt.BoundsCheck(*pool, probe, probe + 16);
+  };
+  double us = MedianLatencyUs(9, static_cast<int>(w.probes.size()), one_pass);
+
+  const runtime::CheckStats& stats = rt.stats();
+  RunResult r;
+  r.ns_per_check = us * 1000.0;
+  r.hit_rate = stats.cache_hit_rate();
+  r.comparisons_per_check =
+      stats.bounds_performed == 0
+          ? 0
+          : static_cast<double>(stats.splay_comparisons) /
+                static_cast<double>(stats.bounds_performed);
+  r.violations = stats.total_failed();
+  return r;
+}
+
+void RunMicrobench() {
+  constexpr uint64_t kObjects = 4096;
+  constexpr size_t kStream = 4096;
+  std::printf("Check fast path: %llu live objects per pool, %zu-probe "
+              "streams, median of 9 trials\n\n",
+              static_cast<unsigned long long>(kObjects), kStream);
+  Table table({"Workload", "cache", "ns/check", "hit rate", "splay cmp/check",
+               "violations"});
+  for (const Workload& w : MakeWorkloads(kObjects, kStream)) {
+    RunResult off = RunChecks(w, kObjects, /*cache_on=*/false);
+    RunResult on = RunChecks(w, kObjects, /*cache_on=*/true);
+    table.AddRow({w.name, "off", Fmt("%.1f", off.ns_per_check), "-",
+                  Fmt("%.2f", off.comparisons_per_check),
+                  std::to_string(off.violations)});
+    table.AddRow({w.name, "on", Fmt("%.1f", on.ns_per_check),
+                  Fmt("%.1f%%", 100.0 * on.hit_rate),
+                  Fmt("%.2f", on.comparisons_per_check),
+                  std::to_string(on.violations)});
+    if (off.violations != on.violations) {
+      std::fprintf(stderr,
+                   "FAIL: %s: violation counts differ with cache on/off "
+                   "(%llu vs %llu)\n",
+                   w.name, static_cast<unsigned long long>(off.violations),
+                   static_cast<unsigned long long>(on.violations));
+      std::exit(1);
+    }
+  }
+  table.Print();
+}
+
+// Invalidation stress: interleave drops/re-registrations with checks and
+// confirm the cached bounds never go stale (identical outcomes on/off).
+void RunChurnParity() {
+  std::printf("\nRegister/drop churn parity (cache must never serve stale "
+              "bounds):\n\n");
+  for (int cache_on = 0; cache_on <= 1; ++cache_on) {
+    // Trap mode so a stale cached range surfaces as a Status error on an
+    // in-bounds probe (kRecord would mask it by always returning OK).
+    MetaPoolRuntime rt(EnforcementMode::kTrap);
+    rt.set_lookup_cache_enabled(cache_on != 0);
+    MetaPool* pool = rt.CreatePool("MP", false, 0, true);
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<uint64_t> pick(0, 63);
+    std::vector<uint64_t> sizes(64, 0);
+    uint64_t failures = 0;
+    for (int step = 0; step < 200000; ++step) {
+      if (step % 4096 == 0) {
+        rt.ClearViolations();
+      }
+      uint64_t obj = pick(rng);
+      uint64_t start = ObjectStart(obj);
+      switch (step % 8) {
+        case 0: {  // Re-register at a new size (smaller or larger).
+          if (sizes[obj] != 0) {
+            (void)rt.DropObject(*pool, start);
+          }
+          sizes[obj] = 32 + (step % 3) * 48;
+          (void)rt.RegisterObject(*pool, start, sizes[obj]);
+          break;
+        }
+        default: {  // Check against the current size.
+          if (sizes[obj] == 0) {
+            break;
+          }
+          // One in-bounds and one out-of-bounds derived pointer.
+          if (!rt.BoundsCheck(*pool, start, start + sizes[obj] - 1).ok()) {
+            ++failures;
+          }
+          (void)rt.BoundsCheck(*pool, start, start + sizes[obj]);
+          break;
+        }
+      }
+    }
+    const runtime::CheckStats& stats = rt.stats();
+    std::printf(
+        "  cache %-3s: %llu checks, %llu violations (all intended), "
+        "in-bounds false positives: %llu, hit rate %.1f%%\n",
+        cache_on != 0 ? "on" : "off",
+        static_cast<unsigned long long>(stats.bounds_performed),
+        static_cast<unsigned long long>(stats.bounds_failed),
+        static_cast<unsigned long long>(failures),
+        100.0 * stats.cache_hit_rate());
+    if (failures != 0) {
+      std::fprintf(stderr, "FAIL: stale bounds served with cache %s\n",
+                   cache_on != 0 ? "on" : "off");
+      std::exit(1);
+    }
+  }
+}
+
+// The acceptance gate: the exploit suite must report identical detections
+// and violation counts with the cache enabled and disabled.
+void RunExploitParity() {
+  std::printf("\nExploit suite parity (Section 7.2), cache on vs off:\n\n");
+  Table table({"Exploit", "caught (off)", "caught (on)", "parity"});
+  bool all_equal = true;
+  for (const exploits::ExploitScenario& s : exploits::AllScenarios()) {
+    svm::SvmOptions off_options;
+    off_options.interp.use_lookup_cache = false;
+    auto off = exploits::RunScenario(s, off_options);
+    auto on = exploits::RunScenario(s, svm::SvmOptions{});
+    if (!off.ok() || !on.ok()) {
+      std::fprintf(stderr, "%s pipeline failed\n", s.id.c_str());
+      std::exit(1);
+    }
+    bool equal = off->caught == on->caught;
+    all_equal = all_equal && equal;
+    table.AddRow({s.id, off->caught ? "yes" : "no", on->caught ? "yes" : "no",
+                  equal ? "identical" : "MISMATCH"});
+  }
+  table.Print();
+  if (!all_equal) {
+    std::fprintf(stderr, "FAIL: cache changed exploit detection outcome\n");
+    std::exit(1);
+  }
+  std::printf("\n=> identical detections in both configurations.\n");
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main() {
+  sva::bench::RunMicrobench();
+  sva::bench::RunChurnParity();
+  sva::bench::RunExploitParity();
+  return 0;
+}

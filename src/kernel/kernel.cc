@@ -384,9 +384,12 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   task.brk = UserBaseForPid(task.pid) +
              task.user_pages.size() * hw::kPageSize / 2;
   if (config_.mode == KernelMode::kSvaSafe && user_pool_ != nullptr) {
-    // Register this task's user range as one object (Section 4.6).
-    pools_.RegisterUserspace(*user_pool_, UserBaseForPid(task.pid),
-                             task.user_pages.size() * hw::kPageSize);
+    // Register this task's user range as one object (Section 4.6). An
+    // overlap with an existing registration is a kernel bug, not a
+    // recoverable condition.
+    SVA_RETURN_IF_ERROR(
+        pools_.RegisterUserspace(*user_pool_, UserBaseForPid(task.pid),
+                                 task.user_pages.size() * hw::kPageSize));
   }
   int pid = task.pid;
   tasks_[pid] = std::move(task);

@@ -41,6 +41,13 @@ struct CheckStats {
   uint64_t reduced_checks = 0;
   uint64_t registrations = 0;
   uint64_t drops = 0;
+  // Hot-path fast-path counters, aggregated over all pools' splay trees:
+  // lookups absorbed by the per-pool object cache, lookups that fell
+  // through to the tree, and total splay comparisons performed (cache
+  // probes are not comparisons).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t splay_comparisons = 0;
 
   uint64_t total_performed() const {
     return bounds_performed + loadstore_performed + indirect_performed +
@@ -48,6 +55,14 @@ struct CheckStats {
   }
   uint64_t total_failed() const {
     return bounds_failed + loadstore_failed + indirect_failed + frees_failed;
+  }
+  uint64_t cache_lookups() const { return cache_hits + cache_misses; }
+  // Hit rate in [0,1]; 0 when the cache was never consulted.
+  double cache_hit_rate() const {
+    uint64_t lookups = cache_lookups();
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
   }
 };
 

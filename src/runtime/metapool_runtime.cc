@@ -28,8 +28,36 @@ MetaPool* MetaPoolRuntime::CreatePool(const std::string& name,
   auto pool = std::make_unique<MetaPool>(name, type_homogeneous, element_size,
                                          complete);
   MetaPool* raw = pool.get();
+  raw->tree().set_cache_enabled(lookup_cache_enabled_);
   pools_[name] = std::move(pool);
   return raw;
+}
+
+void MetaPoolRuntime::set_lookup_cache_enabled(bool enabled) {
+  lookup_cache_enabled_ = enabled;
+  for (auto& [name, pool] : pools_) {
+    pool->tree().set_cache_enabled(enabled);
+  }
+}
+
+const CheckStats& MetaPoolRuntime::stats() const {
+  stats_.cache_hits = 0;
+  stats_.cache_misses = 0;
+  stats_.splay_comparisons = 0;
+  for (const auto& [name, pool] : pools_) {
+    const SplayTree& tree = pool->tree();
+    stats_.cache_hits += tree.cache_hits();
+    stats_.cache_misses += tree.cache_misses();
+    stats_.splay_comparisons += tree.comparisons();
+  }
+  return stats_;
+}
+
+void MetaPoolRuntime::ResetStats() {
+  stats_ = CheckStats{};
+  for (auto& [name, pool] : pools_) {
+    pool->tree().ResetStats();
+  }
 }
 
 MetaPool* MetaPoolRuntime::FindPool(const std::string& name) const {
@@ -86,13 +114,26 @@ Status MetaPoolRuntime::DropObject(MetaPool& pool, uint64_t start) {
   return OkStatus();
 }
 
-void MetaPoolRuntime::RegisterUserspace(MetaPool& pool, uint64_t user_base,
-                                        uint64_t user_size) {
-  // Idempotent: registering userspace twice in a pool is harmless but the
-  // tree rejects overlap, so check first.
-  if (!pool.Lookup(user_base).has_value()) {
-    pool.tree().Insert(user_base, user_size);
+Status MetaPoolRuntime::RegisterUserspace(MetaPool& pool, uint64_t user_base,
+                                          uint64_t user_size) {
+  // Idempotent: re-registering the exact same userspace object is harmless.
+  std::optional<ObjectRange> existing = pool.tree().LookupStart(user_base);
+  if (existing.has_value()) {
+    if (existing->size == user_size) {
+      return OkStatus();
+    }
+    return Fail(CheckKind::kRegistration, &pool, user_base, user_size,
+                "userspace range conflicts with a differently-sized object "
+                "registered at the same base");
   }
+  if (pool.tree().Insert(user_base, user_size)) {
+    return OkStatus();
+  }
+  // A partial overlap with an existing object: previously this was silently
+  // dropped, leaving userspace unregistered so that later syscall-argument
+  // bounds checks failed spuriously.
+  return Fail(CheckKind::kRegistration, &pool, user_base, user_size,
+              "userspace range partially overlaps a registered object");
 }
 
 Status MetaPoolRuntime::BoundsCheck(MetaPool& pool, uint64_t src,

@@ -83,8 +83,12 @@ class MetaPoolRuntime {
   Status DropObject(MetaPool& pool, uint64_t start);
   // Registers all of userspace as a single object (Section 4.6) so that
   // syscall pointer arguments check out but cannot straddle into the kernel.
-  void RegisterUserspace(MetaPool& pool, uint64_t user_base,
-                         uint64_t user_size);
+  // Re-registering the exact same range is an idempotent no-op; a partial
+  // overlap with an existing object is reported as a registration violation
+  // (previously it silently left userspace unregistered, making later
+  // syscall bounds checks fail spuriously).
+  Status RegisterUserspace(MetaPool& pool, uint64_t user_base,
+                           uint64_t user_size);
 
   // --- Run-time checks (Section 4.5) ----------------------------------------
   // sva.boundscheck: `derived` must lie within the same registered object as
@@ -107,9 +111,17 @@ class MetaPoolRuntime {
   void set_mode(EnforcementMode mode) { mode_ = mode; }
   const std::vector<Violation>& violations() const { return violations_; }
   void ClearViolations() { violations_.clear(); }
-  const CheckStats& stats() const { return stats_; }
+  // Returns the counters with the per-pool fast-path counters (cache
+  // hits/misses, splay comparisons) aggregated in.
+  const CheckStats& stats() const;
   CheckStats& mutable_stats() { return stats_; }
-  void ResetStats() { stats_ = CheckStats{}; }
+  void ResetStats();
+
+  // Toggles the per-pool object-lookup cache on every pool (existing and
+  // future). Enabled by default; the benchmark harness disables it to
+  // measure the bare splay-tree path.
+  void set_lookup_cache_enabled(bool enabled);
+  bool lookup_cache_enabled() const { return lookup_cache_enabled_; }
 
   const std::map<std::string, std::unique_ptr<MetaPool>>& pools() const {
     return pools_;
@@ -120,10 +132,13 @@ class MetaPoolRuntime {
               uint64_t aux, std::string detail);
 
   EnforcementMode mode_;
+  bool lookup_cache_enabled_ = true;
   std::map<std::string, std::unique_ptr<MetaPool>> pools_;
   std::vector<std::vector<uint64_t>> target_sets_;
   std::vector<Violation> violations_;
-  CheckStats stats_;
+  // stats() folds the cumulative per-pool tree counters into the cache/splay
+  // fields on demand; mutable so the accessor can stay const.
+  mutable CheckStats stats_;
 };
 
 }  // namespace sva::runtime

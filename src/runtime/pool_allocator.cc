@@ -17,30 +17,56 @@ PoolAllocator::PoolAllocator(std::string name, uint64_t object_size,
 }
 
 bool PoolAllocator::Grow() {
-  uint64_t page = pages_.AllocatePage();
-  if (page == 0) {
-    return false;
-  }
-  ++pages_owned_;
-  uint64_t count = pages_.page_size() / stride_;
-  if (count == 0) {
-    // Object larger than a page: allocate contiguous pages.
-    uint64_t needed = (stride_ + pages_.page_size() - 1) / pages_.page_size();
-    for (uint64_t i = 1; i < needed; ++i) {
-      uint64_t next = pages_.AllocatePage();
-      if (next == 0) {
-        return false;
-      }
-      ++pages_owned_;
-      // Pages from the simulated machine are contiguous by construction;
-      // non-contiguous providers would need a vmalloc-style mapping here.
+  uint64_t page_size = pages_.page_size();
+  uint64_t count = page_size / stride_;
+  if (count > 0) {
+    uint64_t page = pages_.AllocatePage();
+    if (page == 0) {
+      return false;
     }
-    free_list_.push_back(page);
+    ++pages_owned_;
+    for (uint64_t i = 0; i < count; ++i) {
+      free_list_.push_back(page + i * stride_);
+    }
     return true;
   }
-  for (uint64_t i = 0; i < count; ++i) {
-    free_list_.push_back(page + i * stride_);
+  // Object larger than a page: the object needs `needed` physically
+  // contiguous pages. The provider makes no contiguity promise, so verify
+  // each follow-on page actually extends the run. A run interrupted by
+  // allocation failure is kept in run_base_/run_pages_ and resumed by the
+  // next Grow() instead of being leaked (the pages stay counted in
+  // pages_owned_ but previously never reached the free list).
+  uint64_t needed = (stride_ + page_size - 1) / page_size;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = needed * 4;
+  while (run_pages_ < needed) {
+    if (++attempts > max_attempts) {
+      // Pathologically fragmented provider: give up for this call rather
+      // than consuming pages without bound. The current run is retained.
+      return false;
+    }
+    uint64_t next = pages_.AllocatePage();
+    if (next == 0) {
+      return false;
+    }
+    ++pages_owned_;
+    if (run_pages_ == 0) {
+      run_base_ = next;
+      run_pages_ = 1;
+    } else if (next == run_base_ + run_pages_ * page_size) {
+      ++run_pages_;
+    } else {
+      // Non-contiguous: the accumulated prefix cannot back one object.
+      // Those pages stay owned by the pool (SLAB_NO_REAP — they are never
+      // returned to the provider) but are unusable for allocation.
+      stranded_pages_ += run_pages_;
+      run_base_ = next;
+      run_pages_ = 1;
+    }
   }
+  free_list_.push_back(run_base_);
+  run_base_ = 0;
+  run_pages_ = 0;
   return true;
 }
 

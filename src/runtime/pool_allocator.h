@@ -58,6 +58,12 @@ class PoolAllocator {
   uint64_t live_objects() const { return live_.size(); }
   uint64_t pages_owned() const { return pages_owned_; }
   uint64_t total_allocations() const { return total_allocations_; }
+  // Pages consumed from the provider that can never back an object: the
+  // abandoned prefixes of multi-page runs broken by a non-contiguous page.
+  uint64_t stranded_pages() const { return stranded_pages_; }
+  // Pages held in a partially-acquired multi-page run, to be completed by a
+  // later Grow() (not leaked, not yet allocatable).
+  uint64_t pending_run_pages() const { return run_pages_; }
 
   // Enumerates the live objects (used when a pool is destroyed: the kernel
   // deregisters all remaining objects from the metapool, Section 4.3).
@@ -76,6 +82,11 @@ class PoolAllocator {
   std::unordered_set<uint64_t> live_;
   uint64_t pages_owned_ = 0;
   uint64_t total_allocations_ = 0;
+  // Multi-page (object > page) growth state: the contiguous run being
+  // assembled, and pages stranded by broken runs.
+  uint64_t run_base_ = 0;
+  uint64_t run_pages_ = 0;
+  uint64_t stranded_pages_ = 0;
 };
 
 // kmalloc: size-class caches over PoolAllocator.

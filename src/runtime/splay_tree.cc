@@ -29,6 +29,7 @@ void SplayTree::Clear() {
   DeleteSubtree(root_);
   root_ = nullptr;
   size_ = 0;
+  cache_.Reset();
 }
 
 int SplayTree::Compare(uint64_t addr, const ObjectRange& range) {
@@ -36,8 +37,8 @@ int SplayTree::Compare(uint64_t addr, const ObjectRange& range) {
   if (addr < range.start) {
     return -1;
   }
-  // A zero-size range matches exactly its start address.
-  if (range.size == 0 ? addr == range.start : addr < range.end()) {
+  // Unsigned-safe containment: ranges abutting UINT64_MAX must not wrap.
+  if (range.ContainsForLookup(addr)) {
     return 0;
   }
   return 1;
@@ -102,7 +103,14 @@ void SplayTree::Splay(uint64_t addr) {
 }
 
 bool SplayTree::Insert(uint64_t start, uint64_t size) {
-  uint64_t end = size == 0 ? start : start + size - 1;
+  // Inclusive last byte, saturated: a range whose end would pass the top of
+  // the 64-bit address space is treated as ending at UINT64_MAX instead of
+  // wrapping, which would defeat the successor overlap test below.
+  uint64_t end = start;
+  if (size != 0) {
+    uint64_t len = size - 1;
+    end = start > UINT64_MAX - len ? UINT64_MAX : start + len;
+  }
   if (root_ != nullptr) {
     // The top-down splay terminates at the node containing `start` if one
     // exists, so this detects any range covering our first byte.
@@ -160,6 +168,7 @@ std::optional<ObjectRange> SplayTree::RemoveAt(uint64_t start) {
     return std::nullopt;
   }
   ObjectRange removed = root_->range;
+  cache_.InvalidateStart(start);
   Node* old = root_;
   if (root_->left == nullptr) {
     root_ = root_->right;
@@ -178,8 +187,18 @@ std::optional<ObjectRange> SplayTree::LookupContaining(uint64_t addr) {
   if (root_ == nullptr) {
     return std::nullopt;
   }
+  if (cache_enabled_) {
+    if (const ObjectRange* hit = cache_.Find(addr)) {
+      ++cache_hits_;
+      return *hit;
+    }
+    ++cache_misses_;
+  }
   Splay(addr);
   if (Compare(addr, root_->range) == 0) {
+    if (cache_enabled_) {
+      cache_.Remember(root_->range);
+    }
     return root_->range;
   }
   return std::nullopt;
@@ -189,8 +208,20 @@ std::optional<ObjectRange> SplayTree::LookupStart(uint64_t start) {
   if (root_ == nullptr) {
     return std::nullopt;
   }
+  if (cache_enabled_) {
+    // Exact-start lookups can only be served by an entry starting there.
+    const ObjectRange* hit = cache_.Find(start);
+    if (hit != nullptr && hit->start == start) {
+      ++cache_hits_;
+      return *hit;
+    }
+    ++cache_misses_;
+  }
   Splay(start);
   if (root_->range.start == start) {
+    if (cache_enabled_) {
+      cache_.Remember(root_->range);
+    }
     return root_->range;
   }
   return std::nullopt;

@@ -15,14 +15,32 @@
 #include <memory>
 #include <optional>
 
+#include "src/runtime/lookup_cache.h"
+
 namespace sva::runtime {
 
 struct ObjectRange {
   uint64_t start = 0;
   uint64_t size = 0;
-  uint64_t end() const { return start + size; }
-  bool Contains(uint64_t addr) const { return addr >= start && addr < end(); }
+  // Exclusive end, saturated: a range abutting the top of the 64-bit
+  // address space (e.g. a RegisterUserspace object) reports UINT64_MAX
+  // instead of wrapping to 0.
+  uint64_t end() const {
+    uint64_t e = start + size;
+    return e < start ? UINT64_MAX : e;
+  }
+  // Unsigned-safe containment (no start+size arithmetic that can wrap).
+  bool Contains(uint64_t addr) const {
+    return addr >= start && addr - start < size;
+  }
+  // Containment as the check path defines it: a zero-size object occupies
+  // exactly its start address.
+  bool ContainsForLookup(uint64_t addr) const {
+    return size == 0 ? addr == start : Contains(addr);
+  }
 };
+
+using LookupCache = LookupCacheT<ObjectRange>;
 
 class SplayTree {
  public:
@@ -33,10 +51,17 @@ class SplayTree {
   SplayTree(SplayTree&& other) noexcept
       : root_(other.root_),
         size_(other.size_),
-        comparisons_(other.comparisons_) {
+        cache_(other.cache_),
+        cache_enabled_(other.cache_enabled_),
+        comparisons_(other.comparisons_),
+        cache_hits_(other.cache_hits_),
+        cache_misses_(other.cache_misses_) {
     other.root_ = nullptr;
     other.size_ = 0;
+    other.cache_.Reset();
     other.comparisons_ = 0;
+    other.cache_hits_ = 0;
+    other.cache_misses_ = 0;
   }
 
   // Inserts [start, start+size). Returns false if it would overlap an
@@ -48,19 +73,35 @@ class SplayTree {
   // range, or nullopt if no range starts there (an illegal free).
   std::optional<ObjectRange> RemoveAt(uint64_t start);
 
-  // Finds the range containing `addr`, splaying it to the root.
+  // Finds the range containing `addr`. Consults the lookup cache first;
+  // on a cache miss, splays the found node to the root and caches it.
   std::optional<ObjectRange> LookupContaining(uint64_t addr);
 
-  // Finds the range with the given exact start (splaying).
+  // Finds the range with the given exact start (cache consult + splaying).
   std::optional<ObjectRange> LookupStart(uint64_t start);
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   void Clear();
 
-  // Cumulative comparisons performed, for the benchmark harness.
+  // Enables/disables the front-end lookup cache (enabled by default).
+  // Disabling drops all cached entries, so re-enabling starts cold.
+  void set_cache_enabled(bool enabled) {
+    cache_enabled_ = enabled;
+    cache_.Reset();
+  }
+  bool cache_enabled() const { return cache_enabled_; }
+
+  // Cumulative counters for the benchmark harness. Comparisons count splay
+  // steps only; cache probes are not comparisons.
   uint64_t comparisons() const { return comparisons_; }
-  void ResetStats() { comparisons_ = 0; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  void ResetStats() {
+    comparisons_ = 0;
+    cache_hits_ = 0;
+    cache_misses_ = 0;
+  }
 
  private:
   struct Node {
@@ -78,7 +119,11 @@ class SplayTree {
 
   Node* root_ = nullptr;
   size_t size_ = 0;
+  LookupCache cache_;
+  bool cache_enabled_ = true;
   uint64_t comparisons_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace sva::runtime

@@ -139,8 +139,8 @@ Status Interpreter::CreatePools() {
       pools_by_handle_[it->second] = pool;
     }
     if (decl.user_reachable) {
-      pools_.RegisterUserspace(*pool, memory_->user_base(),
-                               memory_->user_size());
+      SVA_RETURN_IF_ERROR(pools_.RegisterUserspace(
+          *pool, memory_->user_base(), memory_->user_size()));
     }
   }
   for (const auto& set : module_.target_sets()) {
@@ -157,6 +157,7 @@ Status Interpreter::CreatePools() {
 }
 
 Status Interpreter::Initialize() {
+  pools_.set_lookup_cache_enabled(options_.use_lookup_cache);
   SVA_RETURN_IF_ERROR(LayoutGlobals());
   SVA_RETURN_IF_ERROR(CreatePools());
   stack_arena_ = memory_->AllocateRegion(kStackArenaSize, 16);

@@ -35,6 +35,10 @@ struct InterpOptions {
   // When false, the pchk.*/sva.* operations become no-ops: this is the
   // "Linux-native"-style configuration used to isolate check overheads.
   bool enforce_checks = true;
+  // When false, the per-metapool object-lookup cache in front of the splay
+  // trees is disabled and every check pays the full splay lookup (the
+  // benchmark harness uses this to measure the fast path's effect).
+  bool use_lookup_cache = true;
   // Abort after this many executed instructions (runaway-loop guard).
   uint64_t max_steps = 500'000'000;
 };

@@ -103,6 +103,82 @@ TEST(PoolAllocatorTest, ExhaustionReturnsZero) {
   EXPECT_EQ(pool.Allocate(), 0u);
 }
 
+// A provider with a hard page budget that can be raised mid-test, and an
+// optional scripted discontinuity, for exercising the multi-page Grow path.
+class FlakyPages : public PageProvider {
+ public:
+  explicit FlakyPages(uint64_t budget) : budget_(budget) {}
+  uint64_t AllocatePage() override {
+    if (allocated_ >= budget_) {
+      return 0;
+    }
+    ++allocated_;
+    uint64_t addr = next_;
+    next_ += page_size();
+    if (allocated_ == skip_after_) {
+      // The next page will not be contiguous with this one.
+      next_ += page_size();
+    }
+    return addr;
+  }
+  uint64_t page_size() const override { return 4096; }
+  void set_budget(uint64_t budget) { budget_ = budget; }
+  void set_skip_after(uint64_t n) { skip_after_ = n; }
+  uint64_t allocated() const { return allocated_; }
+
+ private:
+  uint64_t next_ = 0x100000;
+  uint64_t allocated_ = 0;
+  uint64_t budget_;
+  uint64_t skip_after_ = 0;
+};
+
+TEST(PoolAllocatorTest, MultiPageObjectSpansContiguousPages) {
+  TestPages pages;
+  // 3 pages per object.
+  PoolAllocator pool("big", 3 * 4096, pages);
+  uint64_t a = pool.Allocate();
+  uint64_t b = pool.Allocate();
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(b > a ? b - a : a - b, 3 * 4096u);
+  EXPECT_EQ(pool.pages_owned(), 6u);
+  EXPECT_EQ(pool.stranded_pages(), 0u);
+}
+
+TEST(PoolAllocatorTest, MultiPageGrowthFailureDoesNotLeakPages) {
+  // Budget allows only 2 of the 3 pages the object needs.
+  FlakyPages pages(/*budget=*/2);
+  PoolAllocator pool("big", 3 * 4096, pages);
+  EXPECT_EQ(pool.Allocate(), 0u);
+  EXPECT_EQ(pool.pages_owned(), 2u);
+  // The partial run is retained, not leaked: once the provider recovers,
+  // the next Grow completes the same run and the object becomes usable.
+  EXPECT_EQ(pool.pending_run_pages(), 2u);
+  pages.set_budget(3);
+  uint64_t a = pool.Allocate();
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(pool.pages_owned(), 3u);
+  EXPECT_EQ(pool.pending_run_pages(), 0u);
+  EXPECT_EQ(pool.stranded_pages(), 0u);
+  // All three pages were consumed exactly once.
+  EXPECT_EQ(pages.allocated(), 3u);
+}
+
+TEST(PoolAllocatorTest, MultiPageGrowthSurvivesDiscontinuity) {
+  FlakyPages pages(/*budget=*/100);
+  pages.set_skip_after(2);  // Break the run after the second page.
+  PoolAllocator pool("big", 3 * 4096, pages);
+  uint64_t a = pool.Allocate();
+  ASSERT_NE(a, 0u);
+  // The 2-page prefix could not back an object and was stranded; the
+  // object sits on the post-gap contiguous run.
+  EXPECT_EQ(pool.stranded_pages(), 2u);
+  EXPECT_EQ(pool.pages_owned(), 5u);
+  // The object's pages are contiguous and past the gap.
+  EXPECT_EQ(a, 0x100000u + 3 * 4096u);
+}
+
 TEST(PoolAllocatorTest, LiveObjectTrackingAndEnumeration) {
   TestPages pages;
   PoolAllocator pool("obj", 32, pages);

@@ -123,8 +123,88 @@ TEST_F(MetaPoolRuntimeTest, UserspaceObjectStopsStraddling) {
   EXPECT_FALSE(
       rt_.BoundsCheck(*p, kUserBase + 0x100, kUserBase + kUserSize).ok());
   // Registration is idempotent.
-  rt_.RegisterUserspace(*p, kUserBase, kUserSize);
+  EXPECT_TRUE(rt_.RegisterUserspace(*p, kUserBase, kUserSize).ok());
   EXPECT_EQ(p->live_objects(), 1u);
+}
+
+TEST_F(MetaPoolRuntimeTest, UserspaceRegistrationReportsOverlap) {
+  MetaPool* p = rt_.CreatePool("MP_syscall", false, 0, true);
+  // An object already sits in the middle of the would-be userspace range.
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x20000, 64).ok());
+  // Previously this overlap was silently swallowed (the insert failed and
+  // the return value was ignored), leaving userspace unregistered.
+  Status s = rt_.RegisterUserspace(*p, 0x10000, 0x100000);
+  EXPECT_EQ(s.code(), StatusCode::kSafetyViolation);
+  EXPECT_EQ(rt_.violations().back().kind, CheckKind::kRegistration);
+  // A differently-sized object at the same base is also reported, not
+  // mistaken for the idempotent case.
+  MetaPool* q = rt_.CreatePool("MP_other", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterUserspace(*q, 0x10000, 0x100000).ok());
+  EXPECT_FALSE(rt_.RegisterUserspace(*q, 0x10000, 0x200000).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, UserspaceObjectAbuttingAddressSpaceTop) {
+  // A userspace window ending exactly at UINT64_MAX must not wrap: checks
+  // at the top byte pass, and overlap detection still works above it.
+  MetaPool* p = rt_.CreatePool("MP_syscall", false, 0, true);
+  constexpr uint64_t kBase = UINT64_MAX - 0xFFFF;
+  ASSERT_TRUE(rt_.RegisterUserspace(*p, kBase, 0x10000).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*p, kBase, UINT64_MAX).ok());
+  EXPECT_FALSE(rt_.BoundsCheck(*p, kBase, kBase - 1).ok());
+  EXPECT_FALSE(rt_.RegisterObject(*p, UINT64_MAX - 0xFF, 0x100).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, CacheDoesNotServeStaleBoundsAcrossReRegistration) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 0x100).ok());
+  // Warm the cache with the large extent.
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000, 0x10FF).ok());
+  ASSERT_TRUE(rt_.DropObject(*p, 0x1000).ok());
+  // Same address, smaller object.
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 0x40).ok());
+  // The old extent must now fail; the new extent passes.
+  EXPECT_FALSE(rt_.BoundsCheck(*p, 0x1000, 0x10FF).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000, 0x103F).ok());
+  // And load-store checks agree.
+  EXPECT_FALSE(rt_.LoadStoreCheck(*p, 0x1080).ok());
+  EXPECT_TRUE(rt_.LoadStoreCheck(*p, 0x1020).ok());
+}
+
+TEST_F(MetaPoolRuntimeTest, StatsReportCacheCounters) {
+  MetaPool* p = rt_.CreatePool("MP", false, 0, true);
+  ASSERT_TRUE(rt_.RegisterObject(*p, 0x1000, 0x100).ok());
+  rt_.ResetStats();
+  EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000, 0x1008).ok());  // Miss + fill.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(rt_.BoundsCheck(*p, 0x1000 + i, 0x1008).ok());  // Hits.
+  }
+  const CheckStats& stats = rt_.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 9u);
+  EXPECT_GT(stats.splay_comparisons, 0u);  // The one miss splayed.
+  EXPECT_NEAR(stats.cache_hit_rate(), 0.9, 1e-9);
+  rt_.ResetStats();
+  EXPECT_EQ(rt_.stats().cache_lookups(), 0u);
+  EXPECT_EQ(rt_.stats().splay_comparisons, 0u);
+}
+
+TEST_F(MetaPoolRuntimeTest, CacheToggleAppliesToAllPools) {
+  MetaPool* a = rt_.CreatePool("A", false, 0, true);
+  rt_.set_lookup_cache_enabled(false);
+  MetaPool* b = rt_.CreatePool("B", false, 0, true);  // Created after.
+  EXPECT_FALSE(a->tree().cache_enabled());
+  EXPECT_FALSE(b->tree().cache_enabled());
+  ASSERT_TRUE(rt_.RegisterObject(*a, 0x1000, 0x100).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
+  EXPECT_EQ(rt_.stats().cache_lookups(), 0u);
+  rt_.set_lookup_cache_enabled(true);
+  EXPECT_TRUE(a->tree().cache_enabled());
+  EXPECT_TRUE(b->tree().cache_enabled());
+  EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
+  EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
+  EXPECT_EQ(rt_.stats().cache_hits, 1u);
+  EXPECT_EQ(rt_.stats().cache_misses, 1u);
 }
 
 TEST_F(MetaPoolRuntimeTest, RecordModeLogsButDoesNotTrap) {

@@ -65,6 +65,78 @@ TEST(SplayTreeTest, LookupStart) {
   EXPECT_FALSE(tree.LookupStart(1001).has_value());
 }
 
+TEST(SplayTreeTest, RangeEndingAtAddressSpaceTop) {
+  SplayTree tree;
+  // An object whose last byte is UINT64_MAX: start + size == 2^64 wraps to
+  // 0 in naive arithmetic, which used to break both containment and overlap
+  // detection.
+  constexpr uint64_t kStart = UINT64_MAX - 15;
+  ASSERT_TRUE(tree.Insert(kStart, 16));
+  EXPECT_TRUE(tree.LookupContaining(kStart).has_value());
+  EXPECT_TRUE(tree.LookupContaining(UINT64_MAX).has_value());
+  EXPECT_FALSE(tree.LookupContaining(kStart - 1).has_value());
+  // Overlap detection must reject objects overlapping the top range.
+  EXPECT_FALSE(tree.Insert(UINT64_MAX - 7, 8));   // Inside.
+  EXPECT_FALSE(tree.Insert(UINT64_MAX - 31, 32)); // Overlaps front.
+  EXPECT_FALSE(tree.Insert(UINT64_MAX, 1));       // Last byte.
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Insert(kStart - 16, 16));      // Adjacent before is fine.
+  auto removed = tree.RemoveAt(kStart);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->size, 16u);
+}
+
+TEST(SplayTreeTest, OversizedRangeSaturatesInsteadOfWrapping) {
+  SplayTree tree;
+  // start + size - 1 > UINT64_MAX: the range is clamped to the top of the
+  // address space rather than wrapping around to low memory.
+  constexpr uint64_t kStart = UINT64_MAX - 3;
+  ASSERT_TRUE(tree.Insert(kStart, 100));
+  EXPECT_TRUE(tree.LookupContaining(UINT64_MAX).has_value());
+  // Low memory is NOT covered by the wrapped range.
+  EXPECT_FALSE(tree.LookupContaining(0).has_value());
+  EXPECT_FALSE(tree.LookupContaining(95).has_value());
+  // But further top-of-memory registrations still conflict.
+  EXPECT_FALSE(tree.Insert(UINT64_MAX, 1));
+  EXPECT_TRUE(tree.Insert(100, 16));  // Low memory stays usable.
+}
+
+TEST(SplayTreeTest, ZeroSizeRangeAtAddressSpaceTop) {
+  SplayTree tree;
+  ASSERT_TRUE(tree.Insert(UINT64_MAX, 0));
+  EXPECT_TRUE(tree.LookupContaining(UINT64_MAX).has_value());
+  EXPECT_FALSE(tree.LookupContaining(UINT64_MAX - 1).has_value());
+  EXPECT_TRUE(tree.RemoveAt(UINT64_MAX).has_value());
+}
+
+TEST(SplayTreeTest, ObjectRangeEndSaturates) {
+  ObjectRange top{UINT64_MAX - 15, 16};
+  EXPECT_EQ(top.end(), UINT64_MAX);  // Saturated, not wrapped to 0.
+  EXPECT_TRUE(top.Contains(UINT64_MAX));
+  EXPECT_FALSE(top.Contains(0));
+  ObjectRange normal{100, 16};
+  EXPECT_EQ(normal.end(), 116u);
+}
+
+TEST(SplayTreeTest, RemoveNonRootAfterMixedLookups) {
+  SplayTree tree;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree.Insert(0x1000 + i * 0x100, 0x80));
+  }
+  // Splay a few other nodes to the root so the victim is deep in the tree.
+  tree.LookupContaining(0x1000);
+  tree.LookupContaining(0x1000 + 63 * 0x100);
+  tree.LookupContaining(0x1000 + 31 * 0x100 + 5);
+  auto removed = tree.RemoveAt(0x1000 + 17 * 0x100);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->size, 0x80u);
+  EXPECT_EQ(tree.size(), 63u);
+  EXPECT_FALSE(tree.LookupContaining(0x1000 + 17 * 0x100).has_value());
+  // Neighbours are unaffected.
+  EXPECT_TRUE(tree.LookupContaining(0x1000 + 16 * 0x100).has_value());
+  EXPECT_TRUE(tree.LookupContaining(0x1000 + 18 * 0x100).has_value());
+}
+
 TEST(SplayTreeTest, ClearEmptiesTree) {
   SplayTree tree;
   for (uint64_t i = 0; i < 100; ++i) {
@@ -90,6 +162,140 @@ TEST(SplayTreeTest, RepeatedLookupsAmortize) {
     ASSERT_TRUE(tree.LookupContaining(512 * 64 + 7).has_value());
   }
   EXPECT_LE(tree.comparisons(), 400u);  // ~1-3 comparisons per hit.
+}
+
+// --- Lookup-cache behaviour --------------------------------------------------
+
+TEST(SplayLookupCacheTest, RepeatedHitsSkipTheTree) {
+  SplayTree tree;
+  for (uint64_t i = 0; i < 256; ++i) {
+    tree.Insert(0x1000 + i * 0x100, 0x80);
+  }
+  tree.LookupContaining(0x1000 + 128 * 0x100);  // Warm the cache.
+  tree.ResetStats();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.LookupContaining(0x1000 + 128 * 0x100 + 7).has_value());
+  }
+  EXPECT_EQ(tree.cache_hits(), 100u);
+  EXPECT_EQ(tree.cache_misses(), 0u);
+  EXPECT_EQ(tree.comparisons(), 0u);  // The tree was never touched.
+}
+
+TEST(SplayLookupCacheTest, DroppedObjectIsInvalidated) {
+  SplayTree tree;
+  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
+  ASSERT_TRUE(tree.LookupContaining(0x1080).has_value());  // Cached.
+  ASSERT_TRUE(tree.RemoveAt(0x1000).has_value());
+  // The cache must not resurrect the dropped object.
+  EXPECT_FALSE(tree.LookupContaining(0x1080).has_value());
+}
+
+TEST(SplayLookupCacheTest, ReRegisteredObjectDoesNotServeStaleBounds) {
+  SplayTree tree;
+  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
+  ASSERT_TRUE(tree.LookupContaining(0x10F0).has_value());  // Cached.
+  ASSERT_TRUE(tree.RemoveAt(0x1000).has_value());
+  // Same start, smaller object: the old cached extent would wrongly pass
+  // addresses in [0x1040, 0x1100).
+  ASSERT_TRUE(tree.Insert(0x1000, 0x40));
+  auto hit = tree.LookupContaining(0x1010);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size, 0x40u);
+  EXPECT_FALSE(tree.LookupContaining(0x10F0).has_value());
+  EXPECT_FALSE(tree.LookupContaining(0x1040).has_value());
+}
+
+TEST(SplayLookupCacheTest, ClearResetsTheCache) {
+  SplayTree tree;
+  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
+  ASSERT_TRUE(tree.LookupContaining(0x1000).has_value());
+  tree.Clear();
+  EXPECT_FALSE(tree.LookupContaining(0x1000).has_value());
+  // Fresh registration at the same address serves fresh bounds.
+  ASSERT_TRUE(tree.Insert(0x1000, 0x20));
+  auto hit = tree.LookupContaining(0x1000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size, 0x20u);
+}
+
+TEST(SplayLookupCacheTest, DisabledCacheStillCorrect) {
+  SplayTree tree;
+  tree.set_cache_enabled(false);
+  for (uint64_t i = 0; i < 16; ++i) {
+    tree.Insert(0x1000 + i * 0x100, 0x80);
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(tree.LookupContaining(0x1000 + i * 0x100 + 5).has_value());
+    }
+  }
+  EXPECT_EQ(tree.cache_hits(), 0u);
+  EXPECT_EQ(tree.cache_misses(), 0u);
+  EXPECT_GT(tree.comparisons(), 0u);
+  // Disabling after entries were cached drops them.
+  tree.set_cache_enabled(true);
+  tree.LookupContaining(0x1000);
+  tree.set_cache_enabled(false);
+  tree.ResetStats();
+  ASSERT_TRUE(tree.LookupContaining(0x1000).has_value());
+  EXPECT_EQ(tree.cache_hits(), 0u);
+  EXPECT_GT(tree.comparisons(), 0u);
+}
+
+TEST(SplayLookupCacheTest, LookupStartServedFromCache) {
+  SplayTree tree;
+  ASSERT_TRUE(tree.Insert(0x2000, 0x100));
+  ASSERT_TRUE(tree.LookupContaining(0x2050).has_value());  // Cache fill.
+  tree.ResetStats();
+  auto hit = tree.LookupStart(0x2000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(tree.cache_hits(), 1u);
+  EXPECT_EQ(tree.comparisons(), 0u);
+  // An interior address is not an exact start: must fall through (and then
+  // miss, since no object starts there).
+  EXPECT_FALSE(tree.LookupStart(0x2050).has_value());
+}
+
+// Property test under cache churn: randomized insert/remove/lookup agrees
+// with a reference model with the cache enabled (the default), exercising
+// invalidation on every removal path.
+TEST(SplayLookupCacheTest, RandomChurnNeverServesStale) {
+  std::mt19937 rng(99);
+  SplayTree tree;
+  std::map<uint64_t, uint64_t> model;  // start -> size
+  std::uniform_int_distribution<uint64_t> slot_dist(0, 63);
+  std::uniform_int_distribution<uint64_t> size_dist(1, 3);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  auto start_of = [](uint64_t slot) { return 0x1000 + slot * 0x100; };
+
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t slot = slot_dist(rng);
+    uint64_t start = start_of(slot);
+    int op = op_dist(rng);
+    if (op < 2) {  // (Re-)register at a fresh size.
+      if (model.count(start) != 0) {
+        ASSERT_TRUE(tree.RemoveAt(start).has_value());
+        model.erase(start);
+      }
+      uint64_t size = size_dist(rng) * 0x40;
+      ASSERT_TRUE(tree.Insert(start, size));
+      model[start] = size;
+    } else if (op < 3) {  // Drop.
+      bool in_model = model.count(start) != 0;
+      EXPECT_EQ(tree.RemoveAt(start).has_value(), in_model);
+      model.erase(start);
+    } else {  // Lookup at a random offset within the slot.
+      uint64_t offset = step % 0x100;
+      auto got = tree.LookupContaining(start + offset);
+      auto it = model.find(start);
+      bool expect_hit = it != model.end() && offset < it->second;
+      ASSERT_EQ(got.has_value(), expect_hit)
+          << "slot " << slot << " offset " << offset << " step " << step;
+      if (expect_hit) {
+        EXPECT_EQ(got->size, it->second);
+      }
+    }
+  }
 }
 
 // Property test: the splay tree agrees with a std::map reference model

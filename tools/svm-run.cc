@@ -39,11 +39,13 @@ int main(int argc, char** argv) {
       args.push_back(std::strtoull(argv[++i], nullptr, 0));
     } else if (arg == "--no-checks") {
       options.interp.enforce_checks = false;
+    } else if (arg == "--no-cache") {
+      options.interp.use_lookup_cache = false;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
-                  "[--no-checks] [--stats]\n");
+                  "[--no-checks] [--no-cache] [--stats]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option " + arg);
@@ -76,6 +78,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      check_stats.total_performed()),
                  static_cast<unsigned long long>(check_stats.total_failed()));
+    std::fprintf(stderr,
+                 "svm-run: lookup cache %llu hits / %llu misses "
+                 "(%.1f%% hit rate), %llu splay comparisons\n",
+                 static_cast<unsigned long long>(check_stats.cache_hits),
+                 static_cast<unsigned long long>(check_stats.cache_misses),
+                 100.0 * check_stats.cache_hit_rate(),
+                 static_cast<unsigned long long>(
+                     check_stats.splay_comparisons));
   }
   if (!result.status.ok()) {
     std::fprintf(stderr, "svm-run: %s\n", result.status.ToString().c_str());
