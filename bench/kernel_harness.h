@@ -6,8 +6,11 @@
 #include <cassert>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/kernel/kernel.h"
+#include "src/smp/percpu.h"
 
 namespace sva::bench {
 
@@ -52,6 +55,26 @@ class BootedKernel {
       uint64_t n = std::min(chunk, total - done);
       Call(kernel::Sys::kWrite, fd, user(4096), n);
       done += n;
+    }
+  }
+
+  // N-worker syscall driver: brings up `threads` virtual CPUs, binds one
+  // worker thread to each, and runs `fn(worker_index)` on all of them
+  // concurrently. Syscalls serialize on the kernel's big lock; the check
+  // runtime underneath scales per-CPU.
+  template <typename Fn>
+  void RunWorkers(unsigned threads, Fn&& fn) {
+    kernel_->svaos().ConfigureCpus(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([t, &fn] {
+        smp::ScopedCpu bind(t);
+        fn(t);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
     }
   }
 

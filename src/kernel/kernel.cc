@@ -93,6 +93,8 @@ Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
   if (!booted_) {
     return FailedPrecondition("kernel not booted");
   }
+  // SVA-PORT(svaos): big kernel lock — one worker in the kernel at a time.
+  std::lock_guard<smp::SpinLock> guard(bkl_);
   return Dispatch(number, {a0, a1, a2, a3, 0, 0});
 }
 
@@ -315,6 +317,7 @@ Status Kernel::CopyBlockFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
 }
 
 Status Kernel::PokeUser(uint64_t uaddr, const void* data, uint64_t len) {
+  std::lock_guard<smp::SpinLock> guard(bkl_);
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -328,6 +331,7 @@ Status Kernel::PokeUser(uint64_t uaddr, const void* data, uint64_t len) {
 }
 
 Status Kernel::PeekUser(uint64_t uaddr, void* data, uint64_t len) {
+  std::lock_guard<smp::SpinLock> guard(bkl_);
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -397,6 +401,7 @@ Result<int> Kernel::CreateTask(int parent_pid) {
 }
 
 Status Kernel::Yield() {
+  std::lock_guard<smp::SpinLock> guard(bkl_);
   Task* current = current_task();
   if (current == nullptr) {
     return Internal("no current task");

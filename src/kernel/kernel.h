@@ -23,6 +23,7 @@
 #include "src/kernel/alloc.h"
 #include "src/kernel/config.h"
 #include "src/runtime/metapool_runtime.h"
+#include "src/smp/sync.h"
 #include "src/support/status.h"
 #include "src/svaos/svaos.h"
 
@@ -137,12 +138,15 @@ class Kernel {
   Status Boot();
 
   // The user-program entry point: traps into the kernel through the path
-  // selected by the configuration.
+  // selected by the configuration. Safe to call from multiple worker
+  // threads: kernel policy state (tasks, fd tables, vfs) is guarded by a
+  // big kernel lock, Linux-2.4 style — the scaling axis of this repo is the
+  // check runtime, not the minikernel.
   Result<uint64_t> Syscall(Sys number, uint64_t a0 = 0, uint64_t a1 = 0,
                            uint64_t a2 = 0, uint64_t a3 = 0);
 
   // Cooperative scheduler: switch to the next runnable task (exercises the
-  // SVA-OS state save/restore path).
+  // SVA-OS state save/restore path). Takes the big kernel lock.
   Status Yield();
 
   // --- Host-side helpers for benchmarks and tests ----------------------------
@@ -226,6 +230,10 @@ class Kernel {
 
   hw::Machine& machine_;
   KernelConfig config_;
+  // The big kernel lock: serializes syscall/scheduler/user-memory entry
+  // points (the 2.4-era concurrency model the paper's kernel port assumes).
+  // Runtime checks issued outside the kernel do not take it.
+  mutable smp::SpinLock bkl_;
   svaos::SvaOS svaos_;
   runtime::MetaPoolRuntime pools_;
   std::unique_ptr<KernelAllocators> allocators_;

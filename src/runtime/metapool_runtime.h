@@ -1,9 +1,19 @@
 // The MetaPool runtime (Sections 4.3-4.6): object registries keyed by
 // metapool, plus the three run-time checks the SVM verifier inserts into
 // kernel bytecode. This is part of the SVA trusted computing base.
+//
+// Thread safety (DESIGN.md §SMP): checks arrive concurrently from every
+// virtual CPU, so each metapool shards its registry over kNumStripes splay
+// trees by address window, each stripe guarded by its own spinlock; an
+// object is inserted into every stripe its range touches, so a lookup only
+// ever probes the single stripe of the queried address. The object-lookup
+// cache in front of the trees is per-thread (TLS) and validated against a
+// per-pool generation counter, so the hot fast path takes no lock at all.
 #ifndef SVA_SRC_RUNTIME_METAPOOL_RUNTIME_H_
 #define SVA_SRC_RUNTIME_METAPOOL_RUNTIME_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,11 +21,16 @@
 #include <string>
 #include <vector>
 
-#include "src/support/status.h"
 #include "src/runtime/checks.h"
+#include "src/runtime/lookup_cache.h"
 #include "src/runtime/splay_tree.h"
+#include "src/smp/percpu.h"
+#include "src/smp/sync.h"
+#include "src/support/status.h"
 
 namespace sva::runtime {
+
+using LookupCache = LookupCacheT<ObjectRange>;
 
 // What the runtime does when a check fails. The paper's SVM stops the
 // offending operation; kRecord exists for the benchmark harness and for the
@@ -28,14 +43,22 @@ enum class EnforcementMode {
 class MetaPoolRuntime;
 
 // One metapool: the run-time reflection of one points-to partition.
+//
+// Concurrency: RegisterRange/RemoveStart/Lookup/LookupStart are safe to call
+// from any thread. The registry is striped by 4 KiB address window; a range
+// lives in every stripe it touches (all stripes once it spans >= kNumStripes
+// windows), so Lookup(addr) needs only stripe(addr). Drops bump the pool
+// generation *after* the tree removal, which is what lets the per-thread
+// lookup cache skip locking: an entry is served only if its recorded
+// generation still matches, and any entry for a dropped object was tagged
+// with a pre-drop generation.
 class MetaPool {
  public:
+  static constexpr size_t kNumStripes = 16;
+  static constexpr uint64_t kStripeShift = 12;  // 4 KiB address windows.
+
   MetaPool(std::string name, bool type_homogeneous, uint64_t element_size,
-           bool complete)
-      : name_(std::move(name)),
-        type_homogeneous_(type_homogeneous),
-        element_size_(element_size),
-        complete_(complete) {}
+           bool complete);
 
   const std::string& name() const { return name_; }
   bool type_homogeneous() const { return type_homogeneous_; }
@@ -43,27 +66,79 @@ class MetaPool {
   bool complete() const { return complete_; }
   void set_complete(bool c) { complete_ = c; }
 
-  size_t live_objects() const { return tree_.size(); }
-  SplayTree& tree() { return tree_; }
+  size_t live_objects() const {
+    return live_objects_.load(std::memory_order_relaxed);
+  }
 
   // Direct (uninstrumented) registry access used by the runtime and tests.
-  bool RegisterRange(uint64_t start, uint64_t size) {
-    return tree_.Insert(start, size);
-  }
-  std::optional<ObjectRange> Lookup(uint64_t addr) {
-    return tree_.LookupContaining(addr);
+  // Registers [start, start+size); false on overlap with a live object.
+  bool RegisterRange(uint64_t start, uint64_t size);
+  // Removes the object starting exactly at `start`; nullopt if none does.
+  std::optional<ObjectRange> RemoveStart(uint64_t start);
+  // The registered object containing `addr`, if any (per-thread cache +
+  // single-stripe splay lookup).
+  std::optional<ObjectRange> Lookup(uint64_t addr);
+  // The registered object starting exactly at `start`, if any.
+  std::optional<ObjectRange> LookupStart(uint64_t start);
+
+  // Per-pool object-lookup cache switch. Disabling (or re-enabling) starts
+  // every thread's cache cold for this pool. Enabled by default.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const {
+    return cache_enabled_.load(std::memory_order_relaxed);
   }
 
+  // Fast-path counters: lookups absorbed by the per-thread cache, lookups
+  // that fell through to a tree, and splay comparisons over all stripes.
+  uint64_t cache_hits() const { return cache_hits_.value(); }
+  uint64_t cache_misses() const { return cache_misses_.value(); }
+  uint64_t comparisons() const;
+  void ResetStats();
+
  private:
+  struct alignas(smp::kCacheLineBytes) Stripe {
+    mutable smp::SpinLock lock;
+    SplayTree tree;
+  };
+
+  static size_t StripeFor(uint64_t addr) {
+    return static_cast<size_t>(addr >> kStripeShift) & (kNumStripes - 1);
+  }
+  // Bitmask of stripes the range [start, start+size) touches.
+  static uint32_t StripeMaskFor(uint64_t start, uint64_t size);
+
+  // Per-thread cache probe/fill (implemented over the TLS slot table in
+  // metapool_runtime.cc). `generation` is the pool generation observed
+  // *before* the locked tree lookup that produced `range`.
+  const ObjectRange* TlsProbe(uint64_t addr) const;
+  void TlsFill(uint64_t generation, const ObjectRange& range);
+
   const std::string name_;
   const bool type_homogeneous_;
   const uint64_t element_size_;
   bool complete_;
-  SplayTree tree_;
+
+  std::array<Stripe, kNumStripes> stripes_;
+  // Bumped (release) after every removal; per-thread cache entries tagged
+  // with an older generation are never served.
+  std::atomic<uint64_t> generation_{1};
+  std::atomic<uint64_t> live_objects_{0};
+  // Globally unique, never recycled: keys this pool's slot in each thread's
+  // cache table, so a destroyed pool's entries can never alias a new pool.
+  const uint64_t cache_id_;
+  std::atomic<bool> cache_enabled_{true};
+  mutable smp::ShardedCounter cache_hits_;
+  mutable smp::ShardedCounter cache_misses_;
 };
 
 // Owns all metapools of one executing kernel/program and implements the
 // pchk.*/sva.* operations against them.
+//
+// Concurrency: the check/registration entry points are thread-safe (striped
+// pool registries, spinlocked violation log and target sets, per-CPU check
+// counters). stats(), violations() and pools() report a consistent snapshot
+// only at quiescence (no checks in flight), which is how the harnesses use
+// them.
 class MetaPoolRuntime {
  public:
   explicit MetaPoolRuntime(EnforcementMode mode = EnforcementMode::kTrap)
@@ -110,11 +185,10 @@ class MetaPoolRuntime {
   EnforcementMode mode() const { return mode_; }
   void set_mode(EnforcementMode mode) { mode_ = mode; }
   const std::vector<Violation>& violations() const { return violations_; }
-  void ClearViolations() { violations_.clear(); }
-  // Returns the counters with the per-pool fast-path counters (cache
-  // hits/misses, splay comparisons) aggregated in.
+  void ClearViolations();
+  // Returns the counters aggregated over all CPU shards, with the per-pool
+  // fast-path counters (cache hits/misses, splay comparisons) folded in.
   const CheckStats& stats() const;
-  CheckStats& mutable_stats() { return stats_; }
   void ResetStats();
 
   // Toggles the per-pool object-lookup cache on every pool (existing and
@@ -130,14 +204,25 @@ class MetaPoolRuntime {
  private:
   Status Fail(CheckKind kind, const MetaPool* pool, uint64_t address,
               uint64_t aux, std::string detail);
+  // The calling CPU's counter shard; fields are bumped through atomic_ref so
+  // oversubscribed threads sharing a CPU id stay race-free.
+  CheckStats& Shard() { return stats_shards_.Current(); }
+  static void Bump(uint64_t& counter) {
+    std::atomic_ref<uint64_t>(counter).fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
 
   EnforcementMode mode_;
   bool lookup_cache_enabled_ = true;
+  mutable smp::SpinLock pools_lock_;
   std::map<std::string, std::unique_ptr<MetaPool>> pools_;
+  mutable smp::SpinLock targets_lock_;
   std::vector<std::vector<uint64_t>> target_sets_;
+  mutable smp::SpinLock violations_lock_;
   std::vector<Violation> violations_;
-  // stats() folds the cumulative per-pool tree counters into the cache/splay
-  // fields on demand; mutable so the accessor can stay const.
+  smp::PerCpu<CheckStats> stats_shards_;
+  // stats() folds the shards and the per-pool counters into this scratch on
+  // demand; mutable so the accessor can stay const.
   mutable CheckStats stats_;
 };
 

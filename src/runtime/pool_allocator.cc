@@ -71,6 +71,7 @@ bool PoolAllocator::Grow() {
 }
 
 uint64_t PoolAllocator::Allocate() {
+  std::lock_guard<smp::SpinLock> guard(lock_);
   if (free_list_.empty() && !Grow()) {
     return 0;
   }
@@ -82,6 +83,7 @@ uint64_t PoolAllocator::Allocate() {
 }
 
 Status PoolAllocator::Free(uint64_t addr) {
+  std::lock_guard<smp::SpinLock> guard(lock_);
   auto it = live_.find(addr);
   if (it == live_.end()) {
     return InvalidArgument(StrCat("pool ", name_, ": free of 0x", std::hex,
@@ -124,23 +126,29 @@ uint64_t OrdinaryAllocator::Allocate(uint64_t size) {
   }
   uint64_t addr = cache->Allocate();
   if (addr != 0) {
+    std::lock_guard<smp::SpinLock> guard(lock_);
     live_sizes_[addr] = cache->object_size();
   }
   return addr;
 }
 
 Status OrdinaryAllocator::Free(uint64_t addr) {
-  auto it = live_sizes_.find(addr);
-  if (it == live_sizes_.end()) {
-    return InvalidArgument(
-        StrCat("kmalloc: free of unknown address 0x", std::hex, addr));
+  uint64_t class_size = 0;
+  {
+    std::lock_guard<smp::SpinLock> guard(lock_);
+    auto it = live_sizes_.find(addr);
+    if (it == live_sizes_.end()) {
+      return InvalidArgument(
+          StrCat("kmalloc: free of unknown address 0x", std::hex, addr));
+    }
+    class_size = it->second;
+    live_sizes_.erase(it);
   }
-  PoolAllocator* cache = CacheFor(it->second);
-  live_sizes_.erase(it);
-  return cache->Free(addr);
+  return CacheFor(class_size)->Free(addr);
 }
 
 uint64_t OrdinaryAllocator::AllocationSize(uint64_t addr) const {
+  std::lock_guard<smp::SpinLock> guard(lock_);
   auto it = live_sizes_.find(addr);
   return it == live_sizes_.end() ? 0 : it->second;
 }

@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "src/smp/sync.h"
 #include "src/support/status.h"
 
 namespace sva::runtime {
@@ -47,15 +49,23 @@ class PoolAllocator {
   uint64_t object_size() const { return object_size_; }
   uint64_t slot_stride() const { return stride_; }
 
-  // Allocates one object; returns 0 on page exhaustion.
+  // Allocates one object; returns 0 on page exhaustion. Thread-safe: the
+  // free list and live set are guarded (concurrent Grow() calls into the
+  // page provider are serialized per pool by the same lock).
   uint64_t Allocate();
   // Returns the object to the pool's internal free list. The memory stays
   // owned by this pool (never released while the pool lives).
   Status Free(uint64_t addr);
   // True if `addr` is the start of a live object of this pool.
-  bool IsLiveObject(uint64_t addr) const { return live_.count(addr) != 0; }
+  bool IsLiveObject(uint64_t addr) const {
+    std::lock_guard<smp::SpinLock> guard(lock_);
+    return live_.count(addr) != 0;
+  }
 
-  uint64_t live_objects() const { return live_.size(); }
+  uint64_t live_objects() const {
+    std::lock_guard<smp::SpinLock> guard(lock_);
+    return live_.size();
+  }
   uint64_t pages_owned() const { return pages_owned_; }
   uint64_t total_allocations() const { return total_allocations_; }
   // Pages consumed from the provider that can never back an object: the
@@ -68,12 +78,15 @@ class PoolAllocator {
   // Enumerates the live objects (used when a pool is destroyed: the kernel
   // deregisters all remaining objects from the metapool, Section 4.3).
   std::vector<uint64_t> LiveObjects() const {
+    std::lock_guard<smp::SpinLock> guard(lock_);
     return std::vector<uint64_t>(live_.begin(), live_.end());
   }
 
  private:
+  // Requires lock_ held.
   bool Grow();
 
+  mutable smp::SpinLock lock_;
   const std::string name_;
   const uint64_t object_size_;
   uint64_t stride_;
@@ -95,7 +108,8 @@ class OrdinaryAllocator {
   explicit OrdinaryAllocator(PageProvider& pages);
 
   // Allocates `size` bytes (rounded up to a size class); 0 on exhaustion or
-  // for requests beyond the largest class.
+  // for requests beyond the largest class. Thread-safe: the size map is
+  // guarded here, the per-class caches by their own locks.
   uint64_t Allocate(uint64_t size);
   Status Free(uint64_t addr);
 
@@ -114,6 +128,7 @@ class OrdinaryAllocator {
   uint64_t largest_class() const;
 
  private:
+  mutable smp::SpinLock lock_;  // Guards live_sizes_.
   PageProvider& pages_;
   std::vector<std::unique_ptr<PoolAllocator>> caches_;
   std::map<uint64_t, uint64_t> live_sizes_;  // addr -> class size

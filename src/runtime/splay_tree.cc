@@ -29,7 +29,6 @@ void SplayTree::Clear() {
   DeleteSubtree(root_);
   root_ = nullptr;
   size_ = 0;
-  cache_.Reset();
 }
 
 int SplayTree::Compare(uint64_t addr, const ObjectRange& range) {
@@ -168,7 +167,6 @@ std::optional<ObjectRange> SplayTree::RemoveAt(uint64_t start) {
     return std::nullopt;
   }
   ObjectRange removed = root_->range;
-  cache_.InvalidateStart(start);
   Node* old = root_;
   if (root_->left == nullptr) {
     root_ = root_->right;
@@ -187,18 +185,8 @@ std::optional<ObjectRange> SplayTree::LookupContaining(uint64_t addr) {
   if (root_ == nullptr) {
     return std::nullopt;
   }
-  if (cache_enabled_) {
-    if (const ObjectRange* hit = cache_.Find(addr)) {
-      ++cache_hits_;
-      return *hit;
-    }
-    ++cache_misses_;
-  }
   Splay(addr);
   if (Compare(addr, root_->range) == 0) {
-    if (cache_enabled_) {
-      cache_.Remember(root_->range);
-    }
     return root_->range;
   }
   return std::nullopt;
@@ -208,20 +196,8 @@ std::optional<ObjectRange> SplayTree::LookupStart(uint64_t start) {
   if (root_ == nullptr) {
     return std::nullopt;
   }
-  if (cache_enabled_) {
-    // Exact-start lookups can only be served by an entry starting there.
-    const ObjectRange* hit = cache_.Find(start);
-    if (hit != nullptr && hit->start == start) {
-      ++cache_hits_;
-      return *hit;
-    }
-    ++cache_misses_;
-  }
   Splay(start);
   if (root_->range.start == start) {
-    if (cache_enabled_) {
-      cache_.Remember(root_->range);
-    }
     return root_->range;
   }
   return std::nullopt;

@@ -8,14 +8,17 @@
 // to insert an overlapping range fails (the caller reports a double
 // registration). Lookup by containing address splays the found node to the
 // root, which is what makes repeated checks on the same object cheap.
+//
+// The tree itself is single-writer: MetaPool shards its registry over
+// several trees (one per address stripe) and guards each with its own lock;
+// the object-lookup cache that used to front this tree is now per-thread
+// and lives in metapool_runtime.cc.
 #ifndef SVA_SRC_RUNTIME_SPLAY_TREE_H_
 #define SVA_SRC_RUNTIME_SPLAY_TREE_H_
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-
-#include "src/runtime/lookup_cache.h"
 
 namespace sva::runtime {
 
@@ -40,8 +43,6 @@ struct ObjectRange {
   }
 };
 
-using LookupCache = LookupCacheT<ObjectRange>;
-
 class SplayTree {
  public:
   SplayTree() = default;
@@ -51,17 +52,10 @@ class SplayTree {
   SplayTree(SplayTree&& other) noexcept
       : root_(other.root_),
         size_(other.size_),
-        cache_(other.cache_),
-        cache_enabled_(other.cache_enabled_),
-        comparisons_(other.comparisons_),
-        cache_hits_(other.cache_hits_),
-        cache_misses_(other.cache_misses_) {
+        comparisons_(other.comparisons_) {
     other.root_ = nullptr;
     other.size_ = 0;
-    other.cache_.Reset();
     other.comparisons_ = 0;
-    other.cache_hits_ = 0;
-    other.cache_misses_ = 0;
   }
 
   // Inserts [start, start+size). Returns false if it would overlap an
@@ -73,35 +67,19 @@ class SplayTree {
   // range, or nullopt if no range starts there (an illegal free).
   std::optional<ObjectRange> RemoveAt(uint64_t start);
 
-  // Finds the range containing `addr`. Consults the lookup cache first;
-  // on a cache miss, splays the found node to the root and caches it.
+  // Finds the range containing `addr`, splaying the found node to the root.
   std::optional<ObjectRange> LookupContaining(uint64_t addr);
 
-  // Finds the range with the given exact start (cache consult + splaying).
+  // Finds the range with the given exact start (splaying).
   std::optional<ObjectRange> LookupStart(uint64_t start);
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   void Clear();
 
-  // Enables/disables the front-end lookup cache (enabled by default).
-  // Disabling drops all cached entries, so re-enabling starts cold.
-  void set_cache_enabled(bool enabled) {
-    cache_enabled_ = enabled;
-    cache_.Reset();
-  }
-  bool cache_enabled() const { return cache_enabled_; }
-
-  // Cumulative counters for the benchmark harness. Comparisons count splay
-  // steps only; cache probes are not comparisons.
+  // Cumulative splay-step comparison count for the benchmark harness.
   uint64_t comparisons() const { return comparisons_; }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
-  void ResetStats() {
-    comparisons_ = 0;
-    cache_hits_ = 0;
-    cache_misses_ = 0;
-  }
+  void ResetStats() { comparisons_ = 0; }
 
  private:
   struct Node {
@@ -119,11 +97,7 @@ class SplayTree {
 
   Node* root_ = nullptr;
   size_t size_ = 0;
-  LookupCache cache_;
-  bool cache_enabled_ = true;
   uint64_t comparisons_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace sva::runtime

@@ -4,13 +4,14 @@
 
 namespace sva::svaos {
 
-SvaOS::SvaOS(hw::Machine& machine) : machine_(machine) {}
+SvaOS::SvaOS(hw::Machine& machine)
+    : machine_(machine), vmp_(machine.cpu()) {}
 
 // --- Table 1 ---------------------------------------------------------------------
 
 void SvaOS::SaveIntegerState(SavedIntegerState* buffer) {
-  ++stats_.save_integer;
-  buffer->control = machine_.cpu().control();
+  ++cpu_stats().save_integer;
+  buffer->control = cpu_hw().control();
   buffer->valid = true;
 }
 
@@ -19,20 +20,21 @@ Status SvaOS::LoadIntegerState(const SavedIntegerState& buffer) {
     return FailedPrecondition(
         "llva.load.integer: buffer never saved");
   }
-  ++stats_.load_integer;
-  machine_.cpu().control() = buffer.control;
+  ++cpu_stats().load_integer;
+  cpu_hw().control() = buffer.control;
   return OkStatus();
 }
 
 bool SvaOS::SaveFpState(SavedFpState* buffer, bool always) {
-  if (!always && !machine_.cpu().fp_dirty()) {
-    ++stats_.save_fp_skipped;
+  hw::Cpu& cpu = cpu_hw();
+  if (!always && !cpu.fp_dirty()) {
+    ++cpu_stats().save_fp_skipped;
     return false;  // Lazy save: FP untouched since the last load.
   }
-  ++stats_.save_fp;
-  buffer->fp = machine_.cpu().fp();
+  ++cpu_stats().save_fp;
+  buffer->fp = cpu.fp();
   buffer->valid = true;
-  machine_.cpu().set_fp_dirty(false);
+  cpu.set_fp_dirty(false);
   return true;
 }
 
@@ -40,9 +42,9 @@ Status SvaOS::LoadFpState(const SavedFpState& buffer) {
   if (!buffer.valid) {
     return FailedPrecondition("llva.load.fp: buffer never saved");
   }
-  ++stats_.load_fp;
-  machine_.cpu().fp() = buffer.fp;
-  machine_.cpu().set_fp_dirty(false);
+  ++cpu_stats().load_fp;
+  cpu_hw().fp() = buffer.fp;
+  cpu_hw().set_fp_dirty(false);
   return OkStatus();
 }
 
@@ -67,13 +69,13 @@ void SvaOS::IContextCommit(InterruptContext* icp) {
   // in the simulation the context is already memory-resident, so commit is
   // a flag plus accounting.
   icp->committed_ = true;
-  ++stats_.icontext_committed;
+  ++cpu_stats().icontext_committed;
 }
 
 void SvaOS::IPushFunction(InterruptContext* icp,
                           std::function<void(uint64_t)> fn,
                           uint64_t argument) {
-  ++stats_.ipush_function;
+  ++cpu_stats().ipush_function;
   icp->pushed_.push_back(PushedCall{std::move(fn), argument});
 }
 
@@ -99,14 +101,11 @@ Status SvaOS::RegisterInterrupt(unsigned vector, InterruptHandler handler) {
 // --- Dispatch ---------------------------------------------------------------------
 
 InterruptContext* SvaOS::EnterKernel() {
-  ++stats_.icontext_created;
-  InterruptContext* icp = &icontext_slab_[icontext_depth_ %
-                                          kMaxNestedContexts];
-  ++icontext_depth_;
-  icp->id_ = next_icontext_id_++;
-  icp->committed_ = false;
-  icp->pushed_.clear();
-  hw::Cpu& cpu = machine_.cpu();
+  smp::VirtualCpu& vcpu = vmp_.Current();
+  ++vcpu.stats().icontext_created;
+  InterruptContext* icp = vcpu.PushContext(
+      next_icontext_id_.fetch_add(1, std::memory_order_relaxed));
+  hw::Cpu& cpu = vcpu.cpu();
   icp->interrupted_ = cpu.control();
   icp->from_privileged_ = cpu.control().privilege == hw::Privilege::kKernel;
   cpu.control().privilege = hw::Privilege::kKernel;
@@ -120,12 +119,10 @@ void SvaOS::ReturnFromInterrupt(InterruptContext* icp) {
     call.fn(call.argument);
   }
   icp->pushed_.clear();
-  machine_.cpu().control() = icp->interrupted_;
-  // Pop the context (it must be the innermost one).
-  if (icontext_depth_ > 0 &&
-      &icontext_slab_[(icontext_depth_ - 1) % kMaxNestedContexts] == icp) {
-    --icontext_depth_;
-  }
+  smp::VirtualCpu& vcpu = vmp_.Current();
+  vcpu.cpu().control() = icp->interrupted_;
+  // Pop the context (it must be the innermost one on this CPU).
+  vcpu.PopContext(icp);
 }
 
 Result<uint64_t> SvaOS::Syscall(uint64_t number,
@@ -134,7 +131,7 @@ Result<uint64_t> SvaOS::Syscall(uint64_t number,
   if (it == syscalls_.end()) {
     return NotFound(StrCat("unregistered system call ", number));
   }
-  ++stats_.syscalls_dispatched;
+  ++cpu_stats().syscalls_dispatched;
   InterruptContext* icp = EnterKernel();
   SyscallArgs call;
   call.args = args;
@@ -148,7 +145,7 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
   if (vector >= hw::kNumVectors || !interrupts_[vector]) {
     return NotFound(StrCat("unregistered interrupt vector ", vector));
   }
-  ++stats_.interrupts_dispatched;
+  ++cpu_stats().interrupts_dispatched;
   InterruptContext* icp = EnterKernel();
   interrupts_[vector](icp);
   ReturnFromInterrupt(icp);
@@ -158,7 +155,7 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
 // --- MMU / IO ---------------------------------------------------------------------
 
 Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
-  ++stats_.mmu_ops;
+  ++cpu_stats().mmu_ops;
   // SVM mediation: the kernel may never create a mapping into SVM pages.
   if ((flags & hw::kPteSvmReserved) != 0) {
     return FailedPrecondition("kernel may not create SVM-reserved mappings");
@@ -167,30 +164,30 @@ Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
 }
 
 Status SvaOS::MmuUnmap(uint64_t vaddr) {
-  ++stats_.mmu_ops;
+  ++cpu_stats().mmu_ops;
   return machine_.mmu().Unmap(vaddr);
 }
 
 Status SvaOS::LoadPageTable(uint64_t base) {
-  ++stats_.mmu_ops;
-  machine_.cpu().control().page_table_base = base;
+  ++cpu_stats().mmu_ops;
+  cpu_hw().control().page_table_base = base;
   return OkStatus();
 }
 
 Status SvaOS::ReserveSvmPage(uint64_t vaddr, uint64_t paddr) {
-  ++stats_.mmu_ops;
+  ++cpu_stats().mmu_ops;
   return machine_.mmu().Map(vaddr, paddr,
                             hw::kPtePresent | hw::kPteWritable |
                                 hw::kPteSvmReserved);
 }
 
 Result<uint64_t> SvaOS::IoRead(uint16_t port) {
-  ++stats_.io_ops;
+  ++cpu_stats().io_ops;
   return machine_.IoRead(port);
 }
 
 Status SvaOS::IoWrite(uint16_t port, uint64_t value) {
-  ++stats_.io_ops;
+  ++cpu_stats().io_ops;
   return machine_.IoWrite(port, value);
 }
 

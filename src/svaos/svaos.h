@@ -7,10 +7,17 @@
 // Design choice carried over from the paper: SVA-OS provides *mechanisms
 // only*; all policy (scheduling, signal semantics, fd tables) lives in the
 // minikernel (src/kernel).
+//
+// SMP: the per-processor state the paper assumes (interrupt-context stack,
+// save/restore buffers, per-processor counters) lives on smp::VirtualCpu;
+// SvaOS dispatches against the calling thread's CPU (smp::current_cpu_id).
+// CPU 0 is bound to the machine's boot CPU, so a single-CPU configuration
+// behaves exactly as the pre-SMP code did.
 #ifndef SVA_SRC_SVAOS_SVAOS_H_
 #define SVA_SRC_SVAOS_SVAOS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,63 +25,19 @@
 #include <vector>
 
 #include "src/hw/machine.h"
+#include "src/smp/vcpu.h"
 #include "src/support/status.h"
 
 namespace sva::svaos {
 
-// Opaque buffer for llva.save.integer / llva.load.integer (Table 1). The
-// kernel sees only this handle; the layout belongs to the SVM.
-struct SavedIntegerState {
-  hw::ControlState control;
-  bool valid = false;
-};
-
-// Opaque buffer for llva.save.fp / llva.load.fp.
-struct SavedFpState {
-  hw::FpState fp;
-  bool valid = false;
-};
-
-// A function call pushed onto an interrupted context by
-// llva.ipush.function — the signal-dispatch mechanism of Table 2.
-struct PushedCall {
-  std::function<void(uint64_t)> fn;
-  uint64_t argument = 0;
-};
-
-// The interrupt context of Section 3.3: the interrupted control state, kept
-// on the kernel stack by the SVM, manipulated only through the llva.icontext
-// operations.
-class InterruptContext {
- public:
-  uint64_t id() const { return id_; }
-  bool committed() const { return committed_; }
-
- private:
-  friend class SvaOS;
-  uint64_t id_ = 0;
-  hw::ControlState interrupted_;
-  bool from_privileged_ = false;
-  bool committed_ = false;
-  std::vector<PushedCall> pushed_;
-};
-
-// Per-operation counters; the Table 7 analysis attributes syscall overhead
-// to these operations.
-struct SvaOsStats {
-  uint64_t save_integer = 0;
-  uint64_t load_integer = 0;
-  uint64_t save_fp = 0;
-  uint64_t save_fp_skipped = 0;  // Lazy saves avoided (Table 1 `always=0`).
-  uint64_t load_fp = 0;
-  uint64_t icontext_created = 0;
-  uint64_t icontext_committed = 0;
-  uint64_t ipush_function = 0;
-  uint64_t syscalls_dispatched = 0;
-  uint64_t interrupts_dispatched = 0;
-  uint64_t mmu_ops = 0;
-  uint64_t io_ops = 0;
-};
+// The SVA-OS state types are per-CPU and live with the virtual CPU
+// (src/smp/vcpu.h); aliased here so kernel and test code keeps the
+// svaos:: spelling.
+using SavedIntegerState = smp::SavedIntegerState;
+using SavedFpState = smp::SavedFpState;
+using PushedCall = smp::PushedCall;
+using InterruptContext = smp::InterruptContext;
+using SvaOsStats = smp::SvaOsStats;
 
 struct SyscallArgs {
   std::array<uint64_t, 6> args{};
@@ -87,6 +50,14 @@ using InterruptHandler = std::function<void(InterruptContext*)>;
 class SvaOS {
  public:
   explicit SvaOS(hw::Machine& machine);
+
+  // --- SMP topology ------------------------------------------------------------
+  // Brings up `n` virtual CPUs (clamped to [1, smp::kMaxCpus]); call before
+  // spawning worker threads. Workers bind with smp::ScopedCpu.
+  void ConfigureCpus(unsigned n) { vmp_.Configure(n); }
+  unsigned num_cpus() const { return vmp_.num_cpus(); }
+  smp::VirtualCpu& current_cpu() { return vmp_.Current(); }
+  smp::VirtualCpu& cpu(unsigned id) { return vmp_.cpu(id); }
 
   // --- Table 1: native state save/restore ------------------------------------
   void SaveIntegerState(SavedIntegerState* buffer);
@@ -137,24 +108,23 @@ class SvaOS {
   Status IoWrite(uint16_t port, uint64_t value);
 
   hw::Machine& machine() { return machine_; }
-  const SvaOsStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = SvaOsStats{}; }
+  // Aggregated over all CPUs.
+  SvaOsStats stats() const { return vmp_.AggregateStats(); }
+  void ResetStats() { vmp_.ResetStats(); }
 
  private:
   InterruptContext* EnterKernel();
   void ReturnFromInterrupt(InterruptContext* icp);
+  // The hardware CPU behind the calling thread's virtual CPU.
+  hw::Cpu& cpu_hw() { return vmp_.Current().cpu(); }
+  SvaOsStats& cpu_stats() { return vmp_.Current().stats(); }
 
   hw::Machine& machine_;
-  SvaOsStats stats_;
+  smp::VirtualMultiprocessor vmp_;
   std::map<uint64_t, SyscallHandler> syscalls_;
   std::array<InterruptHandler, hw::kNumVectors> interrupts_;
-  // The kernel-stack region holding live interrupt contexts: a fixed slab,
-  // like the real kernel stack — no allocation on the trap path. Nested
-  // interrupts stack up to the slab depth.
-  static constexpr size_t kMaxNestedContexts = 32;
-  std::array<InterruptContext, kMaxNestedContexts> icontext_slab_;
-  size_t icontext_depth_ = 0;
-  uint64_t next_icontext_id_ = 1;
+  // Context ids are global (they name contexts across all CPUs).
+  std::atomic<uint64_t> next_icontext_id_{1};
 };
 
 }  // namespace sva::svaos

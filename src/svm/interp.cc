@@ -44,7 +44,11 @@ namespace {
 constexpr uint64_t kFunctionAddressBase = 0xF0000000ull;
 constexpr uint64_t kFunctionAddressStride = 16;
 constexpr uint64_t kStackArenaSize = 1 << 20;
-constexpr uint64_t kMaxCallDepth = 4096;
+// Guest calls recurse through RunFunction on the host stack, so the guest
+// depth bound is also a host frame bound. 256 is plenty for the corpus and
+// keeps the runaway-recursion path (256 sanitizer-padded host frames) well
+// inside the default host stack even under ASan instrumentation.
+constexpr uint64_t kMaxCallDepth = 256;
 
 uint64_t MaskToWidth(uint64_t v, unsigned bits) {
   if (bits >= 64) {

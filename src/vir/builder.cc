@@ -124,6 +124,7 @@ Value* IRBuilder::CreateGEP(Value* base, std::vector<Value*> indices,
 }
 
 Value* IRBuilder::CreateAtomicLIS(Value* ptr, Value* delta, std::string name) {
+  assert(ptr->type()->IsPointer() && "atomic-lis on non-pointer");
   const Type* result =
       static_cast<const PointerType*>(ptr->type())->pointee();
   return Insert(
@@ -132,6 +133,7 @@ Value* IRBuilder::CreateAtomicLIS(Value* ptr, Value* delta, std::string name) {
 
 Value* IRBuilder::CreateCmpXchg(Value* ptr, Value* expected, Value* desired,
                                 std::string name) {
+  assert(ptr->type()->IsPointer() && "cmpxchg on non-pointer");
   const Type* result =
       static_cast<const PointerType*>(ptr->type())->pointee();
   return Insert(std::make_unique<CmpXchgInst>(result, ptr, expected, desired,

@@ -887,6 +887,17 @@ class Reader {
     return OkStatus();
   }
 
+  // The IRBuilder assumes verified IR and downcasts operand types without
+  // checking (static_cast to PointerType); untrusted bytecode must not reach
+  // it with a non-pointer operand, so memory/call instructions validate the
+  // operand's type kind here and reject the module instead.
+  Status RequirePointer(const RefResult& ref, const char* what) {
+    if (ref.value == nullptr || !ref.value->type()->IsPointer()) {
+      return ParseError(std::string(what) + " operand is not a pointer");
+    }
+    return OkStatus();
+  }
+
   Status ReadInstruction(IRBuilder& b, BasicBlock* bb, uint64_t& next_id,
                          std::vector<LocalFixup>& fixups) {
     TypeContext& types = module_->types();
@@ -933,6 +944,7 @@ class Reader {
         SVA_ASSIGN_OR_RETURN(RefResult p, ReadRef());
         SVA_ASSIGN_OR_RETURN(RefResult e, ReadRef());
         SVA_ASSIGN_OR_RETURN(RefResult d, ReadRef());
+        SVA_RETURN_IF_ERROR(RequirePointer(p, "cmpxchg"));
         result = b.CreateCmpXchg(p.value, e.value, d.value, name);
         note(static_cast<Instruction*>(result), 0, p);
         note(static_cast<Instruction*>(result), 1, e);
@@ -967,12 +979,14 @@ class Reader {
       }
       case Opcode::kFree: {
         SVA_ASSIGN_OR_RETURN(RefResult ptr, ReadRef());
+        SVA_RETURN_IF_ERROR(RequirePointer(ptr, "free"));
         b.CreateFree(ptr.value);
         note(bb->back(), 0, ptr);
         break;
       }
       case Opcode::kLoad: {
         SVA_ASSIGN_OR_RETURN(RefResult ptr, ReadRef());
+        SVA_RETURN_IF_ERROR(RequirePointer(ptr, "load"));
         result = b.CreateLoad(ptr.value, name);
         note(static_cast<Instruction*>(result), 0, ptr);
         break;
@@ -980,6 +994,7 @@ class Reader {
       case Opcode::kStore: {
         SVA_ASSIGN_OR_RETURN(RefResult v, ReadRef());
         SVA_ASSIGN_OR_RETURN(RefResult p, ReadRef());
+        SVA_RETURN_IF_ERROR(RequirePointer(p, "store"));
         b.CreateStore(v.value, p.value);
         note(bb->back(), 0, v);
         note(bb->back(), 1, p);
@@ -988,6 +1003,7 @@ class Reader {
       case Opcode::kAtomicLIS: {
         SVA_ASSIGN_OR_RETURN(RefResult p, ReadRef());
         SVA_ASSIGN_OR_RETURN(RefResult d, ReadRef());
+        SVA_RETURN_IF_ERROR(RequirePointer(p, "atomic-lis"));
         result = b.CreateAtomicLIS(p.value, d.value, name);
         note(static_cast<Instruction*>(result), 0, p);
         note(static_cast<Instruction*>(result), 1, d);
@@ -1006,6 +1022,13 @@ class Reader {
         std::vector<Value*> indices;
         for (size_t i = 1; i < refs.size(); ++i) {
           indices.push_back(refs[i].value);
+        }
+        SVA_RETURN_IF_ERROR(RequirePointer(refs[0], "gep base"));
+        Result<const Type*> indexed = GepIndexedType(
+            static_cast<const PointerType*>(refs[0].value->type())->pointee(),
+            indices);
+        if (!indexed.ok()) {
+          return ParseError("gep indices do not match the pointee type");
         }
         result = b.CreateGEP(refs[0].value, indices, name);
         for (size_t i = 0; i < refs.size(); ++i) {
@@ -1044,6 +1067,12 @@ class Reader {
         std::vector<Value*> args;
         for (size_t i = 1; i < refs.size(); ++i) {
           args.push_back(refs[i].value);
+        }
+        if (!callee->type()->IsPointer() ||
+            !static_cast<const PointerType*>(callee->type())
+                 ->pointee()
+                 ->IsFunction()) {
+          return ParseError("call callee is not a function pointer");
         }
         result = b.CreateCall(callee, args, name);
         for (size_t i = 0; i < refs.size(); ++i) {

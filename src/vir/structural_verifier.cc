@@ -247,6 +247,20 @@ Status VerifyFunction(const Module& module, const Function& fn) {
           }
           break;
         }
+        case Opcode::kAlloca:
+        case Opcode::kMalloc: {
+          const Type* allocated =
+              inst->opcode() == Opcode::kAlloca
+                  ? static_cast<const AllocaInst*>(inst.get())
+                        ->allocated_type()
+                  : static_cast<const MallocInst*>(inst.get())
+                        ->allocated_type();
+          if (!IsSized(allocated)) {
+            return VerificationFailed(StrCat(
+                "@", fn.name(), ": allocation of unsized (opaque) type"));
+          }
+          break;
+        }
         case Opcode::kBr: {
           const auto* br = static_cast<const BranchInst*>(inst.get());
           if (br->is_conditional() && !br->condition()->type()->IsInt()) {

@@ -218,7 +218,9 @@ uint64_t SizeOf(const Type* type) {
     }
     case TypeKind::kStruct: {
       const auto* st = static_cast<const StructType*>(type);
-      assert(!st->IsOpaque() && "SizeOf on opaque struct");
+      if (st->IsOpaque()) {
+        return 0;  // No layout; IsSized() is the queryable marker.
+      }
       uint64_t offset = 0;
       for (const Type* f : st->fields()) {
         uint64_t align = AlignOf(f);
@@ -231,6 +233,32 @@ uint64_t SizeOf(const Type* type) {
     }
   }
   return 0;
+}
+
+bool IsSized(const Type* type) {
+  switch (type->kind()) {
+    case TypeKind::kVoid:
+    case TypeKind::kInt:
+    case TypeKind::kFloat:
+    case TypeKind::kPointer:
+    case TypeKind::kFunction:
+      return true;
+    case TypeKind::kArray:
+      return IsSized(static_cast<const ArrayType*>(type)->element());
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(type);
+      if (st->IsOpaque()) {
+        return false;
+      }
+      for (const Type* f : st->fields()) {
+        if (!IsSized(f)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
 }
 
 namespace {

@@ -201,7 +201,16 @@ class TypeContext {
 // Byte size of a value of this type in the virtual memory model used by the
 // SVM translator/interpreter: i1/i8 -> 1, i16 -> 2, i32/f32 -> 4,
 // i64/f64/pointers -> 8, arrays/structs -> aggregate with natural alignment.
+// Unsized types (see IsSized) report 0: opaque structs have no layout, and
+// untrusted modules can name them in sized positions, so this must degrade
+// to "zero bytes" rather than assert.
 uint64_t SizeOf(const Type* type);
+
+// Whether the type has a defined layout. False for opaque named structs and
+// any aggregate that (recursively) contains one; such types may only be
+// used behind a pointer, and allocations/loads of them are rejected rather
+// than sized.
+bool IsSized(const Type* type);
 
 // Natural alignment of the type (power of two, <= 8).
 uint64_t AlignOf(const Type* type);

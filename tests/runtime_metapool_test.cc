@@ -192,15 +192,15 @@ TEST_F(MetaPoolRuntimeTest, CacheToggleAppliesToAllPools) {
   MetaPool* a = rt_.CreatePool("A", false, 0, true);
   rt_.set_lookup_cache_enabled(false);
   MetaPool* b = rt_.CreatePool("B", false, 0, true);  // Created after.
-  EXPECT_FALSE(a->tree().cache_enabled());
-  EXPECT_FALSE(b->tree().cache_enabled());
+  EXPECT_FALSE(a->cache_enabled());
+  EXPECT_FALSE(b->cache_enabled());
   ASSERT_TRUE(rt_.RegisterObject(*a, 0x1000, 0x100).ok());
   EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
   EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
   EXPECT_EQ(rt_.stats().cache_lookups(), 0u);
   rt_.set_lookup_cache_enabled(true);
-  EXPECT_TRUE(a->tree().cache_enabled());
-  EXPECT_TRUE(b->tree().cache_enabled());
+  EXPECT_TRUE(a->cache_enabled());
+  EXPECT_TRUE(b->cache_enabled());
   EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
   EXPECT_TRUE(rt_.BoundsCheck(*a, 0x1000, 0x1008).ok());
   EXPECT_EQ(rt_.stats().cache_hits, 1u);

@@ -3,6 +3,7 @@
 #include <map>
 #include <random>
 
+#include "src/runtime/metapool_runtime.h"
 #include "src/runtime/splay_tree.h"
 
 namespace sva::runtime {
@@ -165,103 +166,124 @@ TEST(SplayTreeTest, RepeatedLookupsAmortize) {
 }
 
 // --- Lookup-cache behaviour --------------------------------------------------
+//
+// The object-lookup cache fronting the splay trees is per-thread and lives
+// at the MetaPool level (validated against the pool's generation counter),
+// so these tests drive a MetaPool rather than a bare tree.
 
-TEST(SplayLookupCacheTest, RepeatedHitsSkipTheTree) {
-  SplayTree tree;
+MetaPool MakePool() { return MetaPool("test", true, 8, true); }
+
+TEST(MetaPoolLookupCacheTest, RepeatedHitsSkipTheTree) {
+  MetaPool pool = MakePool();
   for (uint64_t i = 0; i < 256; ++i) {
-    tree.Insert(0x1000 + i * 0x100, 0x80);
+    pool.RegisterRange(0x1000 + i * 0x100, 0x80);
   }
-  tree.LookupContaining(0x1000 + 128 * 0x100);  // Warm the cache.
-  tree.ResetStats();
+  pool.Lookup(0x1000 + 128 * 0x100);  // Warm the cache.
+  pool.ResetStats();
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(tree.LookupContaining(0x1000 + 128 * 0x100 + 7).has_value());
+    ASSERT_TRUE(pool.Lookup(0x1000 + 128 * 0x100 + 7).has_value());
   }
-  EXPECT_EQ(tree.cache_hits(), 100u);
-  EXPECT_EQ(tree.cache_misses(), 0u);
-  EXPECT_EQ(tree.comparisons(), 0u);  // The tree was never touched.
+  EXPECT_EQ(pool.cache_hits(), 100u);
+  EXPECT_EQ(pool.cache_misses(), 0u);
+  EXPECT_EQ(pool.comparisons(), 0u);  // The trees were never touched.
 }
 
-TEST(SplayLookupCacheTest, DroppedObjectIsInvalidated) {
-  SplayTree tree;
-  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
-  ASSERT_TRUE(tree.LookupContaining(0x1080).has_value());  // Cached.
-  ASSERT_TRUE(tree.RemoveAt(0x1000).has_value());
+TEST(MetaPoolLookupCacheTest, DroppedObjectIsInvalidated) {
+  MetaPool pool = MakePool();
+  ASSERT_TRUE(pool.RegisterRange(0x1000, 0x100));
+  ASSERT_TRUE(pool.Lookup(0x1080).has_value());  // Cached.
+  ASSERT_TRUE(pool.RemoveStart(0x1000).has_value());
   // The cache must not resurrect the dropped object.
-  EXPECT_FALSE(tree.LookupContaining(0x1080).has_value());
+  EXPECT_FALSE(pool.Lookup(0x1080).has_value());
 }
 
-TEST(SplayLookupCacheTest, ReRegisteredObjectDoesNotServeStaleBounds) {
-  SplayTree tree;
-  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
-  ASSERT_TRUE(tree.LookupContaining(0x10F0).has_value());  // Cached.
-  ASSERT_TRUE(tree.RemoveAt(0x1000).has_value());
+TEST(MetaPoolLookupCacheTest, ReRegisteredObjectDoesNotServeStaleBounds) {
+  MetaPool pool = MakePool();
+  ASSERT_TRUE(pool.RegisterRange(0x1000, 0x100));
+  ASSERT_TRUE(pool.Lookup(0x10F0).has_value());  // Cached.
+  ASSERT_TRUE(pool.RemoveStart(0x1000).has_value());
   // Same start, smaller object: the old cached extent would wrongly pass
   // addresses in [0x1040, 0x1100).
-  ASSERT_TRUE(tree.Insert(0x1000, 0x40));
-  auto hit = tree.LookupContaining(0x1010);
+  ASSERT_TRUE(pool.RegisterRange(0x1000, 0x40));
+  auto hit = pool.Lookup(0x1010);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->size, 0x40u);
-  EXPECT_FALSE(tree.LookupContaining(0x10F0).has_value());
-  EXPECT_FALSE(tree.LookupContaining(0x1040).has_value());
+  EXPECT_FALSE(pool.Lookup(0x10F0).has_value());
+  EXPECT_FALSE(pool.Lookup(0x1040).has_value());
 }
 
-TEST(SplayLookupCacheTest, ClearResetsTheCache) {
-  SplayTree tree;
-  ASSERT_TRUE(tree.Insert(0x1000, 0x100));
-  ASSERT_TRUE(tree.LookupContaining(0x1000).has_value());
-  tree.Clear();
-  EXPECT_FALSE(tree.LookupContaining(0x1000).has_value());
-  // Fresh registration at the same address serves fresh bounds.
-  ASSERT_TRUE(tree.Insert(0x1000, 0x20));
-  auto hit = tree.LookupContaining(0x1000);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->size, 0x20u);
-}
-
-TEST(SplayLookupCacheTest, DisabledCacheStillCorrect) {
-  SplayTree tree;
-  tree.set_cache_enabled(false);
+TEST(MetaPoolLookupCacheTest, DisabledCacheStillCorrect) {
+  MetaPool pool = MakePool();
+  pool.set_cache_enabled(false);
   for (uint64_t i = 0; i < 16; ++i) {
-    tree.Insert(0x1000 + i * 0x100, 0x80);
+    pool.RegisterRange(0x1000 + i * 0x100, 0x80);
   }
   for (int pass = 0; pass < 3; ++pass) {
     for (uint64_t i = 0; i < 16; ++i) {
-      ASSERT_TRUE(tree.LookupContaining(0x1000 + i * 0x100 + 5).has_value());
+      ASSERT_TRUE(pool.Lookup(0x1000 + i * 0x100 + 5).has_value());
     }
   }
-  EXPECT_EQ(tree.cache_hits(), 0u);
-  EXPECT_EQ(tree.cache_misses(), 0u);
-  EXPECT_GT(tree.comparisons(), 0u);
-  // Disabling after entries were cached drops them.
-  tree.set_cache_enabled(true);
-  tree.LookupContaining(0x1000);
-  tree.set_cache_enabled(false);
-  tree.ResetStats();
-  ASSERT_TRUE(tree.LookupContaining(0x1000).has_value());
-  EXPECT_EQ(tree.cache_hits(), 0u);
-  EXPECT_GT(tree.comparisons(), 0u);
+  EXPECT_EQ(pool.cache_hits(), 0u);
+  EXPECT_EQ(pool.cache_misses(), 0u);
+  EXPECT_GT(pool.comparisons(), 0u);
+  // Re-enabling then disabling starts cold: entries cached while enabled
+  // are not served after the toggle.
+  pool.set_cache_enabled(true);
+  pool.Lookup(0x1000);
+  pool.set_cache_enabled(false);
+  pool.ResetStats();
+  ASSERT_TRUE(pool.Lookup(0x1000).has_value());
+  EXPECT_EQ(pool.cache_hits(), 0u);
+  EXPECT_GT(pool.comparisons(), 0u);
 }
 
-TEST(SplayLookupCacheTest, LookupStartServedFromCache) {
-  SplayTree tree;
-  ASSERT_TRUE(tree.Insert(0x2000, 0x100));
-  ASSERT_TRUE(tree.LookupContaining(0x2050).has_value());  // Cache fill.
-  tree.ResetStats();
-  auto hit = tree.LookupStart(0x2000);
+TEST(MetaPoolLookupCacheTest, LookupStartServedFromCache) {
+  MetaPool pool = MakePool();
+  ASSERT_TRUE(pool.RegisterRange(0x2000, 0x100));
+  ASSERT_TRUE(pool.Lookup(0x2050).has_value());  // Cache fill.
+  pool.ResetStats();
+  auto hit = pool.LookupStart(0x2000);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(tree.cache_hits(), 1u);
-  EXPECT_EQ(tree.comparisons(), 0u);
+  EXPECT_EQ(pool.cache_hits(), 1u);
+  EXPECT_EQ(pool.comparisons(), 0u);
   // An interior address is not an exact start: must fall through (and then
   // miss, since no object starts there).
-  EXPECT_FALSE(tree.LookupStart(0x2050).has_value());
+  EXPECT_FALSE(pool.LookupStart(0x2050).has_value());
+}
+
+TEST(MetaPoolLookupCacheTest, SpanningObjectFoundFromEveryStripe) {
+  MetaPool pool = MakePool();
+  // An object spanning many 4 KiB windows is registered in every stripe it
+  // touches, so a lookup through any window finds it.
+  constexpr uint64_t kStart = 0x10000;
+  constexpr uint64_t kSize = 0x40000;  // 64 windows: all stripes.
+  ASSERT_TRUE(pool.RegisterRange(kStart, kSize));
+  for (uint64_t off = 0; off < kSize; off += 0x1000) {
+    auto hit = pool.Lookup(kStart + off);
+    ASSERT_TRUE(hit.has_value()) << "offset 0x" << std::hex << off;
+    EXPECT_EQ(hit->start, kStart);
+    EXPECT_EQ(hit->size, kSize);
+  }
+  EXPECT_FALSE(pool.Lookup(kStart - 1).has_value());
+  EXPECT_FALSE(pool.Lookup(kStart + kSize).has_value());
+  // Overlaps with the spanning object are rejected from any window.
+  EXPECT_FALSE(pool.RegisterRange(kStart + 0x5000, 0x10));
+  EXPECT_FALSE(pool.RegisterRange(kStart - 0x10, 0x20));
+  EXPECT_EQ(pool.live_objects(), 1u);
+  // A drop removes it from every stripe.
+  ASSERT_TRUE(pool.RemoveStart(kStart).has_value());
+  EXPECT_EQ(pool.live_objects(), 0u);
+  for (uint64_t off = 0; off < kSize; off += 0x1000) {
+    ASSERT_FALSE(pool.Lookup(kStart + off).has_value());
+  }
 }
 
 // Property test under cache churn: randomized insert/remove/lookup agrees
 // with a reference model with the cache enabled (the default), exercising
-// invalidation on every removal path.
-TEST(SplayLookupCacheTest, RandomChurnNeverServesStale) {
+// generation invalidation on every removal path.
+TEST(MetaPoolLookupCacheTest, RandomChurnNeverServesStale) {
   std::mt19937 rng(99);
-  SplayTree tree;
+  MetaPool pool = MakePool();
   std::map<uint64_t, uint64_t> model;  // start -> size
   std::uniform_int_distribution<uint64_t> slot_dist(0, 63);
   std::uniform_int_distribution<uint64_t> size_dist(1, 3);
@@ -274,19 +296,19 @@ TEST(SplayLookupCacheTest, RandomChurnNeverServesStale) {
     int op = op_dist(rng);
     if (op < 2) {  // (Re-)register at a fresh size.
       if (model.count(start) != 0) {
-        ASSERT_TRUE(tree.RemoveAt(start).has_value());
+        ASSERT_TRUE(pool.RemoveStart(start).has_value());
         model.erase(start);
       }
       uint64_t size = size_dist(rng) * 0x40;
-      ASSERT_TRUE(tree.Insert(start, size));
+      ASSERT_TRUE(pool.RegisterRange(start, size));
       model[start] = size;
     } else if (op < 3) {  // Drop.
       bool in_model = model.count(start) != 0;
-      EXPECT_EQ(tree.RemoveAt(start).has_value(), in_model);
+      EXPECT_EQ(pool.RemoveStart(start).has_value(), in_model);
       model.erase(start);
     } else {  // Lookup at a random offset within the slot.
       uint64_t offset = step % 0x100;
-      auto got = tree.LookupContaining(start + offset);
+      auto got = pool.Lookup(start + offset);
       auto it = model.find(start);
       bool expect_hit = it != model.end() && offset < it->second;
       ASSERT_EQ(got.has_value(), expect_hit)

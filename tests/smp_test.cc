@@ -1,0 +1,155 @@
+// Tests for the SMP primitives (src/smp): spinlocks, per-CPU containers,
+// and the virtual multiprocessor's per-CPU SVA-OS state.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/smp/percpu.h"
+#include "src/smp/sync.h"
+#include "src/smp/vcpu.h"
+
+namespace sva::smp {
+namespace {
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  uint64_t counter = 0;  // Deliberately non-atomic: the lock is the guard.
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kIncrements = 20000;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (uint64_t i = 0; i < kIncrements; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SpinLockTest, TryLockFailsWhileHeld) {
+  SpinLock lock;
+  ASSERT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(PerCpuTest, BindingSelectsSlot) {
+  PerCpu<int> slots;
+  {
+    ScopedCpu bind(3);
+    EXPECT_EQ(current_cpu_id(), 3u);
+    slots.Current() = 42;
+  }
+  EXPECT_EQ(current_cpu_id(), 0u);  // Binding is scoped.
+  EXPECT_EQ(slots.ForCpu(3), 42);
+  EXPECT_EQ(slots.ForCpu(0), 0);
+}
+
+TEST(PerCpuTest, BindingClampsToMaxCpus) {
+  ScopedCpu bind(kMaxCpus + 5);
+  EXPECT_EQ(current_cpu_id(), kMaxCpus - 1);
+}
+
+TEST(ShardedCounterTest, SumsAcrossConcurrentShards) {
+  ShardedCounter counter;
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, t] {
+      ScopedCpu bind(t);
+      for (uint64_t i = 0; i < kAdds; ++i) {
+        counter.Add();
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kAdds);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+class VcpuTest : public ::testing::Test {
+ protected:
+  hw::Machine machine_{1 << 20, 256};
+};
+
+TEST_F(VcpuTest, BootCpuAliasesMachineCpu) {
+  VirtualMultiprocessor vmp(machine_.cpu());
+  ASSERT_EQ(vmp.num_cpus(), 1u);
+  // Writes through vCPU 0 are writes to the machine's boot CPU: single-CPU
+  // behaviour is unchanged by the SMP layer.
+  vmp.cpu(0).cpu().control().pc = 0x1234;
+  EXPECT_EQ(machine_.cpu().control().pc, 0x1234u);
+}
+
+TEST_F(VcpuTest, ConfigureClonesBootControlState) {
+  machine_.cpu().control().page_table_base = 0xBEEF000;
+  VirtualMultiprocessor vmp(machine_.cpu());
+  vmp.Configure(4);
+  ASSERT_EQ(vmp.num_cpus(), 4u);
+  for (unsigned id = 1; id < 4; ++id) {
+    EXPECT_EQ(vmp.cpu(id).cpu().control().page_table_base, 0xBEEF000u)
+        << "AP " << id << " did not copy the boot control state";
+    EXPECT_NE(&vmp.cpu(id).cpu(), &machine_.cpu());
+  }
+}
+
+TEST_F(VcpuTest, CurrentFollowsThreadBinding) {
+  VirtualMultiprocessor vmp(machine_.cpu());
+  vmp.Configure(4);
+  {
+    ScopedCpu bind(2);
+    EXPECT_EQ(vmp.Current().id(), 2u);
+  }
+  // Threads bound past the configured count share the last CPU.
+  {
+    ScopedCpu bind(9);
+    EXPECT_EQ(vmp.Current().id(), 3u);
+  }
+}
+
+TEST_F(VcpuTest, InterruptContextStackNests) {
+  VirtualCpu vcpu(1);
+  EXPECT_EQ(vcpu.icontext_depth(), 0u);
+  InterruptContext* outer = vcpu.PushContext(7);
+  InterruptContext* inner = vcpu.PushContext(8);
+  EXPECT_EQ(vcpu.icontext_depth(), 2u);
+  EXPECT_EQ(inner->id(), 8u);
+  // Popping a non-innermost context is ignored (the SVA-OS contract: only
+  // the innermost interrupt may return).
+  vcpu.PopContext(outer);
+  EXPECT_EQ(vcpu.icontext_depth(), 2u);
+  vcpu.PopContext(inner);
+  vcpu.PopContext(outer);
+  EXPECT_EQ(vcpu.icontext_depth(), 0u);
+}
+
+TEST_F(VcpuTest, StatsAggregateAcrossCpus) {
+  VirtualMultiprocessor vmp(machine_.cpu());
+  vmp.Configure(3);
+  vmp.cpu(0).stats().syscalls_dispatched = 5;
+  vmp.cpu(1).stats().syscalls_dispatched = 7;
+  vmp.cpu(2).stats().save_integer = 2;
+  SvaOsStats total = vmp.AggregateStats();
+  EXPECT_EQ(total.syscalls_dispatched, 12u);
+  EXPECT_EQ(total.save_integer, 2u);
+  vmp.ResetStats();
+  EXPECT_EQ(vmp.AggregateStats().syscalls_dispatched, 0u);
+}
+
+}  // namespace
+}  // namespace sva::smp

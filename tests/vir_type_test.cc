@@ -76,6 +76,36 @@ TEST(TypeTest, StructTailPadding) {
   EXPECT_EQ(SizeOf(ctx.Struct({ctx.I64(), ctx.I8()})), 16u);
 }
 
+TEST(TypeTest, OpaqueStructIsUnsizedNotFatal) {
+  TypeContext ctx;
+  StructType* opaque = ctx.NamedStruct("opaque");
+  ASSERT_TRUE(opaque->IsOpaque());
+  // No layout: reports zero bytes instead of asserting, and IsSized() is
+  // the queryable marker callers must consult before allocating.
+  EXPECT_EQ(SizeOf(opaque), 0u);
+  EXPECT_FALSE(IsSized(opaque));
+  EXPECT_FALSE(IsSized(ctx.ArrayOf(opaque, 4)));
+  EXPECT_FALSE(IsSized(ctx.Struct({ctx.I32(), opaque})));
+  // Pointers to opaque structs are first-class and sized.
+  EXPECT_TRUE(IsSized(ctx.PointerTo(opaque)));
+  EXPECT_EQ(SizeOf(ctx.PointerTo(opaque)), 8u);
+
+  // Defining the body makes it sized.
+  StructType* defined = ctx.NamedStruct("defined");
+  defined->SetBody({ctx.I64(), ctx.I8()});
+  EXPECT_TRUE(IsSized(defined));
+  EXPECT_EQ(SizeOf(defined), 16u);
+}
+
+TEST(TypeTest, SizedScalarsAndAggregates) {
+  TypeContext ctx;
+  EXPECT_TRUE(IsSized(ctx.VoidTy()));
+  EXPECT_TRUE(IsSized(ctx.I32()));
+  EXPECT_TRUE(IsSized(ctx.ArrayOf(ctx.I16(), 12)));
+  EXPECT_TRUE(IsSized(ctx.Struct({ctx.I8(), ctx.F64()})));
+  EXPECT_TRUE(IsSized(ctx.FunctionTy(ctx.VoidTy(), {})));
+}
+
 TEST(TypeTest, PredicateHelpers) {
   TypeContext ctx;
   EXPECT_TRUE(ctx.I32()->IsArithmetic());

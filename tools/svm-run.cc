@@ -3,15 +3,25 @@
 //
 // Usage:
 //   svm-run module.svb [--entry NAME] [--arg N]... [--no-checks] [--stats]
+//           [--cpus N]
+//
+// --cpus N runs N replicas of the VM on N worker threads, each bound to a
+// virtual CPU, and requires every replica to reach the same result — the
+// detection-parity harness for the SMP runtime (concurrency must never
+// change what the checks catch).
 //
 // Exit status: 0 on clean execution, 2 on a safety violation, 1 on other
 // errors — usable from scripts and CI.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/smp/percpu.h"
 #include "src/svm/svm.h"
 #include "src/vir/bytecode.h"
 
@@ -29,6 +39,7 @@ int main(int argc, char** argv) {
   std::string entry = "main";
   std::vector<uint64_t> args;
   bool stats = false;
+  unsigned cpus = 1;
   sva::svm::SvmOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -43,9 +54,14 @@ int main(int argc, char** argv) {
       options.interp.use_lookup_cache = false;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--cpus" && i + 1 < argc) {
+      cpus = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      if (cpus == 0) {
+        cpus = 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
-                  "[--no-checks] [--no-cache] [--stats]\n");
+                  "[--no-checks] [--no-cache] [--stats] [--cpus N]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option " + arg);
@@ -63,14 +79,67 @@ int main(int argc, char** argv) {
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
 
-  sva::svm::SecureVirtualMachine vm(options);
-  auto loaded = vm.LoadBytecode(bytes);
-  if (!loaded.ok()) {
-    return Fail("load rejected: " + loaded.status().ToString());
+  // One VM replica per virtual CPU. cpus == 1 is the plain single-VM path;
+  // cpus > 1 runs every replica on its own worker thread and then insists
+  // that all of them agree — concurrency in the check runtime must never
+  // change the program's result or what the checks detect.
+  struct ReplicaOutcome {
+    bool load_ok = false;
+    std::string load_error;
+    sva::svm::ExecResult result;
+  };
+  std::vector<sva::svm::SecureVirtualMachine> vms;
+  vms.reserve(cpus);
+  for (unsigned c = 0; c < cpus; ++c) {
+    vms.emplace_back(options);
   }
-  auto result = (*loaded)->Run(entry, args);
+  std::vector<ReplicaOutcome> outcomes(cpus);
+  std::vector<std::unique_ptr<sva::svm::LoadedModule>> modules(cpus);
+  auto run_replica = [&](unsigned c) {
+    sva::smp::ScopedCpu bind(c);
+    auto loaded = vms[c].LoadBytecode(bytes);
+    if (!loaded.ok()) {
+      outcomes[c].load_error = loaded.status().ToString();
+      return;
+    }
+    outcomes[c].load_ok = true;
+    modules[c] = std::move(*loaded);
+    outcomes[c].result = modules[c]->Run(entry, args);
+  };
+  if (cpus == 1) {
+    run_replica(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(cpus);
+    for (unsigned c = 0; c < cpus; ++c) {
+      workers.emplace_back(run_replica, c);
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  if (!outcomes[0].load_ok) {
+    return Fail("load rejected: " + outcomes[0].load_error);
+  }
+  for (unsigned c = 1; c < cpus; ++c) {
+    if (outcomes[c].load_ok != outcomes[0].load_ok ||
+        outcomes[c].result.status.code() != outcomes[0].result.status.code() ||
+        (outcomes[c].result.status.ok() &&
+         outcomes[c].result.value != outcomes[0].result.value)) {
+      std::fprintf(stderr,
+                   "svm-run: replica divergence: cpu 0 -> %s value %llu, "
+                   "cpu %u -> %s value %llu\n",
+                   outcomes[0].result.status.ToString().c_str(),
+                   static_cast<unsigned long long>(outcomes[0].result.value),
+                   c, outcomes[c].result.status.ToString().c_str(),
+                   static_cast<unsigned long long>(outcomes[c].result.value));
+      return 1;
+    }
+  }
+  auto result = outcomes[0].result;
   if (stats) {
-    const auto& check_stats = (*loaded)->pools().stats();
+    const auto& check_stats = modules[0]->pools().stats();
     std::fprintf(stderr,
                  "svm-run: %llu instructions, %llu checks performed, %llu "
                  "failed\n",
