@@ -35,8 +35,8 @@ class BootedKernel {
 
   // Syscall helper that asserts transport success.
   uint64_t Call(kernel::Sys n, uint64_t a0 = 0, uint64_t a1 = 0,
-                uint64_t a2 = 0) {
-    auto r = kernel_->Syscall(n, a0, a1, a2);
+                uint64_t a2 = 0, uint64_t a3 = 0) {
+    auto r = kernel_->Syscall(n, a0, a1, a2, a3);
     assert(r.ok());
     return *r;
   }

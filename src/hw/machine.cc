@@ -122,6 +122,9 @@ Status BlockDevice::WriteSector(uint64_t sector, const uint8_t* in) {
 }
 
 Result<uint64_t> Machine::IoRead(uint16_t port) {
+  if (port >= kPortNicBase && port < kPortNicBase + kNicRegCount) {
+    return nic_.RegRead(static_cast<uint16_t>(port - kPortNicBase));
+  }
   switch (port) {
     case kPortTimer:
       return timer_.ticks();
@@ -133,6 +136,9 @@ Result<uint64_t> Machine::IoRead(uint16_t port) {
 }
 
 Status Machine::IoWrite(uint16_t port, uint64_t value) {
+  if (port >= kPortNicBase && port < kPortNicBase + kNicRegCount) {
+    return nic_.RegWrite(static_cast<uint16_t>(port - kPortNicBase), value);
+  }
   switch (port) {
     case kPortConsole:
       console_.PutChar(static_cast<char>(value));
@@ -149,11 +155,12 @@ Status Machine::IoWrite(uint16_t port, uint64_t value) {
 }
 
 uint64_t Machine::AllocatePhysicalPage() {
-  uint64_t page = next_free_page_;
+  uint64_t page = next_free_page_.fetch_add(1, std::memory_order_relaxed);
   if ((page + 1) * kPageSize > memory_.size()) {
+    // Exhausted; the bump pointer stays past the end and every subsequent
+    // allocation keeps failing (pages never return to this allocator).
     return 0;
   }
-  ++next_free_page_;
   uint64_t addr = page * kPageSize;
   (void)memory_.Fill(addr, 0, kPageSize);
   return addr;

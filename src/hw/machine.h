@@ -10,12 +10,14 @@
 #define SVA_SRC_HW_MACHINE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/hw/nic.h"
 #include "src/support/status.h"
 
 namespace sva::hw {
@@ -165,7 +167,7 @@ class Machine {
  public:
   explicit Machine(uint64_t memory_bytes = 64ull << 20,
                    uint64_t disk_sectors = 16384)
-      : memory_(memory_bytes), disk_(disk_sectors) {}
+      : memory_(memory_bytes), disk_(disk_sectors), nic_(memory_) {}
 
   Cpu& cpu() { return cpu_; }
   Mmu& mmu() { return mmu_; }
@@ -173,6 +175,7 @@ class Machine {
   ConsoleDevice& console() { return console_; }
   TimerDevice& timer() { return timer_; }
   BlockDevice& disk() { return disk_; }
+  VirtualNic& nic() { return nic_; }
 
   // I/O port space (Section 3.3: I/O functions are SVA-OS operations).
   enum Port : uint16_t {
@@ -180,6 +183,8 @@ class Machine {
     kPortTimer = 0x40,
     kPortDiskSector = 0x1F0,
     kPortDiskCommand = 0x1F7,
+    // NIC register window: kPortNicBase + NicReg (src/hw/nic.h).
+    kPortNicBase = 0x300,
   };
   Result<uint64_t> IoRead(uint16_t port);
   Status IoWrite(uint16_t port, uint64_t value);
@@ -187,7 +192,9 @@ class Machine {
   // Physical page allocator for kernel boot (bump; pages never move).
   // Returns the physical address of a fresh zeroed page, or 0 if exhausted.
   uint64_t AllocatePhysicalPage();
-  uint64_t pages_allocated() const { return next_free_page_; }
+  uint64_t pages_allocated() const {
+    return next_free_page_.load(std::memory_order_relaxed);
+  }
 
  private:
   Cpu cpu_;
@@ -196,7 +203,10 @@ class Machine {
   ConsoleDevice console_;
   TimerDevice timer_;
   BlockDevice disk_;
-  uint64_t next_free_page_ = 1;  // Page 0 stays unmapped (null guard).
+  VirtualNic nic_;
+  // Atomic: the net fast path demand-pages user memory off the big kernel
+  // lock, so concurrent first touches may race to allocate.
+  std::atomic<uint64_t> next_free_page_{1};  // Page 0 unmapped (null guard).
   uint64_t disk_sector_latch_ = 0;
 };
 

@@ -1,0 +1,158 @@
+#include "src/hw/nic.h"
+
+#include <cstring>
+
+#include "src/hw/machine.h"
+#include "src/support/strings.h"
+
+namespace sva::hw {
+
+Result<uint64_t> VirtualNic::RegRead(uint16_t reg) {
+  switch (static_cast<NicReg>(reg)) {
+    case NicReg::kStatus:
+      return irq_pending_ ? kNicStatusRxPending : 0;
+    case NicReg::kRxHead:
+      return rx_head_;
+    case NicReg::kTxHead:
+      return tx_head_;
+    case NicReg::kRxSize:
+      return rx_size_;
+    case NicReg::kTxSize:
+      return tx_size_;
+    default:
+      return NotFound(StrCat("nic: read of write-only register ", reg));
+  }
+}
+
+Status VirtualNic::RegWrite(uint16_t reg, uint64_t value) {
+  switch (static_cast<NicReg>(reg)) {
+    case NicReg::kCommand:
+      switch (static_cast<NicCommand>(value)) {
+        case NicCommand::kReset:
+          enabled_ = false;
+          irq_pending_ = false;
+          rx_base_ = rx_size_ = tx_base_ = tx_size_ = 0;
+          rx_head_ = tx_head_ = 0;
+          tx_queue_.clear();
+          return OkStatus();
+        case NicCommand::kEnable:
+          if (rx_base_ == 0 || rx_size_ == 0 || tx_base_ == 0 ||
+              tx_size_ == 0) {
+            return FailedPrecondition("nic: enable before ring setup");
+          }
+          enabled_ = true;
+          return OkStatus();
+        case NicCommand::kTxKick:
+          return TxKick();
+        case NicCommand::kIrqAck:
+          irq_pending_ = false;
+          return OkStatus();
+      }
+      return InvalidArgument(StrCat("nic: unknown command ", value));
+    case NicReg::kRxBase:
+      rx_base_ = value;
+      return OkStatus();
+    case NicReg::kRxSize:
+      rx_size_ = value;
+      rx_head_ = 0;
+      return OkStatus();
+    case NicReg::kTxBase:
+      tx_base_ = value;
+      return OkStatus();
+    case NicReg::kTxSize:
+      tx_size_ = value;
+      tx_head_ = 0;
+      return OkStatus();
+    default:
+      return NotFound(StrCat("nic: write to read-only register ", reg));
+  }
+}
+
+Result<VirtualNic::Descriptor> VirtualNic::ReadDescriptor(uint64_t ring_base,
+                                                          uint64_t index) {
+  uint64_t at = ring_base + index * kNicDescriptorBytes;
+  SVA_ASSIGN_OR_RETURN(uint64_t buffer, memory_.Read(at, 8));
+  SVA_ASSIGN_OR_RETURN(uint64_t capacity, memory_.Read(at + 8, 2));
+  SVA_ASSIGN_OR_RETURN(uint64_t length, memory_.Read(at + 10, 2));
+  SVA_ASSIGN_OR_RETURN(uint64_t flags, memory_.Read(at + 12, 2));
+  Descriptor d;
+  d.buffer = buffer;
+  d.capacity = static_cast<uint16_t>(capacity);
+  d.length = static_cast<uint16_t>(length);
+  d.flags = static_cast<uint16_t>(flags);
+  return d;
+}
+
+Status VirtualNic::WriteDescriptor(uint64_t ring_base, uint64_t index,
+                                   const Descriptor& desc) {
+  uint64_t at = ring_base + index * kNicDescriptorBytes;
+  SVA_RETURN_IF_ERROR(memory_.Write(at, 8, desc.buffer));
+  SVA_RETURN_IF_ERROR(memory_.Write(at + 8, 2, desc.capacity));
+  SVA_RETURN_IF_ERROR(memory_.Write(at + 10, 2, desc.length));
+  return memory_.Write(at + 12, 2, desc.flags);
+}
+
+Status VirtualNic::Receive(const uint8_t* frame, uint64_t len) {
+  if (!enabled_) {
+    ++counters_.rx_dropped_disabled;
+    return FailedPrecondition("nic: rx while disabled");
+  }
+  if (len > kNicMaxFrameBytes) {
+    ++counters_.dma_errors;
+    return InvalidArgument("nic: frame larger than device maximum");
+  }
+  SVA_ASSIGN_OR_RETURN(Descriptor desc, ReadDescriptor(rx_base_, rx_head_));
+  if ((desc.flags & kNicDescOwned) == 0) {
+    // The driver has not reposted this slot: ring full, tail drop.
+    ++counters_.rx_dropped_full;
+    return FailedPrecondition("nic: rx ring full");
+  }
+  // DMA bounds: the device never writes past the buffer the driver
+  // described, and never outside physical memory.
+  if (len > desc.capacity ||
+      desc.buffer + desc.capacity > memory_.size()) {
+    ++counters_.dma_errors;
+    return OutOfRange("nic: rx DMA would overrun the posted buffer");
+  }
+  std::memcpy(memory_.raw(desc.buffer), frame, len);
+  desc.length = static_cast<uint16_t>(len);
+  desc.flags = static_cast<uint16_t>(desc.flags & ~kNicDescOwned);
+  SVA_RETURN_IF_ERROR(WriteDescriptor(rx_base_, rx_head_, desc));
+  rx_head_ = (rx_head_ + 1) % rx_size_;
+  ++counters_.rx_frames;
+  irq_pending_ = true;
+  return OkStatus();
+}
+
+Status VirtualNic::TxKick() {
+  if (!enabled_) {
+    return FailedPrecondition("nic: tx kick while disabled");
+  }
+  for (uint64_t scanned = 0; scanned < tx_size_; ++scanned) {
+    SVA_ASSIGN_OR_RETURN(Descriptor desc, ReadDescriptor(tx_base_, tx_head_));
+    if ((desc.flags & kNicDescOwned) == 0) {
+      break;  // Nothing more queued by the driver.
+    }
+    if (desc.length > desc.capacity ||
+        desc.buffer + desc.length > memory_.size()) {
+      ++counters_.dma_errors;
+    } else {
+      std::vector<uint8_t> frame(desc.length);
+      std::memcpy(frame.data(), memory_.raw(desc.buffer), desc.length);
+      tx_queue_.push_back(std::move(frame));
+      ++counters_.tx_frames;
+    }
+    desc.flags = static_cast<uint16_t>(desc.flags & ~kNicDescOwned);
+    SVA_RETURN_IF_ERROR(WriteDescriptor(tx_base_, tx_head_, desc));
+    tx_head_ = (tx_head_ + 1) % tx_size_;
+  }
+  return OkStatus();
+}
+
+std::vector<std::vector<uint8_t>> VirtualNic::DrainTransmitted() {
+  std::vector<std::vector<uint8_t>> out;
+  out.swap(tx_queue_);
+  return out;
+}
+
+}  // namespace sva::hw

@@ -1,0 +1,116 @@
+// Virtual network interface card: the traffic-bearing device of the
+// simulated platform. Modeled on the classic descriptor-ring designs
+// (e1000/tulip): the driver allocates rx/tx descriptor rings in guest
+// physical memory, programs their base/size through I/O port registers,
+// and hands buffer ownership to the NIC via an OWNED flag per descriptor.
+//
+// The device side DMAs frames directly into (rx) and out of (tx) the
+// buffers the descriptors point at — in this repo those buffers are
+// packet-pool objects registered with a metapool, which is exactly the
+// correlation the paper's safety checking needs on the packet path.
+//
+// All register access from the kernel flows through SVA-OS I/O operations
+// (Section 3.3); the wire side (Receive/DrainTransmitted) is the outside
+// world and is driven by the loopback client in src/net/client.h.
+#ifndef SVA_SRC_HW_NIC_H_
+#define SVA_SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sva::hw {
+
+class PhysicalMemory;
+
+// Descriptor layout in guest physical memory (16 bytes, little-endian):
+//   +0  u64 buffer physical address
+//   +8  u16 buffer capacity in bytes
+//   +10 u16 frame length (rx: written by the NIC; tx: set by the driver)
+//   +12 u16 flags
+//   +14 u16 reserved
+inline constexpr uint64_t kNicDescriptorBytes = 16;
+inline constexpr uint16_t kNicDescOwned = 1 << 0;  // Owned by the NIC.
+inline constexpr uint64_t kNicMaxFrameBytes = 2048;
+
+// NIC register file, addressed as I/O ports at Machine::kPortNicBase + reg.
+enum class NicReg : uint16_t {
+  kCommand = 0,   // write: NicCommand
+  kStatus = 1,    // read: bit 0 = rx interrupt pending
+  kRxBase = 2,    // write: rx ring physical base
+  kRxSize = 3,    // write: rx ring descriptor count
+  kTxBase = 4,    // write: tx ring physical base
+  kTxSize = 5,    // write: tx ring descriptor count
+  kRxHead = 6,    // read: next rx slot the device will fill
+  kTxHead = 7,    // read: next tx slot the device will scan
+};
+inline constexpr uint16_t kNicRegCount = 8;
+
+enum class NicCommand : uint64_t {
+  kReset = 0,
+  kEnable = 1,
+  kTxKick = 2,   // Scan the tx ring and transmit every NIC-owned frame.
+  kIrqAck = 3,   // Clear the rx interrupt line.
+};
+
+inline constexpr uint64_t kNicStatusRxPending = 1 << 0;
+
+struct NicCounters {
+  uint64_t rx_frames = 0;
+  uint64_t tx_frames = 0;
+  uint64_t rx_dropped_full = 0;   // No NIC-owned rx descriptor available.
+  uint64_t rx_dropped_disabled = 0;
+  uint64_t dma_errors = 0;        // Descriptor pointed outside memory or
+                                  // capacity could not hold the frame.
+};
+
+class VirtualNic {
+ public:
+  explicit VirtualNic(PhysicalMemory& memory) : memory_(memory) {}
+
+  // --- Register file (reached only through Machine::IoRead/IoWrite) ----------
+  Result<uint64_t> RegRead(uint16_t reg);
+  Status RegWrite(uint16_t reg, uint64_t value);
+
+  // --- Wire side ----------------------------------------------------------------
+  // A frame arrives from the medium: DMA into the next NIC-owned rx
+  // descriptor's buffer, write back the length, clear OWNED, raise the
+  // interrupt line. Drops (with a counter) when disabled or ring-full.
+  Status Receive(const uint8_t* frame, uint64_t len);
+  // Frames the device has transmitted since the last drain, in order.
+  std::vector<std::vector<uint8_t>> DrainTransmitted();
+
+  bool irq_pending() const { return irq_pending_; }
+  bool enabled() const { return enabled_; }
+  const NicCounters& counters() const { return counters_; }
+
+ private:
+  struct Descriptor {
+    uint64_t buffer = 0;
+    uint16_t capacity = 0;
+    uint16_t length = 0;
+    uint16_t flags = 0;
+  };
+  Result<Descriptor> ReadDescriptor(uint64_t ring_base, uint64_t index);
+  Status WriteDescriptor(uint64_t ring_base, uint64_t index,
+                         const Descriptor& desc);
+  // Walk the tx ring transmitting every consecutively NIC-owned frame.
+  Status TxKick();
+
+  PhysicalMemory& memory_;
+  bool enabled_ = false;
+  bool irq_pending_ = false;
+  uint64_t rx_base_ = 0;
+  uint64_t rx_size_ = 0;
+  uint64_t tx_base_ = 0;
+  uint64_t tx_size_ = 0;
+  uint64_t rx_head_ = 0;
+  uint64_t tx_head_ = 0;
+  std::vector<std::vector<uint8_t>> tx_queue_;
+  NicCounters counters_;
+};
+
+}  // namespace sva::hw
+
+#endif  // SVA_SRC_HW_NIC_H_

@@ -46,6 +46,11 @@ struct KernelConfig {
   // Number of user pages each task owns (64 KiB default, enough for the
   // bandwidth benchmarks' transfer buffers).
   unsigned user_pages_per_task = 16;
+  // Per-task fd-table size. The fd array is modeled inside the task-cache
+  // object, so the task_struct cache's object size scales with this; 64 is
+  // enough for the 25 concurrent connections of the Table 6 experiment
+  // without fd pooling.
+  unsigned max_fds = 64;
 };
 
 }  // namespace sva::kernel

@@ -13,6 +13,13 @@ constexpr uint64_t kEBadF = static_cast<uint64_t>(-9);
 constexpr uint64_t kENoEnt = static_cast<uint64_t>(-2);
 constexpr uint64_t kEMFile = static_cast<uint64_t>(-24);
 constexpr uint64_t kEChild = static_cast<uint64_t>(-10);
+constexpr uint64_t kEAgain = static_cast<uint64_t>(-11);
+constexpr uint64_t kEMsgSize = static_cast<uint64_t>(-90);
+constexpr uint64_t kEAddrInUse = static_cast<uint64_t>(-98);
+
+// The fd array is modeled at this offset inside the task-cache object; the
+// sigaction table sits below it at offset 96 (signals < 32 fit).
+constexpr uint64_t kTaskFdArrayOffset = 128;
 
 uint64_t UserBaseForPid(int pid) {
   return kUserVirtualBase + static_cast<uint64_t>(pid) * 0x100000;
@@ -34,7 +41,11 @@ Status Kernel::Boot() {
 
   // SVA-PORT(alloc): caches are created with the pool-allocator contract
   // (type-size alignment, SLAB_NO_REAP) and identified to the compiler.
-  task_cache_ = allocators_->CreateCache("task_struct", 192);
+  // The task struct ends with the fd array, so its size scales with the
+  // configured fd-table size (satisfying the Table 6 experiment's 25
+  // concurrent connections without fd pooling).
+  task_cache_ = allocators_->CreateCache(
+      "task_struct", kTaskFdArrayOffset + 4 * config_.max_fds);
   inode_cache_ = allocators_->CreateCache("inode", 96);
   file_cache_ = allocators_->CreateCache("filp", 48);
   pipe_cache_ = allocators_->CreateCache("pipe_inode_info", 64);
@@ -47,6 +58,14 @@ Status Kernel::Boot() {
                                 /*element_size=*/0, /*complete=*/true);
   }
 
+  // The network stack boots against the same machine and metapool runtime;
+  // SVA modes reach the NIC through SVA-OS I/O ops and the registered rx
+  // interrupt, native mode touches the device directly.
+  net_ = std::make_unique<net::NetStack>(
+      machine_, svaos_, safe ? &pools_ : nullptr, safe,
+      /*use_svaos=*/config_.mode != KernelMode::kNative);
+  SVA_RETURN_IF_ERROR(net_->Boot());
+
   if (config_.mode != KernelMode::kNative) {
     // SVA-PORT(svaos): system call handlers are registered through the
     // SVA-OS registration operation instead of a hand-built IDT stub.
@@ -55,7 +74,7 @@ Status Kernel::Boot() {
           Sys::kClose, Sys::kWaitPid, Sys::kUnlink, Sys::kExecve, Sys::kLseek,
           Sys::kGetPid, Sys::kKill, Sys::kPipe, Sys::kBrk, Sys::kSigaction,
           Sys::kGetRusage, Sys::kGetTimeOfDay, Sys::kDup, Sys::kSocket,
-          Sys::kSend, Sys::kRecv}) {
+          Sys::kSend, Sys::kRecv, Sys::kBind, Sys::kAccept}) {
       SVA_RETURN_IF_ERROR(svaos_.RegisterSyscall(
           static_cast<uint64_t>(number),
           [this, number](const svaos::SyscallArgs& call) {
@@ -88,10 +107,30 @@ void Kernel::TranslatorTax() {
   }
 }
 
+bool Kernel::RouteToNet(Sys number, uint64_t a0) {
+  switch (number) {
+    case Sys::kBind:
+    case Sys::kAccept:
+      return true;  // Net-stack-only syscalls.
+    case Sys::kSend:
+    case Sys::kRecv:
+      return NetSocketIdForFd(a0) >= 0;
+    default:
+      return false;
+  }
+}
+
 Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
                                  uint64_t a2, uint64_t a3) {
   if (!booted_) {
     return FailedPrecondition("kernel not booted");
+  }
+  if (RouteToNet(number, a0)) {
+    // Net fast path: no big kernel lock. The net stack and the two
+    // fine-grained kernel locks (files_lock_, tasks_lock_) provide all the
+    // serialization these syscalls need; args[5] = 1 marks the routing so
+    // the handler never falls through to BKL-protected legacy state.
+    return Dispatch(number, {a0, a1, a2, a3, 0, 1});
   }
   // SVA-PORT(svaos): big kernel lock — one worker in the kernel at a time.
   std::lock_guard<smp::SpinLock> guard(bkl_);
@@ -100,25 +139,31 @@ Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
 
 Result<uint64_t> Kernel::Dispatch(Sys number,
                                   const std::array<uint64_t, 6>& args) {
-  ++stats_.syscalls;
+  // Relaxed atomic: the net fast path dispatches concurrently.
+  std::atomic_ref<uint64_t>(stats_.syscalls)
+      .fetch_add(1, std::memory_order_relaxed);
+  // Privilege transitions act on the calling thread's virtual CPU (bound to
+  // the boot CPU in single-CPU runs, so single-threaded behaviour is
+  // unchanged).
+  hw::Cpu& cpu = svaos_.current_cpu().cpu();
   switch (config_.mode) {
     case KernelMode::kNative: {
       // Native dispatch: the hand-written trap stub still saves and
       // restores the interrupted register state (as real kernels do), but
       // without interrupt-context bookkeeping or SVA-OS mediation.
-      hw::ControlState saved = machine_.cpu().control();
-      machine_.cpu().control().privilege = hw::Privilege::kKernel;
+      hw::ControlState saved = cpu.control();
+      cpu.control().privilege = hw::Privilege::kKernel;
       Result<uint64_t> r = HandleSyscall(number, args, nullptr);
-      machine_.cpu().control() = saved;
+      cpu.control() = saved;
       return r;
     }
     case KernelMode::kSvaGcc:
-      machine_.cpu().control().privilege = hw::Privilege::kUser;
+      cpu.control().privilege = hw::Privilege::kUser;
       return svaos_.Syscall(static_cast<uint64_t>(number), args);
     case KernelMode::kSvaLlvm:
     case KernelMode::kSvaSafe:
       TranslatorTax();
-      machine_.cpu().control().privilege = hw::Privilege::kUser;
+      cpu.control().privilege = hw::Privilege::kUser;
       return svaos_.Syscall(static_cast<uint64_t>(number), args);
   }
   return Internal("bad kernel mode");
@@ -177,21 +222,34 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
       case Sys::kDup:
         return SysDup(args[0]);
       case Sys::kSocket:
-        return SysSocket();
+        return SysSocket(args[0]);
       case Sys::kSend:
-        return SysSend(args[0], args[1], args[2]);
+        // args[5] routes: the net fast path must not touch the legacy
+        // loopback queue (BKL-protected), and vice versa. A mismatch means
+        // the socket changed type between routing and dispatch: kEBadF.
+        return args[5] != 0 ? SysNetSend(args[0], args[1], args[2], args[3])
+                            : SysSend(args[0], args[1], args[2]);
       case Sys::kRecv:
-        return SysRecv(args[0], args[1], args[2]);
+        return args[5] != 0 ? SysNetRecv(args[0], args[1], args[2])
+                            : SysRecv(args[0], args[1], args[2]);
+      case Sys::kBind:
+        return SysNetBind(args[0], args[1]);
+      case Sys::kAccept:
+        return SysNetAccept(args[0]);
     }
     return NotFound(StrCat("unknown syscall ", static_cast<uint64_t>(number)));
   }();
 
   // Signal delivery on the return path. SVA-PORT(svaos): dispatch saves
   // state on the kernel stack and uses llva.ipush.function instead of
-  // rewriting the user stack frame (Section 6.1).
-  Task* after = current_task();
-  if (after != nullptr && after->pending_signals != 0) {
-    DeliverPendingSignals(*after, icontext);
+  // rewriting the user stack frame (Section 6.1). The net fast path skips
+  // it — signals are delivered on the task's next slow-path entry, and the
+  // pending mask is written under the BKL which this path does not hold.
+  if (args[5] == 0) {
+    Task* after = current_task();
+    if (after != nullptr && after->pending_signals != 0) {
+      DeliverPendingSignals(*after, icontext);
+    }
   }
   return result;
 }
@@ -235,15 +293,22 @@ Result<uint64_t> Kernel::UserToPhysical(Task& task, uint64_t uaddr) {
   if (page >= task.user_pages.size()) {
     return SafetyViolation(StrCat("bad user address 0x", std::hex, uaddr));
   }
-  if (task.user_pages[page] == 0) {
-    // Demand paging: back the page on first touch.
+  // Demand paging on first touch. Net-path workers share the task off the
+  // BKL, so first touches may race: CAS installs one winner's page (the
+  // loser's page stays unused — the bump allocator never frees anyway).
+  std::atomic_ref<uint64_t> slot(task.user_pages[page]);
+  uint64_t mapped = slot.load(std::memory_order_acquire);
+  if (mapped == 0) {
     uint64_t phys = machine_.AllocatePhysicalPage();
     if (phys == 0) {
       return Internal("out of physical memory demand-paging user memory");
     }
-    task.user_pages[page] = phys;
+    if (slot.compare_exchange_strong(mapped, phys,
+                                     std::memory_order_acq_rel)) {
+      mapped = phys;
+    }
   }
-  return task.user_pages[page] + offset % hw::kPageSize;
+  return mapped + offset % hw::kPageSize;
 }
 
 Status Kernel::CheckUserRange(Task& task, uint64_t uaddr, uint64_t len) {
@@ -260,7 +325,8 @@ Status Kernel::CheckUserRange(Task& task, uint64_t uaddr, uint64_t len) {
 Status Kernel::CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
                             uint64_t len) {
   SVA_RETURN_IF_ERROR(CheckUserRange(task, uaddr, len));
-  stats_.bytes_copied_user += len;
+  std::atomic_ref<uint64_t>(stats_.bytes_copied_user)
+      .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
     SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
@@ -275,7 +341,8 @@ Status Kernel::CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
 Status Kernel::CopyToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
                           uint64_t len) {
   SVA_RETURN_IF_ERROR(CheckUserRange(task, uaddr, len));
-  stats_.bytes_copied_user += len;
+  std::atomic_ref<uint64_t>(stats_.bytes_copied_user)
+      .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
     SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
@@ -290,7 +357,8 @@ Status Kernel::CopyToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
 Status Kernel::CopyBlockToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
                                uint64_t len) {
   // Copy with the range checks already hoisted by the caller.
-  stats_.bytes_copied_user += len;
+  std::atomic_ref<uint64_t>(stats_.bytes_copied_user)
+      .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
     SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
@@ -304,7 +372,8 @@ Status Kernel::CopyBlockToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
 
 Status Kernel::CopyBlockFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
                                  uint64_t len) {
-  stats_.bytes_copied_user += len;
+  std::atomic_ref<uint64_t>(stats_.bytes_copied_user)
+      .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
     SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
@@ -371,6 +440,10 @@ Status Kernel::BoundsCheckObject(runtime::MetaPool* pool, uint64_t base,
 // --- Tasks -------------------------------------------------------------------------
 
 Task* Kernel::FindTask(int pid) {
+  // tasks_lock_ guards the map structure; node addresses are stable, so the
+  // returned pointer stays valid after release (reaping a task that is
+  // still running syscalls is a caller bug, as in any kernel).
+  std::lock_guard<smp::SpinLock> guard(tasks_lock_);
   auto it = tasks_.find(pid);
   return it == tasks_.end() ? nullptr : &it->second;
 }
@@ -382,7 +455,7 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   task.pid = next_pid_++;
   task.parent = parent_pid;
   task.alive = true;
-  task.fds.fill(-1);
+  task.fds.assign(config_.max_fds, -1);
   // User pages are demand-allocated on first touch (entries start at 0).
   task.user_pages.assign(config_.user_pages_per_task, 0);
   task.brk = UserBaseForPid(task.pid) +
@@ -396,7 +469,10 @@ Result<int> Kernel::CreateTask(int parent_pid) {
                                  task.user_pages.size() * hw::kPageSize));
   }
   int pid = task.pid;
-  tasks_[pid] = std::move(task);
+  {
+    std::lock_guard<smp::SpinLock> guard(tasks_lock_);
+    tasks_[pid] = std::move(task);
+  }
   return pid;
 }
 
@@ -452,34 +528,45 @@ Status Kernel::Yield() {
 
 // --- Files --------------------------------------------------------------------------
 
+int Kernel::AddOpenFile(std::unique_ptr<OpenFile> file) {
+  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  open_files_.push_back(std::move(file));
+  return static_cast<int>(open_files_.size() - 1);
+}
+
 Result<int> Kernel::AllocateFd(Task& task, int file_index) {
-  for (int fd = 0; fd < kMaxFds; ++fd) {
+  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  for (size_t fd = 0; fd < task.fds.size(); ++fd) {
     // SVA-safe: indexing the fd array inside the task struct is an array
     // indexing operation; the compiler emits a bounds check against the
     // task object.
-    SVA_RETURN_IF_ERROR(
-        BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
-                          task.addr + 64 + static_cast<uint64_t>(fd) * 4));
-    if (task.fds[static_cast<size_t>(fd)] < 0) {
-      task.fds[static_cast<size_t>(fd)] = file_index;
-      return fd;
+    SVA_RETURN_IF_ERROR(BoundsCheckObject(
+        allocators_->PoolForCache(task_cache_), task.addr,
+        task.addr + kTaskFdArrayOffset + static_cast<uint64_t>(fd) * 4));
+    if (task.fds[fd] < 0) {
+      task.fds[fd] = file_index;
+      return static_cast<int>(fd);
     }
   }
   return Status(StatusCode::kInternal, "fd table full");
 }
 
 Result<OpenFile*> Kernel::FileForFd(Task& task, uint64_t fd) {
-  if (fd >= kMaxFds) {
+  if (fd >= task.fds.size()) {
     return SafetyViolation(StrCat("fd ", fd, " out of range"));
   }
   SVA_RETURN_IF_ERROR(
       BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
-                        task.addr + 64 + fd * 4));
+                        task.addr + kTaskFdArrayOffset + fd * 4));
+  std::lock_guard<smp::SpinLock> guard(files_lock_);
   int index = task.fds[fd];
   if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
       open_files_[static_cast<size_t>(index)] == nullptr) {
     return NotFound(StrCat("bad fd ", fd));
   }
+  // The pointer remains valid after release: entries are heap-allocated and
+  // only reset when the refcount hits zero (closing an fd that another
+  // thread is actively using is a user-program race, as in real kernels).
   return open_files_[static_cast<size_t>(index)].get();
 }
 
@@ -503,13 +590,24 @@ Result<Inode*> Kernel::LookupInode(const std::string& name, bool create) {
 }
 
 Status Kernel::ReleaseFile(int file_index) {
-  OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
-  if (--file->refs > 0) {
-    return OkStatus();
+  uint64_t defunct_addr = 0;
+  int defunct_net_sid = -1;
+  {
+    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
+    if (--file->refs > 0) {
+      return OkStatus();
+    }
+    defunct_addr = file->addr;
+    defunct_net_sid = file->net_socket_id;
+    open_files_[static_cast<size_t>(file_index)].reset();
   }
-  SVA_RETURN_IF_ERROR(allocators_->CacheFree(file_cache_, file->addr));
-  open_files_[static_cast<size_t>(file_index)].reset();
-  return OkStatus();
+  // Teardown outside files_lock_ (it is a leaf lock; the net stack and the
+  // allocators take their own locks).
+  if (defunct_net_sid >= 0 && net_ != nullptr) {
+    SVA_RETURN_IF_ERROR(net_->Close(defunct_net_sid));
+  }
+  return allocators_->CacheFree(file_cache_, defunct_addr);
 }
 
 // --- Syscalls ----------------------------------------------------------------------
@@ -579,8 +677,7 @@ Result<uint64_t> Kernel::SysOpen(uint64_t path_uaddr, uint64_t flags) {
   file->addr = addr;
   file->refs = 1;
   file->ino = (*inode)->ino;
-  open_files_.push_back(std::move(file));
-  auto fd = AllocateFd(task, static_cast<int>(open_files_.size() - 1));
+  auto fd = AllocateFd(task, AddOpenFile(std::move(file)));
   if (!fd.ok()) {
     return kEMFile;
   }
@@ -593,8 +690,12 @@ Result<uint64_t> Kernel::SysClose(uint64_t fd) {
   if (!file.ok()) {
     return kEBadF;
   }
-  int index = task.fds[fd];
-  task.fds[fd] = -1;
+  int index;
+  {
+    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    index = task.fds[fd];
+    task.fds[fd] = -1;
+  }
   SVA_RETURN_IF_ERROR(ReleaseFile(index));
   return uint64_t{0};
 }
@@ -627,6 +728,9 @@ Result<uint64_t> Kernel::SysRead(uint64_t fd, uint64_t uaddr, uint64_t len) {
       done += chunk;
     }
     return to_read;
+  }
+  if (file->net_socket_id >= 0) {
+    return SysNetRecv(fd, uaddr, len);
   }
   if (file->socket_id >= 0) {
     return SysRecv(fd, uaddr, len);
@@ -694,6 +798,9 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
       done += chunk;
     }
     return to_write;
+  }
+  if (file->net_socket_id >= 0) {
+    return SysNetSend(fd, uaddr, len, /*dest=*/0);
   }
   if (file->socket_id >= 0) {
     return SysSend(fd, uaddr, len);
@@ -811,8 +918,7 @@ Result<uint64_t> Kernel::SysPipe(uint64_t uaddr_out) {
     file->refs = 1;
     file->pipe_id = pipe_id;
     file->pipe_read_end = end == 0;
-    open_files_.push_back(std::move(file));
-    auto fd = AllocateFd(task, static_cast<int>(open_files_.size() - 1));
+    auto fd = AllocateFd(task, AddOpenFile(std::move(file)));
     if (!fd.ok()) {
       return kEMFile;
     }
@@ -865,13 +971,16 @@ Result<uint64_t> Kernel::SysFork() {
   Task& parent = *current_task();
   ++stats_.forks;
   SVA_ASSIGN_OR_RETURN(int child_pid, CreateTask(parent.pid));
-  Task& child = tasks_[child_pid];
+  Task& child = *FindTask(child_pid);
   // Copy the fd table (bumping refs) and signal dispositions.
-  for (int fd = 0; fd < kMaxFds; ++fd) {
-    child.fds[static_cast<size_t>(fd)] = parent.fds[static_cast<size_t>(fd)];
-    int index = parent.fds[static_cast<size_t>(fd)];
-    if (index >= 0 && open_files_[static_cast<size_t>(index)] != nullptr) {
-      ++open_files_[static_cast<size_t>(index)]->refs;
+  {
+    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    for (size_t fd = 0; fd < parent.fds.size(); ++fd) {
+      child.fds[fd] = parent.fds[fd];
+      int index = parent.fds[fd];
+      if (index >= 0 && open_files_[static_cast<size_t>(index)] != nullptr) {
+        ++open_files_[static_cast<size_t>(index)]->refs;
+      }
     }
   }
   child.sigactions = parent.sigactions;
@@ -926,12 +1035,17 @@ Result<uint64_t> Kernel::SysExecve(uint64_t path_uaddr) {
 Result<uint64_t> Kernel::SysExit(uint64_t code) {
   (void)code;
   Task& task = *current_task();
-  for (int fd = 0; fd < kMaxFds; ++fd) {
-    int index = task.fds[static_cast<size_t>(fd)];
-    if (index >= 0 && open_files_[static_cast<size_t>(index)] != nullptr) {
-      SVA_RETURN_IF_ERROR(ReleaseFile(index));
-      task.fds[static_cast<size_t>(fd)] = -1;
+  for (size_t fd = 0; fd < task.fds.size(); ++fd) {
+    int index;
+    {
+      std::lock_guard<smp::SpinLock> guard(files_lock_);
+      index = task.fds[fd];
+      task.fds[fd] = -1;
+      if (index < 0 || open_files_[static_cast<size_t>(index)] == nullptr) {
+        continue;
+      }
     }
+    SVA_RETURN_IF_ERROR(ReleaseFile(index));
   }
   task.zombie = true;
   // Switch to the parent if it exists, else stay (init never exits).
@@ -955,7 +1069,10 @@ Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
     (void)pools_.DropObject(*user_pool_, UserBaseForPid(child->pid));
   }
   SVA_RETURN_IF_ERROR(allocators_->CacheFree(task_cache_, child->addr));
-  tasks_.erase(static_cast<int>(pid));
+  {
+    std::lock_guard<smp::SpinLock> guard(tasks_lock_);
+    tasks_.erase(static_cast<int>(pid));
+  }
   return pid;
 }
 
@@ -965,8 +1082,12 @@ Result<uint64_t> Kernel::SysDup(uint64_t fd) {
   if (!file_r.ok()) {
     return kEBadF;
   }
-  int index = task.fds[fd];
-  ++open_files_[static_cast<size_t>(index)]->refs;
+  int index;
+  {
+    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    index = task.fds[fd];
+    ++open_files_[static_cast<size_t>(index)]->refs;
+  }
   auto new_fd = AllocateFd(task, index);
   if (!new_fd.ok()) {
     return kEMFile;
@@ -974,22 +1095,42 @@ Result<uint64_t> Kernel::SysDup(uint64_t fd) {
   return static_cast<uint64_t>(*new_fd);
 }
 
-Result<uint64_t> Kernel::SysSocket() {
+Result<uint64_t> Kernel::SysSocket(uint64_t domain) {
   Task& task = *current_task();
-  SVA_ASSIGN_OR_RETURN(uint64_t sock_addr,
-                       allocators_->CacheAlloc(socket_cache_));
-  auto socket = std::make_unique<Socket>();
-  socket->addr = sock_addr;
-  sockets_.push_back(std::move(socket));
-  int socket_id = static_cast<int>(sockets_.size() - 1);
-
   SVA_ASSIGN_OR_RETURN(uint64_t addr, allocators_->CacheAlloc(file_cache_));
   auto file = std::make_unique<OpenFile>();
   file->addr = addr;
   file->refs = 1;
-  file->socket_id = socket_id;
-  open_files_.push_back(std::move(file));
-  auto fd = AllocateFd(task, static_cast<int>(open_files_.size() - 1));
+
+  switch (static_cast<SocketDomain>(domain)) {
+    case SocketDomain::kLegacyLoopback: {
+      SVA_ASSIGN_OR_RETURN(uint64_t sock_addr,
+                           allocators_->CacheAlloc(socket_cache_));
+      auto socket = std::make_unique<Socket>();
+      socket->addr = sock_addr;
+      sockets_.push_back(std::move(socket));
+      file->socket_id = static_cast<int>(sockets_.size() - 1);
+      break;
+    }
+    case SocketDomain::kDatagram:
+    case SocketDomain::kListener: {
+      auto sid = net_->CreateSocket(
+          static_cast<SocketDomain>(domain) == SocketDomain::kDatagram
+              ? net::SocketKind::kDatagram
+              : net::SocketKind::kListener);
+      if (!sid.ok()) {
+        (void)allocators_->CacheFree(file_cache_, addr);
+        return sid.status();
+      }
+      file->net_socket_id = *sid;
+      break;
+    }
+    default:
+      (void)allocators_->CacheFree(file_cache_, addr);
+      return kEInval;
+  }
+
+  auto fd = AllocateFd(task, AddOpenFile(std::move(file)));
   if (!fd.ok()) {
     return kEMFile;
   }
@@ -1038,6 +1179,181 @@ Result<uint64_t> Kernel::SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len) {
   socket.queued_bytes -= skb_len;
   SVA_RETURN_IF_ERROR(allocators_->Kfree(skb));
   return to_copy;
+}
+
+// --- Net-stack syscalls (off the big kernel lock) ---------------------------------
+
+int Kernel::NetSocketIdForFd(uint64_t fd) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return -1;
+  }
+  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  if (fd >= task->fds.size()) {
+    return -1;
+  }
+  int index = task->fds[fd];
+  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
+      open_files_[static_cast<size_t>(index)] == nullptr) {
+    return -1;
+  }
+  return open_files_[static_cast<size_t>(index)]->net_socket_id;
+}
+
+Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return Internal("no current task");
+  }
+  auto file_r = FileForFd(*task, fd);
+  if (!file_r.ok() || (*file_r)->net_socket_id < 0) {
+    return kEBadF;
+  }
+  Status bound = net_->Bind((*file_r)->net_socket_id,
+                            static_cast<uint16_t>(port));
+  if (!bound.ok()) {
+    switch (bound.code()) {
+      case StatusCode::kAlreadyExists:
+        return kEAddrInUse;
+      case StatusCode::kInvalidArgument:
+      case StatusCode::kFailedPrecondition:
+        return kEInval;
+      default:
+        return bound;
+    }
+  }
+  return uint64_t{0};
+}
+
+Result<uint64_t> Kernel::SysNetAccept(uint64_t fd) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return Internal("no current task");
+  }
+  auto file_r = FileForFd(*task, fd);
+  if (!file_r.ok() || (*file_r)->net_socket_id < 0) {
+    return kEBadF;
+  }
+  auto conn = net_->Accept((*file_r)->net_socket_id);
+  if (!conn.ok()) {
+    switch (conn.status().code()) {
+      case StatusCode::kFailedPrecondition:
+        return kEAgain;  // Empty backlog; the caller retries.
+      case StatusCode::kInvalidArgument:
+        return kEInval;
+      default:
+        return conn.status();
+    }
+  }
+  auto addr = allocators_->CacheAlloc(file_cache_);
+  if (!addr.ok()) {
+    (void)net_->Close(*conn);
+    return addr.status();
+  }
+  auto file = std::make_unique<OpenFile>();
+  file->addr = *addr;
+  file->refs = 1;
+  file->net_socket_id = *conn;
+  auto new_fd = AllocateFd(*task, AddOpenFile(std::move(file)));
+  if (!new_fd.ok()) {
+    return kEMFile;
+  }
+  return static_cast<uint64_t>(*new_fd);
+}
+
+Result<uint64_t> Kernel::SysNetSend(uint64_t fd, uint64_t uaddr, uint64_t len,
+                                    uint64_t dest) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return Internal("no current task");
+  }
+  auto file_r = FileForFd(*task, fd);
+  if (!file_r.ok() || (*file_r)->net_socket_id < 0) {
+    return kEBadF;
+  }
+  int sid = (*file_r)->net_socket_id;
+  auto kind = net_->Kind(sid);
+  if (!kind.ok()) {
+    return kEBadF;
+  }
+  if (*kind == net::SocketKind::kListener) {
+    return kEInval;
+  }
+  // `dest` packs (ip << 16) | port; ignored on connected stream sockets.
+  uint32_t dst_ip = static_cast<uint32_t>(dest >> 16);
+  uint16_t dst_port = static_cast<uint16_t>(dest & 0xFFFF);
+  const bool datagram = *kind == net::SocketKind::kDatagram;
+  const uint32_t max_chunk =
+      datagram ? net::kMaxUdpPayload : net::kMaxStreamPayload;
+  if (datagram && len > max_chunk) {
+    return kEMsgSize;  // Datagrams never fragment here.
+  }
+  uint64_t sent = 0;
+  do {
+    uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(len - sent, max_chunk));
+    auto skb = net_->AllocTxSkb();
+    if (!skb.ok()) {
+      return sent > 0 ? Result<uint64_t>(sent) : Result<uint64_t>(kEAgain);
+    }
+    // SVA-PORT(analysis): the header-framing and payload stores derive
+    // pointers up to payload_offset + chunk into the packet buffer; the
+    // compiler emits one hoisted bounds check against the skbuff metapool.
+    Status check = BoundsCheckObject(
+        net_->skbs().metapool(), skb->addr,
+        skb->addr + net::kTxPayloadOffset + chunk - (chunk == 0 ? 0 : 1));
+    if (!check.ok()) {
+      (void)net_->FreeSkb(skb->addr);
+      return check;
+    }
+    Status copy = CopyFromUser(*task, skb->addr + net::kTxPayloadOffset,
+                               uaddr + sent, chunk);
+    if (!copy.ok()) {
+      (void)net_->FreeSkb(skb->addr);
+      return copy;
+    }
+    auto pushed = net_->Send(sid, *skb, chunk, dst_ip, dst_port);
+    if (!pushed.ok()) {
+      return pushed.status();
+    }
+    sent += chunk;
+  } while (sent < len);
+  return sent;
+}
+
+Result<uint64_t> Kernel::SysNetRecv(uint64_t fd, uint64_t uaddr,
+                                    uint64_t len) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return Internal("no current task");
+  }
+  auto file_r = FileForFd(*task, fd);
+  if (!file_r.ok() || (*file_r)->net_socket_id < 0) {
+    return kEBadF;
+  }
+  auto slice = net_->RecvBegin((*file_r)->net_socket_id,
+                               static_cast<uint32_t>(std::min<uint64_t>(
+                                   len, net::kSkbBufferBytes)));
+  if (!slice.ok()) {
+    return slice.status().code() == StatusCode::kInvalidArgument
+               ? Result<uint64_t>(kEInval)
+               : Result<uint64_t>(kEBadF);
+  }
+  if (slice->len == 0) {
+    return uint64_t{0};  // Nothing queued (or EOF after FIN).
+  }
+  // SVA-PORT(analysis): copying out of the packet buffer derives a pointer
+  // slice->len past the payload start; one bounds check covers the copy.
+  Status check = BoundsCheckObject(net_->skbs().metapool(), slice->skb_addr,
+                                   slice->data_addr + slice->len - 1);
+  if (!check.ok()) {
+    (void)net_->RecvFinish(*slice);
+    return check;
+  }
+  Status copy = CopyToUser(*task, uaddr, slice->data_addr, slice->len);
+  SVA_RETURN_IF_ERROR(net_->RecvFinish(*slice));
+  SVA_RETURN_IF_ERROR(copy);
+  return uint64_t{slice->len};
 }
 
 }  // namespace sva::kernel

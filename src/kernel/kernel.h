@@ -13,6 +13,7 @@
 #define SVA_SRC_KERNEL_KERNEL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "src/hw/machine.h"
 #include "src/kernel/alloc.h"
 #include "src/kernel/config.h"
+#include "src/net/net_stack.h"
 #include "src/runtime/metapool_runtime.h"
 #include "src/smp/sync.h"
 #include "src/support/status.h"
@@ -52,9 +54,16 @@ enum class Sys : uint64_t {
   kSocket = 97,
   kSend = 98,
   kRecv = 99,
+  kBind = 100,
+  kAccept = 101,
 };
 
-inline constexpr int kMaxFds = 16;
+// Socket domains for Sys::kSocket's first argument.
+enum class SocketDomain : uint64_t {
+  kLegacyLoopback = 0,  // The pre-net-stack in-kernel loopback queue.
+  kDatagram = 1,        // UDP over the net stack.
+  kListener = 2,        // Stream listener over the net stack.
+};
 inline constexpr int kMaxSignals = 32;
 inline constexpr uint64_t kUserVirtualBase = 0x400000;
 inline constexpr uint64_t kBlockSize = 4096;
@@ -73,7 +82,10 @@ struct Task {
   bool zombie = false;
   bool alive = false;
   uint64_t brk = 0;
-  std::array<int, kMaxFds> fds;  // Open-file table indices; -1 = free.
+  // Open-file table indices; -1 = free. Sized by KernelConfig::max_fds (the
+  // fd array lives inside the task-cache object, so the object size scales
+  // with it).
+  std::vector<int> fds;
   // SVA-PORT(svaos): processor state is opaque SVA-OS buffers, not a
   // hand-written struct pt_regs.
   svaos::SavedIntegerState cpu_state;
@@ -114,7 +126,8 @@ struct OpenFile {
   int ino = -1;        // Ramfs inode, or
   int pipe_id = -1;    // pipe (with end), or
   bool pipe_read_end = false;
-  int socket_id = -1;  // socket.
+  int socket_id = -1;      // legacy loopback socket, or
+  int net_socket_id = -1;  // a socket in the net stack (src/net).
   uint64_t offset = 0;
 };
 
@@ -157,9 +170,13 @@ class Kernel {
   // Writes a NUL-terminated path into user memory at `uaddr`.
   Status PokeUserString(uint64_t uaddr, const std::string& text);
 
-  Task* current_task() { return FindTask(current_pid_); }
+  Task* current_task() { return FindTask(current_pid()); }
   Task* FindTask(int pid);
-  int current_pid() const { return current_pid_; }
+  int current_pid() const {
+    return current_pid_.load(std::memory_order_relaxed);
+  }
+  // The network stack; null until Boot().
+  net::NetStack* net() { return net_.get(); }
   const KernelStats& stats() const { return stats_; }
   svaos::SvaOS& svaos() { return svaos_; }
   runtime::MetaPoolRuntime& pools() { return pools_; }
@@ -212,11 +229,25 @@ class Kernel {
   Result<uint64_t> SysExit(uint64_t code);
   Result<uint64_t> SysWaitPid(uint64_t pid);
   Result<uint64_t> SysDup(uint64_t fd);
-  Result<uint64_t> SysSocket();
+  Result<uint64_t> SysSocket(uint64_t domain);
   Result<uint64_t> SysSend(uint64_t fd, uint64_t uaddr, uint64_t len);
   Result<uint64_t> SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
+  // Net-stack syscall backends (run OFF the big kernel lock; see Syscall).
+  Result<uint64_t> SysNetBind(uint64_t fd, uint64_t port);
+  Result<uint64_t> SysNetAccept(uint64_t fd);
+  Result<uint64_t> SysNetSend(uint64_t fd, uint64_t uaddr, uint64_t len,
+                              uint64_t dest);
+  Result<uint64_t> SysNetRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
 
   // --- Internals ---------------------------------------------------------------
+  // True when `number`(fd `a0`) should bypass the big kernel lock and run
+  // against the net stack's own locks (the per-subsystem locking step of
+  // the ROADMAP's fine-grained-locking item).
+  bool RouteToNet(Sys number, uint64_t a0);
+  // The net socket id behind fd `a0` of the current task, or -1.
+  int NetSocketIdForFd(uint64_t fd);
+  // Appends to the open-file table under files_lock_; returns the index.
+  int AddOpenFile(std::unique_ptr<OpenFile> file);
   Result<int> AllocateFd(Task& task, int file_index);
   Result<OpenFile*> FileForFd(Task& task, uint64_t fd);
   Result<Inode*> LookupInode(const std::string& name, bool create);
@@ -232,8 +263,18 @@ class Kernel {
   KernelConfig config_;
   // The big kernel lock: serializes syscall/scheduler/user-memory entry
   // points (the 2.4-era concurrency model the paper's kernel port assumes).
-  // Runtime checks issued outside the kernel do not take it.
+  // Runtime checks issued outside the kernel do not take it, and neither do
+  // the net-stack syscalls (kBind/kAccept, and kSend/kRecv on net sockets):
+  // those run under the net subsystem's own locks plus the two fine-grained
+  // kernel locks below, so `net_throughput --cpus N` scales.
   mutable smp::SpinLock bkl_;
+  // Fine-grained locks shared by the BKL path and the net fast path.
+  // files_lock_ guards the open-file table vector, fd arrays, and refcounts;
+  // tasks_lock_ guards the pid->task map structure. Leaf locks: nothing
+  // else is acquired while holding them. Task/OpenFile node addresses are
+  // stable, so pointers stay valid after release.
+  mutable smp::SpinLock files_lock_;
+  mutable smp::SpinLock tasks_lock_;
   svaos::SvaOS svaos_;
   runtime::MetaPoolRuntime pools_;
   std::unique_ptr<KernelAllocators> allocators_;
@@ -244,6 +285,7 @@ class Kernel {
   runtime::PoolAllocator* pipe_cache_ = nullptr;
   runtime::PoolAllocator* socket_cache_ = nullptr;
   runtime::MetaPool* user_pool_ = nullptr;
+  std::unique_ptr<net::NetStack> net_;
 
   std::map<int, Task> tasks_;               // pid -> task
   std::vector<std::unique_ptr<OpenFile>> open_files_;
@@ -252,7 +294,7 @@ class Kernel {
   std::vector<std::unique_ptr<Socket>> sockets_;
   std::map<std::string, int> namespace_;    // path -> ino
 
-  int current_pid_ = 0;
+  std::atomic<int> current_pid_{0};  // Read off-lock by the net fast path.
   int next_pid_ = 1;
   int next_ino_ = 1;
   KernelStats stats_;

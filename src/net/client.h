@@ -1,0 +1,83 @@
+// The load generator: a host at kClientIp on the far side of the wire. It
+// builds frames host-side (it is not kernel code and runs no safety
+// checks), injects them through VirtualNic::Receive — exactly the path DMA
+// from a physical link would take — and collects the kernel's replies from
+// the NIC tx queue. Benchmarks and the table6 harness drive it as the
+// "client machine" of the paper's bandwidth experiment.
+#ifndef SVA_SRC_NET_CLIENT_H_
+#define SVA_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/net_stack.h"
+#include "src/net/proto.h"
+#include "src/support/status.h"
+
+namespace sva::net {
+
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(NetStack& stack, uint32_t ip = kClientIp)
+      : stack_(stack), ip_(ip) {}
+
+  // --- Datagrams ------------------------------------------------------------
+  // One UDP datagram to the server; pumps rx so it is delivered before
+  // returning.
+  Status SendDatagram(uint16_t src_port, uint16_t dst_port,
+                      const std::vector<uint8_t>& payload);
+  // The attack frame: the UDP length field claims `claimed_payload` bytes
+  // while the frame actually carries `actual_payload`. A correct stack
+  // bounds-checks the claim against the packet buffer before trusting it.
+  Status SendMalformedDatagram(uint16_t src_port, uint16_t dst_port,
+                               uint32_t claimed_payload,
+                               uint32_t actual_payload);
+
+  // --- Streams --------------------------------------------------------------
+  // Opens a connection to a listening server port: sends SYN from a fresh
+  // ephemeral port. Returns a client-side connection handle.
+  Result<int> OpenStream(uint16_t dst_port);
+  // Sends bytes on the connection, chunked into MTU-sized frames.
+  Status SendStream(int conn, const uint8_t* data, uint64_t len);
+  Status SendStream(int conn, const std::string& data);
+  Status CloseStream(int conn);  // FIN.
+
+  // Drains the NIC tx queue, parses each frame host-side, and routes
+  // payloads into per-connection (and datagram) receive buffers. Returns
+  // the number of frames consumed.
+  uint64_t Poll();
+
+  // Received bytes on a stream connection (Polls first); the returned data
+  // is removed from the buffer.
+  std::string TakeStream(int conn);
+  // Received datagrams addressed to this host (Polls first).
+  std::vector<std::vector<uint8_t>> TakeDatagrams();
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  // Injects one framed buffer into the NIC and pumps delivery.
+  Status Inject(const std::vector<uint8_t>& frame);
+
+  struct Conn {
+    uint16_t local_port = 0;
+    uint16_t dst_port = 0;
+    std::string rx;
+  };
+
+  NetStack& stack_;
+  const uint32_t ip_;
+  uint16_t next_ephemeral_ = 40000;
+  std::vector<Conn> conns_;
+  std::map<uint32_t, int> port_to_conn_;  // client-side port -> conn index
+  std::vector<std::vector<uint8_t>> datagrams_;
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+};
+
+}  // namespace sva::net
+
+#endif  // SVA_SRC_NET_CLIENT_H_

@@ -123,6 +123,7 @@ TEST(KernelStressTest, SignalStorm) {
 
 TEST(KernelStressTest, FdExhaustionIsGraceful) {
   StressHarness h;
+  const uint64_t max_fds = h.k().config().max_fds;
   ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/stress/fds").ok());
   std::vector<uint64_t> fds;
   // Fill the table.
@@ -133,14 +134,14 @@ TEST(KernelStressTest, FdExhaustionIsGraceful) {
       break;  // -EMFILE.
     }
     fds.push_back(*r);
-    ASSERT_LE(fds.size(), 16u);
+    ASSERT_LE(fds.size(), max_fds);
   }
-  EXPECT_EQ(fds.size(), 16u);
+  EXPECT_EQ(fds.size(), max_fds);
   // Everything still works after closing.
   for (uint64_t fd : fds) {
     ASSERT_EQ(h.Call(Sys::kClose, fd), 0u);
   }
-  EXPECT_LT(h.Call(Sys::kOpen, h.user(0), 1), 16u);
+  EXPECT_LT(h.Call(Sys::kOpen, h.user(0), 1), max_fds);
 }
 
 TEST(KernelStressTest, ViolationDoesNotCorruptKernel) {
