@@ -11,6 +11,8 @@
 // Uses google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "src/runtime/metapool_runtime.h"
 #include "src/safety/compiler.h"
 #include "src/svm/svm.h"
@@ -197,4 +199,32 @@ BENCHMARK(BM_PipelineNoTHElision);
 }  // namespace
 }  // namespace sva::bench
 
-BENCHMARK_MAIN();
+// Console output plus JSON capture: every finished benchmark run is also
+// recorded into the shared --json report.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      sva::bench::JsonReport::Get().Add(
+          run.benchmark_name(), run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "ablation_optimizations");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return sva::bench::JsonReport::Get().Finish();
+}
+

@@ -133,6 +133,12 @@ void RunMicrobench() {
                   Fmt("%.1f%%", 100.0 * on.hit_rate),
                   Fmt("%.2f", on.comparisons_per_check),
                   std::to_string(on.violations)});
+    JsonReport::Get().Add(std::string(w.name) + " ns/check",
+                          off.ns_per_check, "ns", "cache-off");
+    JsonReport::Get().Add(std::string(w.name) + " ns/check",
+                          on.ns_per_check, "ns", "cache-on");
+    JsonReport::Get().Add(std::string(w.name) + " hit rate",
+                          100.0 * on.hit_rate, "%", "cache-on");
     if (off.violations != on.violations) {
       std::fprintf(stderr,
                    "FAIL: %s: violation counts differ with cache on/off "
@@ -236,9 +242,10 @@ void RunExploitParity() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "cache_hit_rates");
   sva::bench::RunMicrobench();
   sva::bench::RunChurnParity();
   sva::bench::RunExploitParity();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -1,13 +1,17 @@
 // Shared helpers for the reproduction benches: wall-clock timing with
-// median-of-N repetition (HBench-OS style) and paper-style table printing.
+// median-of-N repetition (HBench-OS style), paper-style table printing,
+// and machine-readable result export (--json).
 #ifndef SVA_BENCH_COMMON_H_
 #define SVA_BENCH_COMMON_H_
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace sva::bench {
@@ -97,6 +101,142 @@ inline std::string Fmt(const char* format, double value) {
   std::snprintf(buf, sizeof(buf), format, value);
   return buf;
 }
+
+// The current git commit, read from the source tree's .git at run time
+// (SVA_SOURCE_DIR is a compile definition on every bench target). Records
+// in a JSON report carry this so results from different checkouts are
+// never conflated.
+inline std::string GitSha() {
+#ifdef SVA_SOURCE_DIR
+  std::ifstream head(std::string(SVA_SOURCE_DIR) + "/.git/HEAD");
+  std::string line;
+  if (head && std::getline(head, line)) {
+    if (line.rfind("ref: ", 0) == 0) {
+      std::ifstream ref(std::string(SVA_SOURCE_DIR) + "/.git/" +
+                        line.substr(5));
+      std::string sha;
+      if (ref && std::getline(ref, sha)) {
+        return sha;
+      }
+    } else if (!line.empty()) {
+      return line;  // Detached HEAD holds the sha directly.
+    }
+  }
+#endif
+  return "unknown";
+}
+
+// Machine-readable result sink shared by every bench binary. Mains call
+// Init(&argc, argv, name) first — it strips the shared flags
+// (--json PATH, --quick, --trace-out PATH) from argv so bench-specific
+// parsers (including google-benchmark's) never see them — then the
+// measurement code calls Add() wherever it computes a reported number,
+// and main returns Finish(). Without --json all of this is inert.
+class JsonReport {
+ public:
+  static JsonReport& Get() {
+    static JsonReport report;
+    return report;
+  }
+
+  void Init(int* argc, char** argv, std::string bench_name) {
+    bench_ = std::move(bench_name);
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+        path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        quick_ = true;
+      } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < *argc) {
+        trace_out_ = argv[++i];
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  // --quick: CI-sized iteration counts (the post-bench trace validation
+  // test uses this so it never measures, only exercises the paths).
+  bool quick() const { return quick_; }
+  // --trace-out: where the bench should write its Chrome trace, if the
+  // bench supports tracing; empty when not requested.
+  const std::string& trace_out() const { return trace_out_; }
+
+  // One measurement record. `mode` is the kernel/runtime configuration the
+  // number belongs to ("native", "sva-safe", ...); `cpus` the worker count
+  // (0 = single-threaded / not applicable).
+  void Add(const std::string& metric, double value, const std::string& unit,
+           const std::string& mode = "", unsigned cpus = 0) {
+    Record r;
+    r.metric = metric;
+    r.value = value;
+    r.unit = unit;
+    r.mode = mode;
+    r.cpus = cpus;
+    records_.push_back(std::move(r));
+  }
+
+  // Writes the report if --json was given. Returns the process exit code.
+  int Finish() const {
+    if (path_.empty()) {
+      return 0;
+    }
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n"
+        << "  \"git_sha\": \"" << Escape(GitSha()) << "\",\n"
+        << "  \"hw_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+        << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n"
+        << "  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", r.value);
+      out << "    {\"metric\": \"" << Escape(r.metric) << "\", \"value\": "
+          << value << ", \"unit\": \"" << Escape(r.unit) << "\"";
+      if (!r.mode.empty()) {
+        out << ", \"mode\": \"" << Escape(r.mode) << "\"";
+      }
+      if (r.cpus != 0) {
+        out << ", \"cpus\": " << r.cpus;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good() ? 0 : 1;
+  }
+
+ private:
+  struct Record {
+    std::string metric;
+    double value = 0;
+    std::string unit;
+    std::string mode;
+    unsigned cpus = 0;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::string trace_out_;
+  bool quick_ = false;
+  std::vector<Record> records_;
+};
 
 }  // namespace sva::bench
 

@@ -109,6 +109,13 @@ void Run() {
                 std::to_string(loaded->pools().stats().total_performed()) +
                     " run-time checks performed"});
 
+  JsonReport::Get().Add("parse", parse_us, "us");
+  JsonReport::Get().Add("safety-compile", compile_us, "us");
+  JsonReport::Get().Add("serialize", write_us, "us");
+  JsonReport::Get().Add("verify+typecheck", verify_us, "us");
+  JsonReport::Get().Add("svm-load", translate_us, "us");
+  JsonReport::Get().Add("execute-100-ops", exec_us, "us");
+
   table.Print();
   std::printf(
       "\nThe verifier and translator are intraprocedural and fast enough "
@@ -119,7 +126,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "fig1_pipeline");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

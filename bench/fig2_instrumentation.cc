@@ -95,6 +95,24 @@ void Run() {
   std::printf("  statically-safe GEPs elided:            %llu\n",
               static_cast<unsigned long long>(report->elided_bounds_checks));
 
+  JsonReport::Get().Add("reg_obj", static_cast<double>(report->reg_obj),
+                        "sites");
+  JsonReport::Get().Add("drop_obj", static_cast<double>(report->drop_obj),
+                        "sites");
+  JsonReport::Get().Add("bounds_checks",
+                        static_cast<double>(report->bounds_checks), "sites");
+  JsonReport::Get().Add("direct_bounds_checks",
+                        static_cast<double>(report->direct_bounds_checks),
+                        "sites");
+  JsonReport::Get().Add("ls_checks", static_cast<double>(report->ls_checks),
+                        "sites");
+  JsonReport::Get().Add("elided_th_ls_checks",
+                        static_cast<double>(report->elided_th_ls_checks),
+                        "sites");
+  JsonReport::Get().Add("elided_bounds_checks",
+                        static_cast<double>(report->elided_bounds_checks),
+                        "sites");
+
   std::printf("\n--- Instrumented bytecode ----------------------------------\n");
   std::printf("%s\n",
               vir::PrintFunction(**m, *(*m)->GetFunction("fib_create_info"))
@@ -104,7 +122,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "fig2_instrumentation");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -78,6 +78,11 @@ class BootedKernel {
     }
   }
 
+  // Scratch fds a bench can stash on the harness (e.g. the ends of a pipe
+  // opened during setup) so its workload lambdas only need the kernel.
+  uint64_t rfd = 0;
+  uint64_t wfd = 0;
+
  private:
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<kernel::Kernel> kernel_;

@@ -133,6 +133,10 @@ void RunModes() {
                   mode == kernel::KernelMode::kNative
                       ? "-"
                       : Fmt("%.1f", OverheadPct(r.reqs_per_sec, native_req))});
+    JsonReport::Get().Add("udp packets/sec", r.pkts_per_sec, "pkts/s",
+                          kernel::KernelModeName(mode));
+    JsonReport::Get().Add("udp requests/sec", r.reqs_per_sec, "reqs/s",
+                          kernel::KernelModeName(mode));
   }
   table.Print();
   std::printf("\n");
@@ -193,6 +197,8 @@ void RunScaling(unsigned max_cpus) {
     table.AddRow({Fmt("%.0f", cpus), Fmt("%.0f", packets), Fmt("%.0f", pps),
                   Fmt("%.0f", us * 1000.0 / packets),
                   Fmt("%.2fx", base_pps > 0 ? pps / base_pps : 0)});
+    JsonReport::Get().Add("lo packets/sec", pps, "pkts/s", "sva-safe",
+                          cpus);
   }
   table.Print();
   std::printf("\n");
@@ -291,6 +297,7 @@ void RunParity(unsigned max_cpus) {
 }  // namespace sva::bench
 
 int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "net_throughput");
   unsigned cpus = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
@@ -308,5 +315,5 @@ int main(int argc, char** argv) {
   sva::bench::RunModes();
   sva::bench::RunScaling(cpus);
   sva::bench::RunParity(cpus);
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -137,6 +137,8 @@ void PrintScalingTable(const char* title, bool mutate) {
     table.AddRow({std::to_string(s.threads), Fmt("%.2fM", rate / 1e6),
                   Fmt("%.1f", per_thread_ns), Fmt("%.2fx", rate / base_rate),
                   Fmt("%.1f%%", 100.0 * p), Fmt("%.2fx", projected)});
+    JsonReport::Get().Add(std::string(title) + " checks/sec", rate,
+                          "checks/s", "", s.threads);
   }
   table.Print();
   std::printf("\n");
@@ -160,6 +162,8 @@ void KernelSyscallPhase() {
     double total = static_cast<double>(kCallsPerWorker) * threads;
     table.AddRow({std::to_string(threads), Fmt("%.2fM", total / us),
                   Fmt("%.3f", us / total)});
+    JsonReport::Get().Add("bkl syscalls/sec", total / us * 1e6,
+                          "calls/s", "sva-safe", threads);
   }
   table.Print();
   std::printf("\n");
@@ -239,7 +243,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "smp_scaling");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -3,6 +3,8 @@
 // syscall dispatch, MMU and I/O operations), using google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "src/svaos/svaos.h"
 
 namespace sva::bench {
@@ -109,4 +111,32 @@ BENCHMARK(BM_IoWrite);
 }  // namespace
 }  // namespace sva::bench
 
-BENCHMARK_MAIN();
+// Console output plus JSON capture: every finished benchmark run is also
+// recorded into the shared --json report.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      sva::bench::JsonReport::Get().Add(
+          run.benchmark_name(), run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "svaos_ops");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return sva::bench::JsonReport::Get().Finish();
+}
+

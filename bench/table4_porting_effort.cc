@@ -104,11 +104,15 @@ void Run() {
                   Fmt("%.2f%%", stats.total_lines == 0
                                     ? 0
                                     : 100.0 * changed / stats.total_lines)});
+    JsonReport::Get().Add(sub.name + " changed", changed, "lines");
+    JsonReport::Get().Add(sub.name + " total", stats.total_lines, "lines");
   }
   table.AddRow({"Total indep", std::to_string(grand_total), "", "", "",
                 Fmt("%.2f%%",
                     grand_total == 0 ? 0
                                      : 100.0 * grand_changed / grand_total)});
+  JsonReport::Get().Add("total-indep changed", grand_changed, "lines");
+  JsonReport::Get().Add("total-indep total", grand_total, "lines");
   table.Print();
   std::printf(
       "\nShape check vs paper: architecture-independent changes are a "
@@ -119,7 +123,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "table4_porting_effort");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -161,6 +161,10 @@ void Run() {
                   Fmt("%.1f", OverheadPct(ms[0], ms[1])),
                   Fmt("%.1f", OverheadPct(ms[0], ms[2])),
                   Fmt("%.1f", OverheadPct(ms[0], ms[3]))});
+    for (int m = 0; m < 4; ++m) {
+      JsonReport::Get().Add(app.name, ms[m], "ms",
+                            kernel::KernelModeName(kAllModes[m]));
+    }
   }
   table.Print();
   std::printf(
@@ -173,7 +177,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "table5_app_latency");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -25,6 +25,8 @@
 #include "bench/common.h"
 #include "bench/kernel_harness.h"
 #include "src/net/client.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/trace.h"
 
 namespace sva::bench {
 namespace {
@@ -116,7 +118,7 @@ double ServeKBps(Server& server, uint64_t file_size, int requests,
   return bytes / us * 1000.0;  // KB/s given us.
 }
 
-void Run() {
+void Run(bool quick) {
   std::printf(
       "Table 6: thttpd-style bandwidth over the virtual NIC, "
       "%d concurrent connections\n\n",
@@ -132,22 +134,27 @@ void Run() {
       {"85 KB", 85 * 1024, 24, false},
       {"cgi (311 B)", 311, 250, true},
   };
+  // --quick (CI / trace-validation runs): a handful of requests per case,
+  // one rep — enough to exercise every code path without measuring.
+  const int reps = quick ? 1 : 9;
   Table table({"Request", "Native (KB/s)", "SVA gcc (%)", "SVA llvm (%)",
                "SVA Safe (%)"});
   for (const Case& c : cases) {
+    const int requests = quick ? std::max(4, c.requests / 50) : c.requests;
     // Interleaved trials across all four kernels; median per mode.
     std::vector<std::unique_ptr<BootedKernel>> kernels;
     std::vector<std::unique_ptr<Server>> servers;
     for (int m = 0; m < 4; ++m) {
       kernels.push_back(std::make_unique<BootedKernel>(kAllModes[m]));
       servers.push_back(std::make_unique<Server>(*kernels[m], c.size));
-      (void)ServeKBps(*servers[m], c.size, c.requests / 4 + 1, c.cgi);
+      (void)ServeKBps(*servers[m], c.size,
+                      quick ? 2 : c.requests / 4 + 1, c.cgi);
     }
     std::vector<double> samples[4];
-    for (int rep = 0; rep < 9; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       for (int m = 0; m < 4; ++m) {
         samples[m].push_back(
-            ServeKBps(*servers[m], c.size, c.requests, c.cgi));
+            ServeKBps(*servers[m], c.size, requests, c.cgi));
       }
     }
     double kbps[4];
@@ -159,6 +166,10 @@ void Run() {
                   Fmt("%.1f", -OverheadPct(kbps[0], kbps[1])),
                   Fmt("%.1f", -OverheadPct(kbps[0], kbps[2])),
                   Fmt("%.1f", -OverheadPct(kbps[0], kbps[3]))});
+    for (int m = 0; m < 4; ++m) {
+      JsonReport::Get().Add(c.name, kbps[m], "KB/s",
+                            kernel::KernelModeName(kAllModes[m]));
+    }
   }
   table.Print();
   std::printf(
@@ -171,7 +182,30 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
-  sva::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  auto& report = sva::bench::JsonReport::Get();
+  report.Init(&argc, argv, "table6_thttpd_bandwidth");
+  // --trace-out: record the whole serving run (every layer from syscall
+  // entry down to NIC DMA) into the per-CPU rings and export one
+  // Perfetto-loadable Chrome trace.
+  if (!report.trace_out().empty()) {
+    sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
+  }
+  sva::bench::Run(report.quick());
+  if (!report.trace_out().empty()) {
+    sva::trace::Tracer& tracer = sva::trace::Tracer::Get();
+    tracer.Disable();
+    std::vector<sva::trace::Event> events = tracer.Drain();
+    sva::Status written =
+        sva::trace::WriteChromeTrace(report.trace_out(), events);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s (%llu lost)\n",
+                 events.size(), report.trace_out().c_str(),
+                 static_cast<unsigned long long>(tracer.events_lost()));
+  }
+  return report.Finish();
 }

@@ -132,6 +132,10 @@ void Run() {
                   Fmt("%.1f", OverheadPct(us[0], us[1])),
                   Fmt("%.1f", OverheadPct(us[0], us[2])),
                   Fmt("%.1f", OverheadPct(us[0], us[3]))});
+    for (int m = 0; m < 4; ++m) {
+      JsonReport::Get().Add(bench.name, us[m], "us",
+                            kernel::KernelModeName(kAllModes[m]));
+    }
   }
   table.Print();
   std::printf(
@@ -143,7 +147,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "table7_syscall_latency");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

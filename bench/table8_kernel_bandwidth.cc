@@ -63,6 +63,11 @@ void Run() {
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[1])),
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[2])),
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[3]))});
+    for (int m = 0; m < 4; ++m) {
+      JsonReport::Get().Add("file read " + std::to_string(size / 1024) + "k",
+                            mbps[m], "MB/s",
+                            kernel::KernelModeName(kAllModes[m]));
+    }
   }
   for (uint64_t size : kSizes) {
     double mbps[4];
@@ -78,6 +83,11 @@ void Run() {
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[1])),
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[2])),
                   Fmt("%.1f", -OverheadPct(mbps[0], mbps[3]))});
+    for (int m = 0; m < 4; ++m) {
+      JsonReport::Get().Add("pipe " + std::to_string(size / 1024) + "k",
+                            mbps[m], "MB/s",
+                            kernel::KernelModeName(kAllModes[m]));
+    }
   }
   table.Print();
   std::printf(
@@ -89,7 +99,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "table8_kernel_bandwidth");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

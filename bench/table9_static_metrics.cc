@@ -102,6 +102,23 @@ void Run() {
               static_cast<unsigned long long>(entire.ls_checks),
               static_cast<unsigned long long>(as_tested.reduced_ls_checks),
               static_cast<unsigned long long>(entire.reduced_ls_checks));
+  JsonReport::Get().Add("metapools", static_cast<double>(entire.metapools),
+                        "count", "entire");
+  JsonReport::Get().Add("metapools",
+                        static_cast<double>(as_tested.metapools), "count",
+                        "as-tested");
+  JsonReport::Get().Add("th_metapools",
+                        static_cast<double>(entire.th_metapools), "count",
+                        "entire");
+  JsonReport::Get().Add("bounds_checks",
+                        static_cast<double>(entire.bounds_checks +
+                                            entire.direct_bounds_checks),
+                        "sites", "entire");
+  JsonReport::Get().Add("ls_checks", static_cast<double>(entire.ls_checks),
+                        "sites", "entire");
+  JsonReport::Get().Add("reduced_ls_checks",
+                        static_cast<double>(entire.reduced_ls_checks),
+                        "sites", "entire");
   std::printf(
       "\nShape check vs paper: the partial build leaves most accesses on "
       "incomplete\npartitions while nearly all allocation sites are still "
@@ -112,7 +129,8 @@ void Run() {
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "table9_static_metrics");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

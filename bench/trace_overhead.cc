@@ -1,0 +1,237 @@
+// Tracing-overhead bench: what does the observability layer cost?
+//
+// The design target (ftrace/LTTng style) is that a *disabled* tracepoint is
+// one predictable branch on a relaxed atomic load — cheap enough to leave
+// compiled into every hot path. This bench provides the evidence, two ways:
+//
+//   1. Site-level: a tight loop over a disabled tracepoint, against an
+//      empty loop, giving ns per disabled site (and, for contrast, the ns
+//      per site with metrics and full ring recording enabled).
+//   2. End-to-end: the Table 7 syscall workload (getpid / open+close /
+//      pipe write+read on the SVA-Safe kernel) timed with tracing off,
+//      metrics-only, and full; plus the measured tracepoint density
+//      (events per syscall), which turns the site-level number into an
+//      estimated whole-workload disabled overhead.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/kernel_harness.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+
+namespace sva::bench {
+namespace {
+
+using kernel::Sys;
+
+// --- Site-level: cost of one tracepoint per tracer state ---------------------
+
+double SitePassUs(int iters) {
+  // The probe mirrors an instant tracepoint on a hot path. volatile sink
+  // keeps the loop itself from folding away.
+  volatile uint64_t sink = 0;
+  return TimeOnceUs([&] {
+    for (int i = 0; i < iters; ++i) {
+      trace::Emit(trace::EventId::kBoundsCheck, i, 0);
+      sink = sink + 1;
+    }
+  });
+}
+
+double BaselinePassUs(int iters) {
+  volatile uint64_t sink = 0;
+  return TimeOnceUs([&] {
+    for (int i = 0; i < iters; ++i) {
+      sink = sink + 1;
+    }
+  });
+}
+
+double RunSiteBench(bool quick) {
+  const int iters = quick ? 500000 : 2000000;
+  const int reps = quick ? 5 : 9;
+  std::printf(
+      "Phase 1: per-tracepoint cost (loop of %d sites, median of %d)\n\n",
+      iters, reps);
+  struct State {
+    const char* name;
+    uint32_t mode;
+  };
+  const State states[] = {
+      {"disabled", trace::kModeOff},
+      {"metrics", trace::kModeMetrics},
+      {"full (ring)", trace::kModeFull},
+  };
+  double baseline = 0;
+  {
+    std::vector<double> samples;
+    for (int r = 0; r < reps; ++r) {
+      samples.push_back(BaselinePassUs(iters));
+    }
+    std::sort(samples.begin(), samples.end());
+    baseline = samples[samples.size() / 2];
+  }
+  Table table({"Tracer state", "ns/site", "vs empty loop"});
+  double disabled_ns = 0;
+  for (const State& s : states) {
+    if (s.mode == trace::kModeOff) {
+      trace::Tracer::Get().Disable();
+    } else {
+      trace::Tracer::Get().Enable(s.mode);
+    }
+    std::vector<double> samples;
+    for (int r = 0; r < reps; ++r) {
+      samples.push_back(SitePassUs(iters));
+    }
+    std::sort(samples.begin(), samples.end());
+    double us = samples[samples.size() / 2];
+    double ns_per_site = std::max(0.0, us - baseline) * 1000.0 / iters;
+    if (s.mode == trace::kModeOff) {
+      disabled_ns = ns_per_site;
+    }
+    table.AddRow({s.name, Fmt("%.2f", ns_per_site),
+                  Fmt("%+.1f%%", OverheadPct(baseline, us))});
+    JsonReport::Get().Add(std::string("tracepoint ns (") + s.name + ")",
+                          ns_per_site, "ns");
+  }
+  trace::Tracer::Get().Disable();
+  trace::Metrics::Get().Reset();
+  table.Print();
+  std::printf("\n(disabled site: %.2f ns — the single-branch target)\n\n",
+              disabled_ns);
+  return disabled_ns;
+}
+
+// --- End-to-end: the Table 7 workload under each tracer state ----------------
+
+struct Workload {
+  std::string name;
+  std::function<void(BootedKernel&)> op;
+  int iters;
+};
+
+std::vector<Workload> BuildWorkloads() {
+  std::vector<Workload> w;
+  w.push_back({"getpid", [](BootedKernel& k) { k.Call(Sys::kGetPid); }, 400});
+  w.push_back({"open+close",
+               [](BootedKernel& k) {
+                 uint64_t fd = k.Call(Sys::kOpen, k.user(0), 0);
+                 k.Call(Sys::kClose, fd);
+               },
+               200});
+  w.push_back({"pipe w+r",
+               [](BootedKernel& k) {
+                 k.Call(Sys::kWrite, k.wfd, k.user(4096), 512);
+                 k.Call(Sys::kRead, k.rfd, k.user(8192), 512);
+               },
+               200});
+  return w;
+}
+
+void RunEndToEnd(bool quick, double disabled_site_ns) {
+  const int reps = quick ? 5 : 30;
+  std::printf(
+      "Phase 2: Table 7 syscall workload on Linux-SVA-Safe, per tracer "
+      "state (median of %d)\n\n",
+      reps);
+  struct State {
+    const char* name;
+    uint32_t mode;
+  };
+  const State states[] = {
+      {"off", trace::kModeOff},
+      {"metrics", trace::kModeMetrics},
+      {"full", trace::kModeFull},
+  };
+  Table table({"Test", "off (us)", "metrics (%)", "full (%)",
+               "events/op"});
+  double total_site_ns = 0;
+  double total_off_ns = 0;
+  for (Workload& w : BuildWorkloads()) {
+    BootedKernel k(kernel::KernelMode::kSvaSafe);
+    (void)k.k().PokeUserString(k.user(0), "/dev/null");
+    k.Call(Sys::kPipe, k.user(128));
+    uint32_t fds[2];
+    (void)k.k().PeekUser(k.user(128), fds, 8);
+    k.rfd = fds[0];
+    k.wfd = fds[1];
+    for (int warm = 0; warm < 20; ++warm) {
+      w.op(k);
+    }
+    // Tracepoint density: events recorded per operation with the ring on.
+    trace::Tracer::Get().Enable(trace::kModeRing);
+    for (int i = 0; i < 50; ++i) {
+      w.op(k);
+    }
+    double events_per_op =
+        static_cast<double>(trace::Tracer::Get().events_recorded()) / 50.0;
+    trace::Tracer::Get().Disable();
+
+    double us[3];
+    for (int s = 0; s < 3; ++s) {
+      if (states[s].mode == trace::kModeOff) {
+        trace::Tracer::Get().Disable();
+      } else {
+        trace::Tracer::Get().Enable(states[s].mode);
+      }
+      std::vector<double> samples;
+      for (int rep = 0; rep < reps; ++rep) {
+        double t = TimeOnceUs([&] {
+          for (int i = 0; i < w.iters; ++i) {
+            w.op(k);
+          }
+        });
+        samples.push_back(t / w.iters);
+      }
+      std::sort(samples.begin(), samples.end());
+      us[s] = samples[samples.size() / 2];
+      JsonReport::Get().Add(w.name + " latency", us[s], "us",
+                            std::string("trace-") + states[s].name);
+    }
+    trace::Tracer::Get().Disable();
+    // The disabled-overhead estimate: a disabled site's cost can't be
+    // separated from run-to-run noise end to end (it is ~0.4 ns against
+    // syscalls measured in hundreds), so bound it from the measured
+    // tracepoint density times the phase-1 per-site cost — itself an
+    // upper bound, since in situ the branch predictor sees each site far
+    // less often than the microbench loop does.
+    total_site_ns += events_per_op * disabled_site_ns;
+    total_off_ns += us[0] * 1000.0;
+    JsonReport::Get().Add(w.name + " events/op", events_per_op, "events");
+    table.AddRow({w.name, Fmt("%.3f", us[0]),
+                  Fmt("%+.1f", OverheadPct(us[0], us[1])),
+                  Fmt("%+.1f", OverheadPct(us[0], us[2])),
+                  Fmt("%.1f", events_per_op)});
+  }
+  trace::Metrics::Get().Reset();
+  trace::Tracer::Get().Reset();
+  table.Print();
+  double estimated_pct =
+      total_off_ns > 0 ? 100.0 * total_site_ns / total_off_ns : 0;
+  std::printf(
+      "\n=> estimated disabled-tracepoint overhead <= %.2f%% over the "
+      "workload (target: <= 2%%)\n",
+      estimated_pct);
+  JsonReport::Get().Add("estimated disabled overhead", estimated_pct, "%");
+  if (estimated_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracepoints cost more than 2%% of the "
+                 "workload\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace sva::bench
+
+int main(int argc, char** argv) {
+  auto& report = sva::bench::JsonReport::Get();
+  report.Init(&argc, argv, "trace_overhead");
+  double disabled_site_ns = sva::bench::RunSiteBench(report.quick());
+  sva::bench::RunEndToEnd(report.quick(), disabled_site_ns);
+  return report.Finish();
+}

@@ -74,12 +74,15 @@ void Run() {
   table.Print();
   std::printf("\n=> verifier caught %d / %d injected bugs (paper: 20 / 20)\n",
               total_caught, total_injected);
+  JsonReport::Get().Add("bugs_injected", total_injected, "count");
+  JsonReport::Get().Add("bugs_caught", total_caught, "count");
 }
 
 }  // namespace
 }  // namespace sva::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sva::bench::JsonReport::Get().Init(&argc, argv, "verifier_injection");
   sva::bench::Run();
-  return 0;
+  return sva::bench::JsonReport::Get().Finish();
 }

@@ -4,6 +4,7 @@
 
 #include "src/hw/machine.h"
 #include "src/support/strings.h"
+#include "src/trace/trace.h"
 
 namespace sva::hw {
 
@@ -115,6 +116,7 @@ Status VirtualNic::Receive(const uint8_t* frame, uint64_t len) {
     return OutOfRange("nic: rx DMA would overrun the posted buffer");
   }
   std::memcpy(memory_.raw(desc.buffer), frame, len);
+  trace::Emit(trace::EventId::kNicDma, rx_head_, 0);
   desc.length = static_cast<uint16_t>(len);
   desc.flags = static_cast<uint16_t>(desc.flags & ~kNicDescOwned);
   SVA_RETURN_IF_ERROR(WriteDescriptor(rx_base_, rx_head_, desc));
@@ -139,6 +141,7 @@ Status VirtualNic::TxKick() {
     } else {
       std::vector<uint8_t> frame(desc.length);
       std::memcpy(frame.data(), memory_.raw(desc.buffer), desc.length);
+      trace::Emit(trace::EventId::kNicDma, tx_head_, 1);
       tx_queue_.push_back(std::move(frame));
       ++counters_.tx_frames;
     }

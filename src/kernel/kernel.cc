@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/trace/trace.h"
 
 namespace sva::kernel {
 
@@ -107,16 +108,23 @@ void Kernel::TranslatorTax() {
   }
 }
 
-bool Kernel::RouteToNet(Sys number, uint64_t a0) {
+Kernel::SyscallRoute Kernel::RouteSyscall(Sys number, uint64_t a0) {
   switch (number) {
     case Sys::kBind:
     case Sys::kAccept:
-      return true;  // Net-stack-only syscalls.
+      return SyscallRoute::kNet;  // Net-stack-only syscalls.
     case Sys::kSend:
     case Sys::kRecv:
-      return NetSocketIdForFd(a0) >= 0;
+      return NetSocketIdForFd(a0) >= 0 ? SyscallRoute::kNet
+                                       : SyscallRoute::kBkl;
+    case Sys::kPipe:
+      return SyscallRoute::kPipes;
+    case Sys::kRead:
+    case Sys::kWrite:
+      return PipeIdForFd(a0) >= 0 ? SyscallRoute::kPipes
+                                  : SyscallRoute::kBkl;
     default:
-      return false;
+      return SyscallRoute::kBkl;
   }
 }
 
@@ -125,15 +133,26 @@ Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
   if (!booted_) {
     return FailedPrecondition("kernel not booted");
   }
-  if (RouteToNet(number, a0)) {
-    // Net fast path: no big kernel lock. The net stack and the two
-    // fine-grained kernel locks (files_lock_, tasks_lock_) provide all the
-    // serialization these syscalls need; args[5] = 1 marks the routing so
-    // the handler never falls through to BKL-protected legacy state.
-    return Dispatch(number, {a0, a1, a2, a3, 0, 1});
+  trace::Span span(trace::EventId::kSyscall, trace::HistId::kSyscallNs,
+                   static_cast<uint64_t>(number));
+  switch (RouteSyscall(number, a0)) {
+    case SyscallRoute::kNet:
+      // Net fast path: no big kernel lock. The net stack and the two
+      // fine-grained kernel locks (files_lock_, tasks_lock_) provide all
+      // the serialization these syscalls need; args[5] = 1 marks the
+      // routing so the handler never falls through to BKL-protected
+      // legacy state.
+      return Dispatch(number, {a0, a1, a2, a3, 0, 1});
+    case SyscallRoute::kPipes:
+      // Pipe fast path: pipe create/read/write run under pipes_lock_ plus
+      // the fine-grained locks, off the BKL.
+      return Dispatch(number, {a0, a1, a2, a3, 0, 2});
+    case SyscallRoute::kBkl:
+      break;
   }
   // SVA-PORT(svaos): big kernel lock — one worker in the kernel at a time.
-  std::lock_guard<smp::SpinLock> guard(bkl_);
+  trace::TimedLockGuard<smp::SpinLock> guard(bkl_, trace::HistId::kBklWaitNs,
+                                             trace::kLockBkl);
   return Dispatch(number, {a0, a1, a2, a3, 0, 0});
 }
 
@@ -196,9 +215,12 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
       case Sys::kClose:
         return SysClose(args[0]);
       case Sys::kRead:
-        return SysRead(args[0], args[1], args[2]);
+        // args[5] == 2: routed to the pipe subsystem (pipes_lock_, no BKL).
+        return args[5] == 2 ? SysPipeRead(args[0], args[1], args[2])
+                            : SysRead(args[0], args[1], args[2]);
       case Sys::kWrite:
-        return SysWrite(args[0], args[1], args[2]);
+        return args[5] == 2 ? SysPipeWrite(args[0], args[1], args[2])
+                            : SysWrite(args[0], args[1], args[2]);
       case Sys::kLseek:
         return SysLseek(args[0], args[1], args[2]);
       case Sys::kUnlink:
@@ -709,25 +731,9 @@ Result<uint64_t> Kernel::SysRead(uint64_t fd, uint64_t uaddr, uint64_t len) {
   OpenFile* file = *file_r;
 
   if (file->pipe_id >= 0) {
-    if (!file->pipe_read_end) {
-      return kEInval;
-    }
-    Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
-    uint64_t to_read = std::min(len, pipe.count);
-    uint64_t done = 0;
-    while (done < to_read) {
-      uint64_t chunk = std::min(to_read - done, kPipeCapacity - pipe.rpos);
-      // SVA-safe: ring indexing is array indexing into the pipe buffer.
-      SVA_RETURN_IF_ERROR(BoundsCheckObject(
-          allocators_->PoolForKmallocClass(kPipeCapacity), pipe.buffer,
-          pipe.buffer + pipe.rpos + chunk - 1));
-      SVA_RETURN_IF_ERROR(
-          CopyToUser(task, uaddr + done, pipe.buffer + pipe.rpos, chunk));
-      pipe.rpos = (pipe.rpos + chunk) % kPipeCapacity;
-      pipe.count -= chunk;
-      done += chunk;
-    }
-    return to_read;
+    // Legacy fallback (the fd became a pipe between routing and dispatch):
+    // take the pipe path, nesting pipes_lock_ inside the BKL.
+    return SysPipeRead(fd, uaddr, len);
   }
   if (file->net_socket_id >= 0) {
     return SysNetRecv(fd, uaddr, len);
@@ -779,25 +785,8 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
   OpenFile* file = *file_r;
 
   if (file->pipe_id >= 0) {
-    if (file->pipe_read_end) {
-      return kEInval;
-    }
-    Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
-    uint64_t space = kPipeCapacity - pipe.count;
-    uint64_t to_write = std::min(len, space);
-    uint64_t done = 0;
-    while (done < to_write) {
-      uint64_t chunk = std::min(to_write - done, kPipeCapacity - pipe.wpos);
-      SVA_RETURN_IF_ERROR(BoundsCheckObject(
-          allocators_->PoolForKmallocClass(kPipeCapacity), pipe.buffer,
-          pipe.buffer + pipe.wpos + chunk - 1));
-      SVA_RETURN_IF_ERROR(
-          CopyFromUser(task, pipe.buffer + pipe.wpos, uaddr + done, chunk));
-      pipe.wpos = (pipe.wpos + chunk) % kPipeCapacity;
-      pipe.count += chunk;
-      done += chunk;
-    }
-    return to_write;
+    // Legacy fallback, as in SysRead.
+    return SysPipeWrite(fd, uaddr, len);
   }
   if (file->net_socket_id >= 0) {
     return SysNetSend(fd, uaddr, len, /*dest=*/0);
@@ -907,8 +896,14 @@ Result<uint64_t> Kernel::SysPipe(uint64_t uaddr_out) {
   auto pipe = std::make_unique<Pipe>();
   pipe->addr = pipe_addr;
   pipe->buffer = buffer;
-  pipes_.push_back(std::move(pipe));
-  int pipe_id = static_cast<int>(pipes_.size() - 1);
+  int pipe_id;
+  {
+    // SysPipe runs off the BKL, so the vector growth itself needs the lock
+    // (concurrent readers index pipes_ under it; Pipe nodes are stable).
+    std::lock_guard<smp::SpinLock> guard(pipes_lock_);
+    pipes_.push_back(std::move(pipe));
+    pipe_id = static_cast<int>(pipes_.size() - 1);
+  }
 
   int fds[2] = {-1, -1};
   for (int end = 0; end < 2; ++end) {
@@ -933,6 +928,76 @@ Result<uint64_t> Kernel::SysPipe(uint64_t uaddr_out) {
   SVA_RETURN_IF_ERROR(allocators_->Kfree(scratch));
   SVA_RETURN_IF_ERROR(copy);
   return uint64_t{0};
+}
+
+Result<uint64_t> Kernel::SysPipeRead(uint64_t fd, uint64_t uaddr,
+                                     uint64_t len) {
+  Task& task = *current_task();
+  auto file_r = FileForFd(task, fd);
+  if (!file_r.ok()) {
+    return kEBadF;
+  }
+  OpenFile* file = *file_r;
+  if (file->pipe_id < 0) {
+    // The fd stopped being a pipe between routing and dispatch: kEBadF, the
+    // same contract the net route uses for a socket-type mismatch.
+    return kEBadF;
+  }
+  if (!file->pipe_read_end) {
+    return kEInval;
+  }
+  trace::TimedLockGuard<smp::SpinLock> guard(
+      pipes_lock_, trace::HistId::kPipesWaitNs, trace::kLockPipes);
+  Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
+  uint64_t to_read = std::min(len, pipe.count);
+  uint64_t done = 0;
+  while (done < to_read) {
+    uint64_t chunk = std::min(to_read - done, kPipeCapacity - pipe.rpos);
+    // SVA-safe: ring indexing is array indexing into the pipe buffer.
+    SVA_RETURN_IF_ERROR(BoundsCheckObject(
+        allocators_->PoolForKmallocClass(kPipeCapacity), pipe.buffer,
+        pipe.buffer + pipe.rpos + chunk - 1));
+    SVA_RETURN_IF_ERROR(
+        CopyToUser(task, uaddr + done, pipe.buffer + pipe.rpos, chunk));
+    pipe.rpos = (pipe.rpos + chunk) % kPipeCapacity;
+    pipe.count -= chunk;
+    done += chunk;
+  }
+  return to_read;
+}
+
+Result<uint64_t> Kernel::SysPipeWrite(uint64_t fd, uint64_t uaddr,
+                                      uint64_t len) {
+  Task& task = *current_task();
+  auto file_r = FileForFd(task, fd);
+  if (!file_r.ok()) {
+    return kEBadF;
+  }
+  OpenFile* file = *file_r;
+  if (file->pipe_id < 0) {
+    return kEBadF;
+  }
+  if (file->pipe_read_end) {
+    return kEInval;
+  }
+  trace::TimedLockGuard<smp::SpinLock> guard(
+      pipes_lock_, trace::HistId::kPipesWaitNs, trace::kLockPipes);
+  Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
+  uint64_t space = kPipeCapacity - pipe.count;
+  uint64_t to_write = std::min(len, space);
+  uint64_t done = 0;
+  while (done < to_write) {
+    uint64_t chunk = std::min(to_write - done, kPipeCapacity - pipe.wpos);
+    SVA_RETURN_IF_ERROR(BoundsCheckObject(
+        allocators_->PoolForKmallocClass(kPipeCapacity), pipe.buffer,
+        pipe.buffer + pipe.wpos + chunk - 1));
+    SVA_RETURN_IF_ERROR(
+        CopyFromUser(task, pipe.buffer + pipe.wpos, uaddr + done, chunk));
+    pipe.wpos = (pipe.wpos + chunk) % kPipeCapacity;
+    pipe.count += chunk;
+    done += chunk;
+  }
+  return to_write;
 }
 
 Result<uint64_t> Kernel::SysBrk(uint64_t delta) {
@@ -1198,6 +1263,23 @@ int Kernel::NetSocketIdForFd(uint64_t fd) {
     return -1;
   }
   return open_files_[static_cast<size_t>(index)]->net_socket_id;
+}
+
+int Kernel::PipeIdForFd(uint64_t fd) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return -1;
+  }
+  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  if (fd >= task->fds.size()) {
+    return -1;
+  }
+  int index = task->fds[fd];
+  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
+      open_files_[static_cast<size_t>(index)] == nullptr) {
+    return -1;
+  }
+  return open_files_[static_cast<size_t>(index)]->pipe_id;
 }
 
 Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port) {

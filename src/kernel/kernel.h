@@ -220,6 +220,10 @@ class Kernel {
   Result<uint64_t> SysLseek(uint64_t fd, uint64_t offset, uint64_t whence);
   Result<uint64_t> SysUnlink(uint64_t path_uaddr);
   Result<uint64_t> SysPipe(uint64_t uaddr_out);
+  // Pipe read/write backends (run OFF the big kernel lock under
+  // pipes_lock_; see Syscall).
+  Result<uint64_t> SysPipeRead(uint64_t fd, uint64_t uaddr, uint64_t len);
+  Result<uint64_t> SysPipeWrite(uint64_t fd, uint64_t uaddr, uint64_t len);
   Result<uint64_t> SysBrk(uint64_t delta);
   Result<uint64_t> SysSigaction(uint64_t sig, uint64_t handler);
   Result<uint64_t> SysKill(uint64_t pid, uint64_t sig,
@@ -240,12 +244,17 @@ class Kernel {
   Result<uint64_t> SysNetRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
 
   // --- Internals ---------------------------------------------------------------
-  // True when `number`(fd `a0`) should bypass the big kernel lock and run
-  // against the net stack's own locks (the per-subsystem locking step of
-  // the ROADMAP's fine-grained-locking item).
-  bool RouteToNet(Sys number, uint64_t a0);
+  // Which lock domain a syscall dispatches under (the per-subsystem locking
+  // steps of the ROADMAP's fine-grained-locking item): the big kernel lock,
+  // the net stack's own locks, or the pipe subsystem's leaf lock. The
+  // routing decision is carried in args[5] (0 / 1 / 2 respectively) so
+  // handlers never fall through to state another domain guards.
+  enum class SyscallRoute : uint64_t { kBkl = 0, kNet = 1, kPipes = 2 };
+  SyscallRoute RouteSyscall(Sys number, uint64_t a0);
   // The net socket id behind fd `a0` of the current task, or -1.
   int NetSocketIdForFd(uint64_t fd);
+  // The pipe id behind fd `a0` of the current task, or -1.
+  int PipeIdForFd(uint64_t fd);
   // Appends to the open-file table under files_lock_; returns the index.
   int AddOpenFile(std::unique_ptr<OpenFile> file);
   Result<int> AllocateFd(Task& task, int file_index);
@@ -275,6 +284,11 @@ class Kernel {
   // stable, so pointers stay valid after release.
   mutable smp::SpinLock files_lock_;
   mutable smp::SpinLock tasks_lock_;
+  // Guards the pipes_ vector and every Pipe's ring state. Not a pure leaf:
+  // the copy loops under it take metapool stripe and allocator locks (which
+  // never take kernel locks back). Lock order: bkl_ before pipes_lock_
+  // (only the legacy read/write fallback nests them); never the reverse.
+  mutable smp::SpinLock pipes_lock_;
   svaos::SvaOS svaos_;
   runtime::MetaPoolRuntime pools_;
   std::unique_ptr<KernelAllocators> allocators_;

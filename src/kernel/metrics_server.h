@@ -1,0 +1,55 @@
+// A Prometheus-style /metrics endpoint served as real packets: an HTTP/1.0
+// responder that listens on a stream socket through the kernel's net stack,
+// so every byte of the exposition crosses the virtual NIC like any other
+// served file. The body unifies every counter surface in the tree —
+// minikernel stats, the aggregated metapool CheckStats (plus per-pool
+// fast-path counters), SVA-OS per-CPU operation counts, NIC/net-stack
+// counters, and the trace subsystem's latency histograms.
+#ifndef SVA_SRC_KERNEL_METRICS_SERVER_H_
+#define SVA_SRC_KERNEL_METRICS_SERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/support/status.h"
+
+namespace sva::kernel {
+
+class MetricsServer {
+ public:
+  static constexpr uint16_t kDefaultPort = 9100;
+
+  explicit MetricsServer(Kernel& kernel, uint16_t port = kDefaultPort)
+      : kernel_(kernel), port_(port) {}
+
+  // Opens the listening stream socket and binds it; the kernel must be
+  // booted (net stack up) first.
+  Status Start();
+
+  // Serves one pending connection end-to-end: accepts it, reads the HTTP
+  // request out of the socket queue, renders the exposition, streams the
+  // response back through kSend, and closes the connection. Returns the
+  // exact bytes put on the wire so callers can byte-verify what the
+  // loopback client drained. The caller's client must have opened a stream
+  // to `port` and sent its request before this is called (the loopback
+  // wire is synchronous).
+  Result<std::string> ServeOne();
+
+  // The Prometheus text body alone (no HTTP framing); exposed so svm-run
+  // and tests can reuse the rendering without a socket.
+  std::string RenderText() const;
+
+  uint16_t port() const { return port_; }
+  uint64_t listener_fd() const { return listener_; }
+
+ private:
+  Kernel& kernel_;
+  uint16_t port_;
+  uint64_t listener_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sva::kernel
+
+#endif  // SVA_SRC_KERNEL_METRICS_SERVER_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/trace/trace.h"
 
 namespace sva::net {
 
@@ -96,6 +97,7 @@ void NetStack::PumpRx() {
 }
 
 void NetStack::HandleRxInterrupt() {
+  trace::Span span(trace::EventId::kNicRxIrq, trace::HistId::kNicRxIrqNs);
   (void)IoWriteReg(hw::NicReg::kCommand,
                    static_cast<uint64_t>(hw::NicCommand::kIrqAck));
   // Harvest filled descriptors under the driver lock, then deliver with the
@@ -134,6 +136,7 @@ void NetStack::HandleRxInterrupt() {
 }
 
 Status NetStack::DeliverFrame(Skb skb) {
+  trace::Emit(trace::EventId::kNicRxDeliver, skb.len);
   const uint8_t* data = machine_.memory().raw(skb.addr);
   auto header = ParseHeaders(data, skb.len);
   if (!header.ok()) {
@@ -492,6 +495,7 @@ Result<uint64_t> NetStack::Send(int sid, Skb skb, uint32_t payload_len,
 }
 
 Status NetStack::TransmitFrame(Skb skb) {
+  trace::Span span(trace::EventId::kNicTx, trace::HistId::kNicTxNs, skb.len);
   std::lock_guard<smp::SpinLock> guard(nic_lock_);
   hw::PhysicalMemory& mem = machine_.memory();
   uint64_t at = tx_ring_base_ + tx_next_ * hw::kNicDescriptorBytes;

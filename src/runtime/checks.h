@@ -43,11 +43,12 @@ struct CheckStats {
   uint64_t drops = 0;
   // Hot-path fast-path counters, aggregated over all pools' splay trees:
   // lookups absorbed by the per-pool object cache, lookups that fell
-  // through to the tree, and total splay comparisons performed (cache
-  // probes are not comparisons).
+  // through to the tree, and total splay comparisons/rotations performed
+  // (cache probes are not comparisons).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t splay_comparisons = 0;
+  uint64_t splay_rotations = 0;
 
   uint64_t total_performed() const {
     return bounds_performed + loadstore_performed + indirect_performed +

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/strings.h"
+#include "src/trace/trace.h"
 
 namespace sva::runtime {
 
@@ -193,6 +194,7 @@ std::optional<ObjectRange> MetaPool::Lookup(uint64_t addr) {
   if (use_cache) {
     if (const ObjectRange* hit = TlsProbe(addr)) {
       cache_hits_.Add();
+      trace::Emit(trace::EventId::kCacheHit, addr);
       return *hit;
     }
   }
@@ -201,6 +203,7 @@ std::optional<ObjectRange> MetaPool::Lookup(uint64_t addr) {
   }
   if (use_cache) {
     cache_misses_.Add();
+    trace::Emit(trace::EventId::kCacheMiss, addr);
   }
   // Read the generation before the locked lookup: if a drop races in after
   // this point it bumps the generation past `gen`, so whatever we cache
@@ -208,9 +211,15 @@ std::optional<ObjectRange> MetaPool::Lookup(uint64_t addr) {
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Stripe& stripe = stripes_[StripeFor(addr)];
   std::optional<ObjectRange> found;
+  uint64_t rotation_delta = 0;
   {
     std::lock_guard<smp::SpinLock> guard(stripe.lock);
+    uint64_t rotations_before = stripe.tree.rotations();
     found = stripe.tree.LookupContaining(addr);
+    rotation_delta = stripe.tree.rotations() - rotations_before;
+  }
+  if (rotation_delta != 0) {
+    trace::Emit(trace::EventId::kSplayRotation, rotation_delta);
   }
   if (found.has_value() && use_cache) {
     TlsFill(gen, *found);
@@ -259,6 +268,15 @@ uint64_t MetaPool::comparisons() const {
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<smp::SpinLock> guard(stripe.lock);
     total += stripe.tree.comparisons();
+  }
+  return total;
+}
+
+uint64_t MetaPool::rotations() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<smp::SpinLock> guard(stripe.lock);
+    total += stripe.tree.rotations();
   }
   return total;
 }
@@ -315,6 +333,7 @@ const CheckStats& MetaPoolRuntime::stats() const {
       total.cache_hits += pool->cache_hits();
       total.cache_misses += pool->cache_misses();
       total.splay_comparisons += pool->comparisons();
+      total.splay_rotations += pool->rotations();
     }
   }
   stats_ = total;
@@ -386,6 +405,7 @@ Status MetaPoolRuntime::Fail(CheckKind kind, const MetaPool* pool,
 Status MetaPoolRuntime::RegisterObject(MetaPool& pool, uint64_t start,
                                        uint64_t size) {
   Bump(Shard().registrations);
+  trace::Emit(trace::EventId::kPchkRegObj, start, size);
   if (!pool.RegisterRange(start, size)) {
     return Fail(CheckKind::kRegistration, &pool, start, size,
                 "object overlaps an already-registered object");
@@ -397,6 +417,7 @@ Status MetaPoolRuntime::DropObject(MetaPool& pool, uint64_t start) {
   CheckStats& shard = Shard();
   Bump(shard.drops);
   Bump(shard.frees_checked);
+  trace::Emit(trace::EventId::kPchkDropObj, start);
   std::optional<ObjectRange> removed = pool.RemoveStart(start);
   if (!removed.has_value()) {
     Bump(shard.frees_failed);
@@ -430,6 +451,8 @@ Status MetaPoolRuntime::RegisterUserspace(MetaPool& pool, uint64_t user_base,
 
 Status MetaPoolRuntime::BoundsCheck(MetaPool& pool, uint64_t src,
                                     uint64_t derived) {
+  trace::Span span(trace::EventId::kBoundsCheck,
+                   trace::HistId::kBoundsCheckNs, src, derived);
   Bump(Shard().bounds_performed);
   std::optional<ObjectRange> obj = pool.Lookup(src);
   if (obj.has_value()) {
@@ -478,6 +501,8 @@ std::optional<ObjectRange> MetaPoolRuntime::GetBounds(MetaPool& pool,
 }
 
 Status MetaPoolRuntime::LoadStoreCheck(MetaPool& pool, uint64_t addr) {
+  trace::Span span(trace::EventId::kLoadStoreCheck,
+                   trace::HistId::kLoadStoreCheckNs, addr);
   if (!pool.complete()) {
     // No load-store checks are possible on incomplete partitions (I2).
     Bump(Shard().reduced_checks);
@@ -501,6 +526,8 @@ uint64_t MetaPoolRuntime::RegisterTargetSet(std::vector<uint64_t> targets) {
 }
 
 Status MetaPoolRuntime::IndirectCallCheck(uint64_t fp, uint64_t set_id) {
+  trace::Span span(trace::EventId::kIndirectCallCheck,
+                   trace::HistId::kIndirectCheckNs, fp, set_id);
   Bump(Shard().indirect_performed);
   {
     std::lock_guard<smp::SpinLock> guard(targets_lock_);

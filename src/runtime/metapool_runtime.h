@@ -93,6 +93,7 @@ class MetaPool {
   uint64_t cache_hits() const { return cache_hits_.value(); }
   uint64_t cache_misses() const { return cache_misses_.value(); }
   uint64_t comparisons() const;
+  uint64_t rotations() const;
   void ResetStats();
 
  private:

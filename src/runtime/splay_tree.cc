@@ -59,6 +59,7 @@ void SplayTree::Splay(uint64_t addr) {
       }
       if (Compare(addr, t->left->range) < 0) {
         // Rotate right.
+        ++rotations_;
         Node* l = t->left;
         t->left = l->right;
         l->right = t;
@@ -77,6 +78,7 @@ void SplayTree::Splay(uint64_t addr) {
       }
       if (Compare(addr, t->right->range) > 0) {
         // Rotate left.
+        ++rotations_;
         Node* r = t->right;
         t->right = r->left;
         r->left = t;

@@ -52,10 +52,12 @@ class SplayTree {
   SplayTree(SplayTree&& other) noexcept
       : root_(other.root_),
         size_(other.size_),
-        comparisons_(other.comparisons_) {
+        comparisons_(other.comparisons_),
+        rotations_(other.rotations_) {
     other.root_ = nullptr;
     other.size_ = 0;
     other.comparisons_ = 0;
+    other.rotations_ = 0;
   }
 
   // Inserts [start, start+size). Returns false if it would overlap an
@@ -77,9 +79,14 @@ class SplayTree {
   bool empty() const { return size_ == 0; }
   void Clear();
 
-  // Cumulative splay-step comparison count for the benchmark harness.
+  // Cumulative splay-step comparison / rotation counts for the benchmark
+  // harness and the trace subsystem.
   uint64_t comparisons() const { return comparisons_; }
-  void ResetStats() { comparisons_ = 0; }
+  uint64_t rotations() const { return rotations_; }
+  void ResetStats() {
+    comparisons_ = 0;
+    rotations_ = 0;
+  }
 
  private:
   struct Node {
@@ -98,6 +105,7 @@ class SplayTree {
   Node* root_ = nullptr;
   size_t size_ = 0;
   uint64_t comparisons_ = 0;
+  uint64_t rotations_ = 0;
 };
 
 }  // namespace sva::runtime

@@ -1,6 +1,7 @@
 #include "src/svaos/svaos.h"
 
 #include "src/support/strings.h"
+#include "src/trace/trace.h"
 
 namespace sva::svaos {
 
@@ -11,6 +12,8 @@ SvaOS::SvaOS(hw::Machine& machine)
 
 void SvaOS::SaveIntegerState(SavedIntegerState* buffer) {
   ++cpu_stats().save_integer;
+  trace::Emit(trace::EventId::kSaveInteger,
+              reinterpret_cast<uint64_t>(buffer));
   buffer->control = cpu_hw().control();
   buffer->valid = true;
 }
@@ -21,6 +24,8 @@ Status SvaOS::LoadIntegerState(const SavedIntegerState& buffer) {
         "llva.load.integer: buffer never saved");
   }
   ++cpu_stats().load_integer;
+  trace::Emit(trace::EventId::kLoadInteger,
+              reinterpret_cast<uint64_t>(&buffer));
   cpu_hw().control() = buffer.control;
   return OkStatus();
 }
@@ -101,6 +106,7 @@ Status SvaOS::RegisterInterrupt(unsigned vector, InterruptHandler handler) {
 // --- Dispatch ---------------------------------------------------------------------
 
 InterruptContext* SvaOS::EnterKernel() {
+  trace::Emit(trace::EventId::kKernelEntry);
   smp::VirtualCpu& vcpu = vmp_.Current();
   ++vcpu.stats().icontext_created;
   InterruptContext* icp = vcpu.PushContext(
@@ -123,6 +129,7 @@ void SvaOS::ReturnFromInterrupt(InterruptContext* icp) {
   vcpu.cpu().control() = icp->interrupted_;
   // Pop the context (it must be the innermost one on this CPU).
   vcpu.PopContext(icp);
+  trace::Emit(trace::EventId::kKernelExit);
 }
 
 Result<uint64_t> SvaOS::Syscall(uint64_t number,
@@ -131,6 +138,8 @@ Result<uint64_t> SvaOS::Syscall(uint64_t number,
   if (it == syscalls_.end()) {
     return NotFound(StrCat("unregistered system call ", number));
   }
+  trace::Span span(trace::EventId::kSvaosDispatch,
+                   trace::HistId::kSvaosDispatchNs, number);
   ++cpu_stats().syscalls_dispatched;
   InterruptContext* icp = EnterKernel();
   SyscallArgs call;
@@ -145,6 +154,8 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
   if (vector >= hw::kNumVectors || !interrupts_[vector]) {
     return NotFound(StrCat("unregistered interrupt vector ", vector));
   }
+  trace::Span span(trace::EventId::kInterrupt, trace::HistId::kIrqNs,
+                   vector);
   ++cpu_stats().interrupts_dispatched;
   InterruptContext* icp = EnterKernel();
   interrupts_[vector](icp);
@@ -156,6 +167,7 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
 
 Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
   ++cpu_stats().mmu_ops;
+  trace::Emit(trace::EventId::kMmuOp, vaddr, 0);
   // SVM mediation: the kernel may never create a mapping into SVM pages.
   if ((flags & hw::kPteSvmReserved) != 0) {
     return FailedPrecondition("kernel may not create SVM-reserved mappings");
@@ -165,17 +177,20 @@ Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
 
 Status SvaOS::MmuUnmap(uint64_t vaddr) {
   ++cpu_stats().mmu_ops;
+  trace::Emit(trace::EventId::kMmuOp, vaddr, 1);
   return machine_.mmu().Unmap(vaddr);
 }
 
 Status SvaOS::LoadPageTable(uint64_t base) {
   ++cpu_stats().mmu_ops;
+  trace::Emit(trace::EventId::kMmuOp, base, 2);
   cpu_hw().control().page_table_base = base;
   return OkStatus();
 }
 
 Status SvaOS::ReserveSvmPage(uint64_t vaddr, uint64_t paddr) {
   ++cpu_stats().mmu_ops;
+  trace::Emit(trace::EventId::kMmuOp, vaddr, 3);
   return machine_.mmu().Map(vaddr, paddr,
                             hw::kPtePresent | hw::kPteWritable |
                                 hw::kPteSvmReserved);
@@ -183,11 +198,13 @@ Status SvaOS::ReserveSvmPage(uint64_t vaddr, uint64_t paddr) {
 
 Result<uint64_t> SvaOS::IoRead(uint16_t port) {
   ++cpu_stats().io_ops;
+  trace::Emit(trace::EventId::kIoOp, port, 0);
   return machine_.IoRead(port);
 }
 
 Status SvaOS::IoWrite(uint16_t port, uint64_t value) {
   ++cpu_stats().io_ops;
+  trace::Emit(trace::EventId::kIoOp, port, 1);
   return machine_.IoWrite(port, value);
 }
 

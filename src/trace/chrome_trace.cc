@@ -1,0 +1,81 @@
+#include "src/trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sva::trace {
+
+std::string ChromeTraceJson(std::vector<Event> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.cpu != b.cpu) {
+                       return a.cpu < b.cpu;
+                     }
+                     return a.ts_ns < b.ts_ns;
+                   });
+  uint64_t t0 = 0;
+  for (const Event& e : events) {
+    if (t0 == 0 || e.ts_ns < t0) {
+      t0 = e.ts_ns;
+    }
+  }
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  // Track-name metadata first (ph "M" carries no timestamp).
+  uint8_t last_cpu = 0xff;
+  for (const Event& e : events) {
+    if (e.cpu != last_cpu) {
+      last_cpu = e.cpu;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                    "\"name\":\"thread_name\",\"args\":{\"name\":\"cpu%u\"}}",
+                    first ? "" : ",", e.cpu, e.cpu);
+      out += buf;
+      first = false;
+    }
+  }
+  for (const Event& e : events) {
+    double ts_us = static_cast<double>(e.ts_ns - t0) / 1000.0;
+    if (e.phase == Phase::kSpan) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"cat\":\"sva\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"a0\":%" PRIu64
+          ",\"a1\":%" PRIu64 "}}",
+          first ? "" : ",", EventName(e.id),
+          ts_us, static_cast<double>(e.dur_ns) / 1000.0, e.cpu, e.a0, e.a1);
+    } else {
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"cat\":\"sva\",\"ph\":\"i\",\"s\":\"t\","
+          "\"ts\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"a0\":%" PRIu64
+          ",\"a1\":%" PRIu64 "}}",
+          first ? "" : ",", EventName(e.id), ts_us, e.cpu, e.a0, e.a1);
+    }
+    out += buf;
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path, std::vector<Event> events) {
+  std::string json = ChromeTraceJson(std::move(events));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open trace output: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Internal("short write to trace output: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace sva::trace

@@ -1,0 +1,25 @@
+// Chrome trace-event JSON export: the drained event stream rendered as
+// "X" (duration) and "i" (instant) events on per-CPU tracks, loadable in
+// Perfetto or chrome://tracing.
+#ifndef SVA_SRC_TRACE_CHROME_TRACE_H_
+#define SVA_SRC_TRACE_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/trace/trace.h"
+
+namespace sva::trace {
+
+// Renders the events as a Chrome trace JSON document. Events are sorted by
+// (cpu, ts) so each tid track is timestamp-monotonic in file order; ts/dur
+// are microseconds (Chrome's unit), rebased to the earliest event.
+std::string ChromeTraceJson(std::vector<Event> events);
+
+// ChromeTraceJson written to `path`.
+Status WriteChromeTrace(const std::string& path, std::vector<Event> events);
+
+}  // namespace sva::trace
+
+#endif  // SVA_SRC_TRACE_CHROME_TRACE_H_

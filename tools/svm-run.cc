@@ -15,14 +15,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/runtime/metapool_runtime.h"
 #include "src/smp/percpu.h"
 #include "src/svm/svm.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/trace.h"
 #include "src/vir/bytecode.h"
 
 namespace {
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   std::string entry = "main";
   std::vector<uint64_t> args;
   bool stats = false;
+  std::string trace_out;
   unsigned cpus = 1;
   sva::svm::SvmOptions options;
 
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
       options.interp.use_lookup_cache = false;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (arg == "--cpus" && i + 1 < argc) {
       cpus = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
       if (cpus == 0) {
@@ -61,7 +68,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
-                  "[--no-checks] [--no-cache] [--stats] [--cpus N]\n");
+                  "[--no-checks] [--no-cache] [--stats] [--cpus N] "
+                  "[--trace-out FILE]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option " + arg);
@@ -88,6 +96,12 @@ int main(int argc, char** argv) {
     std::string load_error;
     sva::svm::ExecResult result;
   };
+  // Tracing wraps the whole run (every replica records into its own
+  // per-CPU ring); the rings are drained into one Chrome trace at exit.
+  if (!trace_out.empty()) {
+    sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
+  }
+
   std::vector<sva::svm::SecureVirtualMachine> vms;
   vms.reserve(cpus);
   for (unsigned c = 0; c < cpus; ++c) {
@@ -138,23 +152,93 @@ int main(int argc, char** argv) {
     }
   }
   auto result = outcomes[0].result;
+  if (!trace_out.empty()) {
+    sva::trace::Tracer& tracer = sva::trace::Tracer::Get();
+    tracer.Disable();
+    std::vector<sva::trace::Event> events = tracer.Drain();
+    sva::Status written = sva::trace::WriteChromeTrace(trace_out, events);
+    if (!written.ok()) {
+      return Fail("trace write failed: " + written.ToString());
+    }
+    std::fprintf(stderr,
+                 "svm-run: wrote %zu trace events to %s (%llu lost)\n",
+                 events.size(), trace_out.c_str(),
+                 static_cast<unsigned long long>(tracer.events_lost()));
+  }
   if (stats) {
-    const auto& check_stats = modules[0]->pools().stats();
+    // One aggregated CheckStats table across every replica's runtime: each
+    // replica has its own MetaPoolRuntime whose stats() already folds its
+    // SMP shards; sum those per-replica aggregates, then break the
+    // fast-path counters out per metapool (summed across replicas by pool
+    // name, since the replicas run identical programs).
+    sva::runtime::CheckStats total;
+    struct PoolRow {
+      uint64_t live = 0, hits = 0, misses = 0, rotations = 0;
+    };
+    std::map<std::string, PoolRow> by_pool;
+    for (unsigned c = 0; c < cpus; ++c) {
+      const auto& cs = modules[c]->pools().stats();
+      total.bounds_performed += cs.bounds_performed;
+      total.bounds_failed += cs.bounds_failed;
+      total.loadstore_performed += cs.loadstore_performed;
+      total.loadstore_failed += cs.loadstore_failed;
+      total.indirect_performed += cs.indirect_performed;
+      total.indirect_failed += cs.indirect_failed;
+      total.frees_checked += cs.frees_checked;
+      total.frees_failed += cs.frees_failed;
+      total.reduced_checks += cs.reduced_checks;
+      total.registrations += cs.registrations;
+      total.drops += cs.drops;
+      total.cache_hits += cs.cache_hits;
+      total.cache_misses += cs.cache_misses;
+      total.splay_comparisons += cs.splay_comparisons;
+      total.splay_rotations += cs.splay_rotations;
+      for (const auto& [name, pool] : modules[c]->pools().pools()) {
+        PoolRow& row = by_pool[name];
+        row.live += pool->live_objects();
+        row.hits += pool->cache_hits();
+        row.misses += pool->cache_misses();
+        row.rotations += pool->rotations();
+      }
+    }
     std::fprintf(stderr,
-                 "svm-run: %llu instructions, %llu checks performed, %llu "
-                 "failed\n",
-                 static_cast<unsigned long long>(result.steps),
-                 static_cast<unsigned long long>(
-                     check_stats.total_performed()),
-                 static_cast<unsigned long long>(check_stats.total_failed()));
+                 "svm-run: %llu instructions/replica, %u replica(s)\n",
+                 static_cast<unsigned long long>(result.steps), cpus);
     std::fprintf(stderr,
-                 "svm-run: lookup cache %llu hits / %llu misses "
-                 "(%.1f%% hit rate), %llu splay comparisons\n",
-                 static_cast<unsigned long long>(check_stats.cache_hits),
-                 static_cast<unsigned long long>(check_stats.cache_misses),
-                 100.0 * check_stats.cache_hit_rate(),
-                 static_cast<unsigned long long>(
-                     check_stats.splay_comparisons));
+                 "svm-run: %llu checks performed (%llu bounds, %llu "
+                 "load/store, %llu indirect, %llu frees), %llu failed, "
+                 "%llu elided\n",
+                 static_cast<unsigned long long>(total.total_performed()),
+                 static_cast<unsigned long long>(total.bounds_performed),
+                 static_cast<unsigned long long>(total.loadstore_performed),
+                 static_cast<unsigned long long>(total.indirect_performed),
+                 static_cast<unsigned long long>(total.frees_checked),
+                 static_cast<unsigned long long>(total.total_failed()),
+                 static_cast<unsigned long long>(total.reduced_checks));
+    std::fprintf(stderr,
+                 "svm-run: %llu registrations, %llu drops; lookup cache "
+                 "%llu/%llu (%.1f%% hit rate), %llu comparisons, %llu "
+                 "rotations\n",
+                 static_cast<unsigned long long>(total.registrations),
+                 static_cast<unsigned long long>(total.drops),
+                 static_cast<unsigned long long>(total.cache_hits),
+                 static_cast<unsigned long long>(total.cache_lookups()),
+                 100.0 * total.cache_hit_rate(),
+                 static_cast<unsigned long long>(total.splay_comparisons),
+                 static_cast<unsigned long long>(total.splay_rotations));
+    std::fprintf(stderr,
+                 "svm-run: %-24s %10s %12s %12s %9s %10s\n", "metapool",
+                 "live", "cache hits", "misses", "hit rate", "rotations");
+    for (const auto& [name, row] : by_pool) {
+      uint64_t lookups = row.hits + row.misses;
+      std::fprintf(
+          stderr, "svm-run: %-24s %10llu %12llu %12llu %8.1f%% %10llu\n",
+          name.c_str(), static_cast<unsigned long long>(row.live),
+          static_cast<unsigned long long>(row.hits),
+          static_cast<unsigned long long>(row.misses),
+          lookups == 0 ? 0.0 : 100.0 * row.hits / lookups,
+          static_cast<unsigned long long>(row.rotations));
+    }
   }
   if (!result.status.ok()) {
     std::fprintf(stderr, "svm-run: %s\n", result.status.ToString().c_str());

@@ -1,0 +1,349 @@
+// trace-validate: checks that a Chrome trace-event JSON file (as written by
+// svm-run --trace-out / table6_thttpd_bandwidth --trace-out) is loadable:
+// it must parse as JSON, carry a traceEvents array whose entries have the
+// required fields for their phase, and keep timestamps monotonically
+// non-decreasing within each per-CPU track (tid) — the invariant Perfetto
+// needs to lay spans out without overlap artifacts.
+//
+// Exit 0 when the file validates, 1 otherwise. The parser is a minimal
+// recursive-descent JSON reader — no third-party dependency.
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<Object>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<Array>>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const Object& object() const { return *std::get<std::shared_ptr<Object>>(v); }
+  const Array& array() const { return *std::get<std::shared_ptr<Array>>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Value* out) {
+    SkipSpace();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s at offset %zu", what.c_str(), pos_);
+    error_ = buf;
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(Value* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      out->v = std::move(s);
+      return true;
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, std::strlen(word), word) != 0) {
+        return Fail("bad literal");
+      }
+      pos_ += std::strlen(word);
+      out->v = (c == 't');
+      return true;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) {
+        return Fail("bad literal");
+      }
+      pos_ += 4;
+      out->v = nullptr;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(Value* out) {
+    auto obj = std::make_shared<Object>();
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out->v = std::move(obj);
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipSpace();
+      Value value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      (*obj)[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out->v = std::move(obj);
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    auto arr = std::make_shared<Array>();
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out->v = std::move(arr);
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      Value value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      arr->push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out->v = std::move(arr);
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Fail("bad escape");
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              return Fail("bad \\u escape");
+            }
+            out->push_back('?');  // Validation only; no UTF-8 decoding.
+            pos_ += 4;
+            break;
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected number");
+    }
+    out->v = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+int Invalid(const char* path, const std::string& why) {
+  std::fprintf(stderr, "trace-validate: %s: %s\n", path, why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace-validate trace.json\n");
+    return 1;
+  }
+  const char* path = argv[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Invalid(path, "cannot open");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  Parser parser(text);
+  Value root;
+  if (!parser.Parse(&root)) {
+    return Invalid(path, "JSON parse error: " + parser.error());
+  }
+  if (!root.is_object()) {
+    return Invalid(path, "top level is not an object");
+  }
+  auto it = root.object().find("traceEvents");
+  if (it == root.object().end() || !it->second.is_array()) {
+    return Invalid(path, "missing traceEvents array");
+  }
+
+  // Per-track (tid) timestamps must be monotonic; metadata ("M") events
+  // carry no timestamp and are exempt.
+  std::map<double, double> last_ts_by_tid;
+  size_t spans = 0;
+  size_t instants = 0;
+  for (size_t i = 0; i < it->second.array().size(); ++i) {
+    const Value& ev = it->second.array()[i];
+    char where[64];
+    std::snprintf(where, sizeof(where), "event %zu", i);
+    if (!ev.is_object()) {
+      return Invalid(path, std::string(where) + ": not an object");
+    }
+    const Object& o = ev.object();
+    auto field = [&](const char* key) -> const Value* {
+      auto f = o.find(key);
+      return f == o.end() ? nullptr : &f->second;
+    };
+    const Value* ph = field("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return Invalid(path, std::string(where) + ": missing ph");
+    }
+    const Value* name = field("name");
+    if (name == nullptr || !name->is_string() || name->string().empty()) {
+      return Invalid(path, std::string(where) + ": missing name");
+    }
+    if (field("pid") == nullptr || field("tid") == nullptr) {
+      return Invalid(path, std::string(where) + ": missing pid/tid");
+    }
+    if (ph->string() == "M") {
+      continue;  // thread_name metadata: no timestamp.
+    }
+    const Value* ts = field("ts");
+    if (ts == nullptr || !ts->is_number() || ts->number() < 0) {
+      return Invalid(path, std::string(where) + ": missing or negative ts");
+    }
+    if (ph->string() == "X") {
+      const Value* dur = field("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number() < 0) {
+        return Invalid(path,
+                       std::string(where) + ": X event without valid dur");
+      }
+      ++spans;
+    } else if (ph->string() == "i") {
+      ++instants;
+    } else {
+      return Invalid(path, std::string(where) + ": unexpected phase '" +
+                               ph->string() + "'");
+    }
+    double tid = field("tid")->number();
+    auto [prev, inserted] = last_ts_by_tid.try_emplace(tid, ts->number());
+    if (!inserted) {
+      if (ts->number() < prev->second) {
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "event %zu: ts %.3f goes backwards on tid %.0f", i,
+                      ts->number(), tid);
+        return Invalid(path, msg);
+      }
+      prev->second = ts->number();
+    }
+  }
+  std::printf("trace-validate: %s ok (%zu spans, %zu instants, %zu tracks)\n",
+              path, spans, instants, last_ts_by_tid.size());
+  return 0;
+}
