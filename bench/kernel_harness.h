@@ -60,7 +60,8 @@ class BootedKernel {
 
   // N-worker syscall driver: brings up `threads` virtual CPUs, binds one
   // worker thread to each, and runs `fn(worker_index)` on all of them
-  // concurrently. Syscalls serialize on the kernel's big lock; the check
+  // concurrently. Syscalls dispatch onto per-subsystem leaf locks
+  // (docs/CONCURRENCY.md), so kernel phases scale with workers; the check
   // runtime underneath scales per-CPU.
   template <typename Fn>
   void RunWorkers(unsigned threads, Fn&& fn) {

@@ -116,16 +116,41 @@ Kernel::SyscallRoute Kernel::RouteSyscall(Sys number, uint64_t a0) {
     case Sys::kSend:
     case Sys::kRecv:
       return NetSocketIdForFd(a0) >= 0 ? SyscallRoute::kNet
-                                       : SyscallRoute::kBkl;
+                                       : SyscallRoute::kSockets;
+    case Sys::kSocket:
+      // a0 is the domain: legacy loopback goes to the legacy socket table,
+      // everything else is created in the net stack.
+      return static_cast<SocketDomain>(a0) == SocketDomain::kLegacyLoopback
+                 ? SyscallRoute::kSockets
+                 : SyscallRoute::kNet;
     case Sys::kPipe:
       return SyscallRoute::kPipes;
     case Sys::kRead:
     case Sys::kWrite:
+      // Pipe fds take the pipe path; everything else (regular files,
+      // /dev/null, socket fallthroughs) enters through the vfs route.
       return PipeIdForFd(a0) >= 0 ? SyscallRoute::kPipes
-                                  : SyscallRoute::kBkl;
-    default:
-      return SyscallRoute::kBkl;
+                                  : SyscallRoute::kVfs;
+    case Sys::kOpen:
+    case Sys::kClose:
+    case Sys::kLseek:
+    case Sys::kUnlink:
+    case Sys::kDup:
+      return SyscallRoute::kVfs;
+    case Sys::kFork:
+    case Sys::kExecve:
+    case Sys::kExit:
+    case Sys::kWaitPid:
+    case Sys::kKill:
+    case Sys::kBrk:
+    case Sys::kSigaction:
+    case Sys::kGetPid:
+    case Sys::kGetTimeOfDay:
+    case Sys::kGetRusage:
+      return SyscallRoute::kTasks;
   }
+  // Unknown syscall numbers are the only remaining big-kernel-lock users.
+  return SyscallRoute::kBkl;
 }
 
 Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
@@ -135,24 +160,21 @@ Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
   }
   trace::Span span(trace::EventId::kSyscall, trace::HistId::kSyscallNs,
                    static_cast<uint64_t>(number));
-  switch (RouteSyscall(number, a0)) {
-    case SyscallRoute::kNet:
-      // Net fast path: no big kernel lock. The net stack and the two
-      // fine-grained kernel locks (files_lock_, tasks_lock_) provide all
-      // the serialization these syscalls need; args[5] = 1 marks the
-      // routing so the handler never falls through to BKL-protected
-      // legacy state.
-      return Dispatch(number, {a0, a1, a2, a3, 0, 1});
-    case SyscallRoute::kPipes:
-      // Pipe fast path: pipe create/read/write run under pipes_lock_ plus
-      // the fine-grained locks, off the BKL.
-      return Dispatch(number, {a0, a1, a2, a3, 0, 2});
-    case SyscallRoute::kBkl:
-      break;
+  // Every steady-state syscall dispatches off the big kernel lock onto its
+  // subsystem's leaf lock (taken inside the handler, where the subsystem
+  // state is actually touched — the wrapper cannot hold tasks_lock_ here
+  // because handler prologues resolve current_task() through it). args[5]
+  // carries the route so handlers never fall through to state another
+  // domain guards.
+  SyscallRoute route = RouteSyscall(number, a0);
+  if (route != SyscallRoute::kBkl) {
+    return Dispatch(number,
+                    {a0, a1, a2, a3, 0, static_cast<uint64_t>(route)});
   }
-  // SVA-PORT(svaos): big kernel lock — one worker in the kernel at a time.
-  trace::TimedLockGuard<smp::SpinLock> guard(bkl_, trace::HistId::kBklWaitNs,
-                                             trace::kLockBkl);
+  // SVA-PORT(svaos): the demoted big kernel lock — only unknown syscall
+  // numbers (and the scheduler/host helpers) still serialize on it.
+  trace::TimedLockGuard<smp::OrderedSpinLock> guard(
+      bkl_, trace::HistId::kBklWaitNs, trace::kLockBkl);
   return Dispatch(number, {a0, a1, a2, a3, 0, 0});
 }
 
@@ -247,12 +269,13 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
         return SysSocket(args[0]);
       case Sys::kSend:
         // args[5] routes: the net fast path must not touch the legacy
-        // loopback queue (BKL-protected), and vice versa. A mismatch means
-        // the socket changed type between routing and dispatch: kEBadF.
-        return args[5] != 0 ? SysNetSend(args[0], args[1], args[2], args[3])
+        // loopback queue (sockets_lock_-protected), and vice versa. A
+        // mismatch means the socket changed type between routing and
+        // dispatch: kEBadF.
+        return args[5] == 1 ? SysNetSend(args[0], args[1], args[2], args[3])
                             : SysSend(args[0], args[1], args[2]);
       case Sys::kRecv:
-        return args[5] != 0 ? SysNetRecv(args[0], args[1], args[2])
+        return args[5] == 1 ? SysNetRecv(args[0], args[1], args[2])
                             : SysRecv(args[0], args[1], args[2]);
       case Sys::kBind:
         return SysNetBind(args[0], args[1]);
@@ -264,12 +287,17 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
 
   // Signal delivery on the return path. SVA-PORT(svaos): dispatch saves
   // state on the kernel stack and uses llva.ipush.function instead of
-  // rewriting the user stack frame (Section 6.1). The net fast path skips
-  // it — signals are delivered on the task's next slow-path entry, and the
-  // pending mask is written under the BKL which this path does not hold.
-  if (args[5] == 0) {
+  // rewriting the user stack frame (Section 6.1). Delivery runs on the
+  // tasks route (which kKill itself takes, so a self-signal is seen on the
+  // same return) and the BKL fallback; the other fast paths skip it —
+  // signals are delivered on the task's next tasks-route entry. The
+  // pending mask is an atomic bitmask, so no lock is needed here.
+  uint64_t route = args[5];
+  if (route == 0 || route == static_cast<uint64_t>(SyscallRoute::kTasks)) {
     Task* after = current_task();
-    if (after != nullptr && after->pending_signals != 0) {
+    if (after != nullptr &&
+        std::atomic_ref<uint32_t>(after->pending_signals)
+                .load(std::memory_order_acquire) != 0) {
       DeliverPendingSignals(*after, icontext);
     }
   }
@@ -279,19 +307,26 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
 void Kernel::DeliverPendingSignals(Task& task,
                                    svaos::InterruptContext* icontext) {
   int pid = task.pid;
+  // Claim the whole pending set atomically: concurrent killers may be
+  // setting bits while this task drains them, and two return paths must
+  // never deliver the same signal twice.
+  uint32_t pending = std::atomic_ref<uint32_t>(task.pending_signals)
+                         .exchange(0, std::memory_order_acq_rel);
   for (int sig = 0; sig < kMaxSignals; ++sig) {
-    if ((task.pending_signals & (1u << sig)) == 0) {
+    if ((pending & (1u << sig)) == 0) {
       continue;
     }
-    task.pending_signals &= ~(1u << sig);
-    if (task.sigactions[sig].handler == 0) {
+    if (std::atomic_ref<uint64_t>(task.sigactions[sig].handler)
+            .load(std::memory_order_acquire) == 0) {
       continue;  // Default action: ignore (minikernel simplification).
     }
     auto deliver = [this, pid](uint64_t signum) {
       Task* t = FindTask(pid);
       if (t != nullptr) {
-        ++t->signals_delivered;
-        ++stats_.signals_delivered;
+        std::atomic_ref<uint64_t>(t->signals_delivered)
+            .fetch_add(1, std::memory_order_relaxed);
+        std::atomic_ref<uint64_t>(stats_.signals_delivered)
+            .fetch_add(1, std::memory_order_relaxed);
         (void)signum;
       }
     };
@@ -408,7 +443,7 @@ Status Kernel::CopyBlockFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
 }
 
 Status Kernel::PokeUser(uint64_t uaddr, const void* data, uint64_t len) {
-  std::lock_guard<smp::SpinLock> guard(bkl_);
+  std::lock_guard<smp::OrderedSpinLock> guard(bkl_);
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -422,7 +457,7 @@ Status Kernel::PokeUser(uint64_t uaddr, const void* data, uint64_t len) {
 }
 
 Status Kernel::PeekUser(uint64_t uaddr, void* data, uint64_t len) {
-  std::lock_guard<smp::SpinLock> guard(bkl_);
+  std::lock_guard<smp::OrderedSpinLock> guard(bkl_);
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -465,7 +500,7 @@ Task* Kernel::FindTask(int pid) {
   // tasks_lock_ guards the map structure; node addresses are stable, so the
   // returned pointer stays valid after release (reaping a task that is
   // still running syscalls is a caller bug, as in any kernel).
-  std::lock_guard<smp::SpinLock> guard(tasks_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
   auto it = tasks_.find(pid);
   return it == tasks_.end() ? nullptr : &it->second;
 }
@@ -474,7 +509,12 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   SVA_ASSIGN_OR_RETURN(uint64_t addr, allocators_->CacheAlloc(task_cache_));
   Task task;
   task.addr = addr;
-  task.pid = next_pid_++;
+  {
+    // Concurrent forks race on pid allocation; next_pid_ lives under
+    // tasks_lock_ with the map it keys.
+    std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
+    task.pid = next_pid_++;
+  }
   task.parent = parent_pid;
   task.alive = true;
   task.fds.assign(config_.max_fds, -1);
@@ -492,37 +532,46 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   }
   int pid = task.pid;
   {
-    std::lock_guard<smp::SpinLock> guard(tasks_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
     tasks_[pid] = std::move(task);
   }
   return pid;
 }
 
 Status Kernel::Yield() {
-  std::lock_guard<smp::SpinLock> guard(bkl_);
+  std::lock_guard<smp::OrderedSpinLock> guard(bkl_);
   Task* current = current_task();
   if (current == nullptr) {
     return Internal("no current task");
   }
-  // Pick the next alive task in pid order (round robin).
-  auto it = tasks_.upper_bound(current_pid_);
-  while (true) {
-    if (it == tasks_.end()) {
-      it = tasks_.begin();
+  // Pick the next alive task in pid order (round robin). The map walk runs
+  // under tasks_lock_ (fork/wait mutate the structure off the BKL now);
+  // the picked node's address is stable, so the switch below runs on a
+  // plain pointer after release.
+  Task* next_task;
+  {
+    std::lock_guard<smp::OrderedSpinLock> tasks_guard(tasks_lock_);
+    auto it = tasks_.upper_bound(current_pid_);
+    while (true) {
+      if (it == tasks_.end()) {
+        it = tasks_.begin();
+      }
+      if (it->second.alive && !it->second.zombie) {
+        break;
+      }
+      ++it;
+      if (it != tasks_.end() && it->first == current_pid_) {
+        break;
+      }
     }
-    if (it->second.alive && !it->second.zombie) {
-      break;
-    }
-    ++it;
-    if (it != tasks_.end() && it->first == current_pid_) {
-      break;
-    }
+    next_task = &it->second;
   }
-  Task& next = it->second;
+  Task& next = *next_task;
   if (next.pid == current_pid_) {
     return OkStatus();
   }
-  ++stats_.context_switches;
+  std::atomic_ref<uint64_t>(stats_.context_switches)
+      .fetch_add(1, std::memory_order_relaxed);
   if (config_.mode == KernelMode::kNative) {
     // Native context switch: direct struct copies.
     current->cpu_state.control = machine_.cpu().control();
@@ -551,13 +600,13 @@ Status Kernel::Yield() {
 // --- Files --------------------------------------------------------------------------
 
 int Kernel::AddOpenFile(std::unique_ptr<OpenFile> file) {
-  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   open_files_.push_back(std::move(file));
   return static_cast<int>(open_files_.size() - 1);
 }
 
 Result<int> Kernel::AllocateFd(Task& task, int file_index) {
-  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   for (size_t fd = 0; fd < task.fds.size(); ++fd) {
     // SVA-safe: indexing the fd array inside the task struct is an array
     // indexing operation; the compiler emits a bounds check against the
@@ -580,7 +629,7 @@ Result<OpenFile*> Kernel::FileForFd(Task& task, uint64_t fd) {
   SVA_RETURN_IF_ERROR(
       BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
                         task.addr + kTaskFdArrayOffset + fd * 4));
-  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   int index = task.fds[fd];
   if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
       open_files_[static_cast<size_t>(index)] == nullptr) {
@@ -615,7 +664,7 @@ Status Kernel::ReleaseFile(int file_index) {
   uint64_t defunct_addr = 0;
   int defunct_net_sid = -1;
   {
-    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
     if (--file->refs > 0) {
       return OkStatus();
@@ -662,9 +711,14 @@ Result<uint64_t> Kernel::SysGetTimeOfDay(uint64_t uaddr) {
 Result<uint64_t> Kernel::SysGetRusage(uint64_t uaddr) {
   Task& task = *current_task();
   SVA_ASSIGN_OR_RETURN(uint64_t scratch, allocators_->Kmalloc(64));
-  SVA_RETURN_IF_ERROR(machine_.memory().Write(scratch, 8, stats_.syscalls));
-  SVA_RETURN_IF_ERROR(
-      machine_.memory().Write(scratch + 8, 8, stats_.context_switches));
+  SVA_RETURN_IF_ERROR(machine_.memory().Write(
+      scratch, 8,
+      std::atomic_ref<uint64_t>(stats_.syscalls)
+          .load(std::memory_order_relaxed)));
+  SVA_RETURN_IF_ERROR(machine_.memory().Write(
+      scratch + 8, 8,
+      std::atomic_ref<uint64_t>(stats_.context_switches)
+          .load(std::memory_order_relaxed)));
   Status copy = CopyToUser(task, uaddr, scratch, 64);
   SVA_RETURN_IF_ERROR(allocators_->Kfree(scratch));
   SVA_RETURN_IF_ERROR(copy);
@@ -690,15 +744,24 @@ Result<uint64_t> Kernel::SysOpen(uint64_t path_uaddr, uint64_t flags) {
   }
   SVA_RETURN_IF_ERROR(allocators_->Kfree(path_buf));
 
-  auto inode = LookupInode(path, (flags & 1) != 0);
-  if (!inode.ok()) {
-    return kENoEnt;
+  int ino;
+  {
+    // The namespace/inode lookup (and possible creation) runs under
+    // vfs_lock_; only the ino escapes the scope — a concurrent unlink may
+    // invalidate the Inode pointer the moment the lock drops.
+    trace::TimedLockGuard<smp::OrderedSpinLock> guard(
+        vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
+    auto inode = LookupInode(path, (flags & 1) != 0);
+    if (!inode.ok()) {
+      return kENoEnt;
+    }
+    ino = (*inode)->ino;
   }
   SVA_ASSIGN_OR_RETURN(uint64_t addr, allocators_->CacheAlloc(file_cache_));
   auto file = std::make_unique<OpenFile>();
   file->addr = addr;
   file->refs = 1;
-  file->ino = (*inode)->ino;
+  file->ino = ino;
   auto fd = AllocateFd(task, AddOpenFile(std::move(file)));
   if (!fd.ok()) {
     return kEMFile;
@@ -714,7 +777,7 @@ Result<uint64_t> Kernel::SysClose(uint64_t fd) {
   }
   int index;
   {
-    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     index = task.fds[fd];
     task.fds[fd] = -1;
   }
@@ -731,8 +794,9 @@ Result<uint64_t> Kernel::SysRead(uint64_t fd, uint64_t uaddr, uint64_t len) {
   OpenFile* file = *file_r;
 
   if (file->pipe_id >= 0) {
-    // Legacy fallback (the fd became a pipe between routing and dispatch):
-    // take the pipe path, nesting pipes_lock_ inside the BKL.
+    // Fallback (the fd became a pipe between routing and dispatch): take
+    // the pipe path. No vfs lock is held yet, so pipes_lock_ is acquired
+    // clean, not nested.
     return SysPipeRead(fd, uaddr, len);
   }
   if (file->net_socket_id >= 0) {
@@ -744,6 +808,12 @@ Result<uint64_t> Kernel::SysRead(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (file->ino < 0) {
     return kEBadF;
   }
+  // Regular-file read: inode data, size, and the fd offset live under
+  // vfs_lock_. The copy loops below take only external lock classes
+  // (metapool stripes, allocator locks), which rank below every kernel
+  // lock.
+  trace::TimedLockGuard<smp::OrderedSpinLock> vfs_guard(
+      vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
   Inode& inode = inodes_[file->ino];
   if (inode.ino == 0) {
     return uint64_t{0};  // /dev/null reads EOF.
@@ -785,7 +855,7 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
   OpenFile* file = *file_r;
 
   if (file->pipe_id >= 0) {
-    // Legacy fallback, as in SysRead.
+    // Fallback, as in SysRead (no vfs lock held yet).
     return SysPipeWrite(fd, uaddr, len);
   }
   if (file->net_socket_id >= 0) {
@@ -797,6 +867,8 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (file->ino < 0) {
     return kEBadF;
   }
+  trace::TimedLockGuard<smp::OrderedSpinLock> vfs_guard(
+      vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
   Inode& inode = inodes_[file->ino];
   if (inode.ino == 0) {
     // /dev/null: validate the user range, drop the data.
@@ -839,6 +911,8 @@ Result<uint64_t> Kernel::SysLseek(uint64_t fd, uint64_t offset,
   if (file->ino < 0) {
     return kEInval;
   }
+  trace::TimedLockGuard<smp::OrderedSpinLock> vfs_guard(
+      vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
   Inode& inode = inodes_[file->ino];
   switch (whence) {
     case 0:
@@ -874,6 +948,8 @@ Result<uint64_t> Kernel::SysUnlink(uint64_t path_uaddr) {
     path.push_back(static_cast<char>(*c));
   }
   SVA_RETURN_IF_ERROR(allocators_->Kfree(path_buf));
+  trace::TimedLockGuard<smp::OrderedSpinLock> vfs_guard(
+      vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
   auto it = namespace_.find(path);
   if (it == namespace_.end() || it->second == 0) {
     return kENoEnt;
@@ -900,7 +976,7 @@ Result<uint64_t> Kernel::SysPipe(uint64_t uaddr_out) {
   {
     // SysPipe runs off the BKL, so the vector growth itself needs the lock
     // (concurrent readers index pipes_ under it; Pipe nodes are stable).
-    std::lock_guard<smp::SpinLock> guard(pipes_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(pipes_lock_);
     pipes_.push_back(std::move(pipe));
     pipe_id = static_cast<int>(pipes_.size() - 1);
   }
@@ -946,7 +1022,7 @@ Result<uint64_t> Kernel::SysPipeRead(uint64_t fd, uint64_t uaddr,
   if (!file->pipe_read_end) {
     return kEInval;
   }
-  trace::TimedLockGuard<smp::SpinLock> guard(
+  trace::TimedLockGuard<smp::OrderedSpinLock> guard(
       pipes_lock_, trace::HistId::kPipesWaitNs, trace::kLockPipes);
   Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
   uint64_t to_read = std::min(len, pipe.count);
@@ -980,7 +1056,7 @@ Result<uint64_t> Kernel::SysPipeWrite(uint64_t fd, uint64_t uaddr,
   if (file->pipe_read_end) {
     return kEInval;
   }
-  trace::TimedLockGuard<smp::SpinLock> guard(
+  trace::TimedLockGuard<smp::OrderedSpinLock> guard(
       pipes_lock_, trace::HistId::kPipesWaitNs, trace::kLockPipes);
   Pipe& pipe = *pipes_[static_cast<size_t>(file->pipe_id)];
   uint64_t space = kPipeCapacity - pipe.count;
@@ -1002,8 +1078,11 @@ Result<uint64_t> Kernel::SysPipeWrite(uint64_t fd, uint64_t uaddr,
 
 Result<uint64_t> Kernel::SysBrk(uint64_t delta) {
   Task& task = *current_task();
-  task.brk += static_cast<int64_t>(delta);
-  return task.brk;
+  // Atomic add: the break is per-task state a multi-threaded "process"
+  // (net workers sharing pid 1) may move concurrently.
+  return std::atomic_ref<uint64_t>(task.brk).fetch_add(
+             delta, std::memory_order_relaxed) +
+         delta;
 }
 
 Result<uint64_t> Kernel::SysSigaction(uint64_t sig, uint64_t handler) {
@@ -1014,7 +1093,8 @@ Result<uint64_t> Kernel::SysSigaction(uint64_t sig, uint64_t handler) {
   SVA_RETURN_IF_ERROR(
       BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
                         task.addr + 96 + sig));
-  task.sigactions[sig].handler = handler;
+  std::atomic_ref<uint64_t>(task.sigactions[sig].handler)
+      .store(handler, std::memory_order_release);
   return uint64_t{0};
 }
 
@@ -1028,18 +1108,20 @@ Result<uint64_t> Kernel::SysKill(uint64_t pid, uint64_t sig,
   if (target == nullptr || !target->alive) {
     return kENoEnt;
   }
-  target->pending_signals |= 1u << sig;
+  std::atomic_ref<uint32_t>(target->pending_signals)
+      .fetch_or(1u << sig, std::memory_order_acq_rel);
   return uint64_t{0};
 }
 
 Result<uint64_t> Kernel::SysFork() {
   Task& parent = *current_task();
-  ++stats_.forks;
+  std::atomic_ref<uint64_t>(stats_.forks)
+      .fetch_add(1, std::memory_order_relaxed);
   SVA_ASSIGN_OR_RETURN(int child_pid, CreateTask(parent.pid));
   Task& child = *FindTask(child_pid);
   // Copy the fd table (bumping refs) and signal dispositions.
   {
-    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     for (size_t fd = 0; fd < parent.fds.size(); ++fd) {
       child.fds[fd] = parent.fds[fd];
       int index = parent.fds[fd];
@@ -1048,21 +1130,29 @@ Result<uint64_t> Kernel::SysFork() {
       }
     }
   }
-  child.sigactions = parent.sigactions;
+  // Field-wise atomic copy: a sibling thread of the parent may be changing
+  // dispositions mid-fork; each handler value is copied torn-free even if
+  // the set as a whole is a snapshot in motion (as in real kernels).
+  for (int sig = 0; sig < kMaxSignals; ++sig) {
+    child.sigactions[sig].handler =
+        std::atomic_ref<uint64_t>(parent.sigactions[sig].handler)
+            .load(std::memory_order_acquire);
+  }
   // Copy-on-write fork: only the pages the parent has actually dirtied are
   // copied eagerly (the minikernel tracks no dirty bits, so it copies the
   // low pages where the tasks' working data lives); the rest share until
   // write, as in the real kernel.
   size_t eager = std::min(parent.user_pages.size(), child.user_pages.size());
   for (size_t i = 0; i < eager; ++i) {
-    if (parent.user_pages[i] == 0) {
+    uint64_t parent_pa = std::atomic_ref<uint64_t>(parent.user_pages[i])
+                             .load(std::memory_order_acquire);
+    if (parent_pa == 0) {
       continue;  // Parent never touched this page; nothing to copy.
     }
     uint64_t child_base = UserBaseForPid(child.pid) + i * hw::kPageSize;
     SVA_ASSIGN_OR_RETURN(uint64_t child_pa,
                          UserToPhysical(child, child_base));
-    SVA_RETURN_IF_ERROR(machine_.memory().Copy(child_pa,
-                                               parent.user_pages[i],
+    SVA_RETURN_IF_ERROR(machine_.memory().Copy(child_pa, parent_pa,
                                                hw::kPageSize));
   }
   // Snapshot the parent's processor state into the child.
@@ -1080,19 +1170,25 @@ Result<uint64_t> Kernel::SysFork() {
 Result<uint64_t> Kernel::SysExecve(uint64_t path_uaddr) {
   (void)path_uaddr;
   Task& task = *current_task();
-  ++stats_.execs;
+  std::atomic_ref<uint64_t>(stats_.execs)
+      .fetch_add(1, std::memory_order_relaxed);
   // Reset the image: zero the touched user pages, reset break, close
   // nothing (CLOEXEC is out of scope). The page clears model image loading.
-  for (uint64_t page : task.user_pages) {
+  for (uint64_t& page_slot : task.user_pages) {
+    uint64_t page =
+        std::atomic_ref<uint64_t>(page_slot).load(std::memory_order_acquire);
     if (page != 0) {
       SVA_RETURN_IF_ERROR(machine_.memory().Fill(page, 0, hw::kPageSize));
     }
   }
-  task.brk = UserBaseForPid(task.pid) +
-             task.user_pages.size() * hw::kPageSize / 2;
-  task.pending_signals = 0;
+  std::atomic_ref<uint64_t>(task.brk).store(
+      UserBaseForPid(task.pid) + task.user_pages.size() * hw::kPageSize / 2,
+      std::memory_order_relaxed);
+  std::atomic_ref<uint32_t>(task.pending_signals)
+      .store(0, std::memory_order_release);
   for (auto& action : task.sigactions) {
-    action.handler = 0;
+    std::atomic_ref<uint64_t>(action.handler)
+        .store(0, std::memory_order_release);
   }
   return uint64_t{0};
 }
@@ -1103,7 +1199,7 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
   for (size_t fd = 0; fd < task.fds.size(); ++fd) {
     int index;
     {
-      std::lock_guard<smp::SpinLock> guard(files_lock_);
+      std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
       index = task.fds[fd];
       task.fds[fd] = -1;
       if (index < 0 || open_files_[static_cast<size_t>(index)] == nullptr) {
@@ -1112,32 +1208,43 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
     }
     SVA_RETURN_IF_ERROR(ReleaseFile(index));
   }
-  task.zombie = true;
-  // Switch to the parent if it exists, else stay (init never exits).
-  if (Task* parent = FindTask(task.parent); parent != nullptr &&
-                                            parent->alive) {
-    current_pid_ = task.parent;
+  {
+    // Lifecycle flip + parent lookup under one tasks_lock_ hold, so a
+    // concurrent waitpid sees the zombie and the parent link consistently.
+    std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
+    task.zombie = true;
+    // Switch to the parent if it exists, else stay (init never exits).
+    auto parent_it = tasks_.find(task.parent);
+    if (parent_it != tasks_.end() && parent_it->second.alive) {
+      current_pid_ = task.parent;
+    }
   }
   return uint64_t{0};
 }
 
 Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
-  Task* child = FindTask(static_cast<int>(pid));
-  if (child == nullptr || child->parent != current_pid_) {
-    return kEChild;
-  }
-  if (!child->zombie) {
-    return kEInval;  // Would block; the minikernel has no blocking waits.
-  }
-  // Reap: free the task struct and its user pages' registration.
-  if (config_.mode == KernelMode::kSvaSafe && user_pool_ != nullptr) {
-    (void)pools_.DropObject(*user_pool_, UserBaseForPid(child->pid));
-  }
-  SVA_RETURN_IF_ERROR(allocators_->CacheFree(task_cache_, child->addr));
+  uint64_t child_addr;
   {
-    std::lock_guard<smp::SpinLock> guard(tasks_lock_);
-    tasks_.erase(static_cast<int>(pid));
+    // Validate and detach under one tasks_lock_ hold: two concurrent
+    // waiters must not both reap the same child.
+    std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
+    auto it = tasks_.find(static_cast<int>(pid));
+    if (it == tasks_.end() || it->second.parent != current_pid_) {
+      return kEChild;
+    }
+    if (!it->second.zombie) {
+      return kEInval;  // Would block; the minikernel has no blocking waits.
+    }
+    child_addr = it->second.addr;
+    tasks_.erase(it);
   }
+  // Reap: free the task struct and its user pages' registration (external
+  // lock classes; no kernel lock held).
+  if (config_.mode == KernelMode::kSvaSafe && user_pool_ != nullptr) {
+    (void)pools_.DropObject(*user_pool_,
+                            UserBaseForPid(static_cast<int>(pid)));
+  }
+  SVA_RETURN_IF_ERROR(allocators_->CacheFree(task_cache_, child_addr));
   return pid;
 }
 
@@ -1149,7 +1256,7 @@ Result<uint64_t> Kernel::SysDup(uint64_t fd) {
   }
   int index;
   {
-    std::lock_guard<smp::SpinLock> guard(files_lock_);
+    std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     index = task.fds[fd];
     ++open_files_[static_cast<size_t>(index)]->refs;
   }
@@ -1173,6 +1280,9 @@ Result<uint64_t> Kernel::SysSocket(uint64_t domain) {
                            allocators_->CacheAlloc(socket_cache_));
       auto socket = std::make_unique<Socket>();
       socket->addr = sock_addr;
+      // SysSocket runs off the BKL; the table growth needs sockets_lock_
+      // (concurrent send/recv index sockets_ under it; nodes are stable).
+      std::lock_guard<smp::OrderedSpinLock> guard(sockets_lock_);
       sockets_.push_back(std::move(socket));
       file->socket_id = static_cast<int>(sockets_.size() - 1);
       break;
@@ -1208,8 +1318,9 @@ Result<uint64_t> Kernel::SysSend(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (!file_r.ok() || (*file_r)->socket_id < 0) {
     return kEBadF;
   }
-  Socket& socket = *sockets_[static_cast<size_t>((*file_r)->socket_id)];
-  // An skb per send, like the network stack's allocation pattern.
+  // An skb per send, like the network stack's allocation pattern. Allocate
+  // and fill it before taking sockets_lock_, so only the queue append is
+  // serialized.
   SVA_ASSIGN_OR_RETURN(uint64_t skb, allocators_->Kmalloc(len));
   uint64_t cls = allocators_->KmallocSize(skb);
   SVA_RETURN_IF_ERROR(BoundsCheckObject(allocators_->PoolForKmallocClass(cls),
@@ -1219,6 +1330,8 @@ Result<uint64_t> Kernel::SysSend(uint64_t fd, uint64_t uaddr, uint64_t len) {
     (void)allocators_->Kfree(skb);
     return copy;
   }
+  std::lock_guard<smp::OrderedSpinLock> guard(sockets_lock_);
+  Socket& socket = *sockets_[static_cast<size_t>((*file_r)->socket_id)];
   socket.queue.emplace_back(skb, len);
   socket.queued_bytes += len;
   return len;
@@ -1230,6 +1343,10 @@ Result<uint64_t> Kernel::SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (!file_r.ok() || (*file_r)->socket_id < 0) {
     return kEBadF;
   }
+  // The copy-out runs under sockets_lock_ so a failed copy leaves the skb
+  // at the queue head (it only takes external lock classes, which rank
+  // below every kernel lock).
+  std::lock_guard<smp::OrderedSpinLock> guard(sockets_lock_);
   Socket& socket = *sockets_[static_cast<size_t>((*file_r)->socket_id)];
   if (socket.queue.empty()) {
     return uint64_t{0};
@@ -1253,7 +1370,7 @@ int Kernel::NetSocketIdForFd(uint64_t fd) {
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   if (fd >= task->fds.size()) {
     return -1;
   }
@@ -1270,7 +1387,7 @@ int Kernel::PipeIdForFd(uint64_t fd) {
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::SpinLock> guard(files_lock_);
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   if (fd >= task->fds.size()) {
     return -1;
   }

@@ -25,6 +25,7 @@
 #include "src/kernel/config.h"
 #include "src/net/net_stack.h"
 #include "src/runtime/metapool_runtime.h"
+#include "src/smp/lock_order.h"
 #include "src/smp/sync.h"
 #include "src/support/status.h"
 #include "src/svaos/svaos.h"
@@ -152,9 +153,11 @@ class Kernel {
 
   // The user-program entry point: traps into the kernel through the path
   // selected by the configuration. Safe to call from multiple worker
-  // threads: kernel policy state (tasks, fd tables, vfs) is guarded by a
-  // big kernel lock, Linux-2.4 style — the scaling axis of this repo is the
-  // check runtime, not the minikernel.
+  // threads: every steady-state syscall dispatches onto its subsystem's
+  // leaf lock (vfs_lock_, tasks_lock_, sockets_lock_, pipes_lock_, or the
+  // net stack's own locks) with files_lock_ as the shared fd-table leaf;
+  // the big kernel lock survives only for the scheduler and unknown
+  // syscall numbers. See docs/CONCURRENCY.md for the full hierarchy.
   Result<uint64_t> Syscall(Sys number, uint64_t a0 = 0, uint64_t a1 = 0,
                            uint64_t a2 = 0, uint64_t a3 = 0);
 
@@ -245,11 +248,19 @@ class Kernel {
 
   // --- Internals ---------------------------------------------------------------
   // Which lock domain a syscall dispatches under (the per-subsystem locking
-  // steps of the ROADMAP's fine-grained-locking item): the big kernel lock,
-  // the net stack's own locks, or the pipe subsystem's leaf lock. The
-  // routing decision is carried in args[5] (0 / 1 / 2 respectively) so
-  // handlers never fall through to state another domain guards.
-  enum class SyscallRoute : uint64_t { kBkl = 0, kNet = 1, kPipes = 2 };
+  // split the ROADMAP's fine-grained-locking item asked for, completed in
+  // PR 5): the big kernel lock (scheduler + unknown numbers only), the net
+  // stack's own locks, or one of the subsystem leaf locks. The routing
+  // decision is carried in args[5] so handlers never fall through to state
+  // another domain guards.
+  enum class SyscallRoute : uint64_t {
+    kBkl = 0,      // Legacy/fallback: unknown syscall numbers.
+    kNet = 1,      // Net-stack sockets: the net stack's own lock classes.
+    kPipes = 2,    // Pipe read/write: pipes_lock_.
+    kVfs = 3,      // Ramfs open/close/read/write/lseek/unlink/dup: vfs_lock_.
+    kTasks = 4,    // fork/exec/exit/wait/kill/brk/getpid/...: tasks_lock_.
+    kSockets = 5,  // Legacy loopback sockets: sockets_lock_.
+  };
   SyscallRoute RouteSyscall(Sys number, uint64_t a0);
   // The net socket id behind fd `a0` of the current task, or -1.
   int NetSocketIdForFd(uint64_t fd);
@@ -270,25 +281,45 @@ class Kernel {
 
   hw::Machine& machine_;
   KernelConfig config_;
-  // The big kernel lock: serializes syscall/scheduler/user-memory entry
-  // points (the 2.4-era concurrency model the paper's kernel port assumes).
-  // Runtime checks issued outside the kernel do not take it, and neither do
-  // the net-stack syscalls (kBind/kAccept, and kSend/kRecv on net sockets):
-  // those run under the net subsystem's own locks plus the two fine-grained
-  // kernel locks below, so `net_throughput --cpus N` scales.
-  mutable smp::SpinLock bkl_;
-  // Fine-grained locks shared by the BKL path and the net fast path.
-  // files_lock_ guards the open-file table vector, fd arrays, and refcounts;
-  // tasks_lock_ guards the pid->task map structure. Leaf locks: nothing
-  // else is acquired while holding them. Task/OpenFile node addresses are
-  // stable, so pointers stay valid after release.
-  mutable smp::SpinLock files_lock_;
-  mutable smp::SpinLock tasks_lock_;
-  // Guards the pipes_ vector and every Pipe's ring state. Not a pure leaf:
-  // the copy loops under it take metapool stripe and allocator locks (which
-  // never take kernel locks back). Lock order: bkl_ before pipes_lock_
-  // (only the legacy read/write fallback nests them); never the reverse.
-  mutable smp::SpinLock pipes_lock_;
+  // Kernel lock hierarchy (docs/CONCURRENCY.md; machine-enforced in debug
+  // builds by smp::LockOrderChecker). Rank order — a thread may only
+  // acquire downward in this list, never upward:
+  //
+  //   bkl_ -> vfs_lock_ -> tasks_lock_ -> sockets_lock_ -> pipes_lock_
+  //        -> files_lock_
+  //
+  // External lock classes (metapool stripe locks, allocator locks, the net
+  // stack's locks) sit BELOW all kernel ranks: they are taken under any of
+  // these — e.g. BoundsCheckObject under files_lock_ on the fd fast path,
+  // copy loops under vfs_lock_/pipes_lock_ — and never call back into
+  // kernel locks, so they are deliberately unranked.
+  //
+  // The big kernel lock, demoted: after the PR 3-5 split it serializes only
+  // the cooperative scheduler (Yield), the PokeUser/PeekUser host helpers,
+  // and unknown syscall numbers. No steady-state syscall takes it.
+  mutable smp::OrderedSpinLock bkl_{smp::LockRank::kBkl};
+  // Guards the ramfs: inodes_, namespace_, next_ino_, inode block lists and
+  // sizes, and regular-file OpenFile offsets. Nests files_lock_ (fd
+  // resolution) inside it.
+  mutable smp::OrderedSpinLock vfs_lock_{smp::LockRank::kVfs};
+  // Guards the pid->task map structure, next_pid_, and task lifecycle
+  // fields (alive/zombie/parent links). Per-field task state that other
+  // syscalls touch concurrently (brk, pending_signals, sigaction handlers,
+  // stats counters) uses std::atomic_ref instead, so hot paths touching
+  // only their own task never take it.
+  mutable smp::OrderedSpinLock tasks_lock_{smp::LockRank::kTasks};
+  // Guards the legacy loopback socket table (sockets_) and per-socket skb
+  // queues. The net stack's sockets never touch this.
+  mutable smp::OrderedSpinLock sockets_lock_{smp::LockRank::kSockets};
+  // Guards the pipes_ vector and every Pipe's ring state. The copy loops
+  // under it take metapool stripe and allocator locks (external classes,
+  // see above).
+  mutable smp::OrderedSpinLock pipes_lock_{smp::LockRank::kPipes};
+  // The shared leaf: open-file table vector, fd arrays, and refcounts.
+  // Every route resolves fds through it; nothing ranked is acquired while
+  // holding it. Task/OpenFile node addresses are stable, so pointers stay
+  // valid after release.
+  mutable smp::OrderedSpinLock files_lock_{smp::LockRank::kFiles};
   svaos::SvaOS svaos_;
   runtime::MetaPoolRuntime pools_;
   std::unique_ptr<KernelAllocators> allocators_;

@@ -10,6 +10,8 @@ const char* HistName(HistId id) {
     case HistId::kSyscallNs: return "sva_syscall_ns";
     case HistId::kBklWaitNs: return "sva_bkl_wait_ns";
     case HistId::kPipesWaitNs: return "sva_pipes_lock_wait_ns";
+    case HistId::kVfsWaitNs: return "sva_vfs_lock_wait_ns";
+    case HistId::kTasksWaitNs: return "sva_tasks_lock_wait_ns";
     case HistId::kSvaosDispatchNs: return "sva_svaos_dispatch_ns";
     case HistId::kIrqNs: return "sva_irq_ns";
     case HistId::kBoundsCheckNs: return "sva_boundscheck_ns";

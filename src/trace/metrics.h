@@ -26,6 +26,8 @@ enum class HistId : uint8_t {
   kSyscallNs = 0,     // Minikernel syscall, entry to exit.
   kBklWaitNs,         // Big-kernel-lock acquisition wait.
   kPipesWaitNs,       // pipes_lock_ acquisition wait (the leaf-lock axis).
+  kVfsWaitNs,         // vfs_lock_ acquisition wait.
+  kTasksWaitNs,       // tasks_lock_ acquisition wait.
   kSvaosDispatchNs,   // SVA-OS trap dispatch.
   kIrqNs,             // Interrupt delivery, entry to iret.
   kBoundsCheckNs,     // boundscheck

@@ -54,7 +54,7 @@ enum class EventId : uint16_t {
   kIoOp,            // a0 = port/addr, a1 = 0 read / 1 write
   // Minikernel.
   kSyscall,   // a0 = syscall number
-  kLockWait,  // a0 = lock id (kLockBkl / kLockPipes)
+  kLockWait,  // a0 = lock id (kLockBkl / kLockPipes / kLockVfs / kLockTasks)
   // NIC + net stack.
   kNicRxIrq,      // rx interrupt handler span
   kNicTx,         // a0 = frame length
@@ -68,6 +68,8 @@ const char* EventName(EventId id);
 // Lock ids carried in kLockWait events.
 inline constexpr uint64_t kLockBkl = 0;
 inline constexpr uint64_t kLockPipes = 1;
+inline constexpr uint64_t kLockVfs = 2;
+inline constexpr uint64_t kLockTasks = 3;
 
 enum class Phase : uint8_t {
   kInstant = 0,  // Point event (Chrome "i").

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/kernel/kernel.h"
+#include "src/smp/percpu.h"
 
 namespace sva::kernel {
 namespace {
@@ -119,6 +121,95 @@ TEST(KernelStressTest, SignalStorm) {
   ASSERT_NE(init, nullptr);
   EXPECT_EQ(init->signals_delivered, 100u);
   EXPECT_EQ(init->pending_signals, 0u);
+}
+
+// Concurrent vfs I/O and task churn from distinct host threads: vfs
+// syscalls take vfs_lock_ -> files_lock_ while fork/kill/brk/sigaction
+// take tasks_lock_ -> files_lock_, and since the BKL split neither path
+// serialises the other. Registered with the `concurrency` ctest label so
+// the TSan configuration runs it; any missing synchronisation between the
+// two leaf-lock paths (fd-table copy vs. fd use, disposition copy vs.
+// sigaction, stats counters) surfaces as a reported race.
+//
+// The concurrent phase deliberately never writes user memory: SysFork's
+// eager page copy reads the parent's touched pages, which is only
+// race-free against workers that also just read them (kWrite copies
+// *from* user buffers poked before the threads start). Reads into user
+// memory happen in the sequential teardown.
+TEST(KernelStressTest, ConcurrentVfsAndForkOffTheBkl) {
+  StressHarness h;
+  constexpr int kVfsThreads = 3;
+  constexpr int kRounds = 200;
+  constexpr int kForks = 16;
+  constexpr uint64_t kPayload = 512;
+
+  // One file and one pre-poked payload buffer per vfs worker.
+  uint64_t fds[kVfsThreads];
+  std::vector<char> payload(kPayload, 'c');
+  for (int t = 0; t < kVfsThreads; ++t) {
+    std::string path = "/stress/conc" + std::to_string(t);
+    ASSERT_TRUE(h.k().PokeUserString(h.user(0), path).ok());
+    fds[t] = h.Call(Sys::kOpen, h.user(0), 1);
+    ASSERT_LT(fds[t], 16u);
+    ASSERT_TRUE(h.k()
+                    .PokeUser(h.user(8192 + t * 2048), payload.data(),
+                              payload.size())
+                    .ok());
+  }
+
+  // One virtual CPU per worker, each thread bound to its own: syscall
+  // entry state (interrupt-context slab, SVA-OS stats) is per-CPU, so
+  // concurrent entries must come from distinct CPUs — exactly as on real
+  // hardware, and exactly what bench/kernel_harness.h's RunWorkers does.
+  h.k().svaos().ConfigureCpus(kVfsThreads + 1);
+  std::vector<uint64_t> children;  // Written only by the fork thread.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kVfsThreads; ++t) {
+    workers.emplace_back([&h, &fds, t] {
+      smp::ScopedCpu bind(static_cast<unsigned>(t));
+      for (int round = 0; round < kRounds; ++round) {
+        h.Call(Sys::kWrite, fds[t], h.user(8192 + t * 2048), kPayload);
+        h.Call(Sys::kLseek, fds[t], 0, 0);
+      }
+    });
+  }
+  workers.emplace_back([&h, &children] {
+    smp::ScopedCpu bind(kVfsThreads);
+    for (int i = 0; i < kForks; ++i) {
+      children.push_back(h.Call(Sys::kFork));
+      h.Call(Sys::kSigaction, 9, 77);
+      h.Call(Sys::kKill, 1, 9);
+      h.Call(Sys::kBrk, 4096);
+      for (int j = 0; j < 25; ++j) {
+        h.Call(Sys::kGetPid);
+      }
+    }
+  });
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Sequential teardown: run and reap every child, then read the files
+  // back to prove the concurrent writes landed intact.
+  for (uint64_t child : children) {
+    while (h.k().current_pid() != static_cast<int>(child)) {
+      ASSERT_TRUE(h.k().Yield().ok());
+    }
+    h.Call(Sys::kExit, 0);
+    ASSERT_EQ(h.Call(Sys::kWaitPid, child), child);
+  }
+  for (int t = 0; t < kVfsThreads; ++t) {
+    ASSERT_EQ(h.Call(Sys::kLseek, fds[t], 0, 0), 0u);
+    ASSERT_EQ(h.Call(Sys::kRead, fds[t], h.user(32768), kPayload), kPayload);
+    char back[kPayload] = {};
+    ASSERT_TRUE(h.k().PeekUser(h.user(32768), back, kPayload).ok());
+    EXPECT_EQ(back[0], 'c');
+    EXPECT_EQ(back[kPayload - 1], 'c');
+    ASSERT_EQ(h.Call(Sys::kClose, fds[t]), 0u);
+  }
+  EXPECT_EQ(h.k().stats().forks, static_cast<uint64_t>(kForks));
+  EXPECT_EQ(h.k().pools().stats().total_failed(), 0u);
+  EXPECT_TRUE(h.k().pools().violations().empty());
 }
 
 TEST(KernelStressTest, FdExhaustionIsGraceful) {

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "src/kernel/kernel.h"
+#include "src/smp/lock_order.h"
 
 namespace sva::kernel {
 namespace {
@@ -302,6 +303,73 @@ TEST(KernelSafetyTest, SafeModeRegistersAllocationsInMetapools) {
   // were registered.
   EXPECT_GE(h.k().pools().stats().registrations, before + 3);
   EXPECT_EQ(h.k().pools().stats().total_failed(), 0u);
+}
+
+// Drives one syscall from every dispatch route (vfs, tasks, sockets, pipes,
+// net, plus the scheduler and host helpers on the BKL) with the lock-order
+// checker force-enabled: any acquisition that violates the documented
+// hierarchy (bkl -> vfs -> tasks -> sockets -> pipes -> files) aborts the
+// process, so passing IS the assertion. Runs in every build type — tier-1
+// is RelWithDebInfo, where the checker is compiled in but default-off.
+TEST(KernelLockOrderTest, AllRoutesRespectTheHierarchy) {
+  smp::LockOrderChecker::set_enabled(true);
+  uint64_t before = smp::LockOrderChecker::acquisitions_checked();
+  {
+    KernelHarness h(KernelMode::kSvaSafe);
+
+    // vfs route: open/write/lseek/read/dup/unlink/close on a regular file.
+    ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/order").ok());
+    uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
+    const char payload[] = "lock order";
+    ASSERT_TRUE(h.k().PokeUser(h.user(256), payload, sizeof(payload)).ok());
+    EXPECT_EQ(h.Call(Sys::kWrite, fd, h.user(256), sizeof(payload)),
+              sizeof(payload));
+    EXPECT_EQ(h.Call(Sys::kLseek, fd, 0, 0), 0u);
+    EXPECT_EQ(h.Call(Sys::kRead, fd, h.user(512), sizeof(payload)),
+              sizeof(payload));
+    uint64_t dup_fd = h.Call(Sys::kDup, fd);
+    EXPECT_EQ(h.Call(Sys::kClose, dup_fd), 0u);
+    EXPECT_EQ(h.Call(Sys::kClose, fd), 0u);
+    EXPECT_EQ(h.Call(Sys::kUnlink, h.user(0)), 0u);
+
+    // tasks route: fork/sigaction/kill (self-delivery on return)/brk/
+    // exec/exit/wait — the full lifecycle.
+    EXPECT_EQ(h.Call(Sys::kGetPid), 1u);
+    h.Call(Sys::kBrk, 4096);
+    uint64_t child = h.Call(Sys::kFork);
+    EXPECT_EQ(h.Call(Sys::kSigaction, 5, 77), 0u);
+    EXPECT_EQ(h.Call(Sys::kKill, 1, 5), 0u);
+    EXPECT_EQ(h.Call(Sys::kExecve, h.user(0)), 0u);
+    // Exit the child: switch to it via the scheduler (BKL + tasks nest).
+    while (h.k().current_pid() != static_cast<int>(child)) {
+      ASSERT_TRUE(h.k().Yield().ok());
+    }
+    EXPECT_EQ(h.Call(Sys::kExit, 0), 0u);
+    EXPECT_EQ(h.Call(Sys::kWaitPid, child), child);
+
+    // pipes route: create + write + read through a pipe pair.
+    ASSERT_EQ(h.Call(Sys::kPipe, h.user(1024)), 0u);
+    uint32_t pipe_fds[2] = {0, 0};
+    ASSERT_TRUE(h.k().PeekUser(h.user(1024), pipe_fds, 8).ok());
+    EXPECT_EQ(h.Call(Sys::kWrite, pipe_fds[1], h.user(256), 8), 8u);
+    EXPECT_EQ(h.Call(Sys::kRead, pipe_fds[0], h.user(512), 8), 8u);
+
+    // sockets route: legacy loopback send/recv.
+    uint64_t sock = h.Call(
+        Sys::kSocket, static_cast<uint64_t>(SocketDomain::kLegacyLoopback));
+    EXPECT_EQ(h.Call(Sys::kSend, sock, h.user(256), 8), 8u);
+    EXPECT_EQ(h.Call(Sys::kRecv, sock, h.user(512), 8), 8u);
+
+    // net route: datagram socket bind + send-to-self over loopback.
+    uint64_t udp = h.Call(Sys::kSocket,
+                          static_cast<uint64_t>(SocketDomain::kDatagram));
+    EXPECT_EQ(h.Call(Sys::kBind, udp, 4242), 0u);
+  }
+  // The routes above really exercised ranked locks under the checker.
+  EXPECT_GT(smp::LockOrderChecker::acquisitions_checked(), before);
+  EXPECT_EQ(smp::LockOrderChecker::held_depth(), 0);
+  smp::LockOrderChecker::set_enabled(
+      smp::LockOrderChecker::kEnabledByDefault);
 }
 
 TEST(KernelSafetyTest, ContextSwitchUsesLazyFpSave) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/hw/machine.h"
+#include "src/smp/lock_order.h"
 #include "src/smp/percpu.h"
 #include "src/smp/sync.h"
 #include "src/smp/vcpu.h"
@@ -136,6 +137,106 @@ TEST_F(VcpuTest, InterruptContextStackNests) {
   vcpu.PopContext(inner);
   vcpu.PopContext(outer);
   EXPECT_EQ(vcpu.icontext_depth(), 0u);
+}
+
+// Forces the lock-order checker on (or off) for one test and restores the
+// build-default afterwards, so the suite behaves the same under every
+// CMake configuration (tier-1 is RelWithDebInfo, where the compile-time
+// default is off).
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    LockOrderChecker::set_enabled(LockOrderChecker::kEnabledByDefault);
+  }
+};
+
+TEST_F(LockOrderTest, InOrderAcquisitionsPass) {
+  LockOrderChecker::set_enabled(true);
+  OrderedSpinLock bkl(LockRank::kBkl);
+  OrderedSpinLock vfs(LockRank::kVfs);
+  OrderedSpinLock files(LockRank::kFiles);
+  uint64_t before = LockOrderChecker::acquisitions_checked();
+  bkl.lock();
+  vfs.lock();
+  files.lock();
+  EXPECT_EQ(LockOrderChecker::held_depth(), 3);
+  EXPECT_EQ(LockOrderChecker::acquisitions_checked(), before + 3);
+  files.unlock();
+  vfs.unlock();
+  bkl.unlock();
+  EXPECT_EQ(LockOrderChecker::held_depth(), 0);
+}
+
+TEST_F(LockOrderTest, OutOfOrderReleaseTolerated) {
+  LockOrderChecker::set_enabled(true);
+  OrderedSpinLock vfs(LockRank::kVfs);
+  OrderedSpinLock files(LockRank::kFiles);
+  vfs.lock();
+  files.lock();
+  vfs.unlock();  // Non-LIFO release is legal; only acquisition order is.
+  EXPECT_EQ(LockOrderChecker::held_depth(), 1);
+  files.unlock();
+  EXPECT_EQ(LockOrderChecker::held_depth(), 0);
+}
+
+TEST_F(LockOrderTest, TryLockParticipates) {
+  LockOrderChecker::set_enabled(true);
+  OrderedSpinLock pipes(LockRank::kPipes);
+  ASSERT_TRUE(pipes.try_lock());
+  EXPECT_EQ(LockOrderChecker::held_depth(), 1);
+  EXPECT_FALSE(pipes.try_lock());  // Contended try_lock records nothing.
+  EXPECT_EQ(LockOrderChecker::held_depth(), 1);
+  pipes.unlock();
+  EXPECT_EQ(LockOrderChecker::held_depth(), 0);
+}
+
+TEST_F(LockOrderTest, InversionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        LockOrderChecker::set_enabled(true);
+        OrderedSpinLock vfs(LockRank::kVfs);
+        OrderedSpinLock files(LockRank::kFiles);
+        files.lock();
+        vfs.lock();  // files (50) held while acquiring vfs (10): inversion.
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderTest, RecursiveAcquisitionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        LockOrderChecker::set_enabled(true);
+        OrderedSpinLock tasks(LockRank::kTasks);
+        OrderedSpinLock tasks2(LockRank::kTasks);
+        tasks.lock();
+        tasks2.lock();  // Equal rank counts as an inversion (no recursion).
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderTest, DisabledCheckerRecordsNothing) {
+  LockOrderChecker::set_enabled(false);
+  OrderedSpinLock vfs(LockRank::kVfs);
+  OrderedSpinLock files(LockRank::kFiles);
+  uint64_t before = LockOrderChecker::acquisitions_checked();
+  // The inverted acquisition pattern is harmless while disabled: two
+  // distinct locks, no blocking, and no bookkeeping.
+  files.lock();
+  vfs.lock();
+  vfs.unlock();
+  files.unlock();
+  EXPECT_EQ(LockOrderChecker::acquisitions_checked(), before);
+  EXPECT_EQ(LockOrderChecker::held_depth(), 0);
+}
+
+TEST_F(LockOrderTest, BuildDefaultMatchesCompileMode) {
+#ifdef NDEBUG
+  EXPECT_FALSE(LockOrderChecker::kEnabledByDefault);
+#else
+  EXPECT_TRUE(LockOrderChecker::kEnabledByDefault);
+#endif
 }
 
 TEST_F(VcpuTest, StatsAggregateAcrossCpus) {

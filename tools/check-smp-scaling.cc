@@ -1,0 +1,108 @@
+// check-smp-scaling: gates the big-kernel-lock split. Reads a JSON report
+// written by `smp_scaling --json` and asserts the kernel syscall phase
+// scales: throughput at 4 workers must be >= 1.3x the 1-worker rate (a
+// deliberately loose threshold so scheduler noise on shared CI hosts never
+// flakes it; the real speedup on a quiet 4-core host is well above 2x).
+//
+// Exit codes: 0 = speedup holds, 1 = regression (or malformed report),
+// 77 = skipped because the host cannot run 4 workers in parallel (fewer
+// than 4 hardware threads — ctest maps 77 to SKIP via SKIP_RETURN_CODE).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+constexpr double kRequiredSpeedup = 1.3;
+constexpr int kExitSkip = 77;
+
+// Extracts the number following `key` (e.g. "\"cpus\": ") in `text` starting
+// at `from`; returns the position after the match, or std::string::npos.
+size_t FindNumber(const std::string& text, const std::string& key,
+                  size_t from, double* out) {
+  size_t pos = text.find(key, from);
+  if (pos == std::string::npos) {
+    return std::string::npos;
+  }
+  pos += key.size();
+  char* end = nullptr;
+  *out = std::strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) {
+    return std::string::npos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check-smp-scaling <smp_scaling.json>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "check-smp-scaling: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  double hw_cpus = 0;
+  if (FindNumber(text, "\"hw_cpus\": ", 0, &hw_cpus) == std::string::npos) {
+    std::fprintf(stderr, "check-smp-scaling: no hw_cpus field in %s\n",
+                 argv[1]);
+    return 1;
+  }
+  if (hw_cpus < 4) {
+    std::printf(
+        "check-smp-scaling: SKIP — host has %.0f hardware thread(s); the "
+        "1->4 worker speedup needs 4 to mean anything\n",
+        hw_cpus);
+    return kExitSkip;
+  }
+
+  // Walk the kernel-phase records and pick out the 1- and 4-worker rates.
+  double rate1 = 0;
+  double rate4 = 0;
+  const std::string metric = "\"metric\": \"kernel syscalls/sec\"";
+  for (size_t pos = text.find(metric); pos != std::string::npos;
+       pos = text.find(metric, pos + metric.size())) {
+    double value = 0;
+    double cpus = 0;
+    if (FindNumber(text, "\"value\": ", pos, &value) == std::string::npos ||
+        FindNumber(text, "\"cpus\": ", pos, &cpus) == std::string::npos) {
+      continue;
+    }
+    if (cpus == 1) {
+      rate1 = value;
+    } else if (cpus == 4) {
+      rate4 = value;
+    }
+  }
+  if (rate1 <= 0 || rate4 <= 0) {
+    std::fprintf(stderr,
+                 "check-smp-scaling: report has no kernel-phase records for "
+                 "1 and 4 workers (run smp_scaling with --cpus >= 4)\n");
+    return 1;
+  }
+
+  double speedup = rate4 / rate1;
+  std::printf(
+      "check-smp-scaling: kernel phase %.3g -> %.3g calls/s (1 -> 4 "
+      "workers), speedup %.2fx (required >= %.2fx)\n",
+      rate1, rate4, speedup, kRequiredSpeedup);
+  if (speedup < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "check-smp-scaling: FAIL — the kernel phase no longer "
+                 "scales; did a syscall path fall back onto the big kernel "
+                 "lock?\n");
+    return 1;
+  }
+  std::printf("check-smp-scaling: OK\n");
+  return 0;
+}
