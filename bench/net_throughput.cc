@@ -23,6 +23,11 @@
 #include "bench/common.h"
 #include "bench/kernel_harness.h"
 #include "src/net/client.h"
+#include "src/safety/compiler.h"
+#include "src/svm/svm.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
 
 namespace sva::bench {
 namespace {
@@ -293,6 +298,126 @@ void RunParity(unsigned max_cpus) {
       "unharmed.\n");
 }
 
+// --- Phase 4: packet parse on the SVM execution tiers ------------------------
+
+// The rx parse step as verified bytecode: copy `claimed` payload bytes from
+// a 128-byte frame into a 64-byte delivery buffer, every byte load/store-
+// checked. A benign packet claims 48 bytes; a lying header claims 4096 and
+// must be stopped by the checks — on BOTH execution tiers, identically.
+constexpr char kBytecodeParse[] = R"(
+module "net_bytecode"
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+define i64 @parse_packet(i64 %claimed) {
+entry:
+  %frame = call i8* @kmalloc(i64 128)
+  %out = call i8* @kmalloc(i64 64)
+  br label %copy
+copy:
+  %i = phi i64 [ 0, %entry ], [ %i2, %copy ]
+  %src = getelementptr i8* %frame, i64 %i
+  %b = load i8, i8* %src
+  %dst = getelementptr i8* %out, i64 %i
+  store i8 %b, i8* %dst
+  %i2 = add i64 %i, 1
+  %done = icmp uge i64 %i2, %claimed
+  br i1 %done, label %exit, label %copy
+exit:
+  call void @kfree(i8* %out)
+  call void @kfree(i8* %frame)
+  ret i64 %i2
+}
+)";
+
+struct TierParse {
+  double ns_per_packet = 0;
+  std::string malformed_status;  // Status of the lying-header packet.
+};
+
+TierParse MeasureParseTier(svm::ExecTier tier) {
+  // Full pipeline, so the copy loop carries the instrumented pchk.* checks
+  // exactly like the kernel rx path's bytecode would.
+  auto fatal = [](const char* stage, const Status& s) {
+    std::fprintf(stderr, "phase 4: %s failed: %s\n", stage,
+                 s.ToString().c_str());
+    std::exit(1);
+  };
+  auto parsed = vir::ParseModule(kBytecodeParse);
+  if (!parsed.ok()) fatal("parse", parsed.status());
+  auto module = std::move(*parsed);
+  safety::SafetyCompilerOptions copts;
+  auto report = safety::RunSafetyCompiler(*module, copts);
+  if (!report.ok()) fatal("safety compile", report.status());
+  Status verified = vir::VerifyModule(*module);
+  if (!verified.ok()) fatal("verify", verified);
+  Status typed = verifier::TypeCheckOrError(*module);
+  if (!typed.ok()) fatal("type check", typed);
+  svm::SvmOptions options;
+  options.interp.tier = tier;
+  svm::SecureVirtualMachine vm(options);
+  auto load = vm.LoadModule(std::move(module));
+  if (!load.ok()) fatal("load", load.status());
+  std::unique_ptr<svm::LoadedModule> loaded = std::move(*load);
+  auto parse_once = [&](uint64_t claimed) {
+    return loaded->Run("parse_packet", {claimed});
+  };
+  for (int warm = 0; warm < 20; ++warm) {
+    svm::ExecResult r = parse_once(48);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "phase 4: benign parse failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  TierParse result;
+  bool quick = JsonReport::Get().quick();
+  double us = MedianLatencyUs(quick ? 7 : 21, quick ? 50 : 400,
+                              [&] { (void)parse_once(48); });
+  result.ns_per_packet = us * 1000.0;
+  // The lying header: claims 4096 bytes of payload for the 64-byte
+  // delivery buffer. The 65th store must trap.
+  result.malformed_status = parse_once(4096).status.ToString();
+  return result;
+}
+
+void RunTierParse() {
+  std::printf(
+      "Phase 4: rx packet parse as verified bytecode, per execution tier "
+      "(safe mode)\n\n");
+  TierParse interp = MeasureParseTier(svm::ExecTier::kInterp);
+  TierParse threaded = MeasureParseTier(svm::ExecTier::kThreaded);
+  Table table({"Engine", "ns/packet", "lying header"});
+  table.AddRow({"interpreter", Fmt("%.0f", interp.ns_per_packet),
+                interp.malformed_status});
+  table.AddRow({"threaded", Fmt("%.0f", threaded.ns_per_packet),
+                threaded.malformed_status});
+  table.Print();
+  if (interp.malformed_status != threaded.malformed_status) {
+    std::fprintf(stderr,
+                 "tier divergence on malformed packet: interp '%s' vs "
+                 "threaded '%s'\n",
+                 interp.malformed_status.c_str(),
+                 threaded.malformed_status.c_str());
+    std::exit(1);
+  }
+  if (interp.malformed_status.find("SAFETY_VIOLATION") == std::string::npos) {
+    std::fprintf(stderr, "malformed packet not caught: %s\n",
+                 interp.malformed_status.c_str());
+    std::exit(1);
+  }
+  JsonReport::Get().Add("bytecode parse ns/packet", interp.ns_per_packet,
+                        "ns", "tier-interp");
+  JsonReport::Get().Add("bytecode parse ns/packet", threaded.ns_per_packet,
+                        "ns", "tier-threaded");
+  std::printf(
+      "\n=> both tiers stop the lying header with the same violation; "
+      "threaded parses %.2fx faster.\n",
+      threaded.ns_per_packet > 0
+          ? interp.ns_per_packet / threaded.ns_per_packet
+          : 0);
+}
+
 }  // namespace
 }  // namespace sva::bench
 
@@ -315,5 +440,6 @@ int main(int argc, char** argv) {
   sva::bench::RunModes();
   sva::bench::RunScaling(cpus);
   sva::bench::RunParity(cpus);
+  sva::bench::RunTierParse();
   return sva::bench::JsonReport::Get().Finish();
 }

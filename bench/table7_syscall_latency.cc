@@ -8,6 +8,7 @@
 // (getpid ~21-29%); run-time checks dominate allocation/copy-heavy ones
 // (open/close 386%, pipe 280%, sigaction 123%, fork 74%).
 #include <cstdio>
+#include <cstring>
 #include <algorithm>
 #include <functional>
 #include <memory>
@@ -16,6 +17,11 @@
 
 #include "bench/common.h"
 #include "bench/kernel_harness.h"
+#include "src/safety/compiler.h"
+#include "src/svm/svm.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
 
 namespace sva::bench {
 namespace {
@@ -92,6 +98,110 @@ std::vector<MicroBench> BuildBenches() {
   return benches;
 }
 
+// A syscall-shaped bytecode workload for the execution-tier comparison:
+// allocate a kernel object, copy through it byte-by-byte (every access
+// load/store-checked against the metapool), then free it — the same
+// alloc + copy + free shape that dominates open/close and pipe in the
+// kernel table above, but expressed as verified SVA bytecode so it runs on
+// the SVM's execution tiers.
+constexpr char kBytecodeSyscall[] = R"(
+module "table7_bytecode"
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+define i64 @syscall_like(i64 %len) {
+entry:
+  %buf = call i8* @kmalloc(i64 256)
+  br label %copy
+copy:
+  %i = phi i64 [ 0, %entry ], [ %i2, %copy ]
+  %sum = phi i64 [ 0, %entry ], [ %sum2, %copy ]
+  %src = getelementptr i8* %buf, i64 %i
+  %b = load i8, i8* %src
+  %off = add i64 %i, 128
+  %dst = getelementptr i8* %buf, i64 %off
+  store i8 %b, i8* %dst
+  %wide = zext i8 %b to i64
+  %sum2 = add i64 %sum, %wide
+  %i2 = add i64 %i, 1
+  %done = icmp uge i64 %i2, %len
+  br i1 %done, label %exit, label %copy
+exit:
+  call void @kfree(i8* %buf)
+  ret i64 %sum2
+}
+)";
+
+// The full pipeline (safety compiler -> verifier -> type check -> SVM), so
+// the workload carries the instrumented pchk.* checks like real kernel
+// bytecode.
+std::unique_ptr<svm::LoadedModule> LoadTierModule(const char* text,
+                                                  svm::ExecTier tier) {
+  auto fatal = [](const char* stage, const Status& s) {
+    std::fprintf(stderr, "table7: bytecode %s failed: %s\n", stage,
+                 s.ToString().c_str());
+    std::exit(1);
+  };
+  auto parsed = vir::ParseModule(text);
+  if (!parsed.ok()) fatal("parse", parsed.status());
+  auto module = std::move(*parsed);
+  safety::SafetyCompilerOptions copts;
+  auto report = safety::RunSafetyCompiler(*module, copts);
+  if (!report.ok()) fatal("safety compile", report.status());
+  Status verified = vir::VerifyModule(*module);
+  if (!verified.ok()) fatal("verify", verified);
+  Status typed = verifier::TypeCheckOrError(*module);
+  if (!typed.ok()) fatal("type check", typed);
+  svm::SvmOptions options;
+  options.interp.tier = tier;
+  svm::SecureVirtualMachine vm(options);
+  auto loaded = vm.LoadModule(std::move(module));
+  if (!loaded.ok()) fatal("load", loaded.status());
+  return std::move(*loaded);
+}
+
+// Runs the bytecode workload on one execution tier (safe mode: all checks
+// enforced) and returns the median per-call latency in microseconds.
+double TimeBytecodeTier(svm::ExecTier tier, int reps, int iters) {
+  std::unique_ptr<svm::LoadedModule> loaded =
+      LoadTierModule(kBytecodeSyscall, tier);
+  auto call_once = [&] {
+    svm::ExecResult r = loaded->Run("syscall_like", {64});
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "table7: bytecode run failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  for (int warm = 0; warm < 20; ++warm) {
+    call_once();  // Warm allocator slabs, splay trees, and the decoder.
+  }
+  return MedianLatencyUs(reps, iters, call_once);
+}
+
+// The execution-tier comparison the threaded-code tier is gated on
+// (tools/check-tier-speedup): the same safe-mode workload, interpreter vs
+// threaded dispatch.
+void RunTierComparison() {
+  bool quick = JsonReport::Get().quick();
+  int reps = quick ? 9 : 31;
+  int iters = quick ? 40 : 200;
+  double interp_us = TimeBytecodeTier(svm::ExecTier::kInterp, reps, iters);
+  double threaded_us =
+      TimeBytecodeTier(svm::ExecTier::kThreaded, reps, iters);
+  std::printf(
+      "\nExecution tiers on the syscall-shaped bytecode workload (SVA safe "
+      "mode,\nmedian of %d trials):\n\n", reps);
+  Table table({"Engine", "Latency (us/call)", "Speedup"});
+  table.AddRow({"interpreter", Fmt("%.3f", interp_us), "1.00x"});
+  table.AddRow({"threaded", Fmt("%.3f", threaded_us),
+                Fmt("%.2fx", threaded_us <= 0 ? 0 : interp_us / threaded_us)});
+  table.Print();
+  JsonReport::Get().Add("bytecode_syscall", interp_us, "us", "tier-interp");
+  JsonReport::Get().Add("bytecode_syscall", threaded_us, "us",
+                        "tier-threaded");
+}
+
 void Run() {
   std::printf(
       "Table 7: latency of raw kernel operations (HBench-OS style; median "
@@ -149,6 +259,17 @@ void Run() {
 
 int main(int argc, char** argv) {
   sva::bench::JsonReport::Get().Init(&argc, argv, "table7_syscall_latency");
-  sva::bench::Run();
+  // --tier-only: just the execution-tier comparison (the CI speedup gate
+  // runs this so it never pays for the full four-kernel table).
+  bool tier_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tier-only") == 0) {
+      tier_only = true;
+    }
+  }
+  if (!tier_only) {
+    sva::bench::Run();
+  }
+  sva::bench::RunTierComparison();
   return sva::bench::JsonReport::Get().Finish();
 }

@@ -124,7 +124,39 @@ class SafetyCompiler {
       }
     };
 
-    for (const auto& [value, node] : pta_->graph().value_nodes()) {
+    // Number pools in program order (globals, then each function's args and
+    // instructions). value_nodes() is keyed by Value pointer, so iterating
+    // it directly would make MP numbering depend on heap layout and two
+    // compiles of the same module could disagree on pool names.
+    const auto& nodes = pta_->graph().value_nodes();
+    // Snapshot the walk first: ensure_pool creates metapool handle globals,
+    // which would invalidate iterators into module_.globals().
+    std::vector<const Value*> ordered;
+    for (const auto& global : module_.globals()) {
+      ordered.push_back(global.get());
+    }
+    for (const auto& fn : module_.functions()) {
+      for (const auto& arg : fn->args()) {
+        ordered.push_back(arg.get());
+      }
+      for (const auto& block : fn->blocks()) {
+        for (const auto& inst : block->instructions()) {
+          ordered.push_back(inst.get());
+        }
+      }
+    }
+    for (const Value* v : ordered) {
+      if (!v->type()->IsPointer()) {
+        continue;
+      }
+      auto it = nodes.find(v);
+      if (it != nodes.end()) {
+        ensure_pool(it->second);
+      }
+    }
+    // Sweep anything the walk missed (e.g. pointer-typed constants) so every
+    // node still gets a pool.
+    for (const auto& [value, node] : nodes) {
       if (value->type()->IsPointer()) {
         ensure_pool(node);
       }

@@ -3,6 +3,9 @@
 #include <cassert>
 
 #include "src/support/strings.h"
+#include "src/svm/exec_semantics.h"
+#include "src/svm/threaded_interp.h"
+#include "src/trace/metrics.h"
 #include "src/vir/instructions.h"
 #include "src/vir/intrinsics.h"
 
@@ -39,39 +42,16 @@ using vir::SwitchInst;
 using vir::Type;
 using vir::Value;
 
+using sem::BitWidthOf;
+using sem::MaskToWidth;
+using sem::SignExtend;
+using sem::kMaxCallDepth;
+
 namespace {
 
 constexpr uint64_t kFunctionAddressBase = 0xF0000000ull;
 constexpr uint64_t kFunctionAddressStride = 16;
 constexpr uint64_t kStackArenaSize = 1 << 20;
-// Guest calls recurse through RunFunction on the host stack, so the guest
-// depth bound is also a host frame bound. 256 is plenty for the corpus and
-// keeps the runaway-recursion path (256 sanitizer-padded host frames) well
-// inside the default host stack even under ASan instrumentation.
-constexpr uint64_t kMaxCallDepth = 256;
-
-uint64_t MaskToWidth(uint64_t v, unsigned bits) {
-  if (bits >= 64) {
-    return v;
-  }
-  return v & ((uint64_t{1} << bits) - 1);
-}
-
-int64_t SignExtend(uint64_t v, unsigned bits) {
-  if (bits >= 64) {
-    return static_cast<int64_t>(v);
-  }
-  uint64_t sign = uint64_t{1} << (bits - 1);
-  v = MaskToWidth(v, bits);
-  return static_cast<int64_t>(v ^ sign) - static_cast<int64_t>(sign);
-}
-
-unsigned BitWidthOf(const Type* t) {
-  if (t->IsInt()) {
-    return static_cast<const vir::IntType*>(t)->bits();
-  }
-  return 64;  // Pointers.
-}
 
 }  // namespace
 
@@ -99,7 +79,11 @@ Interpreter::Interpreter(vir::Module& module, runtime::MetaPoolRuntime& pools,
     : module_(module),
       pools_(pools),
       options_(options),
-      memory_(std::make_unique<AddressSpace>()) {}
+      memory_(std::make_unique<AddressSpace>()) {
+  if (options_.tier == ExecTier::kThreaded) {
+    threaded_ = std::make_unique<ThreadedEngine>(*this);
+  }
+}
 
 Interpreter::~Interpreter() = default;
 
@@ -407,6 +391,11 @@ Result<uint64_t> Interpreter::RunIntrinsic(const Function& callee,
     *handled = false;
     return uint64_t{0};
   }
+  return RunIntrinsicById(which, args);
+}
+
+Result<uint64_t> Interpreter::RunIntrinsicById(vir::Intrinsic which,
+                                               std::span<const uint64_t> args) {
   if (!options_.enforce_checks) {
     return uint64_t{0};
   }
@@ -476,8 +465,48 @@ Result<uint64_t> Interpreter::RunIntrinsic(const Function& callee,
     case Intrinsic::kNone:
       break;
   }
-  *handled = false;
   return uint64_t{0};
+}
+
+Result<uint64_t> Interpreter::AllocaBytes(uint64_t elem_size, uint64_t count) {
+  uint64_t size = 0;
+  if (!sem::ScaledAllocSize(elem_size, count, &size)) {
+    return sem::AllocSizeOverflow("alloca");
+  }
+  uint64_t base = (stack_top_ + 15) / 16 * 16;
+  // `base < stack_top_` catches alignment wraparound at the top of the
+  // address space; the subtraction form avoids `base + size` overflowing
+  // into a "fits" verdict.
+  if (base < stack_top_ || base > stack_limit_ ||
+      size > stack_limit_ - base) {
+    return SafetyViolation("kernel stack overflow");
+  }
+  stack_top_ = base + size;
+  return base;
+}
+
+Result<uint64_t> Interpreter::MallocBytes(uint64_t elem_size, uint64_t count) {
+  uint64_t size = 0;
+  if (!sem::ScaledAllocSize(elem_size, count, &size)) {
+    return sem::AllocSizeOverflow("malloc");
+  }
+  uint64_t addr = kmalloc_->Allocate(size == 0 ? 1 : size);
+  if (addr == 0) {
+    return Internal("malloc: out of memory");
+  }
+  SVA_RETURN_IF_ERROR(memory_->Fill(addr, 0, kmalloc_->AllocationSize(addr)));
+  return addr;
+}
+
+Status Interpreter::FreeAddr(uint64_t addr) {
+  if (addr == 0) {
+    return OkStatus();
+  }
+  Status s = kmalloc_->Free(addr);
+  if (!s.ok()) {
+    return SafetyViolation(s.message());
+  }
+  return OkStatus();
 }
 
 ExecResult Interpreter::Run(const std::string& name,
@@ -495,6 +524,17 @@ ExecResult Interpreter::Run(const std::string& name,
   steps_ = 0;
   result = RunFunction(*fn, args, {}, 0);
   result.steps = steps_;
+  // Fold this run's dispatch accounting into the process-wide tier
+  // counters (/metrics and svm-run --stats read those).
+  trace::TierCounters& tiers = trace::TierCounters::Get();
+  tiers.interp_fns.fetch_add(tier_interp_fns_, std::memory_order_relaxed);
+  tiers.interp_ops.fetch_add(tier_interp_ops_, std::memory_order_relaxed);
+  tiers.threaded_fns.fetch_add(tier_threaded_fns_,
+                               std::memory_order_relaxed);
+  tiers.threaded_ops.fetch_add(tier_threaded_ops_,
+                               std::memory_order_relaxed);
+  tier_interp_fns_ = tier_interp_ops_ = 0;
+  tier_threaded_fns_ = tier_threaded_ops_ = 0;
   return result;
 }
 
@@ -502,11 +542,29 @@ ExecResult Interpreter::RunFunction(const Function& fn,
                                     const std::vector<uint64_t>& args,
                                     const std::vector<double>& fargs,
                                     uint64_t depth) {
-  ExecResult result;
   if (depth > kMaxCallDepth) {
+    ExecResult result;
     result.status = Internal("call depth limit exceeded");
     return result;
   }
+  // Tier dispatch: run pre-decoded threaded code when the engine has it;
+  // functions the decoder rejected fall through to the tree-walker. Nested
+  // calls from either tier come back through here, so the fallback is
+  // uniformly per-function.
+  if (threaded_ != nullptr) {
+    if (const ThreadedCode* code = threaded_->CodeFor(fn)) {
+      return threaded_->Execute(*code, args, fargs, depth);
+    }
+  }
+  return RunFunctionInterp(fn, args, fargs, depth);
+}
+
+ExecResult Interpreter::RunFunctionInterp(const Function& fn,
+                                          const std::vector<uint64_t>& args,
+                                          const std::vector<double>& fargs,
+                                          uint64_t depth) {
+  ExecResult result;
+  ++tier_interp_fns_;
   Frame frame;
   size_t fi = 0;
   for (size_t i = 0; i < fn.num_args(); ++i) {
@@ -535,6 +593,7 @@ ExecResult Interpreter::RunFunction(const Function& fn,
                                   fn.name())));
     }
     const Instruction* inst = block->instructions()[index].get();
+    ++tier_interp_ops_;
     if (++steps_ > options_.max_steps) {
       return fail(Internal("instruction budget exhausted"));
     }
@@ -566,47 +625,10 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         uint64_t l = MaskToWidth(*lr, bits);
         uint64_t r = MaskToWidth(*rr, bits);
         uint64_t out = 0;
-        switch (inst->opcode()) {
-          case Opcode::kAdd: out = l + r; break;
-          case Opcode::kSub: out = l - r; break;
-          case Opcode::kMul: out = l * r; break;
-          case Opcode::kUDiv:
-            if (r == 0) {
-              return fail(SafetyViolation("integer division by zero"));
-            }
-            out = l / r;
-            break;
-          case Opcode::kSDiv:
-            if (r == 0) {
-              return fail(SafetyViolation("integer division by zero"));
-            }
-            out = static_cast<uint64_t>(SignExtend(l, bits) /
-                                        SignExtend(r, bits));
-            break;
-          case Opcode::kURem:
-            if (r == 0) {
-              return fail(SafetyViolation("integer remainder by zero"));
-            }
-            out = l % r;
-            break;
-          case Opcode::kSRem:
-            if (r == 0) {
-              return fail(SafetyViolation("integer remainder by zero"));
-            }
-            out = static_cast<uint64_t>(SignExtend(l, bits) %
-                                        SignExtend(r, bits));
-            break;
-          case Opcode::kAnd: out = l & r; break;
-          case Opcode::kOr: out = l | r; break;
-          case Opcode::kXor: out = l ^ r; break;
-          case Opcode::kShl: out = r >= bits ? 0 : l << r; break;
-          case Opcode::kLShr: out = r >= bits ? 0 : l >> r; break;
-          case Opcode::kAShr:
-            out = static_cast<uint64_t>(
-                SignExtend(l, bits) >>
-                (r >= bits ? bits - 1 : r));
-            break;
-          default: break;
+        sem::ArithTrap trap =
+            sem::EvalIntBinary(inst->opcode(), l, r, bits, &out);
+        if (trap != sem::ArithTrap::kNone) {
+          return fail(sem::ArithTrapStatus(trap));
         }
         frame.Set(inst, MaskToWidth(out, bits));
         break;
@@ -621,15 +643,7 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         if (!lr.ok() || !rr.ok()) {
           return fail(lr.ok() ? rr.status() : lr.status());
         }
-        double out = 0;
-        switch (inst->opcode()) {
-          case Opcode::kFAdd: out = *lr + *rr; break;
-          case Opcode::kFSub: out = *lr - *rr; break;
-          case Opcode::kFMul: out = *lr * *rr; break;
-          case Opcode::kFDiv: out = *lr / *rr; break;
-          default: break;
-        }
-        frame.SetF(inst, out);
+        frame.SetF(inst, sem::EvalFloatBinary(inst->opcode(), *lr, *rr));
         break;
       }
       case Opcode::kICmp: {
@@ -640,24 +654,7 @@ ExecResult Interpreter::RunFunction(const Function& fn,
           return fail(lr.ok() ? rr.status() : lr.status());
         }
         unsigned bits = BitWidthOf(cmp->lhs()->type());
-        uint64_t l = MaskToWidth(*lr, bits);
-        uint64_t r = MaskToWidth(*rr, bits);
-        int64_t ls = SignExtend(l, bits);
-        int64_t rs = SignExtend(r, bits);
-        bool out = false;
-        switch (cmp->pred()) {
-          case CmpPred::kEq: out = l == r; break;
-          case CmpPred::kNe: out = l != r; break;
-          case CmpPred::kUGt: out = l > r; break;
-          case CmpPred::kUGe: out = l >= r; break;
-          case CmpPred::kULt: out = l < r; break;
-          case CmpPred::kULe: out = l <= r; break;
-          case CmpPred::kSGt: out = ls > rs; break;
-          case CmpPred::kSGe: out = ls >= rs; break;
-          case CmpPred::kSLt: out = ls < rs; break;
-          case CmpPred::kSLe: out = ls <= rs; break;
-        }
-        frame.Set(inst, out ? 1 : 0);
+        frame.Set(inst, sem::EvalICmp(cmp->pred(), *lr, *rr, bits) ? 1 : 0);
         break;
       }
       case Opcode::kFCmp: {
@@ -667,20 +664,7 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         if (!lr.ok() || !rr.ok()) {
           return fail(lr.ok() ? rr.status() : lr.status());
         }
-        bool out = false;
-        switch (cmp->pred()) {
-          case CmpPred::kEq: out = *lr == *rr; break;
-          case CmpPred::kNe: out = *lr != *rr; break;
-          case CmpPred::kUGt:
-          case CmpPred::kSGt: out = *lr > *rr; break;
-          case CmpPred::kUGe:
-          case CmpPred::kSGe: out = *lr >= *rr; break;
-          case CmpPred::kULt:
-          case CmpPred::kSLt: out = *lr < *rr; break;
-          case CmpPred::kULe:
-          case CmpPred::kSLe: out = *lr <= *rr; break;
-        }
-        frame.Set(inst, out ? 1 : 0);
+        frame.Set(inst, sem::EvalFCmp(cmp->pred(), *lr, *rr) ? 1 : 0);
         break;
       }
       case Opcode::kSelect: {
@@ -760,13 +744,11 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         if (!count.ok()) {
           return fail(count.status());
         }
-        uint64_t size = vir::SizeOf(a->allocated_type()) * *count;
-        uint64_t base = (stack_top_ + 15) / 16 * 16;
-        if (base + size > stack_limit_) {
-          return fail(SafetyViolation("kernel stack overflow"));
+        auto base = AllocaBytes(vir::SizeOf(a->allocated_type()), *count);
+        if (!base.ok()) {
+          return fail(base.status());
         }
-        stack_top_ = base + size;
-        frame.Set(inst, base);
+        frame.Set(inst, *base);
         break;
       }
       case Opcode::kMalloc: {
@@ -775,16 +757,11 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         if (!count.ok()) {
           return fail(count.status());
         }
-        uint64_t size = vir::SizeOf(m->allocated_type()) * *count;
-        uint64_t addr = kmalloc_->Allocate(size == 0 ? 1 : size);
-        if (addr == 0) {
-          return fail(Internal("malloc: out of memory"));
+        auto addr = MallocBytes(vir::SizeOf(m->allocated_type()), *count);
+        if (!addr.ok()) {
+          return fail(addr.status());
         }
-        Status z = memory_->Fill(addr, 0, kmalloc_->AllocationSize(addr));
-        if (!z.ok()) {
-          return fail(z);
-        }
-        frame.Set(inst, addr);
+        frame.Set(inst, *addr);
         break;
       }
       case Opcode::kFree: {
@@ -793,11 +770,9 @@ ExecResult Interpreter::RunFunction(const Function& fn,
         if (!addr.ok()) {
           return fail(addr.status());
         }
-        if (*addr != 0) {
-          Status s = kmalloc_->Free(*addr);
-          if (!s.ok()) {
-            return fail(SafetyViolation(s.message()));
-          }
+        Status s = FreeAddr(*addr);
+        if (!s.ok()) {
+          return fail(s);
         }
         break;
       }

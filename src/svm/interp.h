@@ -19,9 +19,12 @@
 #include "src/runtime/pool_allocator.h"
 #include "src/support/status.h"
 #include "src/svm/address_space.h"
+#include "src/vir/intrinsics.h"
 #include "src/vir/module.h"
 
 namespace sva::svm {
+
+class ThreadedEngine;
 
 // Outcome of executing one entry point.
 struct ExecResult {
@@ -29,6 +32,20 @@ struct ExecResult {
   uint64_t value = 0;      // Integer/pointer return value.
   double fvalue = 0;       // Floating return value.
   uint64_t steps = 0;      // Instructions executed.
+};
+
+// Which engine executes verified bytecode. Both tiers share the arithmetic
+// and trap semantics in exec_semantics.h and all run-time check plumbing, so
+// results, statuses, and CheckStats are identical — the differential battery
+// in tests/tier_parity_test.cc enforces this.
+enum class ExecTier {
+  // The tree-walking reference interpreter (one std::map frame per call).
+  kInterp,
+  // The pre-decoded threaded-code tier: each function is lowered once into a
+  // flat stream of handler records with dense operand slots and pre-linked
+  // branch targets. Functions the decoder cannot lower (e.g. dynamic struct
+  // field indices) transparently fall back to the interpreter per function.
+  kThreaded,
 };
 
 struct InterpOptions {
@@ -41,6 +58,9 @@ struct InterpOptions {
   bool use_lookup_cache = true;
   // Abort after this many executed instructions (runaway-loop guard).
   uint64_t max_steps = 500'000'000;
+  // Execution engine. Threaded is the default; kInterp forces the reference
+  // tree-walker everywhere (svm-run --tier=interp).
+  ExecTier tier = ExecTier::kThreaded;
 };
 
 class Interpreter {
@@ -88,6 +108,7 @@ class Interpreter {
 
  private:
   class Frame;
+  friend class ThreadedEngine;
 
   // Evaluates a constant or SSA value in the current frame.
   Result<uint64_t> Eval(const Frame& frame, const vir::Value* v) const;
@@ -96,10 +117,27 @@ class Interpreter {
   ExecResult RunFunction(const vir::Function& fn,
                          const std::vector<uint64_t>& args,
                          const std::vector<double>& fargs, uint64_t depth);
+  // The tree-walking engine behind RunFunction (the kInterp tier, and the
+  // per-function fallback of the kThreaded tier).
+  ExecResult RunFunctionInterp(const vir::Function& fn,
+                               const std::vector<uint64_t>& args,
+                               const std::vector<double>& fargs,
+                               uint64_t depth);
 
   // Executes an intrinsic; `handled` is false if `callee` is not one.
   Result<uint64_t> RunIntrinsic(const vir::Function& callee,
                                 std::span<const uint64_t> args, bool* handled);
+  // The id-keyed body of RunIntrinsic: `which` must not be kNone. The
+  // threaded tier pre-resolves intrinsic ids at decode time and calls this
+  // directly, so both tiers share one implementation of every check.
+  Result<uint64_t> RunIntrinsicById(vir::Intrinsic which,
+                                    std::span<const uint64_t> args);
+
+  // Stack/heap allocation shared by both tiers: overflow-checked
+  // element*count scaling plus the stack-limit / allocator paths.
+  Result<uint64_t> AllocaBytes(uint64_t elem_size, uint64_t count);
+  Result<uint64_t> MallocBytes(uint64_t elem_size, uint64_t count);
+  Status FreeAddr(uint64_t addr);
 
   Status LayoutGlobals();
   Status CreatePools();
@@ -119,11 +157,21 @@ class Interpreter {
   // Maps module target-set ids to runtime target-set ids.
   std::vector<uint64_t> runtime_set_ids_;
 
+  // The threaded-code tier; null when options_.tier == kInterp.
+  std::unique_ptr<ThreadedEngine> threaded_;
+
   uint64_t steps_ = 0;
   uint64_t stack_arena_ = 0;
   uint64_t stack_top_ = 0;
   uint64_t stack_limit_ = 0;
   bool initialized_ = false;
+
+  // Per-tier dispatch accounting, accumulated without atomics on the hot
+  // path and flushed to trace::TierCounters at the end of each Run().
+  uint64_t tier_interp_fns_ = 0;
+  uint64_t tier_interp_ops_ = 0;
+  uint64_t tier_threaded_fns_ = 0;
+  uint64_t tier_threaded_ops_ = 0;
 };
 
 }  // namespace sva::svm

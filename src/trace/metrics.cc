@@ -30,6 +30,11 @@ Metrics& Metrics::Get() {
   return metrics;
 }
 
+TierCounters& TierCounters::Get() {
+  static TierCounters counters;
+  return counters;
+}
+
 std::vector<HistogramSnapshot> Metrics::Snapshot() const {
   std::vector<HistogramSnapshot> out;
   out.reserve(kNumHistograms);

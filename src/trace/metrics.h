@@ -114,6 +114,22 @@ class Metrics {
   std::array<Histogram, kNumHistograms> hists_;
 };
 
+// Per-tier SVM dispatch accounting: how many function activations and how
+// many executed operations each execution tier handled, plus how many
+// functions the threaded decoder refused (per-function interpreter
+// fallback). The Interpreter accumulates these in plain members on the hot
+// path and flushes them here once per Run(); /metrics renders them as
+// sva_exec_tier_* counters.
+struct TierCounters {
+  std::atomic<uint64_t> interp_fns{0};
+  std::atomic<uint64_t> interp_ops{0};
+  std::atomic<uint64_t> threaded_fns{0};
+  std::atomic<uint64_t> threaded_ops{0};
+  std::atomic<uint64_t> fallback_fns{0};
+
+  static TierCounters& Get();
+};
+
 // One named monotonic counter for the Prometheus rendering below.
 struct CounterSample {
   std::string name;   // Prometheus metric name (…_total).

@@ -1,0 +1,113 @@
+// check-tier-speedup: gates the threaded-code execution tier. Reads a JSON
+// report written by `table7_syscall_latency --tier-only --json` and asserts
+// the threaded tier beats the tree-walking interpreter on the safe-mode
+// syscall-shaped bytecode workload: interpreter latency must be >= 1.4x the
+// threaded latency (a deliberately loose threshold — the real speedup on a
+// quiet host is 4-7x — so frequency scaling and CI noise never flake it).
+//
+// Exit codes: 0 = speedup holds, 1 = regression (or malformed report),
+// 77 = skipped because the measurement looks too noisy to judge (either
+// latency is implausibly small — ctest maps 77 to SKIP via
+// SKIP_RETURN_CODE).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+constexpr double kRequiredSpeedup = 1.4;
+constexpr int kExitSkip = 77;
+
+// Below this the timer resolution dominates and a ratio of two such numbers
+// means nothing; skip rather than fail.
+constexpr double kMinCredibleLatencyUs = 0.05;
+
+// Extracts the number following `key` (e.g. "\"value\": ") in `text` starting
+// at `from`; returns the position after the match, or std::string::npos.
+size_t FindNumber(const std::string& text, const std::string& key,
+                  size_t from, double* out) {
+  size_t pos = text.find(key, from);
+  if (pos == std::string::npos) {
+    return std::string::npos;
+  }
+  pos += key.size();
+  char* end = nullptr;
+  *out = std::strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) {
+    return std::string::npos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check-tier-speedup <table7.json>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "check-tier-speedup: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Walk the bytecode_syscall records and pick out the per-tier latencies.
+  double interp_us = 0;
+  double threaded_us = 0;
+  const std::string metric = "\"metric\": \"bytecode_syscall\"";
+  for (size_t pos = text.find(metric); pos != std::string::npos;
+       pos = text.find(metric, pos + metric.size())) {
+    double value = 0;
+    size_t after = FindNumber(text, "\"value\": ", pos, &value);
+    if (after == std::string::npos) {
+      continue;
+    }
+    size_t mode = text.find("\"mode\": \"", pos);
+    if (mode == std::string::npos) {
+      continue;
+    }
+    mode += std::strlen("\"mode\": \"");
+    if (text.compare(mode, 11, "tier-interp") == 0) {
+      interp_us = value;
+    } else if (text.compare(mode, 13, "tier-threaded") == 0) {
+      threaded_us = value;
+    }
+  }
+  if (interp_us <= 0 || threaded_us <= 0) {
+    std::fprintf(stderr,
+                 "check-tier-speedup: report has no bytecode_syscall records "
+                 "for both tiers (run table7_syscall_latency --tier-only "
+                 "--json)\n");
+    return 1;
+  }
+  if (interp_us < kMinCredibleLatencyUs ||
+      threaded_us < kMinCredibleLatencyUs) {
+    std::printf(
+        "check-tier-speedup: SKIP — latencies %.4f / %.4f us are below the "
+        "timer's credible floor (%.2f us); the ratio would be noise\n",
+        interp_us, threaded_us, kMinCredibleLatencyUs);
+    return kExitSkip;
+  }
+
+  double speedup = interp_us / threaded_us;
+  std::printf(
+      "check-tier-speedup: bytecode syscall workload %.3f -> %.3f us/call "
+      "(interpreter -> threaded), speedup %.2fx (required >= %.2fx)\n",
+      interp_us, threaded_us, speedup, kRequiredSpeedup);
+  if (speedup < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "check-tier-speedup: FAIL — the threaded tier no longer "
+                 "pays for itself; did a hot opcode fall back to the "
+                 "tree-walking interpreter?\n");
+    return 1;
+  }
+  std::printf("check-tier-speedup: OK\n");
+  return 0;
+}

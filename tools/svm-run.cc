@@ -3,7 +3,11 @@
 //
 // Usage:
 //   svm-run module.svb [--entry NAME] [--arg N]... [--no-checks] [--stats]
-//           [--cpus N]
+//           [--cpus N] [--tier interp|threaded]
+//
+// --tier selects the execution engine (default threaded); both tiers share
+// semantics and checks, so the only visible difference should be speed —
+// --stats reports which tier actually dispatched what.
 //
 // --cpus N runs N replicas of the VM on N worker threads, each bound to a
 // virtual CPU, and requires every replica to reach the same result — the
@@ -26,6 +30,7 @@
 #include "src/smp/percpu.h"
 #include "src/svm/svm.h"
 #include "src/trace/chrome_trace.h"
+#include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/vir/bytecode.h"
 
@@ -53,6 +58,24 @@ int main(int argc, char** argv) {
       entry = argv[++i];
     } else if (arg == "--arg" && i + 1 < argc) {
       args.push_back(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--tier" && i + 1 < argc) {
+      std::string tier = argv[++i];
+      if (tier == "interp") {
+        options.interp.tier = sva::svm::ExecTier::kInterp;
+      } else if (tier == "threaded") {
+        options.interp.tier = sva::svm::ExecTier::kThreaded;
+      } else {
+        return Fail("unknown tier " + tier + " (want interp|threaded)");
+      }
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      std::string tier = arg.substr(7);
+      if (tier == "interp") {
+        options.interp.tier = sva::svm::ExecTier::kInterp;
+      } else if (tier == "threaded") {
+        options.interp.tier = sva::svm::ExecTier::kThreaded;
+      } else {
+        return Fail("unknown tier " + tier + " (want interp|threaded)");
+      }
     } else if (arg == "--no-checks") {
       options.interp.enforce_checks = false;
     } else if (arg == "--no-cache") {
@@ -69,7 +92,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
                   "[--no-checks] [--no-cache] [--stats] [--cpus N] "
-                  "[--trace-out FILE]\n");
+                  "[--tier interp|threaded] [--trace-out FILE]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option " + arg);
@@ -204,6 +227,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "svm-run: %llu instructions/replica, %u replica(s)\n",
                  static_cast<unsigned long long>(result.steps), cpus);
+    const auto& tiers = sva::trace::TierCounters::Get();
+    std::fprintf(
+        stderr,
+        "svm-run: tier dispatch: threaded %llu fns / %llu ops, interp "
+        "%llu fns / %llu ops, %llu fallback fn(s)\n",
+        static_cast<unsigned long long>(tiers.threaded_fns.load()),
+        static_cast<unsigned long long>(tiers.threaded_ops.load()),
+        static_cast<unsigned long long>(tiers.interp_fns.load()),
+        static_cast<unsigned long long>(tiers.interp_ops.load()),
+        static_cast<unsigned long long>(tiers.fallback_fns.load()));
     std::fprintf(stderr,
                  "svm-run: %llu checks performed (%llu bounds, %llu "
                  "load/store, %llu indirect, %llu frees), %llu failed, "
