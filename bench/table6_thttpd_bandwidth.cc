@@ -17,6 +17,7 @@
 // paper's DMA-dominated hardware did not show.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -26,6 +27,7 @@
 #include "bench/kernel_harness.h"
 #include "src/net/client.h"
 #include "src/trace/chrome_trace.h"
+#include "src/trace/drainer.h"
 #include "src/trace/trace.h"
 
 namespace sva::bench {
@@ -37,7 +39,11 @@ constexpr int kConnections = 25;
 constexpr uint16_t kHttpPort = 80;
 
 // Pre-opened server state per kernel: the served file, a listening socket
-// on port 80, and 25 accepted connections from the loopback client.
+// on port 80, 25 accepted connections from the loopback client, and an
+// event queue with every accepted connection registered — the serving loop
+// discovers readable connections through kEvqWait, the way thttpd's
+// select/poll loop does, instead of assuming the request landed on the
+// connection it was just sent to.
 struct Server {
   explicit Server(BootedKernel& kernel, uint64_t file_size)
       : k(kernel), client(*kernel.k().net()) {
@@ -46,6 +52,7 @@ struct Server {
     listener = k.Call(
         Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
     k.Call(Sys::kBind, listener, kHttpPort);
+    evq = k.Call(Sys::kEvqCreate);
     for (int c = 0; c < kConnections; ++c) {
       auto conn = client.OpenStream(kHttpPort);
       if (!conn.ok()) {
@@ -55,12 +62,38 @@ struct Server {
       }
       conns.push_back(*conn);
       conn_fds.push_back(k.Call(Sys::kAccept, listener));
+      // user_data = the client-side connection index, so one wait record
+      // identifies both the server fd and the client handle to drain.
+      k.Call(Sys::kEvqCtl, evq, kernel::kEvqCtlAdd, conn_fds.back(),
+             static_cast<uint64_t>(c));
     }
   }
+
+  // Blocks on the event queue and returns the client-side index of one
+  // readable connection (its server fd is conn_fds[index]).
+  size_t WaitReadable() {
+    uint64_t n = k.Call(Sys::kEvqWait, evq, k.user(0x8000), 1,
+                        /*timeout_us=*/1000000);
+    if (n != 1) {
+      std::fprintf(stderr, "evq_wait: no readable connection\n");
+      std::exit(1);
+    }
+    uint8_t raw[16];
+    Status s = k.k().PeekUser(k.user(0x8000), raw, sizeof(raw));
+    if (!s.ok()) {
+      std::fprintf(stderr, "peek event: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    uint64_t index;
+    std::memcpy(&index, raw, 8);
+    return static_cast<size_t>(index);
+  }
+
   BootedKernel& k;
   net::LoopbackClient client;
   uint64_t fd = 0;
   uint64_t listener = 0;
+  uint64_t evq = 0;
   std::vector<int> conns;          // Client-side connection handles.
   std::vector<uint64_t> conn_fds;  // Server-side accepted fds.
 };
@@ -90,7 +123,14 @@ double ServeKBps(Server& server, uint64_t file_size, int requests,
         k.Call(Sys::kExit, 0);
         k.Call(Sys::kWaitPid, child);
       }
-      // Server reads the request off the wire, then streams the file back.
+      // Server learns which connection became readable from the event
+      // queue, reads the request off the wire, then streams the file back.
+      size_t ready = server.WaitReadable();
+      if (ready != c) {
+        std::fprintf(stderr, "evq_wait: expected conn %zu, got %zu\n", c,
+                     ready);
+        std::exit(1);
+      }
       k.Call(Sys::kRecv, server.conn_fds[c], k.user(16384), 128);
       k.Call(Sys::kLseek, server.fd, 0, 0);
       // Small responses go out in one send; large files stream in 16 KiB
@@ -187,15 +227,19 @@ int main(int argc, char** argv) {
   report.Init(&argc, argv, "table6_thttpd_bandwidth");
   // --trace-out: record the whole serving run (every layer from syscall
   // entry down to NIC DMA) into the per-CPU rings and export one
-  // Perfetto-loadable Chrome trace.
+  // Perfetto-loadable Chrome trace. The continuous-drain consumer empties
+  // the rings while the bench runs, so the export covers the whole run
+  // instead of whatever the 8192-event rings still held at the end.
+  sva::trace::ContinuousDrainer drainer;
   if (!report.trace_out().empty()) {
     sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
+    drainer.Start();
   }
   sva::bench::Run(report.quick());
   if (!report.trace_out().empty()) {
     sva::trace::Tracer& tracer = sva::trace::Tracer::Get();
     tracer.Disable();
-    std::vector<sva::trace::Event> events = tracer.Drain();
+    std::vector<sva::trace::Event> events = drainer.Stop();
     sva::Status written =
         sva::trace::WriteChromeTrace(report.trace_out(), events);
     if (!written.ok()) {

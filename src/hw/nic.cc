@@ -9,9 +9,17 @@
 namespace sva::hw {
 
 Result<uint64_t> VirtualNic::RegRead(uint16_t reg) {
+  std::lock_guard<std::mutex> guard(device_mutex_);
   switch (static_cast<NicReg>(reg)) {
-    case NicReg::kStatus:
-      return irq_pending_ ? kNicStatusRxPending : 0;
+    case NicReg::kStatus: {
+      // Bit 0 models the interrupt *line*: asserted only while unmasked.
+      // Bit 1 reports pending rx work regardless of the mask, so a NAPI
+      // poll loop can keep polling with the line masked.
+      uint64_t status = 0;
+      if (irq_pending_ && !irq_masked_) status |= kNicStatusRxPending;
+      if (irq_pending_) status |= kNicStatusRxWork;
+      return status;
+    }
     case NicReg::kRxHead:
       return rx_head_;
     case NicReg::kTxHead:
@@ -26,12 +34,14 @@ Result<uint64_t> VirtualNic::RegRead(uint16_t reg) {
 }
 
 Status VirtualNic::RegWrite(uint16_t reg, uint64_t value) {
+  std::lock_guard<std::mutex> guard(device_mutex_);
   switch (static_cast<NicReg>(reg)) {
     case NicReg::kCommand:
       switch (static_cast<NicCommand>(value)) {
         case NicCommand::kReset:
           enabled_ = false;
           irq_pending_ = false;
+          irq_masked_ = false;
           rx_base_ = rx_size_ = tx_base_ = tx_size_ = 0;
           rx_head_ = tx_head_ = 0;
           tx_queue_.clear();
@@ -47,6 +57,12 @@ Status VirtualNic::RegWrite(uint16_t reg, uint64_t value) {
           return TxKick();
         case NicCommand::kIrqAck:
           irq_pending_ = false;
+          return OkStatus();
+        case NicCommand::kIrqMask:
+          irq_masked_ = true;
+          return OkStatus();
+        case NicCommand::kIrqUnmask:
+          irq_masked_ = false;
           return OkStatus();
       }
       return InvalidArgument(StrCat("nic: unknown command ", value));
@@ -94,6 +110,7 @@ Status VirtualNic::WriteDescriptor(uint64_t ring_base, uint64_t index,
 }
 
 Status VirtualNic::Receive(const uint8_t* frame, uint64_t len) {
+  std::lock_guard<std::mutex> guard(device_mutex_);
   if (!enabled_) {
     ++counters_.rx_dropped_disabled;
     return FailedPrecondition("nic: rx while disabled");
@@ -153,6 +170,7 @@ Status VirtualNic::TxKick() {
 }
 
 std::vector<std::vector<uint8_t>> VirtualNic::DrainTransmitted() {
+  std::lock_guard<std::mutex> guard(device_mutex_);
   std::vector<std::vector<uint8_t>> out;
   out.swap(tx_queue_);
   return out;

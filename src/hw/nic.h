@@ -16,6 +16,7 @@
 #define SVA_SRC_HW_NIC_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/support/status.h"
@@ -52,9 +53,14 @@ enum class NicCommand : uint64_t {
   kEnable = 1,
   kTxKick = 2,   // Scan the tx ring and transmit every NIC-owned frame.
   kIrqAck = 3,   // Clear the rx interrupt line.
+  kIrqMask = 4,    // Mask the rx interrupt line (NAPI poll mode).
+  kIrqUnmask = 5,  // Re-enable the rx interrupt line.
 };
 
 inline constexpr uint64_t kNicStatusRxPending = 1 << 0;
+// Set while frames are waiting in the ring regardless of the mask — the
+// NAPI poll loop reads this to decide whether another budget pass is due.
+inline constexpr uint64_t kNicStatusRxWork = 1 << 1;
 
 struct NicCounters {
   uint64_t rx_frames = 0;
@@ -81,9 +87,18 @@ class VirtualNic {
   // Frames the device has transmitted since the last drain, in order.
   std::vector<std::vector<uint8_t>> DrainTransmitted();
 
-  bool irq_pending() const { return irq_pending_; }
-  bool enabled() const { return enabled_; }
-  const NicCounters& counters() const { return counters_; }
+  bool irq_pending() const {
+    std::lock_guard<std::mutex> guard(device_mutex_);
+    return irq_pending_ && !irq_masked_;
+  }
+  bool enabled() const {
+    std::lock_guard<std::mutex> guard(device_mutex_);
+    return enabled_;
+  }
+  NicCounters counters() const {
+    std::lock_guard<std::mutex> guard(device_mutex_);
+    return counters_;
+  }
 
  private:
   struct Descriptor {
@@ -98,9 +113,16 @@ class VirtualNic {
   // Walk the tx ring transmitting every consecutively NIC-owned frame.
   Status TxKick();
 
+  // Hardware serializes concurrent access to the register file and the
+  // wire side; the kernel may kick tx from several virtual CPUs while the
+  // client thread injects rx frames. Sits below every kernel lock (only
+  // leaf memory/trace operations run under it).
+  mutable std::mutex device_mutex_;
+
   PhysicalMemory& memory_;
   bool enabled_ = false;
   bool irq_pending_ = false;
+  bool irq_masked_ = false;
   uint64_t rx_base_ = 0;
   uint64_t rx_size_ = 0;
   uint64_t tx_base_ = 0;

@@ -46,11 +46,16 @@ struct KernelConfig {
   // Number of user pages each task owns (64 KiB default, enough for the
   // bandwidth benchmarks' transfer buffers).
   unsigned user_pages_per_task = 16;
-  // Per-task fd-table size. The fd array is modeled inside the task-cache
-  // object, so the task_struct cache's object size scales with this; 64 is
-  // enough for the 25 concurrent connections of the Table 6 experiment
-  // without fd pooling.
+  // Per-task fd-table size at task creation. The initial fd array is
+  // modeled inside the task-cache object, so the task_struct cache's object
+  // size scales with this; 64 is enough for the 25 concurrent connections
+  // of the Table 6 experiment without fd pooling.
   unsigned max_fds = 64;
+  // Ceiling for on-demand fd-table growth (the files_struct expansion the
+  // c10k benchmark relies on). Growth doubles the table, moving the modeled
+  // array to a kmalloc block; 16384 slots = a 64 KiB block, inside the
+  // largest kmalloc size class.
+  unsigned max_fds_limit = 16384;
 };
 
 }  // namespace sva::kernel

@@ -51,6 +51,7 @@ Status Kernel::Boot() {
   file_cache_ = allocators_->CreateCache("filp", 48);
   pipe_cache_ = allocators_->CreateCache("pipe_inode_info", 64);
   socket_cache_ = allocators_->CreateCache("sock", 128);
+  evq_cache_ = allocators_->CreateCache("eventpoll", 64);
 
   if (safe) {
     // SVA-PORT(analysis): all of userspace is one object per metapool
@@ -66,6 +67,10 @@ Status Kernel::Boot() {
       machine_, svaos_, safe ? &pools_ : nullptr, safe,
       /*use_svaos=*/config_.mode != KernelMode::kNative);
   SVA_RETURN_IF_ERROR(net_->Boot());
+  // Readiness edges flow from the net stack into the event queues. The
+  // callback fires with no net-stack locks held (see NetStack::NotifyReady),
+  // so OnSocketReady may take evq_lock_ and per-queue locks freely.
+  net_->SetReadyCallback([this](int sid) { OnSocketReady(sid); });
 
   if (config_.mode != KernelMode::kNative) {
     // SVA-PORT(svaos): system call handlers are registered through the
@@ -75,7 +80,8 @@ Status Kernel::Boot() {
           Sys::kClose, Sys::kWaitPid, Sys::kUnlink, Sys::kExecve, Sys::kLseek,
           Sys::kGetPid, Sys::kKill, Sys::kPipe, Sys::kBrk, Sys::kSigaction,
           Sys::kGetRusage, Sys::kGetTimeOfDay, Sys::kDup, Sys::kSocket,
-          Sys::kSend, Sys::kRecv, Sys::kBind, Sys::kAccept}) {
+          Sys::kSend, Sys::kRecv, Sys::kBind, Sys::kAccept, Sys::kEvqCreate,
+          Sys::kEvqCtl, Sys::kEvqWait}) {
       SVA_RETURN_IF_ERROR(svaos_.RegisterSyscall(
           static_cast<uint64_t>(number),
           [this, number](const svaos::SyscallArgs& call) {
@@ -113,6 +119,10 @@ Kernel::SyscallRoute Kernel::RouteSyscall(Sys number, uint64_t a0) {
     case Sys::kBind:
     case Sys::kAccept:
       return SyscallRoute::kNet;  // Net-stack-only syscalls.
+    case Sys::kEvqCreate:
+    case Sys::kEvqCtl:
+    case Sys::kEvqWait:
+      return SyscallRoute::kEvq;
     case Sys::kSend:
     case Sys::kRecv:
       return NetSocketIdForFd(a0) >= 0 ? SyscallRoute::kNet
@@ -278,9 +288,15 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
         return args[5] == 1 ? SysNetRecv(args[0], args[1], args[2])
                             : SysRecv(args[0], args[1], args[2]);
       case Sys::kBind:
-        return SysNetBind(args[0], args[1]);
+        return SysNetBind(args[0], args[1], args[2]);
       case Sys::kAccept:
         return SysNetAccept(args[0]);
+      case Sys::kEvqCreate:
+        return SysEvqCreate();
+      case Sys::kEvqCtl:
+        return SysEvqCtl(args[0], args[1], args[2], args[3]);
+      case Sys::kEvqWait:
+        return SysEvqWait(args[0], args[1], args[2], args[3]);
     }
     return NotFound(StrCat("unknown syscall ", static_cast<uint64_t>(number)));
   }();
@@ -605,31 +621,83 @@ int Kernel::AddOpenFile(std::unique_ptr<OpenFile> file) {
   return static_cast<int>(open_files_.size() - 1);
 }
 
+Status Kernel::FdSlotCheck(Task& task, uint64_t fd) {
+  // SVA-safe: indexing the fd array is an array indexing operation; the
+  // compiler emits a bounds check against the object backing the array —
+  // the task struct while the table is embedded, the kmalloc block once it
+  // has grown.
+  if (task.fd_block != 0) {
+    return BoundsCheckObject(
+        allocators_->PoolForKmallocClass(
+            allocators_->KmallocSize(task.fd_block)),
+        task.fd_block, task.fd_block + fd * 4);
+  }
+  return BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
+                           task.addr + kTaskFdArrayOffset + fd * 4);
+}
+
+Status Kernel::GrowFdTable(Task& task) {
+  uint64_t capacity = task.fds.size();
+  if (capacity >= config_.max_fds_limit) {
+    return Status(StatusCode::kInternal, "fd table at max_fds_limit");
+  }
+  uint64_t grown =
+      std::min<uint64_t>(capacity * 2, config_.max_fds_limit);
+  // SVA-PORT(alloc): the expanded fdtable is an ordinary allocation, so its
+  // bounds live in the kmalloc class metapool; the old block's registration
+  // is dropped by kfree. (The embedded array stays inside the task object —
+  // the task cache's object size never changes.)
+  SVA_ASSIGN_OR_RETURN(uint64_t block, allocators_->Kmalloc(grown * 4));
+  if (task.fd_block != 0) {
+    SVA_RETURN_IF_ERROR(allocators_->Kfree(task.fd_block));
+  }
+  task.fd_block = block;
+  task.fds.resize(grown, -1);
+  return OkStatus();
+}
+
+Status Kernel::EnsureFdCapacity(Task& task, uint64_t capacity) {
+  while (task.fds.size() < capacity) {
+    SVA_RETURN_IF_ERROR(GrowFdTable(task));
+  }
+  return OkStatus();
+}
+
 Result<int> Kernel::AllocateFd(Task& task, int file_index) {
   std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  for (size_t fd = 0; fd < task.fds.size(); ++fd) {
-    // SVA-safe: indexing the fd array inside the task struct is an array
-    // indexing operation; the compiler emits a bounds check against the
-    // task object.
-    SVA_RETURN_IF_ERROR(BoundsCheckObject(
-        allocators_->PoolForCache(task_cache_), task.addr,
-        task.addr + kTaskFdArrayOffset + static_cast<uint64_t>(fd) * 4));
+  // Every slot below fd_next_hint is occupied (SysClose/SysExit lower the
+  // hint on free), so scanning from it finds the lowest free slot without
+  // the O(table) walk that would make 10k accepts quadratic.
+  size_t start = std::min<size_t>(
+      static_cast<size_t>(std::max(task.fd_next_hint, 0)), task.fds.size());
+  for (size_t fd = start; fd < task.fds.size(); ++fd) {
     if (task.fds[fd] < 0) {
+      SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
       task.fds[fd] = file_index;
+      task.fd_next_hint = static_cast<int>(fd) + 1;
       return static_cast<int>(fd);
     }
   }
-  return Status(StatusCode::kInternal, "fd table full");
+  // Table genuinely full: grow it and take the first new slot.
+  size_t fd = task.fds.size();
+  SVA_RETURN_IF_ERROR(GrowFdTable(task));
+  SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
+  task.fds[fd] = file_index;
+  task.fd_next_hint = static_cast<int>(fd) + 1;
+  return static_cast<int>(fd);
 }
 
 Result<OpenFile*> Kernel::FileForFd(Task& task, uint64_t fd) {
+  // The whole lookup runs under files_lock_: a concurrent AllocateFd may be
+  // growing the fd table (resizing the vector / swapping fd_block), so both
+  // the size check and the slot bounds check must see a consistent table.
+  // The bounds check only takes metapool stripe locks (external classes,
+  // fine under the files leaf).
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
   if (fd >= task.fds.size()) {
     return SafetyViolation(StrCat("fd ", fd, " out of range"));
   }
-  SVA_RETURN_IF_ERROR(
-      BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
-                        task.addr + kTaskFdArrayOffset + fd * 4));
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
+  SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
   int index = task.fds[fd];
   if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
       open_files_[static_cast<size_t>(index)] == nullptr) {
@@ -663,6 +731,7 @@ Result<Inode*> Kernel::LookupInode(const std::string& name, bool create) {
 Status Kernel::ReleaseFile(int file_index) {
   uint64_t defunct_addr = 0;
   int defunct_net_sid = -1;
+  int defunct_evq = -1;
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
@@ -671,12 +740,22 @@ Status Kernel::ReleaseFile(int file_index) {
     }
     defunct_addr = file->addr;
     defunct_net_sid = file->net_socket_id;
+    defunct_evq = file->evq_id;
     open_files_[static_cast<size_t>(file_index)].reset();
   }
-  // Teardown outside files_lock_ (it is a leaf lock; the net stack and the
-  // allocators take their own locks).
-  if (defunct_net_sid >= 0 && net_ != nullptr) {
-    SVA_RETURN_IF_ERROR(net_->Close(defunct_net_sid));
+  // Teardown outside files_lock_ (it is a leaf lock; the net stack, the
+  // allocators, and evq_lock_ — which ranks ABOVE files_lock_ — take their
+  // own locks).
+  if (defunct_net_sid >= 0) {
+    // Close-while-registered: the socket silently leaves every event queue
+    // watching it, epoll-style, before the net stack reclaims the id.
+    DropSocketWatches(defunct_net_sid);
+    if (net_ != nullptr) {
+      SVA_RETURN_IF_ERROR(net_->Close(defunct_net_sid));
+    }
+  }
+  if (defunct_evq >= 0) {
+    DestroyEvq(defunct_evq);
   }
   return allocators_->CacheFree(file_cache_, defunct_addr);
 }
@@ -780,8 +859,11 @@ Result<uint64_t> Kernel::SysClose(uint64_t fd) {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     index = task.fds[fd];
     task.fds[fd] = -1;
+    task.fd_next_hint =
+        std::min(task.fd_next_hint, static_cast<int>(fd));
   }
   SVA_RETURN_IF_ERROR(ReleaseFile(index));
+  trace::Emit(trace::EventId::kConnClose, fd);
   return uint64_t{0};
 }
 
@@ -1119,9 +1201,11 @@ Result<uint64_t> Kernel::SysFork() {
       .fetch_add(1, std::memory_order_relaxed);
   SVA_ASSIGN_OR_RETURN(int child_pid, CreateTask(parent.pid));
   Task& child = *FindTask(child_pid);
-  // Copy the fd table (bumping refs) and signal dispositions.
+  // Copy the fd table (bumping refs) and signal dispositions. A parent that
+  // grew its table hands the child an equally grown one first.
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
+    SVA_RETURN_IF_ERROR(EnsureFdCapacity(child, parent.fds.size()));
     for (size_t fd = 0; fd < parent.fds.size(); ++fd) {
       child.fds[fd] = parent.fds[fd];
       int index = parent.fds[fd];
@@ -1129,6 +1213,7 @@ Result<uint64_t> Kernel::SysFork() {
         ++open_files_[static_cast<size_t>(index)]->refs;
       }
     }
+    child.fd_next_hint = parent.fd_next_hint;
   }
   // Field-wise atomic copy: a sibling thread of the parent may be changing
   // dispositions mid-fork; each handler value is copied torn-free even if
@@ -1209,6 +1294,10 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
     SVA_RETURN_IF_ERROR(ReleaseFile(index));
   }
   {
+    std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
+    task.fd_next_hint = 0;
+  }
+  {
     // Lifecycle flip + parent lookup under one tasks_lock_ hold, so a
     // concurrent waitpid sees the zombie and the parent link consistently.
     std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
@@ -1224,6 +1313,7 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
 
 Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
   uint64_t child_addr;
+  uint64_t child_fd_block;
   {
     // Validate and detach under one tasks_lock_ hold: two concurrent
     // waiters must not both reap the same child.
@@ -1236,7 +1326,12 @@ Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
       return kEInval;  // Would block; the minikernel has no blocking waits.
     }
     child_addr = it->second.addr;
+    child_fd_block = it->second.fd_block;
     tasks_.erase(it);
+  }
+  if (child_fd_block != 0) {
+    // A grown fd table dies with the task, like free_fdtable at release.
+    SVA_RETURN_IF_ERROR(allocators_->Kfree(child_fd_block));
   }
   // Reap: free the task struct and its user pages' registration (external
   // lock classes; no kernel lock held).
@@ -1399,7 +1494,25 @@ int Kernel::PipeIdForFd(uint64_t fd) {
   return open_files_[static_cast<size_t>(index)]->pipe_id;
 }
 
-Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port) {
+int Kernel::EvqIdForFd(uint64_t fd) {
+  Task* task = current_task();
+  if (task == nullptr) {
+    return -1;
+  }
+  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
+  if (fd >= task->fds.size()) {
+    return -1;
+  }
+  int index = task->fds[fd];
+  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
+      open_files_[static_cast<size_t>(index)] == nullptr) {
+    return -1;
+  }
+  return open_files_[static_cast<size_t>(index)]->evq_id;
+}
+
+Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port,
+                                    uint64_t flags) {
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -1408,8 +1521,12 @@ Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port) {
   if (!file_r.ok() || (*file_r)->net_socket_id < 0) {
     return kEBadF;
   }
+  // flags bit 0 = SO_REUSEPORT-style shard join: listeners binding the same
+  // port with it set form an accept shard group (src/net demuxes SYNs
+  // across the group by flow hash).
   Status bound = net_->Bind((*file_r)->net_socket_id,
-                            static_cast<uint16_t>(port));
+                            static_cast<uint16_t>(port),
+                            /*reuse=*/(flags & 1) != 0);
   if (!bound.ok()) {
     switch (bound.code()) {
       case StatusCode::kAlreadyExists:
@@ -1457,6 +1574,8 @@ Result<uint64_t> Kernel::SysNetAccept(uint64_t fd) {
   if (!new_fd.ok()) {
     return kEMFile;
   }
+  trace::Emit(trace::EventId::kConnAccept, static_cast<uint64_t>(*new_fd),
+              fd);
   return static_cast<uint64_t>(*new_fd);
 }
 
@@ -1539,7 +1658,14 @@ Result<uint64_t> Kernel::SysNetRecv(uint64_t fd, uint64_t uaddr,
                : Result<uint64_t>(kEBadF);
   }
   if (slice->len == 0) {
-    return uint64_t{0};  // Nothing queued (or EOF after FIN).
+    // Non-blocking semantics: an empty queue is EOF (0) only after the peer
+    // FINned; otherwise the caller must retry — blind polling loops are
+    // what the event queue exists to replace.
+    int sid = (*file_r)->net_socket_id;
+    if ((net_->PollReady(sid) & net::kReadyHup) != 0) {
+      return uint64_t{0};
+    }
+    return kEAgain;
   }
   // SVA-PORT(analysis): copying out of the packet buffer derives a pointer
   // slice->len past the payload start; one bounds check covers the copy.

@@ -57,6 +57,11 @@ enum class Sys : uint64_t {
   kRecv = 99,
   kBind = 100,
   kAccept = 101,
+  // Event-driven I/O (the epoll analog): create an event queue fd, register
+  // interest in net-socket fds, wait for readiness with a timeout.
+  kEvqCreate = 104,
+  kEvqCtl = 105,
+  kEvqWait = 106,
 };
 
 // Socket domains for Sys::kSocket's first argument.
@@ -71,6 +76,32 @@ inline constexpr uint64_t kBlockSize = 4096;
 inline constexpr uint64_t kPipeCapacity = 16384;
 inline constexpr uint64_t kMaxPathLength = 64;
 
+// Readiness event bits for kEvqCtl/kEvqWait. Numerically identical to the
+// net stack's kReadyIn/kReadyOut/kReadyErr/kReadyHup so PollReady() results
+// pass through unmasked.
+inline constexpr uint32_t kEvqIn = 1;
+inline constexpr uint32_t kEvqOut = 2;
+inline constexpr uint32_t kEvqErr = 4;
+inline constexpr uint32_t kEvqHup = 8;
+
+// kEvqCtl op codes (low byte of a1; bits 8.. carry the interest mask — 0
+// means the default kEvqIn | kEvqErr | kEvqHup).
+inline constexpr uint64_t kEvqCtlAdd = 1;
+inline constexpr uint64_t kEvqCtlMod = 2;
+inline constexpr uint64_t kEvqCtlDel = 3;
+
+// One record written to user memory by kEvqWait (16 bytes on the wire:
+// u64 user_data, u32 events, u32 fd).
+struct EvqEvent {
+  uint64_t user_data = 0;
+  uint32_t events = 0;
+  uint32_t fd = 0;
+};
+inline constexpr uint64_t kEvqEventBytes = 16;
+// kEvqWait returns at most this many records per call regardless of the
+// caller's max_events (bounds the kmalloc scratch buffer).
+inline constexpr uint64_t kEvqMaxEventsPerWait = 256;
+
 struct SigAction {
   // Handler ids are small integers the "user program" registers; 0 = default.
   uint64_t handler = 0;
@@ -83,10 +114,18 @@ struct Task {
   bool zombie = false;
   bool alive = false;
   uint64_t brk = 0;
-  // Open-file table indices; -1 = free. Sized by KernelConfig::max_fds (the
-  // fd array lives inside the task-cache object, so the object size scales
-  // with it).
+  // Open-file table indices; -1 = free. The first max_fds slots live inside
+  // the task-cache object (the object size scales with max_fds); growth past
+  // that moves the modeled array to a kmalloc'd block (fd_block), the Linux
+  // files_struct/fdtable expansion scheme.
   std::vector<int> fds;
+  // SVA-PORT(alloc): external fd-array block once the table outgrew the
+  // embedded array; 0 while embedded. Bounds checks for fd slots go against
+  // the kmalloc class pool instead of the task cache pool then.
+  uint64_t fd_block = 0;
+  // Lowest slot that could be free (every slot below it is occupied);
+  // AllocateFd scans from here so 10k sequential accepts stay O(1) each.
+  int fd_next_hint = 0;
   // SVA-PORT(svaos): processor state is opaque SVA-OS buffers, not a
   // hand-written struct pt_regs.
   svaos::SavedIntegerState cpu_state;
@@ -128,8 +167,38 @@ struct OpenFile {
   int pipe_id = -1;    // pipe (with end), or
   bool pipe_read_end = false;
   int socket_id = -1;      // legacy loopback socket, or
-  int net_socket_id = -1;  // a socket in the net stack (src/net).
+  int net_socket_id = -1;  // a socket in the net stack (src/net), or
+  int evq_id = -1;         // an event queue (kEvqCreate).
   uint64_t offset = 0;
+};
+
+// One registered interest in an event queue: fd -> net socket id plus the
+// caller's interest mask and opaque cookie.
+struct EvqWatch {
+  int sid = -1;
+  uint32_t interest = 0;
+  uint64_t user_data = 0;
+};
+
+// The epoll analog: a level-triggered readiness queue over net-stack
+// sockets. The net stack's ready callback inserts socket ids into
+// ready_hints and bumps the generation counter; kEvqWait verifies each hint
+// against NetStack::PollReady at wait time (level-triggered: a socket that
+// stays ready stays hinted, a stale hint is culled). The per-queue lock is
+// an unranked leaf: it is taken with the ranked evq_lock_ already released,
+// and PollReady's net-stack locks (also unranked) are only acquired on the
+// wait path, never while the ready callback holds this lock.
+struct EventQueue {
+  uint64_t addr = 0;  // Evq cache object address.
+  mutable smp::SpinLock lock;
+  bool open = true;
+  std::map<int, EvqWatch> watches;  // fd -> watch
+  std::map<int, int> sid_to_fd;     // net socket id -> registered fd
+  std::vector<int> ready_hints;     // Socket ids with unverified readiness.
+  // Bumped (release) on every hint insert and on close; kEvqWait blocks by
+  // spinning/yielding on it with a deadline, so waiters never sleep through
+  // a wakeup that raced their empty scan.
+  std::atomic<uint64_t> generation{0};
 };
 
 struct KernelStats {
@@ -240,11 +309,26 @@ class Kernel {
   Result<uint64_t> SysSend(uint64_t fd, uint64_t uaddr, uint64_t len);
   Result<uint64_t> SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
   // Net-stack syscall backends (run OFF the big kernel lock; see Syscall).
-  Result<uint64_t> SysNetBind(uint64_t fd, uint64_t port);
+  Result<uint64_t> SysNetBind(uint64_t fd, uint64_t port, uint64_t flags);
   Result<uint64_t> SysNetAccept(uint64_t fd);
   Result<uint64_t> SysNetSend(uint64_t fd, uint64_t uaddr, uint64_t len,
                               uint64_t dest);
   Result<uint64_t> SysNetRecv(uint64_t fd, uint64_t uaddr, uint64_t len);
+  // Event-queue syscall backends (src/kernel/evq.cc; run under evq_lock_ +
+  // per-queue locks, never under the big kernel lock).
+  Result<uint64_t> SysEvqCreate();
+  Result<uint64_t> SysEvqCtl(uint64_t evq_fd, uint64_t op_and_interest,
+                             uint64_t target_fd, uint64_t user_data);
+  Result<uint64_t> SysEvqWait(uint64_t evq_fd, uint64_t uaddr,
+                              uint64_t max_events, uint64_t timeout_us);
+  // The net stack's ready callback: fans a socket-id readiness edge out to
+  // every queue watching it (called with NO net-stack locks held).
+  void OnSocketReady(int sid);
+  // Evq teardown halves of ReleaseFile, both called OUTSIDE files_lock_:
+  // destroy a queue when its fd goes away; drop a socket's watches when the
+  // socket's last fd is closed while still registered.
+  void DestroyEvq(int evq_id);
+  void DropSocketWatches(int sid);
 
   // --- Internals ---------------------------------------------------------------
   // Which lock domain a syscall dispatches under (the per-subsystem locking
@@ -260,15 +344,27 @@ class Kernel {
     kVfs = 3,      // Ramfs open/close/read/write/lseek/unlink/dup: vfs_lock_.
     kTasks = 4,    // fork/exec/exit/wait/kill/brk/getpid/...: tasks_lock_.
     kSockets = 5,  // Legacy loopback sockets: sockets_lock_.
+    kEvq = 6,      // Event queues: evq_lock_ + per-queue locks.
   };
   SyscallRoute RouteSyscall(Sys number, uint64_t a0);
   // The net socket id behind fd `a0` of the current task, or -1.
   int NetSocketIdForFd(uint64_t fd);
   // The pipe id behind fd `a0` of the current task, or -1.
   int PipeIdForFd(uint64_t fd);
+  // The event queue id behind fd `a0` of the current task, or -1.
+  int EvqIdForFd(uint64_t fd);
   // Appends to the open-file table under files_lock_; returns the index.
   int AddOpenFile(std::unique_ptr<OpenFile> file);
   Result<int> AllocateFd(Task& task, int file_index);
+  // Doubles the task's fd table toward KernelConfig::max_fds_limit, moving
+  // the modeled array to a (new) kmalloc block. Caller holds files_lock_.
+  Status GrowFdTable(Task& task);
+  // Grows until the table holds at least `capacity` slots (fork copying a
+  // grown parent). Caller holds files_lock_.
+  Status EnsureFdCapacity(Task& task, uint64_t capacity);
+  // Safe-mode bounds check for fd slot `fd` of `task`, against the embedded
+  // array or the external block, whichever currently backs the table.
+  Status FdSlotCheck(Task& task, uint64_t fd);
   Result<OpenFile*> FileForFd(Task& task, uint64_t fd);
   Result<Inode*> LookupInode(const std::string& name, bool create);
   Status ReleaseFile(int file_index);
@@ -286,7 +382,7 @@ class Kernel {
   // acquire downward in this list, never upward:
   //
   //   bkl_ -> vfs_lock_ -> tasks_lock_ -> sockets_lock_ -> pipes_lock_
-  //        -> files_lock_
+  //        -> evq_lock_ -> files_lock_
   //
   // External lock classes (metapool stripe locks, allocator locks, the net
   // stack's locks) sit BELOW all kernel ranks: they are taken under any of
@@ -315,6 +411,12 @@ class Kernel {
   // under it take metapool stripe and allocator locks (external classes,
   // see above).
   mutable smp::OrderedSpinLock pipes_lock_{smp::LockRank::kPipes};
+  // Guards the event-queue table (evqs_) and the sid -> watching-queues
+  // reverse map (evq_watchers_). Sits above files_lock_ so the wait path
+  // could resolve fds under it; the ready callback takes it with nothing
+  // ranked held. Per-queue EventQueue::lock is a separate unranked leaf
+  // taken after this is released.
+  mutable smp::OrderedSpinLock evq_lock_{smp::LockRank::kEvq};
   // The shared leaf: open-file table vector, fd arrays, and refcounts.
   // Every route resolves fds through it; nothing ranked is acquired while
   // holding it. Task/OpenFile node addresses are stable, so pointers stay
@@ -329,11 +431,16 @@ class Kernel {
   runtime::PoolAllocator* file_cache_ = nullptr;
   runtime::PoolAllocator* pipe_cache_ = nullptr;
   runtime::PoolAllocator* socket_cache_ = nullptr;
+  runtime::PoolAllocator* evq_cache_ = nullptr;
   runtime::MetaPool* user_pool_ = nullptr;
   std::unique_ptr<net::NetStack> net_;
 
   std::map<int, Task> tasks_;               // pid -> task
   std::vector<std::unique_ptr<OpenFile>> open_files_;
+  // Event queues (index = evq id; entries stay allocated after close —
+  // pointer stability for waiters racing a close — with open = false).
+  std::vector<std::unique_ptr<EventQueue>> evqs_;
+  std::map<int, std::vector<int>> evq_watchers_;  // net sid -> evq ids
   std::map<int, Inode> inodes_;             // ino -> inode
   std::vector<std::unique_ptr<Pipe>> pipes_;
   std::vector<std::unique_ptr<Socket>> sockets_;

@@ -136,6 +136,15 @@ std::string MetricsServer::RenderText() const {
         ns.loopback_frames.load(std::memory_order_relaxed));
     Add(counters, "sva_net_conns_accepted_total",
         ns.conns_accepted.load(std::memory_order_relaxed));
+    // NAPI batching: frames_polled / rx_irqs is the frames-per-interrupt
+    // win; its inverse (irqs per frame) < 1 is the acceptance criterion.
+    Add(counters, "sva_net_rx_irqs_total",
+        ns.rx_irqs.load(std::memory_order_relaxed));
+    Add(counters, "sva_net_rx_polls_total",
+        ns.rx_polls.load(std::memory_order_relaxed));
+    Add(counters, "sva_net_rx_frames_polled_total",
+        ns.rx_frames_polled.load(std::memory_order_relaxed));
+    Add(counters, "sva_net_rx_poll_budget", net::kNapiRxBudget);
   }
 
   // SVM execution-tier dispatch: how much verified bytecode ran on the

@@ -8,6 +8,15 @@ namespace sva::net {
 Status LoopbackClient::Inject(const std::vector<uint8_t>& frame) {
   Status rx = stack_.nic().Receive(frame.data(), frame.size());
   ++frames_sent_;
+  if (batch_) {
+    // Batch mode: leave the frame in the ring for the next Flush(); only a
+    // full ring forces an early drain (as wire backpressure would).
+    if (!rx.ok() && rx.code() == StatusCode::kFailedPrecondition) {
+      stack_.PumpRx();
+      rx = stack_.nic().Receive(frame.data(), frame.size());
+    }
+    return rx;
+  }
   // Deliver whatever landed (including earlier frames) even if this one was
   // tail-dropped by a full ring.
   stack_.PumpRx();

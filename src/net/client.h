@@ -58,6 +58,15 @@ class LoopbackClient {
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t frames_received() const { return frames_received_; }
 
+  // Batch injection: queue frames in the NIC ring without pumping delivery
+  // per frame; the kernel sees one rx interrupt per Flush() (or per
+  // ring-full drain) and the NAPI poll loop harvests the burst. This is how
+  // a real link offers back-to-back frames — per-frame pumping models an
+  // interrupt per packet, the worst case NAPI exists to avoid.
+  void set_batch_mode(bool on) { batch_ = on; }
+  // Delivers everything injected since the last pump.
+  void Flush() { stack_.PumpRx(); }
+
  private:
   // Injects one framed buffer into the NIC and pumps delivery.
   Status Inject(const std::vector<uint8_t>& frame);
@@ -76,6 +85,7 @@ class LoopbackClient {
   std::vector<std::vector<uint8_t>> datagrams_;
   uint64_t frames_sent_ = 0;
   uint64_t frames_received_ = 0;
+  bool batch_ = false;
 };
 
 }  // namespace sva::net

@@ -98,15 +98,41 @@ void NetStack::PumpRx() {
 
 void NetStack::HandleRxInterrupt() {
   trace::Span span(trace::EventId::kNicRxIrq, trace::HistId::kNicRxIrqNs);
+  stats_.rx_irqs.fetch_add(1, std::memory_order_relaxed);
+  // NAPI: mask the line so back-to-back arrivals don't re-interrupt, then
+  // poll the ring in budget-bounded passes until a pass comes back short
+  // and the device reports no further work. One interrupt absorbs a whole
+  // burst; the per-frame cost is a descriptor read, not an irq.
   (void)IoWriteReg(hw::NicReg::kCommand,
-                   static_cast<uint64_t>(hw::NicCommand::kIrqAck));
+                   static_cast<uint64_t>(hw::NicCommand::kIrqMask));
+  while (true) {
+    (void)IoWriteReg(hw::NicReg::kCommand,
+                     static_cast<uint64_t>(hw::NicCommand::kIrqAck));
+    uint64_t polled = PollRxOnce(kNapiRxBudget);
+    stats_.rx_polls.fetch_add(1, std::memory_order_relaxed);
+    stats_.rx_frames_polled.fetch_add(polled, std::memory_order_relaxed);
+    trace::Emit(trace::EventId::kNapiPoll, polled, kNapiRxBudget);
+    if (polled == kNapiRxBudget) {
+      continue;  // Full budget consumed: assume the ring has more.
+    }
+    auto status = IoReadReg(hw::NicReg::kStatus);
+    if (status.ok() && (*status & hw::kNicStatusRxWork) != 0) {
+      continue;  // More frames landed while we were delivering.
+    }
+    break;
+  }
+  (void)IoWriteReg(hw::NicReg::kCommand,
+                   static_cast<uint64_t>(hw::NicCommand::kIrqUnmask));
+}
+
+uint64_t NetStack::PollRxOnce(uint64_t budget) {
   // Harvest filled descriptors under the driver lock, then deliver with the
   // lock released (delivery takes socket locks).
   std::vector<Skb> harvested;
   {
     std::lock_guard<smp::SpinLock> guard(nic_lock_);
     hw::PhysicalMemory& mem = machine_.memory();
-    for (uint64_t scanned = 0; scanned < kRxRingSize; ++scanned) {
+    for (uint64_t scanned = 0; scanned < budget; ++scanned) {
       uint64_t at = rx_ring_base_ + rx_next_ * hw::kNicDescriptorBytes;
       auto flags = mem.Read(at + 12, 2);
       if (!flags.ok() || (*flags & hw::kNicDescOwned) != 0) {
@@ -133,6 +159,7 @@ void NetStack::HandleRxInterrupt() {
   for (const Skb& skb : harvested) {
     (void)DeliverFrame(skb);
   }
+  return harvested.size();
 }
 
 Status NetStack::DeliverFrame(Skb skb) {
@@ -205,6 +232,7 @@ Status NetStack::DeliverFrame(Skb skb) {
     sock->rx.push_back(pkt);
   }
   stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
+  NotifyReady(sid);
   return OkStatus();
 }
 
@@ -212,13 +240,18 @@ Status NetStack::DeliverStream(const FrameHeader& h, Skb skb,
                                uint32_t payload_len) {
   if ((h.stream_flags & kStreamSyn) != 0) {
     // Connection setup: create the stream socket and queue it on the
-    // listener's backlog.
+    // backlog of one listener in the port's accept-shard group. The shard
+    // is picked by a flow hash over the peer address, so a given
+    // connection always lands on the same listener (SO_REUSEPORT).
     int listener_sid = -1;
     {
       std::lock_guard<smp::SpinLock> guard(table_lock_);
       auto it = stream_listeners_.find(h.dst_port);
-      if (it != stream_listeners_.end()) {
-        listener_sid = it->second;
+      if (it != stream_listeners_.end() && !it->second.empty()) {
+        uint64_t flow = (static_cast<uint64_t>(h.src_ip) << 16) | h.src_port;
+        flow *= 0x9E3779B97F4A7C15ull;  // Fibonacci hash: mixes low ports.
+        listener_sid =
+            it->second[(flow >> 32) % it->second.size()];
       }
     }
     NetSocket* listener = SocketById(listener_sid);
@@ -252,6 +285,9 @@ Status NetStack::DeliverStream(const FrameHeader& h, Skb skb,
       (void)Close(*conn);
     }
     (void)skb_pool_.Free(skb.addr);
+    if (queued) {
+      NotifyReady(listener_sid);
+    }
     return OkStatus();
   }
 
@@ -270,29 +306,33 @@ Status NetStack::DeliverStream(const FrameHeader& h, Skb skb,
     (void)skb_pool_.Free(skb.addr);
     return NotFound("net: stream segment for unknown connection");
   }
-  std::lock_guard<smp::SpinLock> guard(sock->lock);
-  if ((h.stream_flags & kStreamFin) != 0) {
-    sock->peer_fin = true;
-    (void)skb_pool_.Free(skb.addr);
-    return OkStatus();
-  }
-  if (payload_len == 0 || !sock->open ||
-      sock->rx.size() >= kMaxRxQueuePackets) {
-    if (payload_len != 0) {
-      ++sock->rx_queue_drops;
-      stats_.rx_queue_drops.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<smp::SpinLock> guard(sock->lock);
+    if ((h.stream_flags & kStreamFin) != 0) {
+      sock->peer_fin = true;
+      (void)skb_pool_.Free(skb.addr);
+    } else if (payload_len == 0 || !sock->open ||
+               sock->rx.size() >= kMaxRxQueuePackets) {
+      if (payload_len != 0) {
+        ++sock->rx_queue_drops;
+        stats_.rx_queue_drops.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)skb_pool_.Free(skb.addr);
+      return OkStatus();  // A drop is not a readiness edge.
+    } else {
+      RxPacket pkt;
+      pkt.skb_addr = skb.addr;
+      pkt.off = h.payload_offset;
+      pkt.len = payload_len;
+      pkt.src_ip = h.src_ip;
+      pkt.src_port = h.src_port;
+      sock->rx.push_back(pkt);
+      stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
     }
-    (void)skb_pool_.Free(skb.addr);
-    return OkStatus();
   }
-  RxPacket pkt;
-  pkt.skb_addr = skb.addr;
-  pkt.off = h.payload_offset;
-  pkt.len = payload_len;
-  pkt.src_ip = h.src_ip;
-  pkt.src_port = h.src_port;
-  sock->rx.push_back(pkt);
-  stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
+  // Data and FIN both make the socket readable; notify with the socket
+  // lock released (the callback takes the kernel's evq locks).
+  NotifyReady(sid);
   return OkStatus();
 }
 
@@ -330,7 +370,7 @@ Result<int> NetStack::CreateSocket(SocketKind kind) {
   return static_cast<int>(sockets_.size() - 1);
 }
 
-Status NetStack::Bind(int sid, uint16_t port) {
+Status NetStack::Bind(int sid, uint16_t port, bool reuse) {
   if (port == 0) {
     return InvalidArgument("net: bind to port 0");
   }
@@ -344,17 +384,25 @@ Status NetStack::Bind(int sid, uint16_t port) {
   if (sock.local_port != 0) {
     return FailedPrecondition("net: socket already bound");
   }
-  std::map<uint16_t, int>& ports = sock.kind == SocketKind::kDatagram
-                                       ? udp_ports_
-                                       : stream_listeners_;
   if (sock.kind == SocketKind::kStream) {
     return InvalidArgument("net: bind on an accepted connection");
   }
-  if (ports.count(port) != 0) {
+  if (sock.kind == SocketKind::kDatagram) {
+    if (udp_ports_.count(port) != 0) {
+      return AlreadyExists(StrCat("net: port ", port, " in use"));
+    }
+    sock.local_port = port;
+    udp_ports_[port] = sid;
+    return OkStatus();
+  }
+  // Listener: without `reuse` the port must be free; with it the listener
+  // joins the port's accept-shard group (SO_REUSEPORT semantics).
+  auto it = stream_listeners_.find(port);
+  if (it != stream_listeners_.end() && !it->second.empty() && !reuse) {
     return AlreadyExists(StrCat("net: port ", port, " in use"));
   }
   sock.local_port = port;
-  ports[port] = sid;
+  stream_listeners_[port].push_back(sid);
   return OkStatus();
 }
 
@@ -395,7 +443,15 @@ Status NetStack::Close(int sid) {
     if (sock->kind == SocketKind::kDatagram && sock->local_port != 0) {
       udp_ports_.erase(sock->local_port);
     } else if (sock->kind == SocketKind::kListener && sock->local_port != 0) {
-      stream_listeners_.erase(sock->local_port);
+      // Leave the port's other accept shards serving; drop the group only
+      // when this was the last one.
+      auto it = stream_listeners_.find(sock->local_port);
+      if (it != stream_listeners_.end()) {
+        std::erase(it->second, sid);
+        if (it->second.empty()) {
+          stream_listeners_.erase(it);
+        }
+      }
     } else if (sock->kind == SocketKind::kStream) {
       stream_conns_.erase(
           StreamKey(sock->local_port, sock->peer_port, sock->peer_ip));
@@ -556,6 +612,32 @@ Status NetStack::RecvFinish(const RecvSlice& slice) {
     return skb_pool_.Free(slice.skb_addr);
   }
   return OkStatus();
+}
+
+uint32_t NetStack::PollReady(int sid) {
+  NetSocket* sock = SocketById(sid);
+  if (sock == nullptr) {
+    // Gone (closed or never existed): report it as a terminal condition so
+    // a stale watch fires once and gets culled instead of hanging a waiter.
+    return kReadyErr | kReadyHup;
+  }
+  std::lock_guard<smp::SpinLock> guard(sock->lock);
+  uint32_t mask = 0;
+  if (sock->kind == SocketKind::kListener) {
+    if (!sock->backlog.empty()) {
+      mask |= kReadyIn;  // accept() won't block.
+    }
+    return mask;
+  }
+  if (!sock->rx.empty()) {
+    mask |= kReadyIn;
+  }
+  if (sock->peer_fin) {
+    // EOF is readable (recv returns 0) and reported as a hangup.
+    mask |= kReadyIn | kReadyHup;
+  }
+  mask |= kReadyOut;  // The virtual tx path never backpressures a frame.
+  return mask;
 }
 
 }  // namespace sva::net

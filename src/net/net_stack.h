@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -46,10 +47,21 @@ inline constexpr uint32_t kServerIp = 0x0A000001;    // 10.0.0.1
 inline constexpr uint32_t kClientIp = 0x0A000002;    // 10.0.0.2
 inline constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
 
-inline constexpr uint64_t kRxRingSize = 32;
+inline constexpr uint64_t kRxRingSize = 256;
 inline constexpr uint64_t kTxRingSize = 32;
 inline constexpr uint32_t kAcceptBacklog = 64;
 inline constexpr uint32_t kMaxRxQueuePackets = 512;
+// NAPI-style rx: descriptors polled per pass with the interrupt line
+// masked; the handler repeats passes while a full budget was consumed or
+// the device still reports work, then unmasks.
+inline constexpr uint64_t kNapiRxBudget = 64;
+
+// Readiness bits reported by PollReady and pushed through the ready
+// callback — numerically identical to the kernel's kEvq* event bits.
+inline constexpr uint32_t kReadyIn = 1 << 0;   // recv/accept won't block.
+inline constexpr uint32_t kReadyOut = 1 << 1;  // send won't block.
+inline constexpr uint32_t kReadyErr = 1 << 2;  // Socket gone/invalid.
+inline constexpr uint32_t kReadyHup = 1 << 3;  // Peer sent FIN.
 // Payload offset inside a tx skb (eth + ip + transport; UDP and stream
 // headers are the same size).
 inline constexpr uint32_t kTxPayloadOffset =
@@ -90,6 +102,12 @@ struct NetStats {
   std::atomic<uint64_t> tx_frames{0};
   std::atomic<uint64_t> loopback_frames{0};
   std::atomic<uint64_t> conns_accepted{0};
+  // NAPI accounting: interrupts taken, poll passes run under the masked
+  // line, and frames harvested by those passes. frames/irqs >> 1 is the
+  // batching win; irqs/frame < 1 is the acceptance criterion.
+  std::atomic<uint64_t> rx_irqs{0};
+  std::atomic<uint64_t> rx_polls{0};
+  std::atomic<uint64_t> rx_frames_polled{0};
 };
 
 class NetStack {
@@ -107,7 +125,9 @@ class NetStack {
 
   // --- Socket layer (the kernel's syscall backends) -------------------------
   Result<int> CreateSocket(SocketKind kind);
-  Status Bind(int sid, uint16_t port);
+  // `reuse` (SO_REUSEPORT style) lets several listeners share one port as
+  // accept shards; incoming SYNs are flow-hashed across the group.
+  Status Bind(int sid, uint16_t port, bool reuse = false);
   // Pops one pending connection off a listener; FailedPrecondition when
   // the backlog is empty.
   Result<int> Accept(int listener_sid);
@@ -135,6 +155,18 @@ class NetStack {
   Result<RecvSlice> RecvBegin(int sid, uint32_t want);
   Status RecvFinish(const RecvSlice& slice);
 
+  // --- Readiness (the kernel event queue's view of the stack) ----------------
+  // Current level-triggered readiness of a socket, as kReady* bits.
+  // A bad/closed sid reports kReadyErr|kReadyHup (so a stale watch fires
+  // once more and can be culled rather than hanging a waiter).
+  uint32_t PollReady(int sid);
+  // Called (outside all stack locks) whenever a socket may have become
+  // ready: rx data queued, a connection queued on a listener backlog, or a
+  // FIN arrived. The kernel points this at its event-queue wakeup.
+  void SetReadyCallback(std::function<void(int sid)> cb) {
+    ready_cb_ = std::move(cb);
+  }
+
   // --- Wire side (the outside world; used by src/net/client.h) ---------------
   // Delivers every pending rx interrupt: while the NIC status shows rx
   // pending, raise the vector (SVA modes) or call the handler (native).
@@ -147,8 +179,18 @@ class NetStack {
  private:
   Status IoWriteReg(hw::NicReg reg, uint64_t value);
   Result<uint64_t> IoReadReg(hw::NicReg reg);
-  // The rx interrupt handler body: ack, harvest the ring, deliver.
+  // The rx interrupt handler body: mask the line, ack, poll the ring in
+  // budget-bounded passes, unmask (NAPI).
   void HandleRxInterrupt();
+  // One poll pass: harvests up to `budget` filled descriptors under
+  // nic_lock_, delivers them with the lock released. Returns the harvest.
+  uint64_t PollRxOnce(uint64_t budget);
+  // Fires the kernel's readiness callback for `sid` (no stack locks held).
+  void NotifyReady(int sid) {
+    if (ready_cb_) {
+      ready_cb_(sid);
+    }
+  }
   // Parses, bounds-checks, and demuxes one received frame; takes ownership
   // of the skb (enqueued to a socket or freed).
   Status DeliverFrame(Skb skb);
@@ -184,9 +226,12 @@ class NetStack {
   mutable smp::SpinLock table_lock_;
   std::vector<std::unique_ptr<NetSocket>> sockets_;
   std::map<uint16_t, int> udp_ports_;
-  std::map<uint16_t, int> stream_listeners_;
+  // Port -> accept-shard group: one listener, or several bound with
+  // `reuse` (SYNs are flow-hashed across the vector).
+  std::map<uint16_t, std::vector<int>> stream_listeners_;
   std::map<uint64_t, int> stream_conns_;  // StreamKey -> socket id.
 
+  std::function<void(int sid)> ready_cb_;
   NetStats stats_;
   bool booted_ = false;
 };

@@ -17,6 +17,8 @@ const char* LockRankName(LockRank rank) {
       return "sockets";
     case LockRank::kPipes:
       return "pipes";
+    case LockRank::kEvq:
+      return "evq";
     case LockRank::kFiles:
       return "files";
   }
@@ -35,7 +37,7 @@ void LockOrderChecker::FatalInversion(LockRank incoming, const uint8_t* held,
   }
   std::fprintf(stderr,
                "]; required order is bkl -> vfs -> tasks -> sockets -> pipes "
-               "-> files (docs/CONCURRENCY.md)\n");
+               "-> evq -> files (docs/CONCURRENCY.md)\n");
   std::abort();
 }
 

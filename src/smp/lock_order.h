@@ -21,7 +21,7 @@
 // The invariant the checker protects is the kernel's own order:
 //
 //   bkl_ -> vfs_lock_ -> tasks_lock_ -> sockets_lock_ -> pipes_lock_
-//        -> files_lock_
+//        -> evq_lock_ -> files_lock_
 #ifndef SVA_SRC_SMP_LOCK_ORDER_H_
 #define SVA_SRC_SMP_LOCK_ORDER_H_
 
@@ -40,6 +40,7 @@ enum class LockRank : uint8_t {
   kTasks = 20,    // tasks_lock_: pid->task map structure, pid allocation.
   kSockets = 30,  // sockets_lock_: legacy loopback socket table + queues.
   kPipes = 40,    // pipes_lock_: pipe table + ring state.
+  kEvq = 45,      // evq_lock_: event-queue table + sid->watch reverse map.
   kFiles = 50,    // files_lock_: open-file table + fd arrays (shared leaf).
 };
 

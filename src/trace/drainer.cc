@@ -1,0 +1,37 @@
+#include "src/trace/drainer.h"
+
+#include <chrono>
+
+namespace sva::trace {
+
+void ContinuousDrainer::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+std::vector<Event> ContinuousDrainer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel) &&
+      thread_.joinable()) {
+    thread_.join();
+  }
+  // Final sweep: whatever landed after the thread's last pass.
+  std::vector<Event> tail = Tracer::Get().Drain();
+  events_.insert(events_.end(), tail.begin(), tail.end());
+  events_seen_.store(events_.size(), std::memory_order_relaxed);
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+void ContinuousDrainer::Run() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<Event> batch = Tracer::Get().Drain();
+    events_.insert(events_.end(), batch.begin(), batch.end());
+    events_seen_.store(events_.size(), std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(interval_us_));
+  }
+}
+
+}  // namespace sva::trace

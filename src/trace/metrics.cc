@@ -19,6 +19,7 @@ const char* HistName(HistId id) {
     case HistId::kIndirectCheckNs: return "sva_indirect_check_ns";
     case HistId::kNicTxNs: return "sva_nic_tx_ns";
     case HistId::kNicRxIrqNs: return "sva_nic_rx_irq_ns";
+    case HistId::kEvqWaitNs: return "sva_evq_wait_ns";
     case HistId::kNumHists:
     case HistId::kNone: break;
   }

@@ -35,6 +35,7 @@ enum class HistId : uint8_t {
   kIndirectCheckNs,   // indirect-call check
   kNicTxNs,           // TransmitFrame (frame + DMA kick).
   kNicRxIrqNs,        // Rx interrupt handler (harvest + deliver).
+  kEvqWaitNs,         // evq_wait, entry to return (block time included).
   kNumHists,
   kNone = 255,
 };

@@ -55,6 +55,11 @@ const char* EventName(EventId id) {
     case EventId::kNicTx: return "nic-tx";
     case EventId::kNicRxDeliver: return "nic-rx-deliver";
     case EventId::kNicDma: return "nic-dma";
+    case EventId::kNapiPoll: return "napi-poll";
+    case EventId::kEvqWait: return "evq-wait";
+    case EventId::kEvqWakeup: return "evq-wakeup";
+    case EventId::kConnAccept: return "conn-accept";
+    case EventId::kConnClose: return "conn-close";
     case EventId::kNumIds: break;
   }
   return "unknown";

@@ -60,6 +60,12 @@ enum class EventId : uint16_t {
   kNicTx,         // a0 = frame length
   kNicRxDeliver,  // a0 = frame length
   kNicDma,        // a0 = ring slot, a1 = 0 rx / 1 tx
+  kNapiPoll,      // a0 = frames harvested this pass, a1 = budget
+  // Event queue + connection lifecycle.
+  kEvqWait,     // evq_wait span: a0 = evq fd, a1 = events returned
+  kEvqWakeup,   // a0 = socket id that became ready
+  kConnAccept,  // a0 = accepted fd, a1 = listener fd
+  kConnClose,   // a0 = fd
   kNumIds,
 };
 

@@ -1,0 +1,393 @@
+// The event-queue suite: readiness edge cases for the kEvqCreate /
+// kEvqCtl / kEvqWait syscalls (level-triggered re-arm, close-while-
+// registered, wait timeout, EAGAIN on an empty backlog) plus a
+// TSan-labelled stress test driving concurrent accept shards against a
+// wait/ctl race on a shared queue.
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/hw/machine.h"
+#include "src/kernel/kernel.h"
+#include "src/net/client.h"
+#include "src/net/net_stack.h"
+#include "src/smp/percpu.h"
+#include "src/trace/trace.h"
+
+namespace sva {
+namespace {
+
+using kernel::Sys;
+
+constexpr uint64_t kEInval = static_cast<uint64_t>(-22);
+constexpr uint64_t kEBadF = static_cast<uint64_t>(-9);
+constexpr uint64_t kENoEnt = static_cast<uint64_t>(-2);
+constexpr uint64_t kEExist = static_cast<uint64_t>(-17);
+constexpr uint64_t kEAgain = static_cast<uint64_t>(-11);
+constexpr uint64_t kEAddrInUse = static_cast<uint64_t>(-98);
+
+// A decoded kEvqWait record (the wire form is u64 data, u32 events, u32 fd).
+struct Ev {
+  uint64_t data = 0;
+  uint32_t events = 0;
+  uint32_t fd = 0;
+};
+
+class EvqTest : public ::testing::Test {
+ protected:
+  EvqTest() : machine_(128ull << 20, 4096) {
+    kernel::KernelConfig config;
+    config.mode = kernel::KernelMode::kSvaSafe;
+    kernel_ = std::make_unique<kernel::Kernel>(machine_, config);
+    Status s = kernel_->Boot();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  uint64_t Call(Sys n, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
+                uint64_t a3 = 0) {
+    auto r = kernel_->Syscall(n, a0, a1, a2, a3);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ~0ull;
+  }
+
+  uint64_t Ctl(uint64_t evq, uint64_t op, uint64_t fd, uint64_t data = 0,
+               uint32_t interest = 0) {
+    return Call(Sys::kEvqCtl, evq,
+                op | (static_cast<uint64_t>(interest) << 8), fd, data);
+  }
+
+  std::vector<Ev> Wait(uint64_t evq, uint64_t max, uint64_t timeout_us,
+                       uint64_t ubuf = 0) {
+    if (ubuf == 0) {
+      ubuf = user(0x8000);
+    }
+    uint64_t n = Call(Sys::kEvqWait, evq, ubuf, max, timeout_us);
+    EXPECT_LT(n, 1ull << 32);  // No errno leaked through.
+    std::vector<Ev> out;
+    if (n >= (1ull << 32)) {
+      return out;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      uint8_t raw[16];
+      EXPECT_TRUE(kernel_->PeekUser(ubuf + i * 16, raw, 16).ok());
+      Ev e;
+      std::memcpy(&e.data, raw, 8);
+      std::memcpy(&e.events, raw + 8, 4);
+      std::memcpy(&e.fd, raw + 12, 4);
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  uint64_t user(uint64_t off = 0) const {
+    return kernel::kUserVirtualBase + 0x100000 + off;
+  }
+
+  hw::Machine machine_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+TEST_F(EvqTest, CreateCtlAndWaitErrorPaths) {
+  uint64_t evq = Call(Sys::kEvqCreate);
+  EXPECT_LT(evq, 64u);
+
+  // ctl through a non-evq fd, and on a non-socket target.
+  uint64_t dgram = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kDatagram));
+  EXPECT_EQ(Ctl(dgram, kernel::kEvqCtlAdd, dgram), kEBadF);
+  ASSERT_TRUE(kernel_->PokeUserString(user(), "/evq/f").ok());
+  uint64_t file = Call(Sys::kOpen, user(), 1);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, file), kEInval);
+
+  // Add, double-add, mod/del of an unknown fd, unknown op.
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, dgram, 0xCAFE), 0u);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, dgram), kEExist);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlMod, file), kENoEnt);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlDel, file), kENoEnt);
+  EXPECT_EQ(Ctl(evq, 99, dgram), kEInval);
+  EXPECT_EQ(Call(Sys::kEvqWait, evq, user(0x8000), 0, 0), kEInval);
+
+  // Waiting on a non-evq fd.
+  EXPECT_EQ(Call(Sys::kEvqWait, dgram, user(0x8000), 8, 0), kEBadF);
+
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlDel, dgram), 0u);
+  EXPECT_EQ(Call(Sys::kClose, evq), 0u);
+  // The closed evq fd no longer waits.
+  EXPECT_EQ(Call(Sys::kEvqWait, evq, user(0x8000), 8, 0), kEBadF);
+}
+
+TEST_F(EvqTest, WaitTimesOutOnIdleQueue) {
+  uint64_t evq = Call(Sys::kEvqCreate);
+  uint64_t listener = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  EXPECT_EQ(Call(Sys::kBind, listener, 8080), 0u);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, listener), 0u);
+  uint64_t t0 = trace::NowNs();
+  EXPECT_TRUE(Wait(evq, 8, /*timeout_us=*/2000).empty());
+  EXPECT_GE(trace::NowNs() - t0, 2000ull * 1000);
+}
+
+TEST_F(EvqTest, ListenerReadinessDrivesAcceptAndEAgain) {
+  uint64_t evq = Call(Sys::kEvqCreate);
+  uint64_t listener = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  EXPECT_EQ(Call(Sys::kBind, listener, 80), 0u);
+  // Empty backlog: accept says EAGAIN, the queue says nothing ready.
+  EXPECT_EQ(Call(Sys::kAccept, listener), kEAgain);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, listener, /*data=*/listener), 0u);
+  EXPECT_TRUE(Wait(evq, 8, 0).empty());
+
+  net::LoopbackClient client(*kernel_->net());
+  ASSERT_TRUE(client.OpenStream(80).ok());
+  auto events = Wait(evq, 8, 0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, listener);
+  EXPECT_EQ(events[0].data, listener);
+  EXPECT_NE(events[0].events & kernel::kEvqIn, 0u);
+
+  uint64_t conn = Call(Sys::kAccept, listener);
+  EXPECT_LT(conn, 64u);
+  EXPECT_EQ(Call(Sys::kAccept, listener), kEAgain);  // Backlog drained.
+  // Level-triggered cull: with the backlog empty the hint disappears.
+  EXPECT_TRUE(Wait(evq, 8, 0).empty());
+}
+
+TEST_F(EvqTest, LevelTriggeredReArmAndEofHup) {
+  uint64_t evq = Call(Sys::kEvqCreate);
+  uint64_t listener = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  EXPECT_EQ(Call(Sys::kBind, listener, 80), 0u);
+  net::LoopbackClient client(*kernel_->net());
+  auto stream = client.OpenStream(80);
+  ASSERT_TRUE(stream.ok());
+  uint64_t conn = Call(Sys::kAccept, listener);
+  EXPECT_LT(conn, 64u);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, conn, /*data=*/0xBEEF), 0u);
+
+  // A fresh connection is not readable: recv would block.
+  EXPECT_EQ(Call(Sys::kRecv, conn, user(0x1000), 512), kEAgain);
+  EXPECT_TRUE(Wait(evq, 8, 0).empty());
+
+  ASSERT_TRUE(client.SendStream(*stream, "ping").ok());
+  auto first = Wait(evq, 8, 0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].fd, conn);
+  EXPECT_EQ(first[0].data, 0xBEEFu);
+  // Level-triggered: unconsumed data is re-reported on the next wait.
+  auto again = Wait(evq, 8, 0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].fd, conn);
+
+  EXPECT_EQ(Call(Sys::kRecv, conn, user(0x1000), 512), 4u);
+  EXPECT_TRUE(Wait(evq, 8, 0).empty());  // Drained: hint culled.
+
+  // A new edge re-arms the same watch.
+  ASSERT_TRUE(client.SendStream(*stream, "pong").ok());
+  ASSERT_EQ(Wait(evq, 8, 0).size(), 1u);
+  EXPECT_EQ(Call(Sys::kRecv, conn, user(0x1000), 512), 4u);
+
+  // FIN: the socket reports HUP and recv switches from EAGAIN to EOF.
+  ASSERT_TRUE(client.CloseStream(*stream).ok());
+  auto hup = Wait(evq, 8, 0);
+  ASSERT_EQ(hup.size(), 1u);
+  EXPECT_NE(hup[0].events & kernel::kEvqHup, 0u);
+  EXPECT_EQ(Call(Sys::kRecv, conn, user(0x1000), 512), 0u);
+}
+
+TEST_F(EvqTest, CloseWhileRegisteredDropsTheWatch) {
+  uint64_t evq = Call(Sys::kEvqCreate);
+  uint64_t listener = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  EXPECT_EQ(Call(Sys::kBind, listener, 80), 0u);
+  net::LoopbackClient client(*kernel_->net());
+  auto stream = client.OpenStream(80);
+  ASSERT_TRUE(stream.ok());
+  uint64_t conn = Call(Sys::kAccept, listener);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, conn), 0u);
+  ASSERT_TRUE(client.SendStream(*stream, "pending").ok());
+  // Close the watched fd with data queued and the hint hot: the watch must
+  // vanish with the socket, epoll-style.
+  EXPECT_EQ(Call(Sys::kClose, conn), 0u);
+  EXPECT_TRUE(Wait(evq, 8, 0).empty());
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlDel, conn), kENoEnt);
+  // And the queue keeps working for new registrations.
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, listener), 0u);
+  ASSERT_TRUE(client.OpenStream(80).ok());
+  EXPECT_EQ(Wait(evq, 8, 0).size(), 1u);
+}
+
+TEST_F(EvqTest, ReusePortShardsSpreadAcceptLoad) {
+  // Two shard listeners on one port; a third bind WITHOUT the reuse flag
+  // must be refused.
+  uint64_t shard_a = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  uint64_t shard_b = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  uint64_t plain = Call(
+      Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+  EXPECT_EQ(Call(Sys::kBind, shard_a, 80, /*flags=*/1), 0u);
+  EXPECT_EQ(Call(Sys::kBind, shard_b, 80, /*flags=*/1), 0u);
+  EXPECT_EQ(Call(Sys::kBind, plain, 80, /*flags=*/0), kEAddrInUse);
+
+  uint64_t evq = Call(Sys::kEvqCreate);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, shard_a, shard_a), 0u);
+  EXPECT_EQ(Ctl(evq, kernel::kEvqCtlAdd, shard_b, shard_b), 0u);
+
+  constexpr int kStreams = 32;
+  net::LoopbackClient client(*kernel_->net());
+  for (int i = 0; i < kStreams; ++i) {
+    ASSERT_TRUE(client.OpenStream(80).ok());
+  }
+  int accepted = 0;
+  int from_a = 0;
+  int from_b = 0;
+  for (auto& e : Wait(evq, 8, 0)) {
+    while (true) {
+      uint64_t conn = Call(Sys::kAccept, e.fd);
+      if (conn == kEAgain) {
+        break;
+      }
+      ASSERT_LT(conn, 1ull << 32);
+      ++accepted;
+      (e.fd == shard_a ? from_a : from_b)++;
+      EXPECT_EQ(Call(Sys::kClose, conn), 0u);
+    }
+  }
+  EXPECT_EQ(accepted, kStreams);
+  // The flow hash spreads 32 distinct ephemeral ports across both shards.
+  EXPECT_GT(from_a, 0);
+  EXPECT_GT(from_b, 0);
+}
+
+// The stress test the tsan preset runs: three shard workers each own a
+// reuse-port listener and an event queue and serve connections end-to-end
+// (evq_wait -> accept -> ctl add -> recv -> HUP -> ctl del -> close) while
+// the driver thread injects SYN/data/FIN bursts, and a churn thread races
+// ctl add/del against one shard's concurrent evq_wait.
+TEST(EvqConcurrencyTest, ConcurrentAcceptShardsAndWaitCtlRace) {
+  hw::Machine machine(256ull << 20, 8192);
+  kernel::KernelConfig config;
+  config.mode = kernel::KernelMode::kSvaSafe;
+  kernel::Kernel kernel(machine, config);
+  ASSERT_TRUE(kernel.Boot().ok());
+  constexpr unsigned kShards = 3;
+  constexpr int kConns = 48;
+  kernel.svaos().ConfigureCpus(kShards + 2);
+  const uint64_t ubase = kernel::kUserVirtualBase + 0x100000;
+
+  auto call = [&kernel](Sys n, uint64_t a0 = 0, uint64_t a1 = 0,
+                        uint64_t a2 = 0, uint64_t a3 = 0) -> uint64_t {
+    auto r = kernel.Syscall(n, a0, a1, a2, a3);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ~0ull;
+  };
+
+  // Shard setup happens before the threads race.
+  std::vector<uint64_t> listeners(kShards);
+  std::vector<uint64_t> evqs(kShards);
+  for (unsigned s = 0; s < kShards; ++s) {
+    listeners[s] = call(
+        Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kListener));
+    ASSERT_EQ(call(Sys::kBind, listeners[s], 80, /*flags=*/1), 0u);
+    evqs[s] = call(Sys::kEvqCreate);
+    ASSERT_EQ(call(Sys::kEvqCtl, evqs[s], kernel::kEvqCtlAdd, listeners[s],
+                   listeners[s]),
+              0u);
+  }
+
+  std::atomic<int> closed{0};
+  std::atomic<bool> drained{false};
+  std::vector<std::thread> threads;
+
+  // Shard workers on CPUs 1..kShards.
+  for (unsigned s = 0; s < kShards; ++s) {
+    threads.emplace_back([&, s] {
+      smp::ScopedCpu bind(1 + s);
+      uint64_t ubuf = ubase + 0x2000 + s * 0x2000;
+      uint64_t rxbuf = ubuf + 0x1000;
+      while (closed.load(std::memory_order_acquire) < kConns) {
+        uint64_t n = call(Sys::kEvqWait, evqs[s], ubuf, 8, 500);
+        ASSERT_LT(n, 1ull << 32);
+        for (uint64_t i = 0; i < n; ++i) {
+          uint8_t raw[16];
+          ASSERT_TRUE(kernel.PeekUser(ubuf + i * 16, raw, 16).ok());
+          uint32_t events;
+          uint32_t fd;
+          std::memcpy(&events, raw + 8, 4);
+          std::memcpy(&fd, raw + 12, 4);
+          if (fd == listeners[s]) {
+            while (true) {
+              uint64_t conn = call(Sys::kAccept, listeners[s]);
+              if (conn == static_cast<uint64_t>(-11)) {
+                break;  // EAGAIN: backlog drained.
+              }
+              ASSERT_LT(conn, 1ull << 32);
+              ASSERT_EQ(call(Sys::kEvqCtl, evqs[s], kernel::kEvqCtlAdd,
+                             conn, conn),
+                        0u);
+            }
+            continue;
+          }
+          // Connection fd: drain; EOF (0) after HUP means done.
+          uint64_t got = call(Sys::kRecv, fd, rxbuf, 2048);
+          if (got == 0 && (events & kernel::kEvqHup) != 0) {
+            ASSERT_EQ(call(Sys::kEvqCtl, evqs[s], kernel::kEvqCtlDel, fd),
+                      0u);
+            ASSERT_EQ(call(Sys::kClose, fd), 0u);
+            closed.fetch_add(1, std::memory_order_acq_rel);
+          }
+        }
+      }
+    });
+  }
+
+  // Driver on CPU 0: the "client machine". SYN + payload + FIN per
+  // connection, pumped through the NIC rx path (readiness callbacks fire on
+  // this thread).
+  threads.emplace_back([&] {
+    smp::ScopedCpu bind(0);
+    net::LoopbackClient client(*kernel.net());
+    for (int i = 0; i < kConns; ++i) {
+      auto stream = client.OpenStream(80);
+      ASSERT_TRUE(stream.ok());
+      ASSERT_TRUE(client.SendStream(*stream, "stress-ping").ok());
+      ASSERT_TRUE(client.CloseStream(*stream).ok());
+    }
+    drained.store(true, std::memory_order_release);
+  });
+
+  // Churn on the last CPU: a wait/ctl race on shard 0's queue. kEvqOut
+  // interest on a datagram socket is always ready, so shard 0's waits keep
+  // returning while the watch appears and disappears under them.
+  threads.emplace_back([&] {
+    smp::ScopedCpu bind(kShards + 1);
+    uint64_t dgram = call(
+        Sys::kSocket, static_cast<uint64_t>(kernel::SocketDomain::kDatagram));
+    while (closed.load(std::memory_order_acquire) < kConns) {
+      uint64_t r = call(
+          Sys::kEvqCtl, evqs[0],
+          kernel::kEvqCtlAdd |
+              (static_cast<uint64_t>(kernel::kEvqOut) << 8),
+          dgram, 0x10);
+      ASSERT_TRUE(r == 0 || r == static_cast<uint64_t>(-17));
+      r = call(Sys::kEvqCtl, evqs[0], kernel::kEvqCtlDel, dgram);
+      ASSERT_TRUE(r == 0 || r == static_cast<uint64_t>(-2));
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_TRUE(drained.load());
+  EXPECT_EQ(closed.load(), kConns);
+  EXPECT_EQ(kernel.net()->stats().rx_violations.load(), 0u);
+  EXPECT_TRUE(kernel.pools().violations().empty());
+}
+
+}  // namespace
+}  // namespace sva

@@ -355,8 +355,10 @@ TEST_F(NetSyscallTest, ErrorPaths) {
   EXPECT_EQ(Call(Sys::kSend, dgram, user(), kMaxUdpPayload + 1,
                  Dest(kServerIp, 7000)),
             kEMsgSize);
-  // Recv on an empty queue returns 0 bytes, not an error.
-  EXPECT_EQ(Call(Sys::kRecv, dgram, user(), 512), 0u);
+  // Recv on an empty queue would block: kEAgain, not 0 (0 is reserved for
+  // EOF after the peer's FIN — the non-blocking contract the event queue
+  // relies on).
+  EXPECT_EQ(Call(Sys::kRecv, dgram, user(), 512), kEAgain);
 }
 
 TEST_F(NetSyscallTest, LoopbackEchoThroughSyscalls) {
