@@ -8,10 +8,10 @@
 // Shape: a driver thread plays the client side of the wire (the device
 // model is single-threaded, like real hardware behind one irq line) while
 // --cpus worker threads run the server loop evq_wait -> accept -> recv ->
-// send on their own virtual CPUs. The connection storm is paced against
-// the 64-deep accept backlogs the way SYN retransmission would pace a real
-// flood: the driver never has more un-accepted SYNs outstanding than one
-// shard's backlog can hold, so no connection is ever dropped.
+// send on their own virtual CPUs. The connection storm is injected in
+// NIC-ring-sized bursts with no accept pacing: listener backlogs grow
+// dynamically under SYN pressure (doubling toward the configured ceiling,
+// like the fd table), so the whole storm lands without a drop.
 //
 // Reported: concurrent connections held, requests/sec across all workers,
 // per-request p50/p99 latency (send-to-reply, including queueing behind
@@ -40,9 +40,10 @@ using kernel::Sys;
 
 constexpr uint16_t kPort = 80;
 constexpr int kDefaultConns = 10000;
-// Never more un-accepted SYNs in flight than one shard's backlog holds,
-// even if the flow hash sends a whole chunk to the same shard.
-constexpr int kStormChunk = 48;
+// SYNs injected per Flush during the storm: half the rx ring, so a burst
+// never overruns the 256-descriptor ring even when every frame lands
+// before the first poll pass.
+constexpr int kStormChunk = 128;
 
 struct ModeResult {
   int conns = 0;
@@ -172,7 +173,9 @@ ModeResult RunMode(kernel::KernelMode mode, unsigned workers, int conns,
   // The driver owns the NIC from here on.
   smp::ScopedCpu driver_cpu(workers);
 
-  // Phase A: the connection storm, paced against the accept backlogs.
+  // Phase A: the connection storm. Bursts are bounded only by the NIC rx
+  // ring; the growing accept backlogs absorb the un-accepted herd, and the
+  // storm waits for the workers once, at the end.
   std::vector<int> handles;
   handles.reserve(static_cast<size_t>(conns));
   double storm_us = TimeOnceUs([&] {
@@ -188,10 +191,10 @@ ModeResult RunMode(kernel::KernelMode mode, unsigned workers, int conns,
       }
       opened += chunk;
       client.Flush();
-      while (accepted.load(std::memory_order_acquire) < opened &&
-             !failed.load()) {
-        std::this_thread::yield();
-      }
+    }
+    while (accepted.load(std::memory_order_acquire) < conns &&
+           !failed.load()) {
+      std::this_thread::yield();
     }
   });
 

@@ -1,0 +1,261 @@
+// Virtual-memory microbenchmarks: page-fault service latency (demand fill,
+// TLB hit, TLB conflict-miss refill, COW break), fork latency with the COW
+// and eager-copy backends, and TLB-shootdown cost as the virtual-CPU count
+// grows (single-page invalidation vs full-asid flush).
+//
+// The fault/shootdown numbers drive the mm layer directly (VmManager on a
+// fresh Machine + SvaOS); the fork comparison goes through the whole
+// minikernel syscall path so it prices exactly what SysFork does, with the
+// child reaped outside the timed region.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/kernel_harness.h"
+#include "src/hw/machine.h"
+#include "src/mm/frame_allocator.h"
+#include "src/mm/vm.h"
+#include "src/svaos/svaos.h"
+
+namespace {
+
+using sva::bench::BootedKernel;
+using sva::bench::Fmt;
+using sva::bench::JsonReport;
+using sva::bench::MedianLatencyUs;
+using sva::bench::Table;
+using sva::bench::TimeOnceUs;
+
+constexpr uint64_t kAsBase = 0x40000000;
+
+// One mm stack (machine, SVA-OS, allocator, manager) per measurement so
+// earlier phases never warm later ones.
+struct MmStack {
+  explicit MmStack(unsigned cpus)
+      : machine(512ull << 20, 16384), os(machine), frames(machine, os),
+        vm(os, frames) {
+    os.ConfigureCpus(cpus);
+    sva::Status s = vm.Init();
+    assert(s.ok());
+    (void)s;
+  }
+  sva::hw::Machine machine;
+  sva::svaos::SvaOS os;
+  sva::mm::FrameAllocator frames;
+  sva::mm::VmManager vm;
+};
+
+uint64_t MustResolve(sva::mm::VmManager& vm, sva::mm::AddressSpace& as,
+                     uint64_t vaddr, bool write) {
+  auto r = vm.Resolve(as, vaddr, write);
+  assert(r.ok());
+  return *r;
+}
+
+// First-touch cost of fresh anonymous pages: each access allocates, zeroes,
+// and maps a frame. Fresh address space per repetition (pages can only be
+// faulted in once).
+double DemandFillNs(int reps, uint64_t pages) {
+  MmStack s(1);
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    auto as = s.vm.CreateAddressSpace(kAsBase, pages, pages);
+    assert(as.ok());
+    double us = TimeOnceUs([&] {
+      for (uint64_t p = 0; p < pages; ++p) {
+        MustResolve(s.vm, **as, kAsBase + p * sva::hw::kPageSize, true);
+      }
+    });
+    samples.push_back(us * 1000.0 / static_cast<double>(pages));
+    sva::Status st = s.vm.Destroy(**as);
+    assert(st.ok());
+    (void)st;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// The user-copy hot path: a resident, writable page whose entry stays in
+// the per-CPU TLB.
+double TlbHitNs(int reps, int iters) {
+  MmStack s(1);
+  auto as = s.vm.CreateAddressSpace(kAsBase, 4, 4);
+  assert(as.ok());
+  MustResolve(s.vm, **as, kAsBase, true);
+  return 1000.0 * MedianLatencyUs(reps, iters, [&] {
+    MustResolve(s.vm, **as, kAsBase + 64, false);
+  });
+}
+
+// Conflict-miss refill: cycle over 2x the TLB's 64 slots so every access
+// evicts the entry the next lap needs — each resolve walks the page table
+// under the MMU lock and refills.
+double TlbMissRefillNs(int reps, int laps) {
+  constexpr uint64_t kPages = 128;
+  MmStack s(1);
+  auto as = s.vm.CreateAddressSpace(kAsBase, kPages, kPages);
+  assert(as.ok());
+  for (uint64_t p = 0; p < kPages; ++p) {
+    MustResolve(s.vm, **as, kAsBase + p * sva::hw::kPageSize, true);
+  }
+  uint64_t next = 0;
+  double per_lap_us = MedianLatencyUs(reps, laps, [&] {
+    MustResolve(s.vm, **as,
+                kAsBase + (next % kPages) * sva::hw::kPageSize, false);
+    ++next;
+  });
+  return 1000.0 * per_lap_us;
+}
+
+// COW break with a live sharer: fork the space, then price the child's
+// first write per page (fault + frame copy + remap + shootdown).
+double CowBreakNs(int reps, uint64_t pages) {
+  MmStack s(1);
+  auto parent = s.vm.CreateAddressSpace(kAsBase, pages, pages);
+  assert(parent.ok());
+  for (uint64_t p = 0; p < pages; ++p) {
+    MustResolve(s.vm, **parent, kAsBase + p * sva::hw::kPageSize, true);
+  }
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    auto child = s.vm.CreateAddressSpace(kAsBase, pages, pages);
+    assert(child.ok());
+    sva::Status st = s.vm.CloneCow(**parent, **child);
+    assert(st.ok());
+    double us = TimeOnceUs([&] {
+      for (uint64_t p = 0; p < pages; ++p) {
+        MustResolve(s.vm, **child, kAsBase + p * sva::hw::kPageSize, true);
+      }
+    });
+    samples.push_back(us * 1000.0 / static_cast<double>(pages));
+    st = s.vm.Destroy(**child);
+    assert(st.ok());
+    (void)st;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Fork through the kernel: parent faults `pages` in, then SysFork is timed
+// alone; running and reaping the child happens outside the clock.
+double ForkNs(bool cow, int reps, uint64_t pages) {
+  sva::hw::Machine machine(512ull << 20, 16384);
+  sva::kernel::KernelConfig config;
+  config.mode = sva::kernel::KernelMode::kNative;
+  config.cow_fork = cow;
+  config.max_user_pages_per_task = 256;
+  sva::kernel::Kernel kernel(machine, config);
+  sva::Status boot = kernel.Boot();
+  assert(boot.ok());
+  (void)boot;
+  auto call = [&kernel](sva::kernel::Sys n, uint64_t a0 = 0) {
+    auto r = kernel.Syscall(n, a0);
+    assert(r.ok());
+    return *r;
+  };
+  const uint64_t user =
+      sva::kernel::kUserVirtualBase +
+      static_cast<uint64_t>(kernel.current_pid()) * 0x100000;
+  call(sva::kernel::Sys::kBrk, pages * sva::hw::kPageSize);
+  const char byte = 1;
+  for (uint64_t p = 0; p < pages; ++p) {
+    sva::Status st =
+        kernel.PokeUser(user + p * sva::hw::kPageSize, &byte, 1);
+    assert(st.ok());
+    (void)st;
+  }
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t child = 0;
+    samples.push_back(1000.0 * TimeOnceUs([&] {
+      child = call(sva::kernel::Sys::kFork);
+    }));
+    // Reap: switch to the child, exit it, collect it from the parent.
+    while (kernel.current_pid() != static_cast<int>(child)) {
+      sva::Status st = kernel.Yield();
+      assert(st.ok());
+      (void)st;
+    }
+    call(sva::kernel::Sys::kExit, 0);
+    call(sva::kernel::Sys::kWaitPid, child);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Shootdown round cost as CPUs scale: every configured CPU's TLB is probed
+// (and the non-initiating ones take the IPI), so the cost is linear in the
+// CPU count — the number the kernel pays on every COW break and unmap.
+double ShootdownNs(unsigned cpus, bool entire_asid, int reps, int iters) {
+  MmStack s(cpus);
+  auto as = s.vm.CreateAddressSpace(kAsBase, 4, 4);
+  assert(as.ok());
+  MustResolve(s.vm, **as, kAsBase, true);
+  return 1000.0 * MedianLatencyUs(reps, iters, [&] {
+    sva::Status st = s.os.TlbShootdown((*as)->asid(), kAsBase, entire_asid);
+    assert(st.ok());
+    (void)st;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport& report = JsonReport::Get();
+  report.Init(&argc, argv, "vm_ops");
+  const bool quick = report.quick();
+  const int reps = quick ? 3 : 5;
+  const uint64_t fill_pages = quick ? 256 : 1024;
+  const uint64_t fork_pages = quick ? 64 : 224;
+
+  std::printf("vm_ops: page-fault, fork, and TLB-shootdown latency%s\n\n",
+              quick ? " (quick)" : "");
+
+  Table faults({"fault path", "ns/op"});
+  struct FaultRow {
+    const char* metric;
+    double ns;
+  };
+  const FaultRow fault_rows[] = {
+      {"fault.demand_fill", DemandFillNs(reps, fill_pages)},
+      {"fault.tlb_hit", TlbHitNs(reps, quick ? 2000 : 20000)},
+      {"fault.tlb_miss_refill", TlbMissRefillNs(reps, quick ? 512 : 4096)},
+      {"fault.cow_break_copy", CowBreakNs(reps, fill_pages / 4)},
+  };
+  for (const FaultRow& row : fault_rows) {
+    faults.AddRow({row.metric, Fmt("%.1f", row.ns)});
+    report.Add(row.metric, row.ns, "ns");
+  }
+  faults.Print();
+
+  std::printf("\nfork latency, %llu resident pages (child reaped off the "
+              "clock):\n",
+              static_cast<unsigned long long>(fork_pages));
+  Table forks({"backend", "ns/fork"});
+  const double cow_ns = ForkNs(/*cow=*/true, reps, fork_pages);
+  const double eager_ns = ForkNs(/*cow=*/false, reps, fork_pages);
+  forks.AddRow({"cow", Fmt("%.0f", cow_ns)});
+  forks.AddRow({"eager", Fmt("%.0f", eager_ns)});
+  forks.Print();
+  std::printf("cow is %.2fx cheaper than the eager copy\n",
+              cow_ns > 0 ? eager_ns / cow_ns : 0.0);
+  report.Add("fork.latency", cow_ns, "ns", "cow");
+  report.Add("fork.latency", eager_ns, "ns", "eager");
+  report.Add("fork.touched_pages", static_cast<double>(fork_pages), "pages");
+
+  std::printf("\nTLB shootdown (initiator-side, synchronous round):\n");
+  Table shoot({"mode", "cpus", "ns/op"});
+  const int shoot_iters = quick ? 1000 : 10000;
+  for (bool entire_asid : {false, true}) {
+    const char* mode = entire_asid ? "asid" : "page";
+    for (unsigned cpus : {1u, 2u, 4u}) {
+      double ns = ShootdownNs(cpus, entire_asid, reps, shoot_iters);
+      shoot.AddRow({mode, std::to_string(cpus), Fmt("%.1f", ns)});
+      report.Add("shootdown.latency", ns, "ns", mode, cpus);
+    }
+  }
+  shoot.Print();
+
+  return report.Finish();
+}

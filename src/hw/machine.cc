@@ -6,62 +6,260 @@
 
 namespace sva::hw {
 
-Status Mmu::Map(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kUnused: return "unused";
+    case FrameType::kUser: return "user";
+    case FrameType::kKernel: return "kernel";
+    case FrameType::kPageTable: return "page-table";
+    case FrameType::kSvm: return "svm";
+    case FrameType::kIo: return "io";
+  }
+  return "unknown";
+}
+
+Mmu::Mmu() {
+  spaces_[kKernelAsid];  // The kernel address space always exists.
+}
+
+Result<uint32_t> Mmu::CreateAddressSpace() {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint32_t asid;
+  if (!free_asids_.empty()) {
+    asid = free_asids_.back();
+    free_asids_.pop_back();
+  } else {
+    asid = next_asid_++;
+  }
+  spaces_[asid];
+  return asid;
+}
+
+Status Mmu::DestroyAddressSpace(uint32_t asid) {
+  if (asid == kKernelAsid) {
+    return FailedPrecondition("mmu: cannot destroy the kernel address space");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = spaces_.find(asid);
+  if (it == spaces_.end()) {
+    return NotFound(StrCat("mmu: no address space ", asid));
+  }
+  spaces_.erase(it);
+  free_asids_.push_back(asid);
+  return OkStatus();
+}
+
+PageTableEntry* Mmu::Find(uint32_t asid, uint64_t vpage) {
+  auto space = spaces_.find(asid);
+  if (space == spaces_.end()) {
+    return nullptr;
+  }
+  auto leaf = space->second.dir.find(vpage / kLeafEntries);
+  if (leaf == space->second.dir.end()) {
+    return nullptr;
+  }
+  return &leaf->second->ptes[vpage % kLeafEntries];
+}
+
+const PageTableEntry* Mmu::Find(uint32_t asid, uint64_t vpage) const {
+  return const_cast<Mmu*>(this)->Find(asid, vpage);
+}
+
+Status Mmu::Map(uint32_t asid, uint64_t vaddr, uint64_t paddr,
+                uint32_t flags) {
   if (vaddr % kPageSize != 0 || paddr % kPageSize != 0) {
     return InvalidArgument("mmu: unaligned mapping");
   }
-  PageTableEntry& pte = entries_[vaddr / kPageSize];
+  std::lock_guard<std::mutex> guard(mu_);
+  auto space = spaces_.find(asid);
+  if (space == spaces_.end()) {
+    return NotFound(StrCat("mmu: no address space ", asid));
+  }
+  const uint64_t vpage = vaddr / kPageSize;
+  std::unique_ptr<Leaf>& leaf = space->second.dir[vpage / kLeafEntries];
+  if (leaf == nullptr) {
+    leaf = std::make_unique<Leaf>();
+  }
+  PageTableEntry& pte = leaf->ptes[vpage % kLeafEntries];
   if ((pte.flags & kPteSvmReserved) != 0) {
     return FailedPrecondition(
         "mmu: attempt to remap an SVM-reserved page");
+  }
+  if ((pte.flags & kPtePresent) != 0) {
+    return AlreadyExists(
+        StrCat("mmu: double map of 0x", std::hex, vaddr));
   }
   pte.physical_page = paddr / kPageSize;
   pte.flags = flags | kPtePresent;
   return OkStatus();
 }
 
-Status Mmu::Unmap(uint64_t vaddr) {
-  auto it = entries_.find(vaddr / kPageSize);
-  if (it == entries_.end() || (it->second.flags & kPtePresent) == 0) {
+Status Mmu::Unmap(uint32_t asid, uint64_t vaddr) {
+  std::lock_guard<std::mutex> guard(mu_);
+  PageTableEntry* pte = Find(asid, vaddr / kPageSize);
+  if (pte == nullptr || (pte->flags & kPtePresent) == 0) {
     return NotFound("mmu: unmap of unmapped page");
   }
-  if ((it->second.flags & kPteSvmReserved) != 0) {
+  if ((pte->flags & kPteSvmReserved) != 0) {
     return FailedPrecondition("mmu: attempt to unmap an SVM-reserved page");
   }
-  entries_.erase(it);
+  *pte = PageTableEntry{};
   return OkStatus();
 }
 
-Result<uint64_t> Mmu::Translate(uint64_t vaddr, bool write,
+Status Mmu::Protect(uint32_t asid, uint64_t vaddr, uint32_t flags) {
+  std::lock_guard<std::mutex> guard(mu_);
+  PageTableEntry* pte = Find(asid, vaddr / kPageSize);
+  if (pte == nullptr || (pte->flags & kPtePresent) == 0) {
+    return NotFound("mmu: protect of unmapped page");
+  }
+  if ((pte->flags & kPteSvmReserved) != 0) {
+    return FailedPrecondition(
+        "mmu: attempt to reprotect an SVM-reserved page");
+  }
+  pte->flags = flags | kPtePresent;
+  return OkStatus();
+}
+
+Result<uint64_t> Mmu::Translate(uint32_t asid, uint64_t vaddr, bool write,
                                 Privilege privilege) const {
-  auto it = entries_.find(vaddr / kPageSize);
-  if (it == entries_.end() || (it->second.flags & kPtePresent) == 0) {
-    ++faults_;
+  std::lock_guard<std::mutex> guard(mu_);
+  const PageTableEntry* found = Find(asid, vaddr / kPageSize);
+  if (found == nullptr || (found->flags & kPtePresent) == 0) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
     return SafetyViolation(StrCat("page fault at 0x", std::hex, vaddr));
   }
-  const PageTableEntry& pte = it->second;
+  const PageTableEntry& pte = *found;
   if (privilege == Privilege::kUser && (pte.flags & kPteUser) == 0) {
-    ++faults_;
+    faults_.fetch_add(1, std::memory_order_relaxed);
     return SafetyViolation(
         StrCat("protection fault: user access to kernel page 0x", std::hex,
                vaddr));
   }
   if (privilege != Privilege::kKernel &&
       (pte.flags & kPteSvmReserved) != 0) {
-    ++faults_;
+    faults_.fetch_add(1, std::memory_order_relaxed);
     return SafetyViolation("protection fault: access to SVM page");
   }
-  if (write && (pte.flags & kPteWritable) == 0) {
-    ++faults_;
+  if (write && ((pte.flags & kPteWritable) == 0 ||
+                (pte.flags & kPteCow) != 0)) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
     return SafetyViolation(
         StrCat("write to read-only page 0x", std::hex, vaddr));
   }
   return pte.physical_page * kPageSize + vaddr % kPageSize;
 }
 
-bool Mmu::IsMapped(uint64_t vaddr) const {
-  auto it = entries_.find(vaddr / kPageSize);
-  return it != entries_.end() && (it->second.flags & kPtePresent) != 0;
+bool Mmu::Lookup(uint32_t asid, uint64_t vaddr, PageTableEntry* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const PageTableEntry* pte = Find(asid, vaddr / kPageSize);
+  if (pte == nullptr || (pte->flags & kPtePresent) == 0) {
+    return false;
+  }
+  *out = *pte;
+  return true;
+}
+
+bool Mmu::IsMapped(uint32_t asid, uint64_t vaddr) const {
+  PageTableEntry pte;
+  return Lookup(asid, vaddr, &pte);
+}
+
+std::vector<std::pair<uint64_t, PageTableEntry>> Mmu::Entries(
+    uint32_t asid) const {
+  std::vector<std::pair<uint64_t, PageTableEntry>> out;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto space = spaces_.find(asid);
+  if (space == spaces_.end()) {
+    return out;
+  }
+  for (const auto& [top, leaf] : space->second.dir) {
+    for (size_t i = 0; i < kLeafEntries; ++i) {
+      const PageTableEntry& pte = leaf->ptes[i];
+      if ((pte.flags & kPtePresent) != 0) {
+        out.emplace_back((top * kLeafEntries + i) * kPageSize, pte);
+      }
+    }
+  }
+  return out;
+}
+
+void Mmu::DeclareFrameType(uint64_t paddr, FrameType type) {
+  const uint64_t pfn = paddr / kPageSize;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (frame_types_.size() <= pfn) {
+    frame_types_.resize(pfn + 1, FrameType::kUnused);
+  }
+  frame_types_[pfn] = type;
+}
+
+FrameType Mmu::frame_type(uint64_t paddr) const {
+  const uint64_t pfn = paddr / kPageSize;
+  std::lock_guard<std::mutex> guard(mu_);
+  return pfn < frame_types_.size() ? frame_types_[pfn] : FrameType::kUnused;
+}
+
+bool Tlb::Lookup(uint32_t asid, uint64_t vaddr, PageTableEntry* out) {
+  const uint64_t vpage = vaddr / kPageSize;
+  std::lock_guard<std::mutex> guard(mu_);
+  const Entry& e = entries_[SlotFor(asid, vpage)];
+  if (e.valid && e.asid == asid && e.vpage == vpage) {
+    ++hits_;
+    *out = e.pte;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void Tlb::Insert(uint32_t asid, uint64_t vaddr, const PageTableEntry& pte) {
+  const uint64_t vpage = vaddr / kPageSize;
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry& e = entries_[SlotFor(asid, vpage)];
+  e.valid = true;
+  e.asid = asid;
+  e.vpage = vpage;
+  e.pte = pte;
+}
+
+void Tlb::InvalidatePage(uint32_t asid, uint64_t vaddr) {
+  const uint64_t vpage = vaddr / kPageSize;
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry& e = entries_[SlotFor(asid, vpage)];
+  if (e.valid && e.asid == asid && e.vpage == vpage) {
+    e.valid = false;
+    ++invalidations_;
+  }
+}
+
+void Tlb::InvalidateAsid(uint32_t asid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid) {
+      e.valid = false;
+      ++invalidations_;
+    }
+  }
+}
+
+void Tlb::InvalidateAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (Entry& e : entries_) {
+    if (e.valid) {
+      e.valid = false;
+      ++invalidations_;
+    }
+  }
+}
+
+Tlb::Stats Tlb::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.invalidations = invalidations_;
+  s.shootdowns_received = shootdowns_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Result<uint64_t> PhysicalMemory::Read(uint64_t paddr, unsigned width) const {

@@ -14,7 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/hw/nic.h"
@@ -79,6 +82,7 @@ enum PteFlags : uint32_t {
   kPteWritable = 1 << 1,
   kPteUser = 1 << 2,
   kPteSvmReserved = 1 << 3,  // Owned by the SVM; unmappable by the kernel.
+  kPteCow = 1 << 4,  // Copy-on-write: shared frame, write breaks the share.
 };
 
 struct PageTableEntry {
@@ -86,25 +90,148 @@ struct PageTableEntry {
   uint32_t flags = 0;
 };
 
-// A single-level page table keyed by virtual page number — enough structure
-// for SVM mediation semantics without multi-level walk detail.
+// What a physical frame is used for. The SVA-OS MMU ops consult this table
+// at map time to enforce the paper's §4.3 integrity rules (a frame holding
+// kernel data or page tables must never become user-accessible).
+enum class FrameType : uint8_t {
+  kUnused = 0,     // Not declared; mappable for any use.
+  kUser = 1,       // User-space data page.
+  kKernel = 2,     // Kernel data/code.
+  kPageTable = 3,  // Holds translations; writable only by the SVM.
+  kSvm = 4,        // SVM-private (metapool metadata, saved state).
+  kIo = 5,         // Device MMIO window.
+};
+
+const char* FrameTypeName(FrameType type);
+
+// Hierarchical per-address-space page tables. Each address space (asid) is
+// a two-level structure: a directory keyed by the top virtual-page bits
+// pointing at 512-entry leaf tables (2 MB of address space per leaf) —
+// enough walk structure for per-task translation and frame-type mediation
+// without modelling the full 4-level x86 radix.
+//
+// Asid 0 (kKernelAsid) always exists and carries the kernel/SVM mappings;
+// the legacy single-address-space API forwards to it. All methods are
+// thread-safe behind an internal (unranked, leaf) mutex; callers needing
+// multi-op atomicity (e.g. COW remap) serialize at the address-space level.
 class Mmu {
  public:
-  Status Map(uint64_t vaddr, uint64_t paddr, uint32_t flags);
-  Status Unmap(uint64_t vaddr);
-  // Physical address for a virtual one, honoring present bits; error on
-  // fault.
-  Result<uint64_t> Translate(uint64_t vaddr, bool write,
+  static constexpr uint32_t kKernelAsid = 0;
+  static constexpr size_t kLeafEntries = 512;  // 2 MB per leaf table.
+
+  Mmu();
+
+  // --- Address-space lifecycle ----------------------------------------------
+  Result<uint32_t> CreateAddressSpace();
+  Status DestroyAddressSpace(uint32_t asid);
+
+  // --- Translation mutation (reached only via SvaOS::Mmu*) ------------------
+  // Fails with AlreadyExists if `vaddr` is already mapped in `asid` (the
+  // caller unmaps first; there is no silent overwrite).
+  Status Map(uint32_t asid, uint64_t vaddr, uint64_t paddr, uint32_t flags);
+  Status Unmap(uint32_t asid, uint64_t vaddr);
+  // Replaces the flags of an existing mapping, keeping the frame (the COW
+  // upgrade/downgrade path). Present is implied.
+  Status Protect(uint32_t asid, uint64_t vaddr, uint32_t flags);
+
+  // --- Walks ----------------------------------------------------------------
+  Result<uint64_t> Translate(uint32_t asid, uint64_t vaddr, bool write,
                              Privilege privilege) const;
-  bool IsMapped(uint64_t vaddr) const;
-  const std::map<uint64_t, PageTableEntry>& entries() const {
-    return entries_;
+  // Raw PTE fetch (no fault accounting); false if not present.
+  bool Lookup(uint32_t asid, uint64_t vaddr, PageTableEntry* out) const;
+  bool IsMapped(uint32_t asid, uint64_t vaddr) const;
+  // Snapshot of every present mapping in `asid` as (vaddr, pte) pairs.
+  std::vector<std::pair<uint64_t, PageTableEntry>> Entries(
+      uint32_t asid) const;
+
+  // --- Legacy single-address-space API (kernel asid) ------------------------
+  Status Map(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+    return Map(kKernelAsid, vaddr, paddr, flags);
   }
-  uint64_t faults() const { return faults_; }
+  Status Unmap(uint64_t vaddr) { return Unmap(kKernelAsid, vaddr); }
+  Result<uint64_t> Translate(uint64_t vaddr, bool write,
+                             Privilege privilege) const {
+    return Translate(kKernelAsid, vaddr, write, privilege);
+  }
+  bool IsMapped(uint64_t vaddr) const { return IsMapped(kKernelAsid, vaddr); }
+
+  // --- Frame-type declarations (§4.3) ---------------------------------------
+  void DeclareFrameType(uint64_t paddr, FrameType type);
+  FrameType frame_type(uint64_t paddr) const;
+
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
 
  private:
-  std::map<uint64_t, PageTableEntry> entries_;  // vpage -> pte
-  mutable uint64_t faults_ = 0;
+  struct Leaf {
+    std::array<PageTableEntry, kLeafEntries> ptes{};
+  };
+  struct Space {
+    std::map<uint64_t, std::unique_ptr<Leaf>> dir;  // vpage>>9 -> leaf
+  };
+
+  // Both require mu_ held. Find returns null when the leaf or PTE is absent.
+  PageTableEntry* Find(uint32_t asid, uint64_t vpage);
+  const PageTableEntry* Find(uint32_t asid, uint64_t vpage) const;
+
+  mutable std::mutex mu_;  // Unranked leaf: never calls out under it.
+  std::map<uint32_t, Space> spaces_;
+  std::vector<uint32_t> free_asids_;
+  uint32_t next_asid_ = 1;
+  std::vector<FrameType> frame_types_;  // Indexed by physical page number.
+  mutable std::atomic<uint64_t> faults_{0};
+};
+
+// A per-virtual-CPU translation lookaside buffer: direct-mapped, tagged by
+// (asid, virtual page). Lookups are the user-copy fast path; misses and
+// permission mismatches fall back to the page-fault path, which refills the
+// entry. Cross-CPU invalidation (TLB shootdown) goes through
+// SvaOS::TlbShootdown, which invalidates every configured CPU's TLB before
+// the mutating MMU op returns — the synchronous model of a shootdown IPI
+// round with acks.
+class Tlb {
+ public:
+  static constexpr size_t kEntries = 64;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t shootdowns_received = 0;
+  };
+
+  // True if a present entry for (asid, vaddr) exists; copies it to `out`.
+  // Callers re-check permission bits (write to a read-only or COW entry
+  // must take the fault path even on a TLB hit).
+  bool Lookup(uint32_t asid, uint64_t vaddr, PageTableEntry* out);
+  void Insert(uint32_t asid, uint64_t vaddr, const PageTableEntry& pte);
+  void InvalidatePage(uint32_t asid, uint64_t vaddr);
+  void InvalidateAsid(uint32_t asid);
+  void InvalidateAll();
+  // Remote-CPU accounting: the initiator of a shootdown calls this on every
+  // other CPU's TLB it invalidated.
+  void CountShootdown() {
+    shootdowns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    uint32_t asid = 0;
+    uint64_t vpage = 0;
+    PageTableEntry pte;
+  };
+  static size_t SlotFor(uint32_t asid, uint64_t vpage) {
+    return static_cast<size_t>(vpage ^ asid) % kEntries;
+  }
+
+  mutable std::mutex mu_;  // Unranked leaf (remote CPUs invalidate).
+  std::array<Entry, kEntries> entries_{};
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+  std::atomic<uint64_t> shootdowns_{0};
 };
 
 class PhysicalMemory {

@@ -43,9 +43,22 @@ struct KernelConfig {
   // and kSvaSafe modes (the LLVM-vs-GCC codegen difference; Section 7.1
   // measured at most 13% on kernel paths).
   unsigned translator_tax_iterations = 24;
-  // Number of user pages each task owns (64 KiB default, enough for the
-  // bandwidth benchmarks' transfer buffers).
+  // Pages each task's address space may touch at creation (64 KiB default,
+  // enough for the bandwidth benchmarks' transfer buffers). Pages are
+  // demand-faulted, never committed up front; brk raises the frontier
+  // lazily toward max_user_pages_per_task.
   unsigned user_pages_per_task = 16;
+  // Hard cap on a task's address-space growth. 256 pages = 1 MiB, exactly
+  // the per-pid virtual stride (UserBaseForPid), so grown spaces never
+  // overlap their neighbours.
+  unsigned max_user_pages_per_task = 256;
+  // Fork backend: copy-on-write (CloneCow) by default; false selects the
+  // eager-copy backend (the bench/vm_ops comparison baseline).
+  bool cow_fork = true;
+  // Ceiling for dynamic stream-listener accept-backlog growth (the fixed
+  // kAcceptBacklog is only the initial allocation; the backlog doubles on
+  // pressure up to this, like the fd table).
+  unsigned max_accept_backlog = 16384;
   // Per-task fd-table size at task creation. The initial fd array is
   // modeled inside the task-cache object, so the task_struct cache's object
   // size scales with this; 64 is enough for the 25 concurrent connections

@@ -17,6 +17,7 @@ constexpr uint64_t kEChild = static_cast<uint64_t>(-10);
 constexpr uint64_t kEAgain = static_cast<uint64_t>(-11);
 constexpr uint64_t kEMsgSize = static_cast<uint64_t>(-90);
 constexpr uint64_t kEAddrInUse = static_cast<uint64_t>(-98);
+constexpr uint64_t kENoMem = static_cast<uint64_t>(-12);
 
 // The fd array is modeled at this offset inside the task-cache object; the
 // sigaction table sits below it at offset 96 (signals < 32 fit).
@@ -71,6 +72,11 @@ Status Kernel::Boot() {
   // callback fires with no net-stack locks held (see NetStack::NotifyReady),
   // so OnSocketReady may take evq_lock_ and per-queue locks freely.
   net_->SetReadyCallback([this](int sid) { OnSocketReady(sid); });
+  net_->set_max_accept_backlog(config_.max_accept_backlog);
+
+  // The VM subsystem hooks the shootdown-IPI vector before any address
+  // space exists.
+  SVA_RETURN_IF_ERROR(vm_.Init());
 
   if (config_.mode != KernelMode::kNative) {
     // SVA-PORT(svaos): system call handlers are registered through the
@@ -301,6 +307,13 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
     return NotFound(StrCat("unknown syscall ", static_cast<uint64_t>(number)));
   }();
 
+  // Frame-pool exhaustion surfaces mid-copy as a fault that cannot fill;
+  // the kernel turns it into -ENOMEM, never an abort or a kill.
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kResourceExhausted) {
+    result = kENoMem;
+  }
+
   // Signal delivery on the return path. SVA-PORT(svaos): dispatch saves
   // state on the kernel stack and uses llva.ipush.function instead of
   // rewriting the user stack frame (Section 6.1). Delivery runs on the
@@ -356,32 +369,13 @@ void Kernel::DeliverPendingSignals(Task& task,
 
 // --- User memory ------------------------------------------------------------------
 
-Result<uint64_t> Kernel::UserToPhysical(Task& task, uint64_t uaddr) {
-  uint64_t base = UserBaseForPid(task.pid);
-  if (uaddr < base) {
-    return SafetyViolation(StrCat("bad user address 0x", std::hex, uaddr));
-  }
-  uint64_t offset = uaddr - base;
-  uint64_t page = offset / hw::kPageSize;
-  if (page >= task.user_pages.size()) {
-    return SafetyViolation(StrCat("bad user address 0x", std::hex, uaddr));
-  }
-  // Demand paging on first touch. Net-path workers share the task off the
-  // BKL, so first touches may race: CAS installs one winner's page (the
-  // loser's page stays unused — the bump allocator never frees anyway).
-  std::atomic_ref<uint64_t> slot(task.user_pages[page]);
-  uint64_t mapped = slot.load(std::memory_order_acquire);
-  if (mapped == 0) {
-    uint64_t phys = machine_.AllocatePhysicalPage();
-    if (phys == 0) {
-      return Internal("out of physical memory demand-paging user memory");
-    }
-    if (slot.compare_exchange_strong(mapped, phys,
-                                     std::memory_order_acq_rel)) {
-      mapped = phys;
-    }
-  }
-  return mapped + offset % hw::kPageSize;
+Result<uint64_t> Kernel::UserToPhysical(Task& task, uint64_t uaddr,
+                                        bool write) {
+  // SVA-PORT(svaos): translation goes through the task's address space —
+  // per-CPU TLB hit on the fast path, page-fault-driven demand fill (or
+  // COW break, for writes) on a miss. Net-path workers share the task off
+  // the BKL; VmManager::Resolve serializes faults on the AS lock.
+  return vm_.Resolve(*task.aspace, uaddr, write);
 }
 
 Status Kernel::CheckUserRange(Task& task, uint64_t uaddr, uint64_t len) {
@@ -402,7 +396,8 @@ Status Kernel::CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
       .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(task, uaddr + copied, /*write=*/false));
     uint64_t in_page = hw::kPageSize - (uaddr + copied) % hw::kPageSize;
     uint64_t chunk = std::min(len - copied, in_page);
     SVA_RETURN_IF_ERROR(machine_.memory().Copy(kaddr + copied, pa, chunk));
@@ -418,7 +413,8 @@ Status Kernel::CopyToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
       .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(task, uaddr + copied, /*write=*/true));
     uint64_t in_page = hw::kPageSize - (uaddr + copied) % hw::kPageSize;
     uint64_t chunk = std::min(len - copied, in_page);
     SVA_RETURN_IF_ERROR(machine_.memory().Copy(pa, kaddr + copied, chunk));
@@ -434,7 +430,8 @@ Status Kernel::CopyBlockToUser(Task& task, uint64_t uaddr, uint64_t kaddr,
       .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(task, uaddr + copied, /*write=*/true));
     uint64_t in_page = hw::kPageSize - (uaddr + copied) % hw::kPageSize;
     uint64_t chunk = std::min(len - copied, in_page);
     SVA_RETURN_IF_ERROR(machine_.memory().Copy(pa, kaddr + copied, chunk));
@@ -449,7 +446,8 @@ Status Kernel::CopyBlockFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
       .fetch_add(len, std::memory_order_relaxed);
   uint64_t copied = 0;
   while (copied < len) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(task, uaddr + copied));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(task, uaddr + copied, /*write=*/false));
     uint64_t in_page = hw::kPageSize - (uaddr + copied) % hw::kPageSize;
     uint64_t chunk = std::min(len - copied, in_page);
     SVA_RETURN_IF_ERROR(machine_.memory().Copy(kaddr + copied, pa, chunk));
@@ -466,7 +464,8 @@ Status Kernel::PokeUser(uint64_t uaddr, const void* data, uint64_t len) {
   }
   const auto* bytes = static_cast<const uint8_t*>(data);
   for (uint64_t i = 0; i < len; ++i) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(*task, uaddr + i));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(*task, uaddr + i, /*write=*/true));
     SVA_RETURN_IF_ERROR(machine_.memory().Write(pa, 1, bytes[i]));
   }
   return OkStatus();
@@ -480,7 +479,8 @@ Status Kernel::PeekUser(uint64_t uaddr, void* data, uint64_t len) {
   }
   auto* bytes = static_cast<uint8_t*>(data);
   for (uint64_t i = 0; i < len; ++i) {
-    SVA_ASSIGN_OR_RETURN(uint64_t pa, UserToPhysical(*task, uaddr + i));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(*task, uaddr + i, /*write=*/false));
     SVA_ASSIGN_OR_RETURN(uint64_t v, machine_.memory().Read(pa, 1));
     bytes[i] = static_cast<uint8_t>(v);
   }
@@ -534,17 +534,25 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   task.parent = parent_pid;
   task.alive = true;
   task.fds.assign(config_.max_fds, -1);
-  // User pages are demand-allocated on first touch (entries start at 0).
-  task.user_pages.assign(config_.user_pages_per_task, 0);
+  // SVA-PORT(svaos): a fresh address space — nothing committed; pages fault
+  // in on first touch, and brk grows the frontier lazily toward the cap.
+  SVA_ASSIGN_OR_RETURN(
+      task.aspace,
+      vm_.CreateAddressSpace(UserBaseForPid(task.pid),
+                             config_.user_pages_per_task,
+                             config_.max_user_pages_per_task));
   task.brk = UserBaseForPid(task.pid) +
-             task.user_pages.size() * hw::kPageSize / 2;
+             config_.user_pages_per_task * hw::kPageSize / 2;
   if (config_.mode == KernelMode::kSvaSafe && user_pool_ != nullptr) {
-    // Register this task's user range as one object (Section 4.6). An
+    // Register this task's user range as one object (Section 4.6), covering
+    // the full growable span so lazy brk needs no re-registration. Spans
+    // tile exactly with the per-pid stride, so neighbours never overlap. An
     // overlap with an existing registration is a kernel bug, not a
     // recoverable condition.
-    SVA_RETURN_IF_ERROR(
-        pools_.RegisterUserspace(*user_pool_, UserBaseForPid(task.pid),
-                                 task.user_pages.size() * hw::kPageSize));
+    SVA_RETURN_IF_ERROR(pools_.RegisterUserspace(
+        *user_pool_, UserBaseForPid(task.pid),
+        static_cast<uint64_t>(config_.max_user_pages_per_task) *
+            hw::kPageSize));
   }
   int pid = task.pid;
   {
@@ -1160,11 +1168,30 @@ Result<uint64_t> Kernel::SysPipeWrite(uint64_t fd, uint64_t uaddr,
 
 Result<uint64_t> Kernel::SysBrk(uint64_t delta) {
   Task& task = *current_task();
-  // Atomic add: the break is per-task state a multi-threaded "process"
-  // (net workers sharing pid 1) may move concurrently.
-  return std::atomic_ref<uint64_t>(task.brk).fetch_add(
-             delta, std::memory_order_relaxed) +
-         delta;
+  mm::AddressSpace& as = *task.aspace;
+  // Lazy brk: raise the touchable-page frontier, commit nothing — pages
+  // fault in on first touch. Atomic CAS loop: the break is per-task state a
+  // multi-threaded "process" (net workers sharing pid 1) may move
+  // concurrently, and a failed growth must not move it at all.
+  std::atomic_ref<uint64_t> brk(task.brk);
+  uint64_t old_brk = brk.load(std::memory_order_relaxed);
+  while (true) {
+    uint64_t new_brk = old_brk + delta;
+    if (new_brk < as.base()) {
+      return kEInval;  // Shrunk below the image base.
+    }
+    uint64_t needed_pages =
+        (new_brk - as.base() + hw::kPageSize - 1) / hw::kPageSize;
+    // Growth past the address-space cap is kENoMem, never an abort: the
+    // limit is monotonic, so a shrink needs no extension.
+    if (!vm_.ExtendLimit(as, needed_pages).ok()) {
+      return kENoMem;
+    }
+    if (brk.compare_exchange_weak(old_brk, new_brk,
+                                  std::memory_order_relaxed)) {
+      return new_brk;
+    }
+  }
 }
 
 Result<uint64_t> Kernel::SysSigaction(uint64_t sig, uint64_t handler) {
@@ -1197,6 +1224,8 @@ Result<uint64_t> Kernel::SysKill(uint64_t pid, uint64_t sig,
 
 Result<uint64_t> Kernel::SysFork() {
   Task& parent = *current_task();
+  trace::Span span(trace::EventId::kFork, trace::HistId::kForkNs,
+                   static_cast<uint64_t>(parent.pid));
   std::atomic_ref<uint64_t>(stats_.forks)
       .fetch_add(1, std::memory_order_relaxed);
   SVA_ASSIGN_OR_RETURN(int child_pid, CreateTask(parent.pid));
@@ -1223,23 +1252,21 @@ Result<uint64_t> Kernel::SysFork() {
         std::atomic_ref<uint64_t>(parent.sigactions[sig].handler)
             .load(std::memory_order_acquire);
   }
-  // Copy-on-write fork: only the pages the parent has actually dirtied are
-  // copied eagerly (the minikernel tracks no dirty bits, so it copies the
-  // low pages where the tasks' working data lives); the rest share until
-  // write, as in the real kernel.
-  size_t eager = std::min(parent.user_pages.size(), child.user_pages.size());
-  for (size_t i = 0; i < eager; ++i) {
-    uint64_t parent_pa = std::atomic_ref<uint64_t>(parent.user_pages[i])
-                             .load(std::memory_order_acquire);
-    if (parent_pa == 0) {
-      continue;  // Parent never touched this page; nothing to copy.
-    }
-    uint64_t child_base = UserBaseForPid(child.pid) + i * hw::kPageSize;
-    SVA_ASSIGN_OR_RETURN(uint64_t child_pa,
-                         UserToPhysical(child, child_base));
-    SVA_RETURN_IF_ERROR(machine_.memory().Copy(child_pa, parent_pa,
-                                               hw::kPageSize));
-  }
+  // Clone the address space. COW (default): the parent's mappings are
+  // downgraded to read-only + kPteCow, refcounts bumped, and the same
+  // frames mapped into the child — the first write on either side breaks
+  // the share in the fault handler. Eager mode copies every resident frame
+  // up front (the bench/vm_ops comparison baseline).
+  SVA_RETURN_IF_ERROR(config_.cow_fork
+                          ? vm_.CloneCow(*parent.aspace, *child.aspace)
+                          : vm_.CloneEager(*parent.aspace, *child.aspace));
+  // The child's break mirrors the parent's offset into its own stride.
+  std::atomic_ref<uint64_t>(child.brk).store(
+      UserBaseForPid(child.pid) +
+          (std::atomic_ref<uint64_t>(parent.brk)
+               .load(std::memory_order_relaxed) -
+           UserBaseForPid(parent.pid)),
+      std::memory_order_relaxed);
   // Snapshot the parent's processor state into the child.
   if (config_.mode == KernelMode::kNative) {
     child.cpu_state.control = machine_.cpu().control();
@@ -1249,25 +1276,25 @@ Result<uint64_t> Kernel::SysFork() {
     svaos_.SaveIntegerState(&child.cpu_state);
     svaos_.SaveFpState(&child.fp_state, /*always=*/false);
   }
+  trace::Emit(trace::EventId::kConnForked, static_cast<uint64_t>(child_pid),
+              static_cast<uint64_t>(parent.pid));
   return static_cast<uint64_t>(child_pid);
 }
 
 Result<uint64_t> Kernel::SysExecve(uint64_t path_uaddr) {
   (void)path_uaddr;
   Task& task = *current_task();
+  trace::Span span(trace::EventId::kExec, trace::HistId::kExecNs,
+                   static_cast<uint64_t>(task.pid));
   std::atomic_ref<uint64_t>(stats_.execs)
       .fetch_add(1, std::memory_order_relaxed);
-  // Reset the image: zero the touched user pages, reset break, close
-  // nothing (CLOEXEC is out of scope). The page clears model image loading.
-  for (uint64_t& page_slot : task.user_pages) {
-    uint64_t page =
-        std::atomic_ref<uint64_t>(page_slot).load(std::memory_order_acquire);
-    if (page != 0) {
-      SVA_RETURN_IF_ERROR(machine_.memory().Fill(page, 0, hw::kPageSize));
-    }
-  }
+  // Reset the image: drop every mapping (frames go back to the pool),
+  // rewind the brk frontier, close nothing (CLOEXEC is out of scope). The
+  // fresh zero-fill faults model image loading.
+  SVA_RETURN_IF_ERROR(vm_.Reset(*task.aspace, config_.user_pages_per_task));
   std::atomic_ref<uint64_t>(task.brk).store(
-      UserBaseForPid(task.pid) + task.user_pages.size() * hw::kPageSize / 2,
+      UserBaseForPid(task.pid) +
+          config_.user_pages_per_task * hw::kPageSize / 2,
       std::memory_order_relaxed);
   std::atomic_ref<uint32_t>(task.pending_signals)
       .store(0, std::memory_order_release);
@@ -1314,6 +1341,7 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
 Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
   uint64_t child_addr;
   uint64_t child_fd_block;
+  std::unique_ptr<mm::AddressSpace> child_aspace;
   {
     // Validate and detach under one tasks_lock_ hold: two concurrent
     // waiters must not both reap the same child.
@@ -1327,7 +1355,15 @@ Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
     }
     child_addr = it->second.addr;
     child_fd_block = it->second.fd_block;
+    child_aspace = std::move(it->second.aspace);
     tasks_.erase(it);
+  }
+  // Tear the address space down outside tasks_lock_ (the AS lock ranks
+  // above it anyway): unmap everything, release the frames for reuse —
+  // COW-shared frames survive until the other side drops its reference —
+  // and retire the asid.
+  if (child_aspace != nullptr) {
+    SVA_RETURN_IF_ERROR(vm_.Destroy(*child_aspace));
   }
   if (child_fd_block != 0) {
     // A grown fd table dies with the task, like free_fdtable at release.

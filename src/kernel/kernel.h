@@ -23,6 +23,7 @@
 #include "src/hw/machine.h"
 #include "src/kernel/alloc.h"
 #include "src/kernel/config.h"
+#include "src/mm/vm.h"
 #include "src/net/net_stack.h"
 #include "src/runtime/metapool_runtime.h"
 #include "src/smp/lock_order.h"
@@ -130,7 +131,9 @@ struct Task {
   // hand-written struct pt_regs.
   svaos::SavedIntegerState cpu_state;
   svaos::SavedFpState fp_state;
-  std::vector<uint64_t> user_pages;  // Physical pages backing user memory.
+  // SVA-PORT(svaos): user memory is a per-task address space whose page
+  // tables are mutated only through the SVA-OS MMU operations (src/mm).
+  std::unique_ptr<mm::AddressSpace> aspace;
   std::array<SigAction, kMaxSignals> sigactions{};
   uint32_t pending_signals = 0;
   uint64_t signals_delivered = 0;
@@ -249,6 +252,9 @@ class Kernel {
   }
   // The network stack; null until Boot().
   net::NetStack* net() { return net_.get(); }
+  // The virtual-memory subsystem (demand paging, COW fork, TLB shootdown).
+  mm::VmManager& vm() { return vm_; }
+  mm::FrameAllocator& frames() { return frames_; }
   const KernelStats& stats() const { return stats_; }
   svaos::SvaOS& svaos() { return svaos_; }
   runtime::MetaPoolRuntime& pools() { return pools_; }
@@ -266,9 +272,11 @@ class Kernel {
   void TranslatorTax();
 
   // --- User memory ------------------------------------------------------------
-  // Translates a user virtual address, demand-allocating the backing page
-  // on first touch (real kernels demand-page user memory).
-  Result<uint64_t> UserToPhysical(Task& task, uint64_t uaddr);
+  // Translates a user virtual address through the task's address space,
+  // faulting the backing page in on first touch (per-CPU TLB fast path;
+  // VmManager::Resolve slow path). `write` selects the access kind so COW
+  // pages break on the first store, not on reads.
+  Result<uint64_t> UserToPhysical(Task& task, uint64_t uaddr, bool write);
   Status CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
                       uint64_t len);
   Status CopyToUser(Task& task, uint64_t uaddr, uint64_t kaddr, uint64_t len);
@@ -382,7 +390,13 @@ class Kernel {
   // acquire downward in this list, never upward:
   //
   //   bkl_ -> vfs_lock_ -> tasks_lock_ -> sockets_lock_ -> pipes_lock_
-  //        -> evq_lock_ -> files_lock_
+  //        -> evq_lock_ -> files_lock_ -> address-space locks (src/mm)
+  //
+  // Address-space locks (one per task, rank kAddrSpace) sit at the BOTTOM:
+  // user-copy page faults fire while vfs/pipes/files locks are held, so the
+  // fault path must still be able to take them. Same-rank nesting is
+  // forbidden, so COW fork clones in two sequential critical sections
+  // (parent lock, then child lock), never nested.
   //
   // External lock classes (metapool stripe locks, allocator locks, the net
   // stack's locks) sit BELOW all kernel ranks: they are taken under any of
@@ -423,6 +437,11 @@ class Kernel {
   // valid after release.
   mutable smp::OrderedSpinLock files_lock_{smp::LockRank::kFiles};
   svaos::SvaOS svaos_;
+  // The VM subsystem: physical-frame refcounts + per-task address spaces.
+  // Declared after svaos_ (construction order) — all its MMU mutations flow
+  // through svaos_'s mediated operations.
+  mm::FrameAllocator frames_{machine_, svaos_};
+  mm::VmManager vm_{svaos_, frames_};
   runtime::MetaPoolRuntime pools_;
   std::unique_ptr<KernelAllocators> allocators_;
 

@@ -13,8 +13,9 @@ namespace sva::kernel {
 namespace {
 
 // User-space scratch window the responder stages request/response bytes
-// through, placed in the upper half of the 64 KB per-task user region so it
-// never collides with the benchmarks' conventional offset-0..16K buffers.
+// through, placed in the upper half of the initial 64 KB per-task user
+// window (the demand-paged region brk starts with) so it never collides
+// with the benchmarks' conventional offset-0..16K buffers.
 constexpr uint64_t kScratchOffset = 0x8000;
 constexpr uint64_t kSendChunk = 8192;
 
@@ -116,7 +117,38 @@ std::string MetricsServer::RenderText() const {
   Add(counters, "sva_svaos_interrupts_dispatched_total",
       os.interrupts_dispatched);
   Add(counters, "sva_svaos_mmu_ops_total", os.mmu_ops);
+  Add(counters, "sva_svaos_mmu_protects_total", os.mmu_protects);
+  Add(counters, "sva_svaos_mmu_checks_failed_total", os.mmu_checks_failed);
+  Add(counters, "sva_svaos_tlb_shootdowns_total", os.tlb_shootdowns);
   Add(counters, "sva_svaos_io_ops_total", os.io_ops);
+
+  // Virtual-memory subsystem: fault/fill/COW traffic and frame-pool level.
+  const mm::VmStats vm = kernel_.vm().stats();
+  Add(counters, "sva_vm_page_faults_total", vm.page_faults);
+  Add(counters, "sva_vm_demand_fills_total", vm.demand_fills);
+  Add(counters, "sva_vm_cow_faults_total", vm.cow_faults);
+  Add(counters, "sva_vm_cow_copies_total", vm.cow_copies);
+  Add(counters, "sva_vm_forks_total", vm.forks_cow, "{mode=\"cow\"}");
+  Add(counters, "sva_vm_forks_total", vm.forks_eager, "{mode=\"eager\"}");
+  Add(counters, "sva_vm_shootdown_ipis_total", vm.shootdown_ipis);
+  Add(counters, "sva_vm_frames_live", kernel_.frames().live_frames());
+  Add(counters, "sva_vm_frames_free", kernel_.frames().free_frames());
+
+  // Per-CPU TLBs, aggregated (the user-copy fast path's hit rate).
+  hw::Tlb::Stats tlb{};
+  svaos::SvaOS& svaos = kernel_.svaos();
+  for (unsigned c = 0; c < svaos.num_cpus(); ++c) {
+    hw::Tlb::Stats s = svaos.cpu(c).tlb().stats();
+    tlb.hits += s.hits;
+    tlb.misses += s.misses;
+    tlb.invalidations += s.invalidations;
+    tlb.shootdowns_received += s.shootdowns_received;
+  }
+  Add(counters, "sva_tlb_hits_total", tlb.hits);
+  Add(counters, "sva_tlb_misses_total", tlb.misses);
+  Add(counters, "sva_tlb_invalidations_total", tlb.invalidations);
+  Add(counters, "sva_tlb_shootdowns_received_total",
+      tlb.shootdowns_received);
 
   if (net::NetStack* net = kernel_.net()) {
     const net::NetStats& ns = net->stats();

@@ -1,0 +1,71 @@
+#include "src/mm/frame_allocator.h"
+
+namespace sva::mm {
+
+Result<uint64_t> FrameAllocator::Allocate(hw::FrameType type) {
+  uint64_t paddr = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!free_list_.empty()) {
+      paddr = free_list_.back();
+      free_list_.pop_back();
+    }
+  }
+  if (paddr == 0) {
+    paddr = machine_.AllocatePhysicalPage();
+    if (paddr == 0) {
+      return Status(StatusCode::kResourceExhausted,
+                    "physical frame pool exhausted");
+    }
+  } else {
+    // Recycled frame: scrub before it crosses address spaces.
+    (void)machine_.memory().Fill(paddr, 0, hw::kPageSize);
+  }
+  SVA_RETURN_IF_ERROR(os_.DeclareFrameType(paddr, type));
+  std::lock_guard<std::mutex> guard(mu_);
+  refs_[paddr] = 1;
+  return paddr;
+}
+
+void FrameAllocator::AddRef(uint64_t paddr) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++refs_[paddr];
+}
+
+void FrameAllocator::Release(uint64_t paddr) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = refs_.find(paddr);
+    if (it == refs_.end()) {
+      return;  // Not ours (boot-time frame); nothing to recycle.
+    }
+    if (--it->second != 0) {
+      return;
+    }
+    refs_.erase(it);
+  }
+  // Re-type BEFORE parking the frame on the free list: once listed, a
+  // concurrent Allocate may hand it out with a fresh declaration, which a
+  // stale late kUnused write here must never overwrite.
+  (void)os_.DeclareFrameType(paddr, hw::FrameType::kUnused);
+  std::lock_guard<std::mutex> guard(mu_);
+  free_list_.push_back(paddr);
+}
+
+uint32_t FrameAllocator::RefCount(uint64_t paddr) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = refs_.find(paddr);
+  return it == refs_.end() ? 0 : it->second;
+}
+
+size_t FrameAllocator::free_frames() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return free_list_.size();
+}
+
+size_t FrameAllocator::live_frames() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return refs_.size();
+}
+
+}  // namespace sva::mm

@@ -1,0 +1,64 @@
+// Physical frame allocator for the virtual-memory subsystem (src/mm).
+//
+// Sits between the Machine's bump allocator (pages are carved out once and
+// never returned to it) and the demand-paging / COW paths, adding the two
+// things those paths need: a free list so address-space teardown recycles
+// frames, and per-frame reference counts so COW fork can share a frame
+// across parent and child until the first write.
+//
+// Every frame handed out is declared to the MMU with the caller's frame
+// type (§4.3), so the SVA-OS map-time checks see an accurate type table.
+// Releasing the last reference re-declares the frame kUnused and parks it
+// on the free list; re-allocation zeroes it before reuse so no data leaks
+// between address spaces.
+//
+// Thread-safety: all operations are guarded by one internal mutex — an
+// unranked leaf below the address-space locks (docs/CONCURRENCY.md); no
+// callback ever runs under it.
+#ifndef SVA_SRC_MM_FRAME_ALLOCATOR_H_
+#define SVA_SRC_MM_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/support/status.h"
+#include "src/svaos/svaos.h"
+
+namespace sva::mm {
+
+class FrameAllocator {
+ public:
+  FrameAllocator(hw::Machine& machine, svaos::SvaOS& svaos)
+      : machine_(machine), os_(svaos) {}
+
+  // Returns a zeroed frame declared as `type`, refcount 1. Prefers the free
+  // list; falls back to the machine's bump allocator. ResourceExhausted when
+  // both are dry (the caller maps this to kENoMem, never an abort).
+  Result<uint64_t> Allocate(hw::FrameType type);
+
+  // COW sharing: one more mapping now references `paddr`.
+  void AddRef(uint64_t paddr);
+
+  // Drops one reference; the last drop re-declares the frame kUnused and
+  // recycles it onto the free list.
+  void Release(uint64_t paddr);
+
+  uint32_t RefCount(uint64_t paddr) const;
+  size_t free_frames() const;
+  // Frames currently handed out (refcount >= 1).
+  size_t live_frames() const;
+
+ private:
+  hw::Machine& machine_;
+  svaos::SvaOS& os_;
+  mutable std::mutex mu_;  // Unranked leaf below the AS locks.
+  std::unordered_map<uint64_t, uint32_t> refs_;
+  std::vector<uint64_t> free_list_;
+};
+
+}  // namespace sva::mm
+
+#endif  // SVA_SRC_MM_FRAME_ALLOCATOR_H_

@@ -1,0 +1,145 @@
+// Virtual-memory subsystem: per-task address spaces, demand paging, and
+// copy-on-write fork on top of the asid-aware MMU (src/hw) and the SVA-OS
+// MMU operations (the sole translation-mutation path, §4.3).
+//
+// The paper's kernel keeps its page tables in SVM-declared frames and asks
+// the SVM for every change; this layer is the kernel-side policy that sits
+// on those mechanisms:
+//
+//   * Demand paging — user pages are not committed at task creation. The
+//     address space records a page *limit* (grown lazily by brk); the first
+//     touch of a page inside the limit takes a page fault (FaultIn), gets a
+//     zeroed frame, and maps it. Touches outside the limit are safety
+//     violations, exactly like a hardware fault the kernel turns into a
+//     kill.
+//   * Copy-on-write fork — CloneCow downgrades every parent mapping to
+//     read-only + kPteCow, bumps frame refcounts, and maps the same frames
+//     into the child. The first write on either side faults, and the fault
+//     handler either upgrades in place (sole owner) or copies the frame.
+//   * TLB coherence — every translation mutation is followed by a
+//     synchronous SvaOS::TlbShootdown before the operation returns, so no
+//     CPU can act on a stale entry (the IPI+ack round, delivered through
+//     the SVA-OS interrupt path on vector kTlbShootdownVector).
+//
+// Locking: each AddressSpace carries an OrderedSpinLock of rank kAddrSpace,
+// ABOVE all kernel table locks — user-copy faults occur while vfs/pipes/
+// files locks are held. Same-rank nesting is forbidden, so CloneCow/-Eager
+// take the parent and child locks in two sequential critical sections,
+// never nested (docs/CONCURRENCY.md).
+#ifndef SVA_SRC_MM_VM_H_
+#define SVA_SRC_MM_VM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/hw/machine.h"
+#include "src/mm/frame_allocator.h"
+#include "src/smp/lock_order.h"
+#include "src/support/status.h"
+#include "src/svaos/svaos.h"
+
+namespace sva::mm {
+
+// One task's address space: an MMU asid plus the demand-paging policy state
+// (base, lazy page limit, hard cap). Created and mutated only through
+// VmManager; the kernel stores one per task.
+class AddressSpace {
+ public:
+  uint32_t asid() const { return asid_; }
+  uint64_t base() const { return base_; }
+  // Pages the task may touch (brk frontier); grown lazily, not committed.
+  uint64_t page_limit() const {
+    return page_limit_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_pages() const { return max_pages_; }
+  // Pages actually backed by a frame.
+  uint64_t resident_pages() const {
+    return resident_pages_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class VmManager;
+  AddressSpace(uint32_t asid, uint64_t base, uint64_t initial_pages,
+               uint64_t max_pages)
+      : asid_(asid),
+        base_(base),
+        max_pages_(max_pages),
+        page_limit_(initial_pages) {}
+
+  const uint32_t asid_;
+  const uint64_t base_;
+  const uint64_t max_pages_;
+  std::atomic<uint64_t> page_limit_;
+  std::atomic<uint64_t> resident_pages_{0};
+  // Serializes all translation mutations for this space (fault handling,
+  // fork clone phases, reset). Rank kAddrSpace: above every table lock.
+  smp::OrderedSpinLock lock_{smp::LockRank::kAddrSpace};
+};
+
+struct VmStats {
+  uint64_t page_faults = 0;
+  uint64_t demand_fills = 0;
+  uint64_t cow_faults = 0;
+  uint64_t cow_copies = 0;
+  uint64_t forks_cow = 0;
+  uint64_t forks_eager = 0;
+  uint64_t shootdown_ipis = 0;
+};
+
+class VmManager {
+ public:
+  VmManager(svaos::SvaOS& svaos, FrameAllocator& frames)
+      : os_(svaos), frames_(frames) {}
+
+  // Registers the shootdown-IPI handler (vector kTlbShootdownVector) so
+  // cross-CPU invalidations flow through the SVA-OS interrupt path. Call
+  // once, at kernel boot.
+  Status Init();
+
+  // A fresh empty space: [base, base + initial_pages) touchable, growable
+  // to max_pages. No frames are committed.
+  Result<std::unique_ptr<AddressSpace>> CreateAddressSpace(
+      uint64_t base, uint64_t initial_pages, uint64_t max_pages);
+
+  // Unmaps everything, releases the frames, and retires the asid.
+  Status Destroy(AddressSpace& as);
+
+  // Virtual -> physical for a user access, faulting pages in as needed.
+  // The user-copy hot path: per-CPU TLB hit + permission check; misses and
+  // COW writes fall into FaultIn. SafetyViolation outside the page limit;
+  // ResourceExhausted when the frame pool is dry.
+  Result<uint64_t> Resolve(AddressSpace& as, uint64_t vaddr, bool write);
+
+  // Lazy brk: raises the touchable-page frontier without committing frames.
+  // ResourceExhausted past max_pages (the kernel maps this to kENoMem).
+  Status ExtendLimit(AddressSpace& as, uint64_t new_limit_pages);
+
+  // Fork backends. `child` must be freshly created and empty; parent and
+  // child locks are taken sequentially, never nested.
+  Status CloneCow(AddressSpace& parent, AddressSpace& child);
+  Status CloneEager(AddressSpace& parent, AddressSpace& child);
+
+  // Execve: drops every mapping/frame and rewinds the limit.
+  Status Reset(AddressSpace& as, uint64_t initial_pages);
+
+  VmStats stats() const;
+
+ private:
+  // Slow path, called with no AS lock held; takes as.lock_.
+  Result<uint64_t> FaultIn(AddressSpace& as, uint64_t vaddr, bool write);
+
+  svaos::SvaOS& os_;
+  FrameAllocator& frames_;
+  std::atomic<uint64_t> page_faults_{0};
+  std::atomic<uint64_t> demand_fills_{0};
+  std::atomic<uint64_t> cow_faults_{0};
+  std::atomic<uint64_t> cow_copies_{0};
+  std::atomic<uint64_t> forks_cow_{0};
+  std::atomic<uint64_t> forks_eager_{0};
+  std::atomic<uint64_t> shootdown_ipis_{0};
+};
+
+}  // namespace sva::mm
+
+#endif  // SVA_SRC_MM_VM_H_

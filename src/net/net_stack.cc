@@ -276,12 +276,32 @@ Status NetStack::DeliverStream(const FrameHeader& h, Skb skb,
     bool queued = false;
     {
       std::lock_guard<smp::SpinLock> guard(listener->lock);
-      if (listener->open && listener->backlog.size() < kAcceptBacklog) {
-        listener->backlog.push_back(*conn);
-        queued = true;
+      if (listener->open) {
+        // Backlog growth under SYN pressure: double the capacity (fd-table
+        // style) up to the configured ceiling instead of dropping at the
+        // fixed initial 64 slots.
+        const uint32_t max_cap =
+            max_accept_backlog_.load(std::memory_order_relaxed);
+        if (listener->backlog.size() >= listener->backlog_cap &&
+            listener->backlog_cap < max_cap) {
+          listener->backlog_cap =
+              std::min(listener->backlog_cap * 2, max_cap);
+        }
+        if (listener->backlog.size() < listener->backlog_cap) {
+          listener->backlog.push_back(*conn);
+          queued = true;
+        }
       }
     }
     if (!queued) {
+      // A full-at-ceiling backlog drops the connection, loudly: the SYN is
+      // accounted like any other rx-queue overflow. (Close runs with the
+      // listener lock released — it takes table and socket locks itself.)
+      {
+        std::lock_guard<smp::SpinLock> guard(listener->lock);
+        ++listener->rx_queue_drops;
+      }
+      stats_.rx_queue_drops.fetch_add(1, std::memory_order_relaxed);
       (void)Close(*conn);
     }
     (void)skb_pool_.Free(skb.addr);

@@ -89,6 +89,10 @@ struct NetSocket {
   bool peer_fin = false;
   std::deque<RxPacket> rx;
   std::deque<int> backlog;  // Listener: pending connection socket ids.
+  // Listener: current backlog capacity. Starts at kAcceptBacklog and
+  // doubles under SYN pressure up to NetStack's max_accept_backlog (the
+  // fd-table growth scheme applied to the accept queue).
+  uint32_t backlog_cap = kAcceptBacklog;
   uint64_t rx_queue_drops = 0;
 };
 
@@ -176,6 +180,11 @@ class NetStack {
   SkbPool& skbs() { return skb_pool_; }
   const NetStats& stats() const { return stats_; }
 
+  // Ceiling for dynamic listener-backlog growth (KernelConfig plumbs its
+  // max_accept_backlog here at boot). Growth doubles from kAcceptBacklog.
+  void set_max_accept_backlog(uint32_t cap) { max_accept_backlog_ = cap; }
+  uint32_t max_accept_backlog() const { return max_accept_backlog_; }
+
  private:
   Status IoWriteReg(hw::NicReg reg, uint64_t value);
   Result<uint64_t> IoReadReg(hw::NicReg reg);
@@ -232,6 +241,7 @@ class NetStack {
   std::map<uint64_t, int> stream_conns_;  // StreamKey -> socket id.
 
   std::function<void(int sid)> ready_cb_;
+  std::atomic<uint32_t> max_accept_backlog_{16384};
   NetStats stats_;
   bool booted_ = false;
 };

@@ -21,6 +21,8 @@ const char* LockRankName(LockRank rank) {
       return "evq";
     case LockRank::kFiles:
       return "files";
+    case LockRank::kAddrSpace:
+      return "addrspace";
   }
   return "unknown";
 }
@@ -37,7 +39,7 @@ void LockOrderChecker::FatalInversion(LockRank incoming, const uint8_t* held,
   }
   std::fprintf(stderr,
                "]; required order is bkl -> vfs -> tasks -> sockets -> pipes "
-               "-> evq -> files (docs/CONCURRENCY.md)\n");
+               "-> evq -> files -> addrspace (docs/CONCURRENCY.md)\n");
   std::abort();
 }
 

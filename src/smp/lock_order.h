@@ -21,7 +21,7 @@
 // The invariant the checker protects is the kernel's own order:
 //
 //   bkl_ -> vfs_lock_ -> tasks_lock_ -> sockets_lock_ -> pipes_lock_
-//        -> evq_lock_ -> files_lock_
+//        -> evq_lock_ -> files_lock_ -> address-space locks
 #ifndef SVA_SRC_SMP_LOCK_ORDER_H_
 #define SVA_SRC_SMP_LOCK_ORDER_H_
 
@@ -42,6 +42,10 @@ enum class LockRank : uint8_t {
   kPipes = 40,    // pipes_lock_: pipe table + ring state.
   kEvq = 45,      // evq_lock_: event-queue table + sid->watch reverse map.
   kFiles = 50,    // files_lock_: open-file table + fd arrays (shared leaf).
+  // Per-task address-space locks rank ABOVE every table lock: user-copy
+  // page faults happen while vfs/pipes/files locks are held, so the fault
+  // path (FaultIn under the AS lock) must still be acquirable there.
+  kAddrSpace = 60,
 };
 
 const char* LockRankName(LockRank rank);

@@ -14,6 +14,9 @@ SvaOsStats& SvaOsStats::operator+=(const SvaOsStats& other) {
   syscalls_dispatched += other.syscalls_dispatched;
   interrupts_dispatched += other.interrupts_dispatched;
   mmu_ops += other.mmu_ops;
+  mmu_protects += other.mmu_protects;
+  mmu_checks_failed += other.mmu_checks_failed;
+  tlb_shootdowns += other.tlb_shootdowns;
   io_ops += other.io_ops;
   return *this;
 }

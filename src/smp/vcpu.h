@@ -82,6 +82,9 @@ struct SvaOsStats {
   uint64_t syscalls_dispatched = 0;
   uint64_t interrupts_dispatched = 0;
   uint64_t mmu_ops = 0;
+  uint64_t mmu_protects = 0;
+  uint64_t mmu_checks_failed = 0;  // §4.3 frame-type checks that rejected.
+  uint64_t tlb_shootdowns = 0;     // Shootdown rounds initiated here.
   uint64_t io_ops = 0;
 
   SvaOsStats& operator+=(const SvaOsStats& other);
@@ -102,6 +105,11 @@ class VirtualCpu {
   hw::Cpu& cpu() { return *cpu_; }
   const hw::Cpu& cpu() const { return *cpu_; }
 
+  // This CPU's translation lookaside buffer. Remote CPUs reach in only to
+  // invalidate (SvaOS::TlbShootdown); the owning thread fills and queries.
+  hw::Tlb& tlb() { return tlb_; }
+  const hw::Tlb& tlb() const { return tlb_; }
+
   SvaOsStats& stats() { return stats_; }
   const SvaOsStats& stats() const { return stats_; }
 
@@ -121,6 +129,7 @@ class VirtualCpu {
   const unsigned id_;
   std::unique_ptr<hw::Cpu> owned_cpu_;  // Null for the boot CPU.
   hw::Cpu* cpu_;
+  hw::Tlb tlb_;
   SvaOsStats stats_;
   std::array<InterruptContext, kMaxNestedContexts> icontext_slab_;
   size_t icontext_depth_ = 0;

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "VERIFICATION_FAILED";
     case StatusCode::kParseError:
       return "PARSE_ERROR";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

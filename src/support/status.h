@@ -27,6 +27,9 @@ enum class StatusCode {
   // The bytecode type checker rejected a module.
   kVerificationFailed,
   kParseError,
+  // A finite pool (physical frames, asids) is empty; retryable after
+  // resources are released, unlike kInternal.
+  kResourceExhausted,
 };
 
 // Returns a short stable name for a status code ("OK", "SAFETY_VIOLATION", ...).
@@ -86,6 +89,9 @@ inline Status VerificationFailed(std::string msg) {
 }
 inline Status ParseError(std::string msg) {
   return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 // A value-or-error. The value is only accessible when ok().

@@ -165,20 +165,139 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
 
 // --- MMU / IO ---------------------------------------------------------------------
 
-Status SvaOS::MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+namespace {
+
+// The §4.3 map-time integrity rules over declared frame types. Returns a
+// SafetyViolation for any request that would let the kernel (or a driver)
+// subvert translation integrity; OkStatus for everything else.
+Status CheckMappingAgainstFrameType(hw::FrameType type, uint64_t paddr,
+                                    uint32_t flags) {
+  switch (type) {
+    case hw::FrameType::kUnused:
+    case hw::FrameType::kUser:
+      return OkStatus();
+    case hw::FrameType::kKernel:
+    case hw::FrameType::kIo:
+      if ((flags & hw::kPteUser) != 0) {
+        return SafetyViolation(
+            StrCat("mmu check: user-accessible mapping of ",
+                   hw::FrameTypeName(type), " frame 0x", std::hex, paddr));
+      }
+      return OkStatus();
+    case hw::FrameType::kPageTable:
+      // Page-table frames are writable only by the SVM itself: neither a
+      // user mapping nor a kernel-writable mapping may exist.
+      if ((flags & (hw::kPteUser | hw::kPteWritable)) != 0) {
+        return SafetyViolation(
+            StrCat("mmu check: writable or user mapping of page-table "
+                   "frame 0x",
+                   std::hex, paddr));
+      }
+      return OkStatus();
+    case hw::FrameType::kSvm:
+      if ((flags & hw::kPteSvmReserved) == 0) {
+        return SafetyViolation(
+            StrCat("mmu check: kernel mapping of SVM frame 0x", std::hex,
+                   paddr));
+      }
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status SvaOS::MmuMap(uint32_t asid, uint64_t vaddr, uint64_t paddr,
+                     uint32_t flags) {
   ++cpu_stats().mmu_ops;
   trace::Emit(trace::EventId::kMmuOp, vaddr, 0);
   // SVM mediation: the kernel may never create a mapping into SVM pages.
   if ((flags & hw::kPteSvmReserved) != 0) {
     return FailedPrecondition("kernel may not create SVM-reserved mappings");
   }
-  return machine_.mmu().Map(vaddr, paddr, flags);
+  Status check = CheckMappingAgainstFrameType(
+      machine_.mmu().frame_type(paddr), paddr, flags);
+  if (!check.ok()) {
+    ++cpu_stats().mmu_checks_failed;
+    return check;
+  }
+  return machine_.mmu().Map(asid, vaddr, paddr, flags);
 }
 
-Status SvaOS::MmuUnmap(uint64_t vaddr) {
+Status SvaOS::MmuUnmap(uint32_t asid, uint64_t vaddr) {
   ++cpu_stats().mmu_ops;
   trace::Emit(trace::EventId::kMmuOp, vaddr, 1);
-  return machine_.mmu().Unmap(vaddr);
+  return machine_.mmu().Unmap(asid, vaddr);
+}
+
+Status SvaOS::MmuProtect(uint32_t asid, uint64_t vaddr, uint32_t flags) {
+  ++cpu_stats().mmu_ops;
+  ++cpu_stats().mmu_protects;
+  trace::Emit(trace::EventId::kMmuOp, vaddr, 4);
+  if ((flags & hw::kPteSvmReserved) != 0) {
+    return FailedPrecondition("kernel may not create SVM-reserved mappings");
+  }
+  // Re-validate against the frame the mapping points at: a protection
+  // change to user/writable is as dangerous as a fresh map.
+  hw::PageTableEntry pte;
+  if (machine_.mmu().Lookup(asid, vaddr, &pte)) {
+    const uint64_t paddr = pte.physical_page * hw::kPageSize;
+    Status check = CheckMappingAgainstFrameType(
+        machine_.mmu().frame_type(paddr), paddr, flags);
+    if (!check.ok()) {
+      ++cpu_stats().mmu_checks_failed;
+      return check;
+    }
+  }
+  return machine_.mmu().Protect(asid, vaddr, flags);
+}
+
+Status SvaOS::DeclareFrameType(uint64_t paddr, hw::FrameType type) {
+  ++cpu_stats().mmu_ops;
+  trace::Emit(trace::EventId::kMmuOp, paddr, 5);
+  if (paddr % hw::kPageSize != 0) {
+    return InvalidArgument("declare-frame-type: unaligned frame address");
+  }
+  machine_.mmu().DeclareFrameType(paddr, type);
+  return OkStatus();
+}
+
+Result<uint32_t> SvaOS::CreateAddressSpace() {
+  ++cpu_stats().mmu_ops;
+  return machine_.mmu().CreateAddressSpace();
+}
+
+Status SvaOS::DestroyAddressSpace(uint32_t asid) {
+  ++cpu_stats().mmu_ops;
+  return machine_.mmu().DestroyAddressSpace(asid);
+}
+
+Status SvaOS::TlbShootdown(uint32_t asid, uint64_t vaddr, bool entire_asid) {
+  ++cpu_stats().tlb_shootdowns;
+  trace::Emit(trace::EventId::kTlbShootdown, asid,
+              entire_asid ? 0 : vaddr);
+  // Invalidate every CPU's TLB synchronously — the moral equivalent of an
+  // IPI round where the initiator spins until all acks arrive. The PTE
+  // mutation always happens BEFORE the caller invokes this, so after it
+  // returns no CPU can load the stale translation.
+  smp::VirtualCpu& self = vmp_.Current();
+  for (unsigned i = 0; i < vmp_.num_cpus(); ++i) {
+    smp::VirtualCpu& target = vmp_.cpu(i);
+    if (entire_asid) {
+      target.tlb().InvalidateAsid(asid);
+    } else {
+      target.tlb().InvalidatePage(asid, vaddr);
+    }
+    if (&target != &self) {
+      target.tlb().CountShootdown();
+    }
+  }
+  // Deliver the IPI through the normal interrupt path on the initiating
+  // CPU when the kernel registered a handler for the vector.
+  if (interrupts_[kTlbShootdownVector]) {
+    return RaiseInterrupt(kTlbShootdownVector);
+  }
+  return OkStatus();
 }
 
 Status SvaOS::LoadPageTable(uint64_t base) {
@@ -191,6 +310,9 @@ Status SvaOS::LoadPageTable(uint64_t base) {
 Status SvaOS::ReserveSvmPage(uint64_t vaddr, uint64_t paddr) {
   ++cpu_stats().mmu_ops;
   trace::Emit(trace::EventId::kMmuOp, vaddr, 3);
+  // The frame becomes SVM-typed, so any later kernel MmuMap of it is
+  // rejected by the frame-type check regardless of the target vaddr.
+  machine_.mmu().DeclareFrameType(paddr, hw::FrameType::kSvm);
   return machine_.mmu().Map(vaddr, paddr,
                             hw::kPtePresent | hw::kPteWritable |
                                 hw::kPteSvmReserved);

@@ -39,6 +39,10 @@ using PushedCall = smp::PushedCall;
 using InterruptContext = smp::InterruptContext;
 using SvaOsStats = smp::SvaOsStats;
 
+// Interrupt vector SvaOS::TlbShootdown raises on the initiating CPU to
+// model the cross-CPU shootdown IPI round (the NIC owns vector 32).
+inline constexpr unsigned kTlbShootdownVector = 33;
+
 struct SyscallArgs {
   std::array<uint64_t, 6> args{};
   InterruptContext* icontext = nullptr;
@@ -97,8 +101,35 @@ class SvaOS {
   Status RaiseInterrupt(unsigned vector);
 
   // --- MMU and I/O (privileged operations) -------------------------------------
-  Status MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags);
-  Status MmuUnmap(uint64_t vaddr);
+  // The ONLY translation-mutation path in the system (§4.3): each op
+  // validates the request against the declared frame types before touching
+  // the page tables. A kernel (or driver) asking for a user-accessible
+  // mapping of a kernel, page-table, I/O, or SVM frame gets a
+  // SafetyViolation, never a mapping.
+  Status MmuMap(uint32_t asid, uint64_t vaddr, uint64_t paddr,
+                uint32_t flags);
+  Status MmuUnmap(uint32_t asid, uint64_t vaddr);
+  // Changes an existing mapping's protection (the COW downgrade/upgrade
+  // path), subject to the same frame-type checks as MmuMap.
+  Status MmuProtect(uint32_t asid, uint64_t vaddr, uint32_t flags);
+  // Declares what a physical frame is used for; checked by every later map.
+  Status DeclareFrameType(uint64_t paddr, hw::FrameType type);
+  // Address-space lifecycle for per-task page tables.
+  Result<uint32_t> CreateAddressSpace();
+  Status DestroyAddressSpace(uint32_t asid);
+  // Invalidates (asid, vaddr) — or the whole asid when `entire_asid` — in
+  // EVERY configured CPU's TLB, then raises kTlbShootdownVector on the
+  // initiating CPU if a handler is registered. Synchronous: when it
+  // returns, no stale translation survives anywhere (the IPI+ack round).
+  Status TlbShootdown(uint32_t asid, uint64_t vaddr, bool entire_asid);
+
+  // Kernel-asid conveniences (the pre-asid API; tests and boot mappings).
+  Status MmuMap(uint64_t vaddr, uint64_t paddr, uint32_t flags) {
+    return MmuMap(hw::Mmu::kKernelAsid, vaddr, paddr, flags);
+  }
+  Status MmuUnmap(uint64_t vaddr) {
+    return MmuUnmap(hw::Mmu::kKernelAsid, vaddr);
+  }
   Status LoadPageTable(uint64_t base);
   // Reserves a page for the SVM itself: the kernel can never map over or
   // unmap it (Section 3.4: SVM memory is invisible to the kernel).

@@ -20,6 +20,9 @@ const char* HistName(HistId id) {
     case HistId::kNicTxNs: return "sva_nic_tx_ns";
     case HistId::kNicRxIrqNs: return "sva_nic_rx_irq_ns";
     case HistId::kEvqWaitNs: return "sva_evq_wait_ns";
+    case HistId::kPageFaultNs: return "sva_page_fault_ns";
+    case HistId::kForkNs: return "sva_fork_ns";
+    case HistId::kExecNs: return "sva_exec_ns";
     case HistId::kNumHists:
     case HistId::kNone: break;
   }

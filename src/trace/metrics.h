@@ -36,6 +36,9 @@ enum class HistId : uint8_t {
   kNicTxNs,           // TransmitFrame (frame + DMA kick).
   kNicRxIrqNs,        // Rx interrupt handler (harvest + deliver).
   kEvqWaitNs,         // evq_wait, entry to return (block time included).
+  kPageFaultNs,       // Demand-paging fault, TLB miss to mapped + filled.
+  kForkNs,            // SysFork, entry to child ready.
+  kExecNs,            // SysExecve, entry to reset image.
   kNumHists,
   kNone = 255,
 };

@@ -49,8 +49,12 @@ const char* EventName(EventId id) {
     case EventId::kLoadInteger: return "sva.load.integer";
     case EventId::kMmuOp: return "mmu-op";
     case EventId::kIoOp: return "io-op";
+    case EventId::kTlbShootdown: return "tlb-shootdown";
     case EventId::kSyscall: return "syscall";
     case EventId::kLockWait: return "lock-wait";
+    case EventId::kPageFault: return "page-fault";
+    case EventId::kFork: return "fork";
+    case EventId::kExec: return "execve";
     case EventId::kNicRxIrq: return "nic-rx-irq";
     case EventId::kNicTx: return "nic-tx";
     case EventId::kNicRxDeliver: return "nic-rx-deliver";
@@ -60,6 +64,7 @@ const char* EventName(EventId id) {
     case EventId::kEvqWakeup: return "evq-wakeup";
     case EventId::kConnAccept: return "conn-accept";
     case EventId::kConnClose: return "conn-close";
+    case EventId::kConnForked: return "conn-forked";
     case EventId::kNumIds: break;
   }
   return "unknown";

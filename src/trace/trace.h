@@ -50,11 +50,16 @@ enum class EventId : uint16_t {
   kSvaosDispatch,   // a0 = syscall number (SVA-OS trap dispatch)
   kSaveInteger,     // sva.save.integer: a0 = buffer
   kLoadInteger,     // sva.load.integer: a0 = buffer
-  kMmuOp,           // a0 = vaddr, a1 = op (0=map 1=unmap 2=loadpt 3=reserve)
+  kMmuOp,           // a0 = vaddr, a1 = op (0=map 1=unmap 2=loadpt 3=reserve
+                    //                      4=protect 5=declare-frame-type)
   kIoOp,            // a0 = port/addr, a1 = 0 read / 1 write
+  kTlbShootdown,    // a0 = asid, a1 = vaddr (0 for a full-asid flush)
   // Minikernel.
-  kSyscall,   // a0 = syscall number
-  kLockWait,  // a0 = lock id (kLockBkl / kLockPipes / kLockVfs / kLockTasks)
+  kSyscall,    // a0 = syscall number
+  kLockWait,   // a0 = lock id (kLockBkl / kLockPipes / kLockVfs / kLockTasks)
+  kPageFault,  // demand-paging fault span: a0 = vaddr, a1 = 1 if write
+  kFork,       // fork span: a0 = parent pid
+  kExec,       // execve span: a0 = pid
   // NIC + net stack.
   kNicRxIrq,      // rx interrupt handler span
   kNicTx,         // a0 = frame length
@@ -66,6 +71,7 @@ enum class EventId : uint16_t {
   kEvqWakeup,   // a0 = socket id that became ready
   kConnAccept,  // a0 = accepted fd, a1 = listener fd
   kConnClose,   // a0 = fd
+  kConnForked,  // a0 = child pid, a1 = parent pid (per-connection forks)
   kNumIds,
 };
 

@@ -72,6 +72,127 @@ TEST(MmuTest, SvmReservedPagesAreProtected) {
   EXPECT_FALSE(mmu.Translate(0x50000, false, Privilege::kUser).ok());
 }
 
+TEST(MmuTest, DoubleMapIsAlreadyExists) {
+  Mmu mmu;
+  ASSERT_TRUE(mmu.Map(0x10000, 0x3000, kPteWritable).ok());
+  Status again = mmu.Map(0x10000, 0x4000, kPteWritable);
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+  // The original mapping is untouched by the failed attempt.
+  EXPECT_EQ(*mmu.Translate(0x10000, false, Privilege::kKernel), 0x3000u);
+  // Unmap, then the same vaddr maps fresh.
+  ASSERT_TRUE(mmu.Unmap(0x10000).ok());
+  ASSERT_TRUE(mmu.Map(0x10000, 0x4000, kPteWritable).ok());
+  EXPECT_EQ(*mmu.Translate(0x10000, false, Privilege::kKernel), 0x4000u);
+}
+
+TEST(MmuTest, UnmapAndProtectOfUnmappedAreNotFound) {
+  Mmu mmu;
+  EXPECT_EQ(mmu.Unmap(0x77000).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mmu.Protect(Mmu::kKernelAsid, 0x77000, kPteWritable).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MmuTest, FlagsRoundTripThroughLookupAndProtect) {
+  Mmu mmu;
+  const uint32_t flags = kPteWritable | kPteUser;
+  ASSERT_TRUE(mmu.Map(0x20000, 0x5000, flags).ok());
+  PageTableEntry pte;
+  ASSERT_TRUE(mmu.Lookup(Mmu::kKernelAsid, 0x20000, &pte));
+  EXPECT_EQ(pte.physical_page, 0x5000u / kPageSize);
+  EXPECT_EQ(pte.flags, flags | kPtePresent);
+  // Protect swaps the flags, keeps the frame (the COW downgrade shape).
+  ASSERT_TRUE(
+      mmu.Protect(Mmu::kKernelAsid, 0x20000, kPteUser | kPteCow).ok());
+  ASSERT_TRUE(mmu.Lookup(Mmu::kKernelAsid, 0x20000, &pte));
+  EXPECT_EQ(pte.physical_page, 0x5000u / kPageSize);
+  EXPECT_EQ(pte.flags & kPteWritable, 0u);
+  EXPECT_NE(pte.flags & kPteCow, 0u);
+  EXPECT_NE(pte.flags & kPtePresent, 0u);
+  // A COW entry refuses writes even though it is "mapped".
+  EXPECT_FALSE(mmu.Translate(0x20000, true, Privilege::kUser).ok());
+  EXPECT_TRUE(mmu.Translate(0x20000, false, Privilege::kUser).ok());
+}
+
+TEST(MmuTest, AddressSpacesAreIsolated) {
+  Mmu mmu;
+  auto a = mmu.CreateAddressSpace();
+  auto b = mmu.CreateAddressSpace();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  ASSERT_TRUE(mmu.Map(*a, 0x30000, 0x6000, kPteWritable | kPteUser).ok());
+  EXPECT_TRUE(mmu.IsMapped(*a, 0x30000));
+  EXPECT_FALSE(mmu.IsMapped(*b, 0x30000));
+  EXPECT_FALSE(mmu.IsMapped(Mmu::kKernelAsid, 0x30000));
+  // Same vaddr in the sibling space resolves to its own frame.
+  ASSERT_TRUE(mmu.Map(*b, 0x30000, 0x7000, kPteWritable | kPteUser).ok());
+  EXPECT_EQ(*mmu.Translate(*a, 0x30000, false, Privilege::kUser), 0x6000u);
+  EXPECT_EQ(*mmu.Translate(*b, 0x30000, false, Privilege::kUser), 0x7000u);
+  // Destroying a space drops its mappings and refuses further use.
+  ASSERT_TRUE(mmu.DestroyAddressSpace(*a).ok());
+  EXPECT_FALSE(mmu.Map(*a, 0x40000, 0x8000, kPteUser).ok());
+  EXPECT_FALSE(mmu.DestroyAddressSpace(Mmu::kKernelAsid).ok());
+}
+
+TEST(MmuTest, EntriesSnapshotsOneSpace) {
+  Mmu mmu;
+  auto a = mmu.CreateAddressSpace();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mmu.Map(*a, 0x10000, 0x3000, kPteUser).ok());
+  ASSERT_TRUE(mmu.Map(*a, 0x12000, 0x4000, kPteUser | kPteWritable).ok());
+  ASSERT_TRUE(mmu.Map(0x999000, 0x5000, kPteWritable).ok());  // Kernel asid.
+  auto entries = mmu.Entries(*a);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 0x10000u);
+  EXPECT_EQ(entries[0].second.physical_page, 0x3000u / kPageSize);
+  EXPECT_EQ(entries[1].first, 0x12000u);
+}
+
+TEST(MmuTest, FrameTypeDeclarations) {
+  Mmu mmu;
+  EXPECT_EQ(mmu.frame_type(0x3000), FrameType::kUnused);
+  mmu.DeclareFrameType(0x3000, FrameType::kKernel);
+  EXPECT_EQ(mmu.frame_type(0x3000), FrameType::kKernel);
+  mmu.DeclareFrameType(0x3000, FrameType::kUnused);
+  EXPECT_EQ(mmu.frame_type(0x3000), FrameType::kUnused);
+  EXPECT_STREQ(FrameTypeName(FrameType::kPageTable), "page-table");
+}
+
+TEST(TlbTest, HitMissAndPermissionReplay) {
+  Tlb tlb;
+  PageTableEntry pte{0x3000, kPtePresent | kPteUser};
+  PageTableEntry out;
+  EXPECT_FALSE(tlb.Lookup(1, 0x10000, &out));
+  tlb.Insert(1, 0x10000, pte);
+  ASSERT_TRUE(tlb.Lookup(1, 0x10000, &out));
+  EXPECT_EQ(out.physical_page, 0x3000u);
+  // Same vpage, different asid: miss (entries are asid-tagged).
+  EXPECT_FALSE(tlb.Lookup(2, 0x10000, &out));
+  auto stats = tlb.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(TlbTest, InvalidationGranularities) {
+  Tlb tlb;
+  PageTableEntry pte{0x3000, kPtePresent};
+  tlb.Insert(1, 0x10000, pte);
+  tlb.Insert(1, 0x11000, pte);
+  tlb.Insert(2, 0x10000, pte);
+  PageTableEntry out;
+  tlb.InvalidatePage(1, 0x10000);
+  EXPECT_FALSE(tlb.Lookup(1, 0x10000, &out));
+  EXPECT_TRUE(tlb.Lookup(1, 0x11000, &out));
+  tlb.InvalidateAsid(1);
+  EXPECT_FALSE(tlb.Lookup(1, 0x11000, &out));
+  EXPECT_TRUE(tlb.Lookup(2, 0x10000, &out));
+  tlb.InvalidateAll();
+  EXPECT_FALSE(tlb.Lookup(2, 0x10000, &out));
+  tlb.CountShootdown();
+  EXPECT_EQ(tlb.stats().shootdowns_received, 1u);
+  EXPECT_GT(tlb.stats().invalidations, 0u);
+}
+
 TEST(CpuTest, FpDirtyTracking) {
   Cpu cpu;
   EXPECT_FALSE(cpu.fp_dirty());

@@ -268,12 +268,19 @@ TEST(KernelSafetyTest, UserRangeStraddleIsCaught) {
   KernelHarness h(KernelMode::kSvaSafe);
   ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/tmp/f").ok());
   uint64_t fd = h.Call(Sys::kOpen, h.user(0), 1);
-  // A write whose user buffer runs off the end of the task's user region:
-  // the Section 4.6 userspace-object bounds check rejects it.
-  uint64_t user_size = h.k().config().user_pages_per_task * hw::kPageSize;
-  auto r = h.k().Syscall(Sys::kWrite, fd, h.user(user_size - 8), 64);
+  // A write whose user buffer runs off the end of the task's full growable
+  // user region: the Section 4.6 userspace-object bounds check rejects it
+  // (the registered object covers the whole max span, not just the brk
+  // frontier, so lazy growth needs no re-registration).
+  uint64_t region = h.k().config().max_user_pages_per_task * hw::kPageSize;
+  auto r = h.k().Syscall(Sys::kWrite, fd, h.user(region - 8), 64);
   EXPECT_EQ(r.status().code(), StatusCode::kSafetyViolation);
   EXPECT_FALSE(h.k().pools().violations().empty());
+  // Inside the registered object but beyond the brk frontier: the demand
+  // pager refuses the fault instead (the page-fault-turned-kill path).
+  uint64_t frontier = h.k().config().user_pages_per_task * hw::kPageSize;
+  auto r2 = h.k().Syscall(Sys::kWrite, fd, h.user(frontier - 8), 64);
+  EXPECT_EQ(r2.status().code(), StatusCode::kSafetyViolation);
 }
 
 TEST(KernelSafetyTest, SvaOsStatsTrackKernelEntries) {

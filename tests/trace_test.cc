@@ -14,6 +14,7 @@
 #include "src/kernel/metrics_server.h"
 #include "src/net/client.h"
 #include "src/smp/percpu.h"
+#include "src/trace/drainer.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 
@@ -348,6 +349,62 @@ TEST_F(MetricsServerTest, ServesBackToBackConnections) {
   }
   // Scraping itself bumps the counters it reports.
   EXPECT_GE(kernel_->stats().syscalls, 3u * 4u);
+}
+
+// --- Task-lifecycle events through the continuous drainer --------------------
+
+// The full fork → exec → exit → wait lifecycle, consumed the way the benches
+// consume traces: a ContinuousDrainer thread draining the rings while the
+// kernel runs. Fork and exec must emit entry/exit spans (feeding kForkNs /
+// kExecNs), fork must emit the conn.forked instant tying child to parent,
+// and the demand pager's page-fault spans must show up from the user copies.
+TEST_F(MetricsServerTest, ForkExecLifecycleEmitsSpansAndConnForkedInstant) {
+  Tracer::Get().Enable(kModeFull, /*ring_capacity=*/4096);
+  ContinuousDrainer drainer;
+  drainer.Start();
+  auto call = [this](kernel::Sys n, uint64_t a0 = 0) {
+    auto r = kernel_->Syscall(n, a0);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+    return r.ok() ? *r : ~uint64_t{0};
+  };
+  uint64_t user = kernel::kUserVirtualBase +
+                  static_cast<uint64_t>(kernel_->current_pid()) * 0x100000;
+  ASSERT_TRUE(kernel_->PokeUserString(user, "/bin/true").ok());
+  const uint64_t child = call(kernel::Sys::kFork);
+  ASSERT_EQ(child, 2u);
+  // Run the child: switch to it, exec, exit; then reap it from the parent.
+  ASSERT_TRUE(kernel_->Yield().ok());
+  EXPECT_EQ(call(kernel::Sys::kExecve, user), 0u);
+  EXPECT_EQ(call(kernel::Sys::kExit, 0), 0u);
+  EXPECT_EQ(call(kernel::Sys::kWaitPid, child), child);
+  std::vector<Event> events = drainer.Stop();
+  Tracer::Get().Disable();
+
+  bool fork_span = false, exec_span = false, conn_forked = false;
+  bool fault_span = false;
+  for (const Event& e : events) {
+    if (e.id == EventId::kFork && e.phase == Phase::kSpan && e.a0 == 1u) {
+      fork_span = true;
+    }
+    if (e.id == EventId::kExec && e.phase == Phase::kSpan && e.a0 == child) {
+      exec_span = true;
+    }
+    if (e.id == EventId::kConnForked && e.phase == Phase::kInstant) {
+      conn_forked = true;
+      EXPECT_EQ(e.a0, child);  // a0 = child pid, a1 = parent pid.
+      EXPECT_EQ(e.a1, 1u);
+    }
+    if (e.id == EventId::kPageFault && e.phase == Phase::kSpan) {
+      fault_span = true;
+    }
+  }
+  EXPECT_TRUE(fork_span) << "no fork span tagged with the parent pid";
+  EXPECT_TRUE(exec_span) << "no exec span tagged with the child pid";
+  EXPECT_TRUE(conn_forked) << "no conn.forked instant event";
+  EXPECT_TRUE(fault_span) << "user copies should fault pages in under trace";
+  EXPECT_GE(Metrics::Get().hist(HistId::kForkNs).Snapshot().count, 1u);
+  EXPECT_GE(Metrics::Get().hist(HistId::kExecNs).Snapshot().count, 1u);
+  EXPECT_GE(Metrics::Get().hist(HistId::kPageFaultNs).Snapshot().count, 1u);
 }
 
 // --- Determinism: identical counters across replicas -------------------------
