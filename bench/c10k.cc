@@ -31,6 +31,7 @@
 #include "src/net/client.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/drainer.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace sva::bench {
@@ -348,7 +349,33 @@ int main(int argc, char** argv) {
     sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
     drainer.Start();
   }
+  // --profile: sample every worker CPU (workers bind CPUs [0, workers))
+  // plus the driver thread on CPU 0, exporting folded stacks and a top-5
+  // attribution block in the JSON report.
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler::Options popts;
+    popts.num_cpus = workers;
+    if (!sva::trace::Profiler::Get().Start(popts)) {
+      std::fprintf(stderr, "cannot start profiler\n");
+      return 1;
+    }
+  }
   sva::bench::Run(report.quick(), workers, conns);
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler& prof = sva::trace::Profiler::Get();
+    prof.Stop();
+    if (!prof.WriteFolded(report.profile_out())) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   report.profile_out().c_str());
+      return 1;
+    }
+    report.Add("prof samples", static_cast<double>(prof.stats().samples),
+               "samples");
+    for (const auto& [stack, count] : prof.TopStacks(5)) {
+      report.Add("prof top stack", static_cast<double>(count), "samples",
+                 stack);
+    }
+  }
   if (!report.trace_out().empty()) {
     sva::trace::Tracer::Get().Disable();
     std::vector<sva::trace::Event> events = drainer.Stop();

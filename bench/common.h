@@ -128,7 +128,8 @@ inline std::string GitSha() {
 
 // Machine-readable result sink shared by every bench binary. Mains call
 // Init(&argc, argv, name) first — it strips the shared flags
-// (--json PATH, --quick, --trace-out PATH) from argv so bench-specific
+// (--json PATH, --quick, --trace-out PATH, --profile PATH) from argv so
+// bench-specific
 // parsers (including google-benchmark's) never see them — then the
 // measurement code calls Add() wherever it computes a reported number,
 // and main returns Finish(). Without --json all of this is inert.
@@ -149,6 +150,8 @@ class JsonReport {
         quick_ = true;
       } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < *argc) {
         trace_out_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < *argc) {
+        profile_out_ = argv[++i];
       } else {
         argv[out++] = argv[i];
       }
@@ -162,6 +165,9 @@ class JsonReport {
   // --trace-out: where the bench should write its Chrome trace, if the
   // bench supports tracing; empty when not requested.
   const std::string& trace_out() const { return trace_out_; }
+  // --profile: where the bench should write collapsed/folded profiler
+  // stacks (flamegraph input); empty when not requested.
+  const std::string& profile_out() const { return profile_out_; }
 
   // One measurement record. `mode` is the kernel/runtime configuration the
   // number belongs to ("native", "sva-safe", ...); `cpus` the worker count
@@ -234,6 +240,7 @@ class JsonReport {
   std::string bench_;
   std::string path_;
   std::string trace_out_;
+  std::string profile_out_;
   bool quick_ = false;
   std::vector<Record> records_;
 };

@@ -28,6 +28,7 @@
 #include "src/net/client.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/drainer.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace sva::bench {
@@ -235,7 +236,35 @@ int main(int argc, char** argv) {
     sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
     drainer.Start();
   }
+  // --profile: sample the serving run and export folded stacks. The whole
+  // bench runs on one virtual CPU, so only CPU 0 is sampled; --quick runs
+  // are short, so they sample at ~10 kHz to still collect a meaningful
+  // profile (997 Hz — the production default — otherwise).
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler::Options popts;
+    popts.hz = report.quick() ? 9973 : 997;
+    popts.num_cpus = 1;
+    if (!sva::trace::Profiler::Get().Start(popts)) {
+      std::fprintf(stderr, "cannot start profiler\n");
+      return 1;
+    }
+  }
   sva::bench::Run(report.quick());
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler& prof = sva::trace::Profiler::Get();
+    prof.Stop();
+    if (!prof.WriteFolded(report.profile_out())) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   report.profile_out().c_str());
+      return 1;
+    }
+    sva::trace::Profiler::Stats pstats = prof.stats();
+    std::fprintf(stderr,
+                 "wrote folded stacks to %s (%llu samples, %llu lost)\n",
+                 report.profile_out().c_str(),
+                 static_cast<unsigned long long>(pstats.samples),
+                 static_cast<unsigned long long>(pstats.lost));
+  }
   if (!report.trace_out().empty()) {
     sva::trace::Tracer& tracer = sva::trace::Tracer::Get();
     tracer.Disable();

@@ -18,6 +18,7 @@
 #include "bench/common.h"
 #include "bench/kernel_harness.h"
 #include "src/safety/compiler.h"
+#include "src/trace/profiler.h"
 #include "src/svm/svm.h"
 #include "src/verifier/typechecker.h"
 #include "src/vir/parser.h"
@@ -258,7 +259,8 @@ void Run() {
 }  // namespace sva::bench
 
 int main(int argc, char** argv) {
-  sva::bench::JsonReport::Get().Init(&argc, argv, "table7_syscall_latency");
+  auto& report = sva::bench::JsonReport::Get();
+  report.Init(&argc, argv, "table7_syscall_latency");
   // --tier-only: just the execution-tier comparison (the CI speedup gate
   // runs this so it never pays for the full four-kernel table).
   bool tier_only = false;
@@ -267,9 +269,34 @@ int main(int argc, char** argv) {
       tier_only = true;
     }
   }
+  // --profile: sample the whole run (single-CPU bench) and export folded
+  // stacks plus a top-5 attribution block in the JSON report.
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler::Options popts;
+    popts.num_cpus = 1;
+    if (!sva::trace::Profiler::Get().Start(popts)) {
+      std::fprintf(stderr, "cannot start profiler\n");
+      return 1;
+    }
+  }
   if (!tier_only) {
     sva::bench::Run();
   }
   sva::bench::RunTierComparison();
-  return sva::bench::JsonReport::Get().Finish();
+  if (!report.profile_out().empty()) {
+    sva::trace::Profiler& prof = sva::trace::Profiler::Get();
+    prof.Stop();
+    if (!prof.WriteFolded(report.profile_out())) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   report.profile_out().c_str());
+      return 1;
+    }
+    report.Add("prof samples", static_cast<double>(prof.stats().samples),
+               "samples");
+    for (const auto& [stack, count] : prof.TopStacks(5)) {
+      report.Add("prof top stack", static_cast<double>(count), "samples",
+                 stack);
+    }
+  }
+  return report.Finish();
 }

@@ -12,16 +12,28 @@
 //      metrics-only, and full; plus the measured tracepoint density
 //      (events per syscall), which turns the site-level number into an
 //      estimated whole-workload disabled overhead.
+//   3. Profiling: the same treatment for the sampling profiler's context
+//      hooks — ns per push/pop pair with a session live, hook density per
+//      workload, and the resulting estimated overhead for the kernel
+//      workload and both guest execution tiers (target: <= 5% with
+//      profiling on; the disabled gate above stays <= 2%).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "bench/kernel_harness.h"
+#include "src/safety/compiler.h"
+#include "src/svm/svm.h"
 #include "src/trace/metrics.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
 
 namespace sva::bench {
 namespace {
@@ -225,6 +237,260 @@ void RunEndToEnd(bool quick, double disabled_site_ns) {
   }
 }
 
+// --- Phase 3: the sampling profiler's hook + session cost --------------------
+
+// One profiler context push/pop pair, exactly the call-site idiom the
+// kernel syscall dispatcher uses. With no session live this measures the
+// prof_enabled() branch; with a session live, the full seqlock'd pair.
+double ProfPairPassUs(int iters) {
+  static const uint32_t kProbeId = trace::InternProfName("bench:probe");
+  volatile uint64_t sink = 0;
+  return TimeOnceUs([&] {
+    for (int i = 0; i < iters; ++i) {
+      trace::ProfContextScope prof;
+      if (trace::prof_enabled()) {
+        prof.Enter(trace::ProfContext::kKernelSyscall, kProbeId, 1, 1);
+      }
+      sink = sink + 1;
+    }
+  });
+}
+
+double MedianPassNs(int reps, int iters, double baseline_us,
+                    const std::function<double(int)>& pass) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    samples.push_back(pass(iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  double us = samples[samples.size() / 2];
+  return std::max(0.0, us - baseline_us) * 1000.0 / iters;
+}
+
+// The table7 bytecode workload through the full pipeline (safety compiler
+// -> verifier -> type check -> SVM), local to this bench so the profiler
+// phase exercises real guest frames on both tiers.
+constexpr char kProfBytecode[] = R"(
+module "trace_overhead_bytecode"
+declare i8* @kmalloc(i64)
+declare void @kfree(i8*)
+
+define i64 @syscall_like(i64 %len) {
+entry:
+  %buf = call i8* @kmalloc(i64 256)
+  br label %copy
+copy:
+  %i = phi i64 [ 0, %entry ], [ %i2, %copy ]
+  %sum = phi i64 [ 0, %entry ], [ %sum2, %copy ]
+  %src = getelementptr i8* %buf, i64 %i
+  %b = load i8, i8* %src
+  %off = add i64 %i, 128
+  %dst = getelementptr i8* %buf, i64 %off
+  store i8 %b, i8* %dst
+  %wide = zext i8 %b to i64
+  %sum2 = add i64 %sum, %wide
+  %i2 = add i64 %i, 1
+  %done = icmp uge i64 %i2, %len
+  br i1 %done, label %exit, label %copy
+exit:
+  call void @kfree(i8* %buf)
+  ret i64 %sum2
+}
+)";
+
+std::unique_ptr<svm::LoadedModule> LoadProfTierModule(svm::ExecTier tier) {
+  auto fatal = [](const char* stage, const Status& s) {
+    std::fprintf(stderr, "trace_overhead: bytecode %s failed: %s\n", stage,
+                 s.ToString().c_str());
+    std::exit(1);
+  };
+  auto parsed = vir::ParseModule(kProfBytecode);
+  if (!parsed.ok()) fatal("parse", parsed.status());
+  auto module = std::move(*parsed);
+  safety::SafetyCompilerOptions copts;
+  auto compiled = safety::RunSafetyCompiler(*module, copts);
+  if (!compiled.ok()) fatal("safety compile", compiled.status());
+  Status verified = vir::VerifyModule(*module);
+  if (!verified.ok()) fatal("verify", verified);
+  Status typed = verifier::TypeCheckOrError(*module);
+  if (!typed.ok()) fatal("type check", typed);
+  svm::SvmOptions options;
+  options.interp.tier = tier;
+  svm::SecureVirtualMachine vm(options);
+  auto loaded = vm.LoadModule(std::move(module));
+  if (!loaded.ok()) fatal("load", loaded.status());
+  return std::move(*loaded);
+}
+
+void RunProfilingPhase(bool quick) {
+  const int reps = quick ? 5 : 15;
+  const int site_iters = quick ? 200000 : 1000000;
+  std::printf(
+      "\nPhase 3: sampling-profiler cost (hook pair over %d sites, "
+      "median of %d)\n\n",
+      site_iters, reps);
+
+  double baseline;
+  {
+    std::vector<double> samples;
+    for (int r = 0; r < reps; ++r) {
+      samples.push_back(BaselinePassUs(site_iters));
+    }
+    std::sort(samples.begin(), samples.end());
+    baseline = samples[samples.size() / 2];
+  }
+  double pair_off_ns =
+      MedianPassNs(reps, site_iters, baseline, ProfPairPassUs);
+
+  // The measured workloads and their hook densities. Hook counts follow
+  // from the instrumentation sites: on the SVA-Safe kernel each syscall
+  // pushes one context in HandleSyscall and one in the SVA-OS dispatcher;
+  // on the execution tiers each guest function entry pushes one frame (the
+  // workload is a single-function call per op).
+  struct ProfWorkload {
+    std::string name;
+    std::string mode;  // JSON mode tag the estimate is reported under.
+    std::function<void()> op;
+    int iters;
+    double hooks_per_op;
+  };
+  auto kernel_harness =
+      std::make_shared<BootedKernel>(kernel::KernelMode::kSvaSafe);
+  {
+    BootedKernel& k = *kernel_harness;
+    (void)k.k().PokeUserString(k.user(0), "/dev/null");
+    k.Call(Sys::kPipe, k.user(128));
+    uint32_t fds[2];
+    (void)k.k().PeekUser(k.user(128), fds, 8);
+    k.rfd = fds[0];
+    k.wfd = fds[1];
+  }
+  std::shared_ptr<svm::LoadedModule> interp_module =
+      LoadProfTierModule(svm::ExecTier::kInterp);
+  std::shared_ptr<svm::LoadedModule> threaded_module =
+      LoadProfTierModule(svm::ExecTier::kThreaded);
+  auto guest_op = [](std::shared_ptr<svm::LoadedModule> m) {
+    return [m] {
+      svm::ExecResult r = m->Run("syscall_like", {64});
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "trace_overhead: bytecode run failed: %s\n",
+                     r.status.ToString().c_str());
+        std::exit(1);
+      }
+    };
+  };
+  std::vector<ProfWorkload> workloads;
+  workloads.push_back({"getpid", "sva-safe",
+                       [kernel_harness] {
+                         kernel_harness->Call(Sys::kGetPid);
+                       },
+                       400, 2.0});
+  workloads.push_back({"pipe w+r", "sva-safe",
+                       [kernel_harness] {
+                         BootedKernel& k = *kernel_harness;
+                         k.Call(Sys::kWrite, k.wfd, k.user(4096), 512);
+                         k.Call(Sys::kRead, k.rfd, k.user(8192), 512);
+                       },
+                       200, 4.0});
+  workloads.push_back({"bytecode interp", "tier-interp",
+                       guest_op(interp_module), 100, 1.0});
+  workloads.push_back({"bytecode threaded", "tier-threaded",
+                       guest_op(threaded_module), 200, 1.0});
+
+  // Per-op latency with no session live.
+  std::vector<double> off_us(workloads.size());
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    for (int warm = 0; warm < 20; ++warm) {
+      workloads[w].op();
+    }
+    off_us[w] = MedianLatencyUs(reps, workloads[w].iters, workloads[w].op);
+  }
+
+  // Live session: the sampler runs on its own thread for the rest of the
+  // phase, so the hook pair is measured at its real (seqlock'd) cost and
+  // the run collects actual samples. --quick samples at ~10 kHz so even a
+  // short run records a meaningful count.
+  trace::Profiler::Options popts;
+  popts.hz = quick ? 9973 : 997;
+  popts.num_cpus = 1;
+  if (!trace::Profiler::Get().Start(popts)) {
+    std::fprintf(stderr, "trace_overhead: cannot start profiler\n");
+    std::exit(1);
+  }
+  double pair_on_ns =
+      MedianPassNs(reps, site_iters, baseline, ProfPairPassUs);
+  std::vector<double> on_us(workloads.size());
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    on_us[w] = MedianLatencyUs(reps, workloads[w].iters, workloads[w].op);
+  }
+  trace::Profiler::Get().Stop();
+  uint64_t prof_samples = trace::Profiler::Get().stats().samples;
+
+  std::printf("hook pair: %.2f ns disabled, %.2f ns with session live\n\n",
+              pair_off_ns, pair_on_ns);
+  JsonReport::Get().Add("prof hook ns (disabled)", pair_off_ns, "ns");
+  JsonReport::Get().Add("prof hook ns (profiling)", pair_on_ns, "ns");
+
+  // The gate mirrors the phase-2 disabled estimate: the hook cost is
+  // bounded analytically (density x measured pair cost over the workload's
+  // unprofiled time) because the end-to-end "profiling (us)" column cannot
+  // be read as hook cost — on hosts with one hardware thread the sampler
+  // thread time-slices with the workload and the measured delta is
+  // scheduler noise, not producer overhead (the same caveat c10k's p99
+  // gate documents). Gated three ways, per the acceptance bar: the
+  // aggregated Table 7 mix and each execution tier individually.
+  Table table({"Workload", "off (us)", "profiling (us)", "hooks/op",
+               "est. overhead"});
+  bool failed = false;
+  double total_hook_ns = 0;
+  double total_off_ns = 0;
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const ProfWorkload& wl = workloads[w];
+    double est_pct = off_us[w] <= 0
+                         ? 0
+                         : 100.0 * (wl.hooks_per_op * pair_on_ns) /
+                               (off_us[w] * 1000.0);
+    total_hook_ns += wl.hooks_per_op * pair_on_ns;
+    total_off_ns += off_us[w] * 1000.0;
+    table.AddRow({wl.name, Fmt("%.3f", off_us[w]), Fmt("%.3f", on_us[w]),
+                  Fmt("%.0f", wl.hooks_per_op), Fmt("%.2f%%", est_pct)});
+    JsonReport::Get().Add(wl.name + " latency", on_us[w], "us",
+                          "profiling");
+    if (wl.mode == "tier-interp" || wl.mode == "tier-threaded") {
+      // Per-tier gate: one frame push/pop against a whole bytecode run.
+      JsonReport::Get().Add("estimated profiling overhead", est_pct, "%",
+                            wl.mode);
+      if (est_pct > 5.0) {
+        failed = true;
+      }
+    }
+  }
+  table.Print();
+  double mix_pct =
+      total_off_ns > 0 ? 100.0 * total_hook_ns / total_off_ns : 0;
+  JsonReport::Get().Add("estimated profiling overhead", mix_pct, "%",
+                        "table7-mix");
+  JsonReport::Get().Add("prof samples",
+                        static_cast<double>(prof_samples), "samples");
+  std::printf(
+      "\n=> %llu samples collected; estimated profiling overhead <= %.2f%% "
+      "over the workload (target: <= 5%%, per tier and in aggregate)\n",
+      static_cast<unsigned long long>(prof_samples), mix_pct);
+  if (mix_pct > 5.0) {
+    failed = true;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "FAIL: profiling hooks cost more than 5%% of the "
+                 "workload\n");
+    std::exit(1);
+  }
+  if (prof_samples == 0) {
+    std::fprintf(stderr, "FAIL: profiling session recorded no samples\n");
+    std::exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace sva::bench
 
@@ -233,5 +499,6 @@ int main(int argc, char** argv) {
   report.Init(&argc, argv, "trace_overhead");
   double disabled_site_ns = sva::bench::RunSiteBench(report.quick());
   sva::bench::RunEndToEnd(report.quick(), disabled_site_ns);
+  sva::bench::RunProfilingPhase(report.quick());
   return report.Finish();
 }

@@ -261,15 +261,70 @@ class ConsoleDevice {
   std::string output_;
 };
 
+// Programmable interval timer. Two independent faces:
+//   - the tick counter (Tick/ticks/microseconds): the guest's uptime clock,
+//     advanced by workload-driven IoWrite(kPortTimer) as ever — one tick is
+//     the 100µs fiction gettimeofday is built on;
+//   - the interrupt line (SetFrequency/SetInterruptCallback/FireInterrupt):
+//     a reprogrammable firing rate plus a callback, the hook the sampling
+//     profiler hangs off. Firing does NOT advance the tick counter, so
+//     reprogramming the rate never skews guest time.
 class TimerDevice {
  public:
-  void Tick(uint64_t n = 1) { ticks_ += n; }
-  uint64_t ticks() const { return ticks_; }
+  static constexpr uint64_t kDefaultFrequencyHz = 10000;  // = 100µs ticks.
+  static constexpr uint64_t kMaxFrequencyHz = 1000000;
+
+  void Tick(uint64_t n = 1) {
+    ticks_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
   // Microseconds-of-uptime fiction for gettimeofday.
-  uint64_t microseconds() const { return ticks_ * 100; }
+  uint64_t microseconds() const { return ticks() * 100; }
+
+  // Reprograms the interrupt rate. Rejects 0 Hz (a stopped clock wedges
+  // anything paced by it) and rates past the device's crystal.
+  Status SetFrequency(uint64_t hz) {
+    if (hz == 0 || hz > kMaxFrequencyHz) {
+      return Status(StatusCode::kInvalidArgument,
+                    "timer frequency out of range");
+    }
+    frequency_hz_.store(hz, std::memory_order_relaxed);
+    return OkStatus();
+  }
+  uint64_t frequency_hz() const {
+    return frequency_hz_.load(std::memory_order_relaxed);
+  }
+  uint64_t period_ns() const { return 1000000000ull / frequency_hz(); }
+
+  // Installs (or clears, with nullptr) the interrupt handler.
+  void SetInterruptCallback(std::function<void()> cb) {
+    std::lock_guard<std::mutex> guard(callback_lock_);
+    callback_ = std::move(cb);
+  }
+
+  // One edge of the interrupt line: invokes the callback, if any. Called by
+  // whatever paces the timer (the profiler's sampler thread, tests).
+  void FireInterrupt() {
+    interrupts_fired_.fetch_add(1, std::memory_order_relaxed);
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> guard(callback_lock_);
+      cb = callback_;
+    }
+    if (cb) {
+      cb();
+    }
+  }
+  uint64_t interrupts_fired() const {
+    return interrupts_fired_.load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t ticks_ = 0;
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> frequency_hz_{kDefaultFrequencyHz};
+  std::atomic<uint64_t> interrupts_fired_{0};
+  std::mutex callback_lock_;
+  std::function<void()> callback_;
 };
 
 class BlockDevice {

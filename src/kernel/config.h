@@ -69,6 +69,11 @@ struct KernelConfig {
   // array to a kmalloc block; 16384 slots = a 64 KiB block, inside the
   // largest kmalloc size class.
   unsigned max_fds_limit = 16384;
+  // Interrupt rate Boot programs into hw::TimerDevice — the sampling
+  // profiler's tick source. Prime by default so the sampler never beats
+  // against millisecond-periodic work; must satisfy the device's bounds
+  // (1..TimerDevice::kMaxFrequencyHz) or Boot fails.
+  unsigned timer_hz = 997;
 };
 
 }  // namespace sva::kernel

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace sva::kernel {
@@ -26,6 +27,55 @@ constexpr uint64_t kTaskFdArrayOffset = 128;
 uint64_t UserBaseForPid(int pid) {
   return kUserVirtualBase + static_cast<uint64_t>(pid) * 0x100000;
 }
+
+const char* SyscallName(Sys number) {
+  switch (number) {
+    case Sys::kExit: return "exit";
+    case Sys::kFork: return "fork";
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kWaitPid: return "waitpid";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kExecve: return "execve";
+    case Sys::kLseek: return "lseek";
+    case Sys::kGetPid: return "getpid";
+    case Sys::kKill: return "kill";
+    case Sys::kPipe: return "pipe";
+    case Sys::kBrk: return "brk";
+    case Sys::kSigaction: return "sigaction";
+    case Sys::kGetRusage: return "getrusage";
+    case Sys::kGetTimeOfDay: return "gettimeofday";
+    case Sys::kDup: return "dup";
+    case Sys::kSocket: return "socket";
+    case Sys::kSend: return "send";
+    case Sys::kRecv: return "recv";
+    case Sys::kBind: return "bind";
+    case Sys::kAccept: return "accept";
+    case Sys::kEvqCreate: return "evq_create";
+    case Sys::kEvqCtl: return "evq_ctl";
+    case Sys::kEvqWait: return "evq_wait";
+    case Sys::kProfStart: return "prof_start";
+    case Sys::kProfStop: return "prof_stop";
+    case Sys::kProfRead: return "prof_read";
+  }
+  return "unknown";
+}
+
+// Interned "syscall:<name>" profiler ids, one per syscall number, filled
+// lazily off the sampler-visible fast path (the intern itself takes only
+// the profiler's leaf name lock).
+uint32_t ProfNameForSyscall(Sys number) {
+  static std::array<std::atomic<uint32_t>, 128> ids = {};
+  size_t idx = static_cast<uint64_t>(number) & 127;
+  uint32_t id = ids[idx].load(std::memory_order_relaxed);
+  if (id == 0) {
+    id = trace::InternProfName(std::string("syscall:") + SyscallName(number));
+    ids[idx].store(id, std::memory_order_relaxed);
+  }
+  return id;
+}
 }  // namespace
 
 Kernel::Kernel(hw::Machine& machine, KernelConfig config)
@@ -34,7 +84,31 @@ Kernel::Kernel(hw::Machine& machine, KernelConfig config)
       svaos_(machine),
       pools_(runtime::EnforcementMode::kTrap) {}
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // The profiler sampler can outlive this kernel (another kernel's session
+  // keeps the refcount up) and its tick hook targets our timer: flip the
+  // shared guard first so a late tick becomes a locked no-op, then unhook
+  // the interrupt callback and release our sessions. The Stops happen with
+  // no lock held — the last one joins the sampler thread.
+  {
+    std::lock_guard<std::mutex> lock(prof_tick_guard_->mu);
+    prof_tick_guard_->alive = false;
+  }
+  machine_.timer().SetInterruptCallback(nullptr);
+  int open_sessions = 0;
+  {
+    std::lock_guard<smp::SpinLock> guard(prof_lock_);
+    for (auto& session : prof_sessions_) {
+      if (session != nullptr && session->active) {
+        session->active = false;
+        ++open_sessions;
+      }
+    }
+  }
+  for (int i = 0; i < open_sessions; ++i) {
+    trace::Profiler::Get().Stop();
+  }
+}
 
 Status Kernel::Boot() {
   bool safe = config_.mode == KernelMode::kSvaSafe;
@@ -53,6 +127,13 @@ Status Kernel::Boot() {
   pipe_cache_ = allocators_->CreateCache("pipe_inode_info", 64);
   socket_cache_ = allocators_->CreateCache("sock", 128);
   evq_cache_ = allocators_->CreateCache("eventpoll", 64);
+  prof_cache_ = allocators_->CreateCache("perf_event", 32);
+
+  // Program the sampling-interrupt rate and route the line into the
+  // profiler: every FireInterrupt edge takes one sample of each vCPU.
+  SVA_RETURN_IF_ERROR(machine_.timer().SetFrequency(config_.timer_hz));
+  machine_.timer().SetInterruptCallback(
+      [] { trace::Profiler::Get().SampleNow(); });
 
   if (safe) {
     // SVA-PORT(analysis): all of userspace is one object per metapool
@@ -87,7 +168,8 @@ Status Kernel::Boot() {
           Sys::kGetPid, Sys::kKill, Sys::kPipe, Sys::kBrk, Sys::kSigaction,
           Sys::kGetRusage, Sys::kGetTimeOfDay, Sys::kDup, Sys::kSocket,
           Sys::kSend, Sys::kRecv, Sys::kBind, Sys::kAccept, Sys::kEvqCreate,
-          Sys::kEvqCtl, Sys::kEvqWait}) {
+          Sys::kEvqCtl, Sys::kEvqWait, Sys::kProfStart, Sys::kProfStop,
+          Sys::kProfRead}) {
       SVA_RETURN_IF_ERROR(svaos_.RegisterSyscall(
           static_cast<uint64_t>(number),
           [this, number](const svaos::SyscallArgs& call) {
@@ -163,6 +245,11 @@ Kernel::SyscallRoute Kernel::RouteSyscall(Sys number, uint64_t a0) {
     case Sys::kGetPid:
     case Sys::kGetTimeOfDay:
     case Sys::kGetRusage:
+    // Profiling sessions ride the tasks route: the handlers touch only the
+    // current task's fd table (files_lock_) and the unranked prof leaf.
+    case Sys::kProfStart:
+    case Sys::kProfStop:
+    case Sys::kProfRead:
       return SyscallRoute::kTasks;
   }
   // Unknown syscall numbers are the only remaining big-kernel-lock users.
@@ -232,6 +319,16 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
+  }
+  // Publish "in kernel, running syscall X for pid P" to the sampling
+  // profiler. One relaxed load when no profiler is running; a few relaxed
+  // stores on this CPU's slot otherwise — never a lock, so the hook is safe
+  // under every route's leaf locks.
+  trace::ProfContextScope prof;
+  if (trace::prof_enabled()) {
+    prof.Enter(trace::ProfContext::kKernelSyscall, ProfNameForSyscall(number),
+               static_cast<uint32_t>(task->pid),
+               static_cast<uint8_t>(config_.mode));
   }
   if (config_.mode == KernelMode::kSvaSafe) {
     // The load of the current task structure goes through the task cache's
@@ -303,6 +400,12 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
         return SysEvqCtl(args[0], args[1], args[2], args[3]);
       case Sys::kEvqWait:
         return SysEvqWait(args[0], args[1], args[2], args[3]);
+      case Sys::kProfStart:
+        return SysProfStart(args[0]);
+      case Sys::kProfStop:
+        return SysProfStop(args[0]);
+      case Sys::kProfRead:
+        return SysProfRead(args[0], args[1], args[2]);
     }
     return NotFound(StrCat("unknown syscall ", static_cast<uint64_t>(number)));
   }();
@@ -740,6 +843,7 @@ Status Kernel::ReleaseFile(int file_index) {
   uint64_t defunct_addr = 0;
   int defunct_net_sid = -1;
   int defunct_evq = -1;
+  int defunct_prof = -1;
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
     OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
@@ -749,6 +853,7 @@ Status Kernel::ReleaseFile(int file_index) {
     defunct_addr = file->addr;
     defunct_net_sid = file->net_socket_id;
     defunct_evq = file->evq_id;
+    defunct_prof = file->prof_id;
     open_files_[static_cast<size_t>(file_index)].reset();
   }
   // Teardown outside files_lock_ (it is a leaf lock; the net stack, the
@@ -764,6 +869,9 @@ Status Kernel::ReleaseFile(int file_index) {
   }
   if (defunct_evq >= 0) {
     DestroyEvq(defunct_evq);
+  }
+  if (defunct_prof >= 0) {
+    DestroyProfSession(defunct_prof);
   }
   return allocators_->CacheFree(file_cache_, defunct_addr);
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,11 @@ enum class Sys : uint64_t {
   kEvqCreate = 104,
   kEvqCtl = 105,
   kEvqWait = 106,
+  // perf_event analog: open a self-profiling session fd, read its samples,
+  // close the session. A task may only profile itself (kEPerm otherwise).
+  kProfStart = 110,
+  kProfStop = 111,
+  kProfRead = 112,
 };
 
 // Socket domains for Sys::kSocket's first argument.
@@ -171,9 +177,46 @@ struct OpenFile {
   bool pipe_read_end = false;
   int socket_id = -1;      // legacy loopback socket, or
   int net_socket_id = -1;  // a socket in the net stack (src/net), or
-  int evq_id = -1;         // an event queue (kEvqCreate).
+  int evq_id = -1;         // an event queue (kEvqCreate), or
+  int prof_id = -1;        // a profiling session (kProfStart).
   uint64_t offset = 0;
 };
+
+// One perf_event-style self-profiling session (kProfStart). The fd is the
+// handle; reads return ProfRecord-shaped samples filtered to the owner.
+struct ProfSession {
+  uint64_t addr = 0;   // Prof cache object address.
+  int owner_pid = 0;   // Only this task may read or stop the session.
+  uint64_t cursor = 0;  // Absolute sample index of the next unread sample.
+  bool active = false;  // True between kProfStart and kProfStop/close.
+};
+
+// Liveness guard shared between a kernel and the profiler's tick hook. The
+// profiler is process-global and refcounted, so a sampler started by this
+// kernel can outlive it when another kernel's session holds the count up —
+// but the tick hook targets this kernel's timer device. The hook fires
+// under mu and checks alive; ~Kernel flips alive under mu before the
+// machine can die, making a late tick a locked no-op instead of a
+// use-after-free.
+struct ProfTickGuard {
+  std::mutex mu;
+  bool alive = true;
+};
+
+// One record written to user memory by kProfRead (16 bytes on the wire:
+// u64 ts_ns, u32 pid, u8 cpu, u8 context, u8 mode, u8 depth).
+struct ProfRecord {
+  uint64_t ts_ns = 0;
+  uint32_t pid = 0;
+  uint8_t cpu = 0;
+  uint8_t context = 0;
+  uint8_t mode = 0;
+  uint8_t depth = 0;
+};
+inline constexpr uint64_t kProfRecordBytes = 16;
+// kProfRead returns at most this many records per call (bounds the kmalloc
+// scratch buffer, like kEvqMaxEventsPerWait).
+inline constexpr uint64_t kProfMaxRecordsPerRead = 256;
 
 // One registered interest in an event queue: fd -> net socket id plus the
 // caller's interest mask and opaque cookie.
@@ -329,6 +372,18 @@ class Kernel {
                              uint64_t target_fd, uint64_t user_data);
   Result<uint64_t> SysEvqWait(uint64_t evq_fd, uint64_t uaddr,
                               uint64_t max_events, uint64_t timeout_us);
+  // Profiling syscall backends (src/kernel/prof.cc; run under prof_lock_, an
+  // unranked leaf, never under the big kernel lock).
+  Result<uint64_t> SysProfStart(uint64_t hz);
+  Result<uint64_t> SysProfStop(uint64_t fd);
+  Result<uint64_t> SysProfRead(uint64_t fd, uint64_t uaddr,
+                               uint64_t max_records);
+  // ReleaseFile's teardown half for profiling fds (called OUTSIDE
+  // files_lock_): stops the session if still active.
+  void DestroyProfSession(int prof_id);
+  // The prof session behind fd `fd` of the current task, or -1.
+  int ProfIdForFd(uint64_t fd);
+
   // The net stack's ready callback: fans a socket-id readiness edge out to
   // every queue watching it (called with NO net-stack locks held).
   void OnSocketReady(int sid);
@@ -451,6 +506,7 @@ class Kernel {
   runtime::PoolAllocator* pipe_cache_ = nullptr;
   runtime::PoolAllocator* socket_cache_ = nullptr;
   runtime::PoolAllocator* evq_cache_ = nullptr;
+  runtime::PoolAllocator* prof_cache_ = nullptr;
   runtime::MetaPool* user_pool_ = nullptr;
   std::unique_ptr<net::NetStack> net_;
 
@@ -460,6 +516,15 @@ class Kernel {
   // pointer stability for waiters racing a close — with open = false).
   std::vector<std::unique_ptr<EventQueue>> evqs_;
   std::map<int, std::vector<int>> evq_watchers_;  // net sid -> evq ids
+  // Profiling sessions (index = prof id; entries stay allocated after close
+  // with active = false, same pointer-stability scheme as evqs_). Guarded
+  // by prof_lock_, an unranked leaf like the per-queue evq locks: taken
+  // with no ranked lock held and nothing is acquired under it.
+  std::vector<std::unique_ptr<ProfSession>> prof_sessions_;
+  mutable smp::SpinLock prof_lock_;
+  // Shared with the profiler's tick hook (see ProfTickGuard).
+  std::shared_ptr<ProfTickGuard> prof_tick_guard_ =
+      std::make_shared<ProfTickGuard>();
   std::map<int, Inode> inodes_;             // ino -> inode
   std::vector<std::unique_ptr<Pipe>> pipes_;
   std::vector<std::unique_ptr<Socket>> sockets_;

@@ -6,7 +6,9 @@
 
 #include "src/runtime/metapool_runtime.h"
 #include "src/support/strings.h"
+#include "src/trace/drainer.h"
 #include "src/trace/metrics.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace sva::kernel {
@@ -200,6 +202,30 @@ std::string MetricsServer::RenderText() const {
   Add(counters, "sva_trace_events_recorded_total",
       tracer.events_recorded());
   Add(counters, "sva_trace_events_lost_total", tracer.events_lost());
+  // Ring-loss and drain accounting (previously only visible in Chrome-trace
+  // metadata): lost = overwritten/torn slots, drained = consumed by the
+  // ContinuousDrainer, backlog = drained but not yet exported.
+  Add(counters, "sva_trace_lost_events_total", tracer.events_lost());
+  const trace::DrainerStats& ds = trace::DrainerStats::Get();
+  Add(counters, "sva_trace_drained_events_total",
+      ds.drained_events.load(std::memory_order_relaxed));
+  Add(counters, "sva_trace_drainer_backlog_total",
+      ds.backlog.load(std::memory_order_relaxed));
+
+  // Sampling profiler: totals plus the per-context sample-share table
+  // (sample counts labelled by what the CPU was doing when hit).
+  const trace::Profiler& prof = trace::Profiler::Get();
+  const trace::Profiler::Stats ps = prof.stats();
+  Add(counters, "sva_prof_samples_total", ps.samples);
+  Add(counters, "sva_prof_lost_total", ps.lost);
+  Add(counters, "sva_prof_stacks_truncated_total", ps.stacks_truncated);
+  std::vector<uint64_t> per_context = prof.ContextCounts();
+  for (size_t c = 0; c < per_context.size(); ++c) {
+    Add(counters, "sva_prof_context_samples_total", per_context[c],
+        StrCat("{context=\"",
+               trace::ProfContextName(static_cast<trace::ProfContext>(c)),
+               "\"}"));
+  }
 
   return trace::RenderPrometheus(counters,
                                  trace::Metrics::Get().Snapshot());

@@ -1,6 +1,7 @@
 #include "src/svaos/svaos.h"
 
 #include "src/support/strings.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace sva::svaos {
@@ -140,6 +141,15 @@ Result<uint64_t> SvaOS::Syscall(uint64_t number,
   }
   trace::Span span(trace::EventId::kSvaosDispatch,
                    trace::HistId::kSvaosDispatchNs, number);
+  // Publish the SVA-OS entry to the sampling profiler: ticks landing here
+  // (state save, icontext bookkeeping, dispatch) attribute to the SVM's
+  // mediation cost, not the syscall body (which pushes its own context).
+  trace::ProfContextScope prof;
+  if (trace::prof_enabled()) {
+    static const uint32_t kDispatchNameId =
+        trace::InternProfName("svaos:dispatch");
+    prof.Enter(trace::ProfContext::kSvaOsOp, kDispatchNameId, 0, 1);
+  }
   ++cpu_stats().syscalls_dispatched;
   InterruptContext* icp = EnterKernel();
   SyscallArgs call;
@@ -156,6 +166,19 @@ Status SvaOS::RaiseInterrupt(unsigned vector) {
   }
   trace::Span span(trace::EventId::kInterrupt, trace::HistId::kIrqNs,
                    vector);
+  // Vector 32 is the NIC rx line (net-irq context for the profiler);
+  // everything else (TLB shootdown IPIs, ...) is SVA-OS work.
+  trace::ProfContextScope prof;
+  if (trace::prof_enabled()) {
+    static const uint32_t kNetIrqNameId =
+        trace::InternProfName("net:rx-irq");
+    static const uint32_t kIrqNameId = trace::InternProfName("svaos:irq");
+    if (vector == 32) {
+      prof.Enter(trace::ProfContext::kNetIrq, kNetIrqNameId, 0, 1);
+    } else {
+      prof.Enter(trace::ProfContext::kSvaOsOp, kIrqNameId, 0, 1);
+    }
+  }
   ++cpu_stats().interrupts_dispatched;
   InterruptContext* icp = EnterKernel();
   interrupts_[vector](icp);

@@ -6,6 +6,7 @@
 #include "src/svm/exec_semantics.h"
 #include "src/svm/threaded_interp.h"
 #include "src/trace/metrics.h"
+#include "src/trace/profiler.h"
 #include "src/vir/instructions.h"
 #include "src/vir/intrinsics.h"
 
@@ -551,12 +552,30 @@ ExecResult Interpreter::RunFunction(const Function& fn,
   // functions the decoder rejected fall through to the tree-walker. Nested
   // calls from either tier come back through here, so the fallback is
   // uniformly per-function.
-  if (threaded_ != nullptr) {
-    if (const ThreadedCode* code = threaded_->CodeFor(fn)) {
-      return threaded_->Execute(*code, args, fargs, depth);
-    }
+  const ThreadedCode* code =
+      threaded_ != nullptr ? threaded_->CodeFor(fn) : nullptr;
+  // Publish this guest frame to the sampling profiler; nested calls from
+  // both tiers funnel through here, so the sampled stack is the real guest
+  // call stack, tier-tagged per frame.
+  trace::ProfGuestFrameScope prof;
+  if (trace::prof_enabled()) {
+    prof.Enter(ProfFunctionId(fn), /*threaded=*/code != nullptr,
+               /*safe_mode=*/options_.enforce_checks);
+  }
+  if (code != nullptr) {
+    return threaded_->Execute(*code, args, fargs, depth);
   }
   return RunFunctionInterp(fn, args, fargs, depth);
+}
+
+uint32_t Interpreter::ProfFunctionId(const vir::Function& fn) {
+  auto it = prof_name_ids_.find(&fn);
+  if (it != prof_name_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = trace::InternProfName(StrCat("guest:", fn.name()));
+  prof_name_ids_.emplace(&fn, id);
+  return id;
 }
 
 ExecResult Interpreter::RunFunctionInterp(const Function& fn,

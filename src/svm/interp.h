@@ -123,6 +123,9 @@ class Interpreter {
                                const std::vector<uint64_t>& args,
                                const std::vector<double>& fargs,
                                uint64_t depth);
+  // The interned "guest:<fn>" profiler name id for `fn`, cached per
+  // function (an Interpreter runs on one thread; no lock).
+  uint32_t ProfFunctionId(const vir::Function& fn);
 
   // Executes an intrinsic; `handled` is false if `callee` is not one.
   Result<uint64_t> RunIntrinsic(const vir::Function& callee,
@@ -156,6 +159,8 @@ class Interpreter {
   std::map<std::string, HostFn> host_fns_;
   // Maps module target-set ids to runtime target-set ids.
   std::vector<uint64_t> runtime_set_ids_;
+  // Interned profiler name ids (ProfFunctionId).
+  std::map<const vir::Function*, uint32_t> prof_name_ids_;
 
   // The threaded-code tier; null when options_.tier == kInterp.
   std::unique_ptr<ThreadedEngine> threaded_;

@@ -20,6 +20,9 @@ std::vector<Event> ContinuousDrainer::Stop() {
   std::vector<Event> tail = Tracer::Get().Drain();
   events_.insert(events_.end(), tail.begin(), tail.end());
   events_seen_.store(events_.size(), std::memory_order_relaxed);
+  DrainerStats::Get().drained_events.fetch_add(tail.size(),
+                                               std::memory_order_relaxed);
+  DrainerStats::Get().backlog.store(0, std::memory_order_relaxed);
   std::vector<Event> out;
   out.swap(events_);
   return out;
@@ -30,6 +33,10 @@ void ContinuousDrainer::Run() {
     std::vector<Event> batch = Tracer::Get().Drain();
     events_.insert(events_.end(), batch.begin(), batch.end());
     events_seen_.store(events_.size(), std::memory_order_relaxed);
+    DrainerStats::Get().drained_events.fetch_add(batch.size(),
+                                                 std::memory_order_relaxed);
+    DrainerStats::Get().backlog.store(events_.size(),
+                                      std::memory_order_relaxed);
     std::this_thread::sleep_for(std::chrono::microseconds(interval_us_));
   }
 }

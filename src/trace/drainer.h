@@ -17,6 +17,19 @@
 
 namespace sva::trace {
 
+// Process-wide drainer accounting, surfaced on /metrics as
+// sva_trace_{drained_events,drainer_backlog}_total. Written by whichever
+// ContinuousDrainer is live (the benches run at most one at a time, but the
+// counters are atomics so a second instance is merely additive, not racy).
+struct DrainerStats {
+  std::atomic<uint64_t> drained_events{0};  // Cumulative events consumed.
+  std::atomic<uint64_t> backlog{0};         // Events held awaiting export.
+  static DrainerStats& Get() {
+    static DrainerStats stats;
+    return stats;
+  }
+};
+
 class ContinuousDrainer {
  public:
   // interval_us: sleep between drains. The default (2ms) keeps up with the

@@ -65,6 +65,7 @@ const char* EventName(EventId id) {
     case EventId::kConnAccept: return "conn-accept";
     case EventId::kConnClose: return "conn-close";
     case EventId::kConnForked: return "conn-forked";
+    case EventId::kProfSample: return "prof.sample";
     case EventId::kNumIds: break;
   }
   return "unknown";

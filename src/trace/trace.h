@@ -72,6 +72,8 @@ enum class EventId : uint16_t {
   kConnAccept,  // a0 = accepted fd, a1 = listener fd
   kConnClose,   // a0 = fd
   kConnForked,  // a0 = child pid, a1 = parent pid (per-connection forks)
+  // Sampling profiler.
+  kProfSample,  // a0 = pid<<32 | depth<<16 | mode<<8 | context, a1 = stack id
   kNumIds,
 };
 

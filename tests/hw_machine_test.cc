@@ -213,6 +213,38 @@ TEST(DeviceTest, ConsoleAndTimer) {
   EXPECT_FALSE(m.IoRead(0x9999).ok());
 }
 
+TEST(DeviceTest, TimerFrequencyReprogramming) {
+  Machine m;
+  EXPECT_EQ(m.timer().frequency_hz(), TimerDevice::kDefaultFrequencyHz);
+  ASSERT_TRUE(m.timer().SetFrequency(997).ok());
+  EXPECT_EQ(m.timer().frequency_hz(), 997u);
+  EXPECT_EQ(m.timer().period_ns(), 1000000000ull / 997);
+  // A stopped clock (0 Hz) and rates past the crystal are rejected, and a
+  // rejected reprogram leaves the running rate untouched.
+  EXPECT_EQ(m.timer().SetFrequency(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.timer().SetFrequency(TimerDevice::kMaxFrequencyHz + 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.timer().frequency_hz(), 997u);
+}
+
+TEST(DeviceTest, TimerInterruptLineIsSeparateFromTicks) {
+  Machine m;
+  int fired = 0;
+  m.timer().SetInterruptCallback([&fired] { ++fired; });
+  const uint64_t ticks_before = m.timer().ticks();
+  m.timer().FireInterrupt();
+  m.timer().FireInterrupt();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(m.timer().interrupts_fired(), 2u);
+  // The interrupt line never advances guest time: gettimeofday's tick
+  // fiction is immune to profiler rate changes.
+  EXPECT_EQ(m.timer().ticks(), ticks_before);
+  m.timer().SetInterruptCallback(nullptr);
+  m.timer().FireInterrupt();  // No callback installed: counted, not called.
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(m.timer().interrupts_fired(), 3u);
+}
+
 TEST(DeviceTest, BlockDeviceSectors) {
   Machine m;
   std::vector<uint8_t> sector(BlockDevice::kSectorSize, 0x5A);

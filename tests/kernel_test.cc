@@ -5,6 +5,7 @@
 
 #include "src/kernel/kernel.h"
 #include "src/smp/lock_order.h"
+#include "src/trace/profiler.h"
 
 namespace sva::kernel {
 namespace {
@@ -263,6 +264,59 @@ INSTANTIATE_TEST_SUITE_P(AllModes, KernelModesTest,
                            }
                            return out;
                          });
+
+// The perf_event-style session is strictly self-scoped: the owner may read
+// its own samples, a forked child holding the inherited session fd gets
+// kEPerm on both read and stop, and the owner's stop still succeeds after
+// the child is gone (the exploit suite's PROF-SPY scenario end to end,
+// minus the harness).
+TEST(KernelProfTest, ProfSyscallsAreSelfOnly) {
+  trace::Profiler::Get().ResetForTest();
+  constexpr uint64_t kEPerm = static_cast<uint64_t>(-1);
+  {
+    KernelHarness h(KernelMode::kSvaSafe);
+    const uint64_t fd = h.Call(Sys::kProfStart, 0);
+    ASSERT_LT(fd, 1024u);
+    EXPECT_TRUE(trace::Profiler::Get().running());
+    for (int i = 0; i < 50; ++i) {
+      h.Call(Sys::kGetPid);  // Activity for the sampler to attribute.
+    }
+    // Reading our own session succeeds (whether or not a sample already
+    // landed — the syscall itself must not error).
+    auto n = h.k().Syscall(Sys::kProfRead, fd, h.user(0x8000), 16);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    EXPECT_LE(*n, 16u);
+
+    const uint64_t child = h.Call(Sys::kFork);
+    while (h.k().current_pid() != static_cast<int>(child)) {
+      ASSERT_TRUE(h.k().Yield().ok());
+    }
+    EXPECT_EQ(h.Call(Sys::kProfRead, fd, h.user(0x8000), 16), kEPerm);
+    EXPECT_EQ(h.Call(Sys::kProfStop, fd), kEPerm);
+    h.Call(Sys::kExit, 0);
+    ASSERT_EQ(h.Call(Sys::kWaitPid, child), child);
+
+    EXPECT_EQ(h.Call(Sys::kProfStop, fd), 0u);
+    EXPECT_FALSE(trace::Profiler::Get().running());
+  }
+  // Kernel teardown with the session already stopped must not double-stop.
+  EXPECT_FALSE(trace::Profiler::Get().running());
+}
+
+// An explicit rate in kProfStart reprograms the timer; an impossible rate
+// is refused in-band without opening a session.
+TEST(KernelProfTest, ProfStartReprogramsTimerAndRejectsBadRates) {
+  trace::Profiler::Get().ResetForTest();
+  constexpr uint64_t kEInval = static_cast<uint64_t>(-22);
+  KernelHarness h(KernelMode::kSvaSafe);
+  EXPECT_EQ(h.k().machine().timer().frequency_hz(), 997u);  // Boot default.
+  EXPECT_EQ(h.Call(Sys::kProfStart, 2000000), kEInval);  // Past the crystal.
+  EXPECT_FALSE(trace::Profiler::Get().running());
+  const uint64_t fd = h.Call(Sys::kProfStart, 1999);
+  ASSERT_LT(fd, 1024u);
+  EXPECT_EQ(h.k().machine().timer().frequency_hz(), 1999u);
+  EXPECT_EQ(h.Call(Sys::kProfStop, fd), 0u);
+}
 
 TEST(KernelSafetyTest, UserRangeStraddleIsCaught) {
   KernelHarness h(KernelMode::kSvaSafe);

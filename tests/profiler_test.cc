@@ -1,0 +1,404 @@
+// The sampling-profiler suite: seqlock slot attribution, folded-stack
+// export, the read cursor, session refcounting, and two whole-system
+// properties — a TSan-visible concurrent sample/drain/fork workload and a
+// determinism check that two profiled runs of the same guest attribute the
+// same function set.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/safety/compiler.h"
+#include "src/smp/percpu.h"
+#include "src/svm/svm.h"
+#include "src/trace/profiler.h"
+#include "src/verifier/typechecker.h"
+#include "src/vir/parser.h"
+#include "src/vir/structural_verifier.h"
+
+namespace sva {
+namespace {
+
+using trace::ProfContext;
+using trace::Profiler;
+
+uint64_t GuestSamples(const std::vector<uint64_t>& counts) {
+  return counts[static_cast<size_t>(ProfContext::kGuestInterp)] +
+         counts[static_cast<size_t>(ProfContext::kGuestThreaded)];
+}
+
+TEST(ProfilerTest, ContextAttributionInFoldedOutput) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options opts;
+  opts.hz = 1000;
+  opts.num_cpus = 1;
+  ASSERT_TRUE(p.Start(opts));
+  const uint32_t name = trace::InternProfName("syscall:test");
+  p.PushContext(ProfContext::kKernelSyscall, name, /*pid=*/7, /*mode=*/3);
+  p.SampleNow();
+  p.PopContext();
+  p.Stop();
+  const auto counts = p.ContextCounts();
+  EXPECT_GE(counts[static_cast<size_t>(ProfContext::kKernelSyscall)], 1u);
+  EXPECT_NE(p.FoldedText().find("syscall:test"), std::string::npos);
+  EXPECT_GE(p.stats().samples, 1u);
+}
+
+TEST(ProfilerTest, IdleSamplesGetSyntheticRoot) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options opts;
+  opts.hz = 1000;
+  ASSERT_TRUE(p.Start(opts));
+  p.SampleNow();  // Nothing pushed: the CPU is idle.
+  p.Stop();
+  const auto counts = p.ContextCounts();
+  EXPECT_GE(counts[static_cast<size_t>(ProfContext::kIdle)], 1u);
+  // The synthetic one-frame stack keeps the folded output at 100% of
+  // samples (prof-report counts "idle" roots as attributed).
+  EXPECT_NE(p.FoldedText().find("idle "), std::string::npos);
+}
+
+TEST(ProfilerTest, NestedGuestFramesFoldInCallOrder) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options opts;
+  opts.hz = 1000;
+  ASSERT_TRUE(p.Start(opts));
+  const uint32_t outer = trace::InternProfName("guest:outer");
+  const uint32_t inner = trace::InternProfName("guest:inner");
+  p.PushGuestFrame(outer, /*threaded=*/true, /*safe_mode=*/true);
+  p.PushGuestFrame(inner, /*threaded=*/true, /*safe_mode=*/true);
+  p.SampleNow();
+  p.PopGuestFrame();
+  p.PopGuestFrame();
+  p.Stop();
+  EXPECT_NE(p.FoldedText().find("guest:outer;guest:inner"),
+            std::string::npos);
+  const auto counts = p.ContextCounts();
+  EXPECT_GE(counts[static_cast<size_t>(ProfContext::kGuestThreaded)], 1u);
+}
+
+TEST(ProfilerTest, DeepGuestStacksCountTruncation) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options opts;
+  opts.hz = 1000;
+  ASSERT_TRUE(p.Start(opts));
+  const uint32_t name = trace::InternProfName("guest:deep");
+  constexpr int kDepth = 40;  // 8 past the 32-frame slot.
+  for (int i = 0; i < kDepth; ++i) {
+    p.PushGuestFrame(name, /*threaded=*/false, /*safe_mode=*/true);
+  }
+  p.SampleNow();
+  for (int i = 0; i < kDepth; ++i) {
+    p.PopGuestFrame();
+  }
+  p.Stop();
+  EXPECT_GE(p.stats().stacks_truncated, 8u);
+  const auto counts = p.ContextCounts();
+  EXPECT_GE(counts[static_cast<size_t>(ProfContext::kGuestInterp)], 1u);
+}
+
+TEST(ProfilerTest, ReadSamplesCursorSeesOnlyNewSamples) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options opts;
+  opts.hz = 1000;
+  ASSERT_TRUE(p.Start(opts));
+  uint64_t cursor = p.EndCursor();
+  const uint32_t name = trace::InternProfName("syscall:cursor");
+  p.PushContext(ProfContext::kKernelSyscall, name, /*pid=*/7, /*mode=*/3);
+  p.SampleNow();
+  p.PopContext();
+  std::vector<trace::ProfSample> out;
+  ASSERT_GE(p.ReadSamples(&cursor, &out, 256), 1u);
+  bool found = false;
+  for (const trace::ProfSample& s : out) {
+    if (s.context == ProfContext::kKernelSyscall && s.pid == 7) {
+      found = true;
+      EXPECT_EQ(p.StackString(s.stack_id), "syscall:cursor");
+    }
+  }
+  EXPECT_TRUE(found);
+  p.Stop();
+  // Drain to the end: after the final Stop() flush the cursor must land
+  // exactly on EndCursor(), with no stranded or duplicated samples.
+  while (p.ReadSamples(&cursor, &out, 256) > 0) {
+  }
+  EXPECT_EQ(cursor, p.EndCursor());
+}
+
+TEST(ProfilerTest, StartValidatesRateAndRefcounts) {
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  Profiler::Options bad;
+  bad.hz = 0;
+  EXPECT_FALSE(p.Start(bad));
+  bad.hz = 200000;  // Past the 100 kHz ceiling.
+  EXPECT_FALSE(p.Start(bad));
+  EXPECT_FALSE(p.running());
+
+  Profiler::Options good;
+  good.hz = 1000;
+  ASSERT_TRUE(p.Start(good));
+  // A second Start joins the live session; its (invalid) options are
+  // ignored because the first caller's rate won.
+  Profiler::Options ignored;
+  ignored.hz = 0;
+  EXPECT_TRUE(p.Start(ignored));
+  p.Stop();
+  EXPECT_TRUE(p.running());  // One reference still holds the session.
+  p.Stop();
+  EXPECT_FALSE(p.running());
+}
+
+// --- Whole-system concurrency ---------------------------------------------
+
+class ProfKernelHarness {
+ public:
+  explicit ProfKernelHarness(kernel::KernelMode mode)
+      : machine_(512ull << 20) {
+    kernel::KernelConfig config;
+    config.mode = mode;
+    kernel_ = std::make_unique<kernel::Kernel>(machine_, config);
+    Status s = kernel_->Boot();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  kernel::Kernel& k() { return *kernel_; }
+
+  uint64_t user(uint64_t offset = 0) {
+    return kernel::kUserVirtualBase +
+           static_cast<uint64_t>(kernel_->current_pid()) * 0x100000 + offset;
+  }
+
+  uint64_t Call(kernel::Sys n, uint64_t a0 = 0, uint64_t a1 = 0,
+                uint64_t a2 = 0) {
+    auto r = kernel_->Syscall(n, a0, a1, a2);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ~uint64_t{0};
+  }
+
+  hw::Machine machine_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+// Four vCPUs make syscalls (one of them forking) while the timer-driven
+// sampler fires and a fifth host thread drains the sample store — the
+// full producer/sampler/consumer triangle under TSan. The workload then
+// execs and exits the children with the session still live. Passes when
+// nothing deadlocks, no race is reported, and samples actually landed.
+//
+// Same discipline as kernel_stress_test's ConcurrentVfsAndForkOffTheBkl:
+// the concurrent phase never writes user memory (SysFork's eager page copy
+// must only race with readers), and every worker owns its own vCPU.
+TEST(ProfilerConcurrencyTest, ConcurrentSampleDrainForkExec) {
+  using kernel::Sys;
+  Profiler::Get().ResetForTest();
+  ProfKernelHarness h(kernel::KernelMode::kSvaSafe);
+  constexpr int kWorkers = 3;
+  constexpr int kRounds = 200;
+  constexpr int kForks = 8;
+  h.k().svaos().ConfigureCpus(kWorkers + 1);
+
+  const uint64_t prof_fd = h.Call(Sys::kProfStart, 0);
+  ASSERT_LT(prof_fd, 1024u);
+
+  std::atomic<bool> drain_run{true};
+  std::atomic<uint64_t> drained{0};
+  std::thread drainer([&drain_run, &drained] {
+    uint64_t cursor = 0;
+    std::vector<trace::ProfSample> out;
+    while (drain_run.load(std::memory_order_relaxed)) {
+      out.clear();
+      drained.fetch_add(
+          Profiler::Get().ReadSamples(&cursor, &out, 256),
+          std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<uint64_t> children;  // Written only by the fork thread.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&h, t] {
+      smp::ScopedCpu bind(static_cast<unsigned>(t));
+      for (int round = 0; round < kRounds; ++round) {
+        h.Call(Sys::kGetPid);
+        h.Call(Sys::kBrk, 0);
+        h.Call(Sys::kGetPid);
+      }
+    });
+  }
+  workers.emplace_back([&h, &children] {
+    smp::ScopedCpu bind(kWorkers);
+    for (int i = 0; i < kForks; ++i) {
+      children.push_back(h.Call(Sys::kFork));
+      h.Call(Sys::kSigaction, 9, 77);
+      for (int j = 0; j < 25; ++j) {
+        h.Call(Sys::kGetPid);
+      }
+    }
+  });
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Sequential teardown with the session still sampling: each child execs
+  // and exits, then the parent reaps it.
+  for (uint64_t child : children) {
+    while (h.k().current_pid() != static_cast<int>(child)) {
+      ASSERT_TRUE(h.k().Yield().ok());
+    }
+    ASSERT_TRUE(h.k().PokeUserString(h.user(0), "/dev/null").ok());
+    h.Call(Sys::kExecve, h.user(0));
+    h.Call(Sys::kExit, 0);
+    ASSERT_EQ(h.Call(Sys::kWaitPid, child), child);
+  }
+
+  drain_run.store(false, std::memory_order_relaxed);
+  drainer.join();
+  EXPECT_EQ(h.Call(Sys::kProfStop, prof_fd), 0u);
+  EXPECT_GT(Profiler::Get().stats().samples, 0u);
+  EXPECT_FALSE(Profiler::Get().running());
+}
+
+// --- Determinism ----------------------------------------------------------
+
+// Two guest functions: hot_outer calls hot_inner twice, and hot_inner's
+// loop is essentially all of the work — so any statistically meaningful
+// profile must attribute samples to both (inner on top of outer).
+constexpr char kHotBytecode[] = R"(
+module "prof_hot"
+
+define i64 @hot_inner(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %step = add i64 %i, 7
+  %acc2 = add i64 %acc, %step
+  %i2 = add i64 %i, 1
+  %done = icmp uge i64 %i2, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc2
+}
+
+define i64 @hot_outer(i64 %n) {
+entry:
+  %a = call i64 @hot_inner(i64 %n)
+  %b = call i64 @hot_inner(i64 %n)
+  %sum = add i64 %a, %b
+  ret i64 %sum
+}
+)";
+
+std::unique_ptr<svm::LoadedModule> LoadHotModule() {
+  auto parsed = vir::ParseModule(kHotBytecode);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return nullptr;
+  auto module = std::move(*parsed);
+  auto compiled = safety::RunSafetyCompiler(*module);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return nullptr;
+  Status verified = vir::VerifyModule(*module);
+  EXPECT_TRUE(verified.ok()) << verified.ToString();
+  if (!verified.ok()) return nullptr;
+  Status typed = verifier::TypeCheckOrError(*module);
+  EXPECT_TRUE(typed.ok()) << typed.ToString();
+  if (!typed.ok()) return nullptr;
+  svm::SvmOptions options;
+  options.interp.tier = svm::ExecTier::kThreaded;
+  svm::SecureVirtualMachine vm(options);
+  auto loaded = vm.LoadModule(std::move(module));
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  if (!loaded.ok()) return nullptr;
+  return std::move(*loaded);
+}
+
+// One profiled replica: a worker thread runs hot_outer in a loop while
+// this thread samples until >= kWantSamples landed in guest context.
+// Returns the set of guest function names the folded profile attributes.
+std::set<std::string> ProfiledGuestFunctions() {
+  constexpr uint64_t kWantSamples = 50;
+  Profiler& p = Profiler::Get();
+  p.ResetForTest();
+  std::unique_ptr<svm::LoadedModule> module = LoadHotModule();
+  std::set<std::string> fns;
+  if (module == nullptr) return fns;
+
+  Profiler::Options opts;
+  opts.hz = 1000;
+  opts.num_cpus = 1;
+  EXPECT_TRUE(p.Start(opts));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> guest_ok{true};
+  std::thread guest([&module, &stop, &guest_ok] {
+    smp::ScopedCpu bind(0);
+    while (!stop.load(std::memory_order_relaxed)) {
+      svm::ExecResult r = module->Run("hot_outer", {512});
+      if (!r.status.ok()) {
+        guest_ok.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < 20000 && GuestSamples(p.ContextCounts()) < kWantSamples;
+       ++i) {
+    p.SampleNow();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  guest.join();
+  p.Stop();
+  EXPECT_TRUE(guest_ok.load(std::memory_order_relaxed));
+  EXPECT_GE(GuestSamples(p.ContextCounts()), kWantSamples);
+
+  // Collect every "guest:" frame the folded profile mentions.
+  std::istringstream folded(p.FoldedText());
+  std::string line;
+  while (std::getline(folded, line)) {
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string stack = line.substr(0, space);
+    size_t pos = 0;
+    while (pos <= stack.size()) {
+      size_t semi = stack.find(';', pos);
+      std::string frame = stack.substr(
+          pos, semi == std::string::npos ? std::string::npos : semi - pos);
+      if (frame.rfind("guest:", 0) == 0) {
+        fns.insert(frame);
+      }
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+  }
+  return fns;
+}
+
+// Two profiled runs of the same workload must attribute the same function
+// set — sampling is statistical in counts but not in coverage once the
+// sample budget dwarfs the program's function count.
+TEST(ProfilerDeterminismTest, TwoRunsAttributeTheSameFunctionSet) {
+  std::set<std::string> first = ProfiledGuestFunctions();
+  std::set<std::string> second = ProfiledGuestFunctions();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.count("guest:hot_inner"), 1u);
+  EXPECT_EQ(first.count("guest:hot_outer"), 1u);
+  Profiler::Get().ResetForTest();
+}
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,184 @@
+// prof-report: reads a collapsed/folded-stack profile (the --profile
+// output of svm-run and the benches: one "frame;frame;... count" line per
+// distinct stack) and prints a top-N table of self and total samples per
+// frame. Doubles as the CI validator for profiler output: it rejects
+// malformed lines and can enforce a minimum attribution rate and sample
+// count.
+//
+// Usage:
+//   prof-report FILE [--top N] [--min-attributed FRACTION] [--min-samples N]
+//
+// Attribution: a sample counts as attributed when its root frame is not
+// "unknown" (the profiler's id-0 sentinel for a context it could not
+// resolve). --min-attributed 0.95 fails the run if fewer than 95% of
+// samples are attributed.
+//
+// Exit status: 0 ok, 1 on malformed input or a threshold failure.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "prof-report: %s\n", message.c_str());
+  return 1;
+}
+
+// Splits "a;b;c" into {"a","b","c"}; empty frames are invalid and yield an
+// empty result.
+std::vector<std::string> SplitFrames(const std::string& stack) {
+  std::vector<std::string> frames;
+  size_t start = 0;
+  while (start <= stack.size()) {
+    size_t semi = stack.find(';', start);
+    if (semi == std::string::npos) {
+      semi = stack.size();
+    }
+    if (semi == start) {
+      return {};  // Empty frame ("a;;b", leading/trailing ';').
+    }
+    frames.push_back(stack.substr(start, semi - start));
+    if (semi == stack.size()) {
+      break;
+    }
+    start = semi + 1;
+  }
+  return frames;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  size_t top_n = 10;
+  double min_attributed = -1.0;
+  long long min_samples = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_n = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--min-attributed" && i + 1 < argc) {
+      min_attributed = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-samples" && i + 1 < argc) {
+      min_samples = std::strtoll(argv[++i], nullptr, 0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: prof-report FILE [--top N] "
+                  "[--min-attributed FRACTION] [--min-samples N]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown option " + arg);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Fail("more than one input file");
+    }
+  }
+  if (input.empty()) {
+    return Fail("no folded-stack file (try --help)");
+  }
+  std::ifstream in(input);
+  if (!in) {
+    return Fail("cannot open " + input);
+  }
+
+  // Per-frame accounting across all stacks: `self` counts samples whose
+  // leaf is the frame, `total` counts samples where the frame appears
+  // anywhere in the stack (each frame once per stack, so recursion does
+  // not double-count).
+  struct FrameRow {
+    unsigned long long self = 0;
+    unsigned long long total = 0;
+  };
+  std::map<std::string, FrameRow> rows;
+  unsigned long long total_samples = 0;
+  unsigned long long attributed_samples = 0;
+  size_t line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    // Format: "frame1;frame2;... count" — the count is the text after the
+    // last space; everything before it is the stack.
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      return Fail(input + ":" + std::to_string(line_no) +
+                  ": expected 'stack count'");
+    }
+    const std::string stack = line.substr(0, space);
+    const std::string count_text = line.substr(space + 1);
+    char* end = nullptr;
+    unsigned long long count = std::strtoull(count_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || count == 0) {
+      return Fail(input + ":" + std::to_string(line_no) +
+                  ": bad sample count '" + count_text + "'");
+    }
+    std::vector<std::string> frames = SplitFrames(stack);
+    if (frames.empty()) {
+      return Fail(input + ":" + std::to_string(line_no) +
+                  ": empty frame in stack '" + stack + "'");
+    }
+    total_samples += count;
+    if (frames.front() != "unknown") {
+      attributed_samples += count;
+    }
+    rows[frames.back()].self += count;
+    std::vector<std::string> seen;
+    for (const std::string& frame : frames) {
+      if (std::find(seen.begin(), seen.end(), frame) == seen.end()) {
+        seen.push_back(frame);
+        rows[frame].total += count;
+      }
+    }
+  }
+  if (total_samples == 0) {
+    std::fprintf(stderr, "prof-report: %s: no samples\n", input.c_str());
+    return (min_samples > 0 || min_attributed >= 0) ? 1 : 0;
+  }
+
+  std::vector<std::pair<std::string, FrameRow>> sorted(rows.begin(),
+                                                       rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) {
+      return a.second.self > b.second.self;
+    }
+    return a.first < b.first;
+  });
+  double attribution =
+      static_cast<double>(attributed_samples) / total_samples;
+  std::printf("%s: %llu samples across %zu distinct frames, %.1f%% "
+              "attributed\n",
+              input.c_str(), total_samples, rows.size(),
+              100.0 * attribution);
+  std::printf("%10s %7s %12s %7s  %s\n", "self", "self%", "total", "total%",
+              "frame");
+  for (size_t i = 0; i < sorted.size() && i < top_n; ++i) {
+    const auto& [frame, row] = sorted[i];
+    std::printf("%10llu %6.1f%% %12llu %6.1f%%  %s\n", row.self,
+                100.0 * row.self / total_samples, row.total,
+                100.0 * row.total / total_samples, frame.c_str());
+  }
+
+  if (min_samples > 0 &&
+      total_samples < static_cast<unsigned long long>(min_samples)) {
+    return Fail("only " + std::to_string(total_samples) +
+                " samples, need at least " + std::to_string(min_samples));
+  }
+  if (min_attributed >= 0 && attribution < min_attributed) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "attribution %.3f below required %.3f", attribution,
+                  min_attributed);
+    return Fail(buf);
+  }
+  return 0;
+}

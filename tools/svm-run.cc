@@ -31,6 +31,7 @@
 #include "src/svm/svm.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/metrics.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 #include "src/vir/bytecode.h"
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> args;
   bool stats = false;
   std::string trace_out;
+  std::string profile_out;
   unsigned cpus = 1;
   sva::svm::SvmOptions options;
 
@@ -84,6 +86,10 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_out = arg.substr(10);
     } else if (arg == "--cpus" && i + 1 < argc) {
       cpus = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
       if (cpus == 0) {
@@ -92,7 +98,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: svm-run module.svb [--entry NAME] [--arg N]... "
                   "[--no-checks] [--no-cache] [--stats] [--cpus N] "
-                  "[--tier interp|threaded] [--trace-out FILE]\n");
+                  "[--tier interp|threaded] [--trace-out FILE] "
+                  "[--profile FILE]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option " + arg);
@@ -123,6 +130,16 @@ int main(int argc, char** argv) {
   // per-CPU ring); the rings are drained into one Chrome trace at exit.
   if (!trace_out.empty()) {
     sva::trace::Tracer::Get().Enable(sva::trace::kModeFull);
+  }
+  // Profiling wraps the whole run the same way: the free-running sampler
+  // interrupts every replica CPU and attributes samples to guest functions
+  // via the execution tiers' frame hooks.
+  if (!profile_out.empty()) {
+    sva::trace::Profiler::Options popts;
+    popts.num_cpus = cpus;
+    if (!sva::trace::Profiler::Get().Start(popts)) {
+      return Fail("cannot start profiler");
+    }
   }
 
   std::vector<sva::svm::SecureVirtualMachine> vms;
@@ -175,6 +192,25 @@ int main(int argc, char** argv) {
     }
   }
   auto result = outcomes[0].result;
+  if (!profile_out.empty()) {
+    sva::trace::Profiler& prof = sva::trace::Profiler::Get();
+    prof.Stop();
+    if (!prof.WriteFolded(profile_out)) {
+      return Fail("cannot write profile to " + profile_out);
+    }
+    sva::trace::Profiler::Stats pstats = prof.stats();
+    std::fprintf(stderr,
+                 "svm-run: wrote folded stacks to %s (%llu samples, %llu "
+                 "lost, %llu truncated)\n",
+                 profile_out.c_str(),
+                 static_cast<unsigned long long>(pstats.samples),
+                 static_cast<unsigned long long>(pstats.lost),
+                 static_cast<unsigned long long>(pstats.stacks_truncated));
+    for (const auto& [stack, count] : prof.TopStacks(5)) {
+      std::fprintf(stderr, "svm-run:   %8llu  %s\n",
+                   static_cast<unsigned long long>(count), stack.c_str());
+    }
+  }
   if (!trace_out.empty()) {
     sva::trace::Tracer& tracer = sva::trace::Tracer::Get();
     tracer.Disable();
