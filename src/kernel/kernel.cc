@@ -1,5 +1,6 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/support/strings.h"
@@ -39,6 +40,7 @@ const char* SyscallName(Sys number) {
     case Sys::kWaitPid: return "waitpid";
     case Sys::kUnlink: return "unlink";
     case Sys::kExecve: return "execve";
+    case Sys::kStat: return "stat";
     case Sys::kLseek: return "lseek";
     case Sys::kGetPid: return "getpid";
     case Sys::kKill: return "kill";
@@ -85,6 +87,24 @@ Kernel::Kernel(hw::Machine& machine, KernelConfig config)
       pools_(runtime::EnforcementMode::kTrap) {}
 
 Kernel::~Kernel() {
+  // Drain the epoch machinery first: retired fd tables, open files, inodes
+  // and directory-index snapshots capture this kernel's allocators in their
+  // reclaim callbacks, so every pending retiree must run before the member
+  // destructors below tear the allocators down. The caller guarantees no
+  // syscall is still in flight, so the pinned-reader population is zero
+  // (or draining) and Synchronize terminates.
+  smp::EpochDomain::Global().Synchronize();
+  // The epoch-published snapshots and the open-file table are owned raw:
+  // with every reader gone, delete them directly.
+  delete task_index_.exchange(nullptr, std::memory_order_relaxed);
+  delete dir_index_.exchange(nullptr, std::memory_order_relaxed);
+  if (OpenFileTable* tab =
+          open_files_tab_.exchange(nullptr, std::memory_order_relaxed)) {
+    for (uint64_t i = 0; i < open_files_count_; ++i) {
+      delete tab->entries[i].load(std::memory_order_relaxed);
+    }
+    delete tab;
+  }
   // The profiler sampler can outlive this kernel (another kernel's session
   // keeps the refcount up) and its tick hook targets our timer: flip the
   // shared guard first so a late tick becomes a locked no-op, then unhook
@@ -164,7 +184,8 @@ Status Kernel::Boot() {
     // SVA-OS registration operation instead of a hand-built IDT stub.
     for (Sys number :
          {Sys::kExit, Sys::kFork, Sys::kRead, Sys::kWrite, Sys::kOpen,
-          Sys::kClose, Sys::kWaitPid, Sys::kUnlink, Sys::kExecve, Sys::kLseek,
+          Sys::kClose, Sys::kWaitPid, Sys::kUnlink, Sys::kExecve, Sys::kStat,
+          Sys::kLseek,
           Sys::kGetPid, Sys::kKill, Sys::kPipe, Sys::kBrk, Sys::kSigaction,
           Sys::kGetRusage, Sys::kGetTimeOfDay, Sys::kDup, Sys::kSocket,
           Sys::kSend, Sys::kRecv, Sys::kBind, Sys::kAccept, Sys::kEvqCreate,
@@ -184,6 +205,10 @@ Status Kernel::Boot() {
   null_dev.name = "/dev/null";
   inodes_[0] = null_dev;
   namespace_["/dev/null"] = 0;
+  {
+    std::lock_guard<smp::OrderedSpinLock> guard(vfs_lock_);
+    RepublishDirIndex();
+  }
 
   // pid 1: init.
   SVA_ASSIGN_OR_RETURN(int pid, CreateTask(/*parent_pid=*/0));
@@ -231,6 +256,7 @@ Kernel::SyscallRoute Kernel::RouteSyscall(Sys number, uint64_t a0) {
                                   : SyscallRoute::kVfs;
     case Sys::kOpen:
     case Sys::kClose:
+    case Sys::kStat:
     case Sys::kLseek:
     case Sys::kUnlink:
     case Sys::kDup:
@@ -271,14 +297,23 @@ Result<uint64_t> Kernel::Syscall(Sys number, uint64_t a0, uint64_t a1,
   // domain guards.
   SyscallRoute route = RouteSyscall(number, a0);
   if (route != SyscallRoute::kBkl) {
-    return Dispatch(number,
-                    {a0, a1, a2, a3, 0, static_cast<uint64_t>(route)});
+    Result<uint64_t> r =
+        Dispatch(number, {a0, a1, a2, a3, 0, static_cast<uint64_t>(route)});
+    // The syscall-exit quiescent state (docs/CONCURRENCY.md §5): no epoch
+    // guard and no kernel lock is held here, so this thread can drive the
+    // grace-period advance and run deferred reclaims.
+    smp::EpochDomain::Global().QuiescentState();
+    return r;
   }
   // SVA-PORT(svaos): the demoted big kernel lock — only unknown syscall
   // numbers (and the scheduler/host helpers) still serialize on it.
-  trace::TimedLockGuard<smp::OrderedSpinLock> guard(
-      bkl_, trace::HistId::kBklWaitNs, trace::kLockBkl);
-  return Dispatch(number, {a0, a1, a2, a3, 0, 0});
+  Result<uint64_t> r = [&] {
+    trace::TimedLockGuard<smp::OrderedSpinLock> guard(
+        bkl_, trace::HistId::kBklWaitNs, trace::kLockBkl);
+    return Dispatch(number, {a0, a1, a2, a3, 0, 0});
+  }();
+  smp::EpochDomain::Global().QuiescentState();
+  return r;
 }
 
 Result<uint64_t> Kernel::Dispatch(Sys number,
@@ -316,6 +351,14 @@ Result<uint64_t> Kernel::Dispatch(Sys number,
 Result<uint64_t> Kernel::HandleSyscall(Sys number,
                                        const std::array<uint64_t, 6>& args,
                                        svaos::InterruptContext* icontext) {
+  // The whole syscall body is one epoch read-side critical section: every
+  // pointer resolved through the epoch-published structures (fd -> file,
+  // path -> inode, pid -> task) stays valid until this guard drops at
+  // return. Writers inside the body may Retire freely (retirement only
+  // enqueues); the grace-period advance runs from the quiescent hook in
+  // Syscall(), after the guard is gone. kEvqWait bounds the pin duration
+  // by its timeout — the longest a reader may stall reclamation.
+  smp::EpochGuard epoch_guard;
   Task* task = current_task();
   if (task == nullptr) {
     return Internal("no current task");
@@ -358,6 +401,8 @@ Result<uint64_t> Kernel::HandleSyscall(Sys number,
                             : SysWrite(args[0], args[1], args[2]);
       case Sys::kLseek:
         return SysLseek(args[0], args[1], args[2]);
+      case Sys::kStat:
+        return SysStat(args[0]);
       case Sys::kUnlink:
         return SysUnlink(args[0]);
       case Sys::kPipe:
@@ -492,6 +537,26 @@ Status Kernel::CheckUserRange(Task& task, uint64_t uaddr, uint64_t len) {
   return pools_.BoundsCheck(*user_pool_, uaddr, last);
 }
 
+Status Kernel::ReadUserPath(Task& task, uint64_t path_uaddr,
+                            std::string* out) {
+  // Byte-wise NUL-terminated user-string copy with no kernel staging
+  // buffer: the lock-free SysStat path must not touch the allocators (their
+  // stripe locks are cheap, but the point of the fast path is zero shared
+  // writes).
+  out->clear();
+  for (uint64_t i = 0; i < kMaxPathLength; ++i) {
+    SVA_RETURN_IF_ERROR(CheckUserRange(task, path_uaddr + i, 1));
+    SVA_ASSIGN_OR_RETURN(
+        uint64_t pa, UserToPhysical(task, path_uaddr + i, /*write=*/false));
+    SVA_ASSIGN_OR_RETURN(uint64_t c, machine_.memory().Read(pa, 1));
+    if (c == 0) {
+      break;
+    }
+    out->push_back(static_cast<char>(c));
+  }
+  return OkStatus();
+}
+
 Status Kernel::CopyFromUser(Task& task, uint64_t kaddr, uint64_t uaddr,
                             uint64_t len) {
   SVA_RETURN_IF_ERROR(CheckUserRange(task, uaddr, len));
@@ -624,6 +689,66 @@ Task* Kernel::FindTask(int pid) {
   return it == tasks_.end() ? nullptr : &it->second;
 }
 
+Task* Kernel::current_task() {
+  const int pid = current_pid();
+  {
+    // Fast path: binary-search the epoch-published pid snapshot. This runs
+    // in every syscall prologue (and again on the signal tail), so it must
+    // not contend on tasks_lock_ — before the epoch conversion this lookup
+    // was the last lock every syscall still took.
+    smp::EpochGuard guard;
+    const TaskIndex* index = task_index_.load(std::memory_order_acquire);
+    if (index != nullptr) {
+      auto it = std::lower_bound(
+          index->by_pid.begin(), index->by_pid.end(), pid,
+          [](const std::pair<int, Task*>& e, int p) { return e.first < p; });
+      if (it != index->by_pid.end() && it->first == pid) {
+        return it->second;
+      }
+    }
+  }
+  // Slow path: a pid created since the last publish (or a pre-publish
+  // caller) resolves through the locked map walk.
+  return FindTask(pid);
+}
+
+void Kernel::RepublishTaskIndex(int skip_pid) {
+  // Caller holds tasks_lock_. Build the sorted snapshot (map iteration is
+  // already pid-ordered), publish it, retire the one it replaces. Readers
+  // pinned on the old snapshot keep using it; its Task pointers stay valid
+  // because map nodes outlive the snapshot retirement (SysWaitPid
+  // republishes without the pid BEFORE erasing the node).
+  auto* fresh = new TaskIndex;
+  fresh->by_pid.reserve(tasks_.size());
+  for (auto& [pid, task] : tasks_) {
+    if (pid != skip_pid) {
+      fresh->by_pid.emplace_back(pid, &task);
+    }
+  }
+  TaskIndex* old = task_index_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    smp::RetireDelete(old);
+  }
+}
+
+void Kernel::RepublishDirIndex() {
+  // Caller holds vfs_lock_. Same snapshot discipline as the task index:
+  // Inode pointers are map-node-stable, and SysUnlink extracts the node
+  // only after publishing the entry's absence (retiring the node through
+  // the epoch machinery so pinned readers finish against intact memory).
+  auto* fresh = new DirIndex;
+  for (const auto& [path, ino] : namespace_) {
+    auto it = inodes_.find(ino);
+    if (it != inodes_.end()) {
+      fresh->entries.emplace(path, &it->second);
+    }
+  }
+  DirIndex* old = dir_index_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    smp::RetireDelete(old);
+  }
+}
+
 Result<int> Kernel::CreateTask(int parent_pid) {
   SVA_ASSIGN_OR_RETURN(uint64_t addr, allocators_->CacheAlloc(task_cache_));
   Task task;
@@ -636,7 +761,7 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   }
   task.parent = parent_pid;
   task.alive = true;
-  task.fds.assign(config_.max_fds, -1);
+  task.fds = FdTablePtr(new FdTable(config_.max_fds));
   // SVA-PORT(svaos): a fresh address space — nothing committed; pages fault
   // in on first touch, and brk grows the frontier lazily toward the cap.
   SVA_ASSIGN_OR_RETURN(
@@ -661,6 +786,7 @@ Result<int> Kernel::CreateTask(int parent_pid) {
   {
     std::lock_guard<smp::OrderedSpinLock> guard(tasks_lock_);
     tasks_[pid] = std::move(task);
+    RepublishTaskIndex();
   }
   return pid;
 }
@@ -728,8 +854,28 @@ Status Kernel::Yield() {
 
 int Kernel::AddOpenFile(std::unique_ptr<OpenFile> file) {
   std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  open_files_.push_back(std::move(file));
-  return static_cast<int>(open_files_.size() - 1);
+  OpenFileTable* tab = open_files_tab_.load(std::memory_order_relaxed);
+  if (tab == nullptr || open_files_count_ == tab->capacity) {
+    // Copy-on-update growth: build the doubled table, publish it with
+    // release ordering, retire the old one. A reader pinned on the old
+    // table keeps indexing it — every index below open_files_count_ holds
+    // the same entry pointer in both tables.
+    auto* grown = new OpenFileTable(tab == nullptr ? 64 : tab->capacity * 2);
+    for (uint64_t i = 0; i < open_files_count_; ++i) {
+      grown->entries[i].store(tab->entries[i].load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    }
+    open_files_tab_.store(grown, std::memory_order_release);
+    if (tab != nullptr) {
+      smp::RetireDelete(tab);
+    }
+    tab = grown;
+  }
+  // Indices are append-only and never reused, so a retired-then-reused
+  // slot can never alias an old fd's index (no ABA for lock-free readers).
+  tab->entries[open_files_count_].store(file.release(),
+                                        std::memory_order_release);
+  return static_cast<int>(open_files_count_++);
 }
 
 Status Kernel::FdSlotCheck(Task& task, uint64_t fd) {
@@ -737,38 +883,60 @@ Status Kernel::FdSlotCheck(Task& task, uint64_t fd) {
   // compiler emits a bounds check against the object backing the array —
   // the task struct while the table is embedded, the kmalloc block once it
   // has grown.
-  if (task.fd_block != 0) {
+  // fd_block is read through atomic_ref: lock-free readers race GrowFdTable
+  // swapping it. The release-publish of the grown FdTable orders the block
+  // store, so a reader that saw the bigger table also sees its block; the
+  // reverse skew (old table, new block) only widens the checked object.
+  uint64_t block = std::atomic_ref<uint64_t>(task.fd_block)
+                       .load(std::memory_order_relaxed);
+  if (block != 0) {
     return BoundsCheckObject(
-        allocators_->PoolForKmallocClass(
-            allocators_->KmallocSize(task.fd_block)),
-        task.fd_block, task.fd_block + fd * 4);
+        allocators_->PoolForKmallocClass(allocators_->KmallocSize(block)),
+        block, block + fd * 4);
   }
   return BoundsCheckObject(allocators_->PoolForCache(task_cache_), task.addr,
                            task.addr + kTaskFdArrayOffset + fd * 4);
 }
 
 Status Kernel::GrowFdTable(Task& task) {
-  uint64_t capacity = task.fds.size();
+  FdTable* table = task.fds.load_plain();
+  uint64_t capacity = table->capacity;
   if (capacity >= config_.max_fds_limit) {
     return Status(StatusCode::kInternal, "fd table at max_fds_limit");
   }
   uint64_t grown =
       std::min<uint64_t>(capacity * 2, config_.max_fds_limit);
   // SVA-PORT(alloc): the expanded fdtable is an ordinary allocation, so its
-  // bounds live in the kmalloc class metapool; the old block's registration
-  // is dropped by kfree. (The embedded array stays inside the task object —
-  // the task cache's object size never changes.)
+  // bounds live in the kmalloc class metapool. (The embedded array stays
+  // inside the task object — the task cache's object size never changes.)
   SVA_ASSIGN_OR_RETURN(uint64_t block, allocators_->Kmalloc(grown * 4));
-  if (task.fd_block != 0) {
-    SVA_RETURN_IF_ERROR(allocators_->Kfree(task.fd_block));
+  uint64_t old_block = std::atomic_ref<uint64_t>(task.fd_block)
+                           .load(std::memory_order_relaxed);
+  auto* bigger = new FdTable(grown);
+  for (uint64_t fd = 0; fd < capacity; ++fd) {
+    bigger->slots[fd].store(table->slots[fd].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
   }
-  task.fd_block = block;
-  task.fds.resize(grown, -1);
+  // Publish-then-retire, in the order lock-free FdSlotCheck depends on:
+  // the modeled block store first, THEN the release-publish of the table
+  // that orders it, THEN the deferred frees. A reader pinned mid-lookup
+  // keeps a consistent (old table, old-or-new block) pair; the old block's
+  // kfree — which drops its bounds registration — waits out the grace
+  // period, so no reader ever bounds-checks against freed metadata.
+  std::atomic_ref<uint64_t>(task.fd_block)
+      .store(block, std::memory_order_relaxed);
+  task.fds.publish(bigger);
+  smp::RetireDelete(table);
+  if (old_block != 0) {
+    KernelAllocators* allocators = allocators_.get();
+    smp::EpochDomain::Global().Retire(
+        [allocators, old_block] { (void)allocators->Kfree(old_block); });
+  }
   return OkStatus();
 }
 
 Status Kernel::EnsureFdCapacity(Task& task, uint64_t capacity) {
-  while (task.fds.size() < capacity) {
+  while (task.fds.load_plain()->capacity < capacity) {
     SVA_RETURN_IF_ERROR(GrowFdTable(task));
   }
   return OkStatus();
@@ -776,48 +944,60 @@ Status Kernel::EnsureFdCapacity(Task& task, uint64_t capacity) {
 
 Result<int> Kernel::AllocateFd(Task& task, int file_index) {
   std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
+  FdTable* table = task.fds.load_plain();
   // Every slot below fd_next_hint is occupied (SysClose/SysExit lower the
   // hint on free), so scanning from it finds the lowest free slot without
   // the O(table) walk that would make 10k accepts quadratic.
   size_t start = std::min<size_t>(
-      static_cast<size_t>(std::max(task.fd_next_hint, 0)), task.fds.size());
-  for (size_t fd = start; fd < task.fds.size(); ++fd) {
-    if (task.fds[fd] < 0) {
+      static_cast<size_t>(std::max(task.fd_next_hint, 0)),
+      static_cast<size_t>(table->capacity));
+  for (size_t fd = start; fd < table->capacity; ++fd) {
+    if (table->slots[fd].load(std::memory_order_relaxed) < 0) {
       SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
-      task.fds[fd] = file_index;
+      // Release: a lock-free reader that observes this index also observes
+      // the fully-initialized OpenFile published by AddOpenFile.
+      table->slots[fd].store(file_index, std::memory_order_release);
       task.fd_next_hint = static_cast<int>(fd) + 1;
       return static_cast<int>(fd);
     }
   }
   // Table genuinely full: grow it and take the first new slot.
-  size_t fd = task.fds.size();
+  size_t fd = table->capacity;
   SVA_RETURN_IF_ERROR(GrowFdTable(task));
   SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
-  task.fds[fd] = file_index;
+  task.fds.load_plain()->slots[fd].store(file_index,
+                                         std::memory_order_release);
   task.fd_next_hint = static_cast<int>(fd) + 1;
   return static_cast<int>(fd);
 }
 
 Result<OpenFile*> Kernel::FileForFd(Task& task, uint64_t fd) {
-  // The whole lookup runs under files_lock_: a concurrent AllocateFd may be
-  // growing the fd table (resizing the vector / swapping fd_block), so both
-  // the size check and the slot bounds check must see a consistent table.
-  // The bounds check only takes metapool stripe locks (external classes,
-  // fine under the files leaf).
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  if (fd >= task.fds.size()) {
+  // Lock-free fd resolution (docs/CONCURRENCY.md §5): the caller holds an
+  // EpochGuard (HandleSyscall pins one around the whole syscall body), so
+  // every snapshot loaded here — the fd table, the open-file table, the
+  // OpenFile itself — outlives this lookup even when writers concurrently
+  // close the fd, grow the table, or retire the file. The acquire loads
+  // pair with the writers' release publishes; the bounds check below takes
+  // only metapool stripe locks (external classes, never kernel ranks).
+  FdTable* table = task.fds.load_acquire();
+  if (table == nullptr || fd >= table->capacity) {
     return SafetyViolation(StrCat("fd ", fd, " out of range"));
   }
   SVA_RETURN_IF_ERROR(FdSlotCheck(task, fd));
-  int index = task.fds[fd];
-  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
-      open_files_[static_cast<size_t>(index)] == nullptr) {
+  int index = table->slots[fd].load(std::memory_order_acquire);
+  OpenFileTable* tab = open_files_tab_.load(std::memory_order_acquire);
+  if (index < 0 || tab == nullptr ||
+      static_cast<uint64_t>(index) >= tab->capacity) {
     return NotFound(StrCat("bad fd ", fd));
   }
-  // The pointer remains valid after release: entries are heap-allocated and
-  // only reset when the refcount hits zero (closing an fd that another
-  // thread is actively using is a user-program race, as in real kernels).
-  return open_files_[static_cast<size_t>(index)].get();
+  OpenFile* file = tab->entries[index].load(std::memory_order_acquire);
+  if (file == nullptr) {
+    // Racing a close: the slot was read before the writer cleared it, the
+    // entry after. Either outcome of the race is a clean kEBadF or the old
+    // file — never a torn slot.
+    return NotFound(StrCat("bad fd ", fd));
+  }
+  return file;
 }
 
 Result<Inode*> Kernel::LookupInode(const std::string& name, bool create) {
@@ -836,25 +1016,39 @@ Result<Inode*> Kernel::LookupInode(const std::string& name, bool create) {
   int ino = inode.ino;
   inodes_[ino] = std::move(inode);
   namespace_[name] = ino;
+  // Publish the new name to lock-free path resolution (SysStat, the SysOpen
+  // fast path) before the creating syscall returns.
+  RepublishDirIndex();
   return &inodes_[ino];
 }
 
 Status Kernel::ReleaseFile(int file_index) {
-  uint64_t defunct_addr = 0;
+  OpenFile* defunct = nullptr;
   int defunct_net_sid = -1;
   int defunct_evq = -1;
   int defunct_prof = -1;
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-    OpenFile* file = open_files_[static_cast<size_t>(file_index)].get();
+    OpenFileTable* tab = open_files_tab_.load(std::memory_order_relaxed);
+    OpenFile* file =
+        tab->entries[static_cast<uint64_t>(file_index)].load(
+            std::memory_order_relaxed);
+    if (file == nullptr) {
+      return OkStatus();  // Already released (racing closes both got here).
+    }
     if (--file->refs > 0) {
       return OkStatus();
     }
-    defunct_addr = file->addr;
     defunct_net_sid = file->net_socket_id;
     defunct_evq = file->evq_id;
     defunct_prof = file->prof_id;
-    open_files_[static_cast<size_t>(file_index)].reset();
+    // Publish-then-retire: null the entry (release pairs with FileForFd's
+    // acquire) while the object is still intact, and free it only after a
+    // grace period — a lock-free reader that loaded the pointer just before
+    // the store finishes its read against live memory.
+    tab->entries[static_cast<uint64_t>(file_index)].store(
+        nullptr, std::memory_order_release);
+    defunct = file;
   }
   // Teardown outside files_lock_ (it is a leaf lock; the net stack, the
   // allocators, and evq_lock_ — which ranks ABOVE files_lock_ — take their
@@ -873,7 +1067,14 @@ Status Kernel::ReleaseFile(int file_index) {
   if (defunct_prof >= 0) {
     DestroyProfSession(defunct_prof);
   }
-  return allocators_->CacheFree(file_cache_, defunct_addr);
+  // The OpenFile itself (and its cache slot) waits out the grace period.
+  KernelAllocators* allocators = allocators_.get();
+  smp::EpochDomain::Global().Retire(
+      [allocators, cache = file_cache_, defunct] {
+        (void)allocators->CacheFree(cache, defunct->addr);
+        delete defunct;
+      });
+  return OkStatus();
 }
 
 // --- Syscalls ----------------------------------------------------------------------
@@ -939,14 +1140,26 @@ Result<uint64_t> Kernel::SysOpen(uint64_t path_uaddr, uint64_t flags) {
   }
   SVA_RETURN_IF_ERROR(allocators_->Kfree(path_buf));
 
-  int ino;
-  {
-    // The namespace/inode lookup (and possible creation) runs under
-    // vfs_lock_; only the ino escapes the scope — a concurrent unlink may
-    // invalidate the Inode pointer the moment the lock drops.
+  // Fast path: resolve existing names against the epoch-published directory
+  // index with no vfs_lock_ (docs/CONCURRENCY.md §5). The Inode pointer is
+  // safe to dereference because this syscall's EpochGuard pins the epoch a
+  // concurrent unlink would have to wait out before freeing the node.
+  int ino = -1;
+  if (const DirIndex* index = dir_index_.load(std::memory_order_acquire)) {
+    auto hit = index->entries.find(path);
+    if (hit != index->entries.end()) {
+      ino = hit->second->ino;
+    }
+  }
+  if (ino < 0) {
+    if ((flags & 1) == 0) {
+      return kENoEnt;
+    }
+    // Creation is the slow path: vfs_lock_ serializes writers, and
+    // LookupInode republishes the index before the lock drops.
     trace::TimedLockGuard<smp::OrderedSpinLock> guard(
         vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
-    auto inode = LookupInode(path, (flags & 1) != 0);
+    auto inode = LookupInode(path, true);
     if (!inode.ok()) {
       return kENoEnt;
     }
@@ -973,8 +1186,20 @@ Result<uint64_t> Kernel::SysClose(uint64_t fd) {
   int index;
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-    index = task.fds[fd];
-    task.fds[fd] = -1;
+    // Re-read under the lock: the lock-free validation above may have raced
+    // another close of the same fd. A slot already cleared means the other
+    // close won — report kEBadF rather than double-releasing the file.
+    FdTable* fdt = task.fds.load_plain();
+    index = fd < fdt->capacity
+                ? fdt->slots[fd].load(std::memory_order_relaxed)
+                : -1;
+    if (index < 0) {
+      return kEBadF;
+    }
+    // Unpublish the slot (release) BEFORE ReleaseFile retires the object:
+    // a concurrent lock-free read sees either the old index (and a file
+    // kept alive by the grace period) or -1 — never a torn slot.
+    fdt->slots[fd].store(-1, std::memory_order_release);
     task.fd_next_hint =
         std::min(task.fd_next_hint, static_cast<int>(fd));
   }
@@ -1016,31 +1241,36 @@ Result<uint64_t> Kernel::SysRead(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (inode.ino == 0) {
     return uint64_t{0};  // /dev/null reads EOF.
   }
-  uint64_t remaining =
-      file->offset >= inode.size ? 0 : inode.size - file->offset;
+  // Offset and size go through atomic_ref: both are written under vfs_lock_
+  // but read lock-free elsewhere (SEEK_CUR lseek, SysStat).
+  std::atomic_ref<uint64_t> offset_ref(file->offset);
+  uint64_t offset = offset_ref.load(std::memory_order_relaxed);
+  uint64_t size =
+      std::atomic_ref<uint64_t>(inode.size).load(std::memory_order_relaxed);
+  uint64_t remaining = offset >= size ? 0 : size - offset;
   uint64_t to_read = std::min(len, remaining);
   // SVA-safe: the block-copy loop has monotonic indices, so the compiler
   // hoists the checks out of the loop (Section 7.1.3 optimization 2): one
   // bounds check on the first block and one user-range check for the whole
   // span; the per-iteration accesses are provably within their block.
   if (to_read > 0) {
-    uint64_t first_block = inode.blocks[file->offset / kBlockSize];
+    uint64_t first_block = inode.blocks[offset / kBlockSize];
     SVA_RETURN_IF_ERROR(BoundsCheckObject(
         allocators_->PoolForKmallocClass(kBlockSize), first_block,
-        first_block + file->offset % kBlockSize));
+        first_block + offset % kBlockSize));
     SVA_RETURN_IF_ERROR(CheckUserRange(task, uaddr, to_read));
   }
   uint64_t done = 0;
   while (done < to_read) {
-    uint64_t block_index = (file->offset + done) / kBlockSize;
-    uint64_t in_block = (file->offset + done) % kBlockSize;
+    uint64_t block_index = (offset + done) / kBlockSize;
+    uint64_t in_block = (offset + done) % kBlockSize;
     uint64_t chunk = std::min(to_read - done, kBlockSize - in_block);
     uint64_t block = inode.blocks[block_index];
     SVA_RETURN_IF_ERROR(
         CopyBlockToUser(task, uaddr + done, block + in_block, chunk));
     done += chunk;
   }
-  file->offset += to_read;
+  offset_ref.store(offset + to_read, std::memory_order_release);
   return to_read;
 }
 
@@ -1079,10 +1309,12 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
   if (len > 0) {
     SVA_RETURN_IF_ERROR(CheckUserRange(task, uaddr, len));
   }
+  std::atomic_ref<uint64_t> offset_ref(file->offset);
+  uint64_t offset = offset_ref.load(std::memory_order_relaxed);
   uint64_t done = 0;
   while (done < len) {
-    uint64_t block_index = (file->offset + done) / kBlockSize;
-    uint64_t in_block = (file->offset + done) % kBlockSize;
+    uint64_t block_index = (offset + done) / kBlockSize;
+    uint64_t in_block = (offset + done) % kBlockSize;
     while (inode.blocks.size() <= block_index) {
       SVA_ASSIGN_OR_RETURN(uint64_t block, allocators_->Kmalloc(kBlockSize));
       inode.blocks.push_back(block);
@@ -1093,8 +1325,12 @@ Result<uint64_t> Kernel::SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len) {
         CopyBlockFromUser(task, block + in_block, uaddr + done, chunk));
     done += chunk;
   }
-  file->offset += len;
-  inode.size = std::max(inode.size, file->offset);
+  offset_ref.store(offset + len, std::memory_order_release);
+  std::atomic_ref<uint64_t> size_ref(inode.size);
+  if (offset + len > size_ref.load(std::memory_order_relaxed)) {
+    // Release pairs with SysStat's lock-free acquire load of the size.
+    size_ref.store(offset + len, std::memory_order_release);
+  }
   return len;
 }
 
@@ -1109,23 +1345,56 @@ Result<uint64_t> Kernel::SysLseek(uint64_t fd, uint64_t offset,
   if (file->ino < 0) {
     return kEInval;
   }
+  std::atomic_ref<uint64_t> offset_ref(file->offset);
+  if (whence == 1 && offset == 0) {
+    // lseek(fd, 0, SEEK_CUR) is a pure read: one acquire load, no
+    // vfs_lock_. The read-mostly bench phase and the epoch torture test
+    // lean on this path staying lock-free.
+    return offset_ref.load(std::memory_order_acquire);
+  }
   trace::TimedLockGuard<smp::OrderedSpinLock> vfs_guard(
       vfs_lock_, trace::HistId::kVfsWaitNs, trace::kLockVfs);
   Inode& inode = inodes_[file->ino];
+  uint64_t next;
   switch (whence) {
     case 0:
-      file->offset = offset;
+      next = offset;
       break;
     case 1:
-      file->offset += offset;
+      next = offset_ref.load(std::memory_order_relaxed) + offset;
       break;
     case 2:
-      file->offset = inode.size + offset;
+      next = std::atomic_ref<uint64_t>(inode.size)
+                 .load(std::memory_order_relaxed) +
+             offset;
       break;
     default:
       return kEInval;
   }
-  return file->offset;
+  offset_ref.store(next, std::memory_order_release);
+  return next;
+}
+
+Result<uint64_t> Kernel::SysStat(uint64_t path_uaddr) {
+  // Entirely lock-free (docs/CONCURRENCY.md §5): path resolution walks the
+  // epoch-published directory index and the result is one acquire load of
+  // the inode size. This is the headline syscall of the read-mostly
+  // bench/smp_scaling phase — it touches no kernel lock at any rank.
+  Task& task = *current_task();
+  std::string path;
+  SVA_RETURN_IF_ERROR(ReadUserPath(task, path_uaddr, &path));
+  const DirIndex* index = dir_index_.load(std::memory_order_acquire);
+  if (index == nullptr) {
+    return kENoEnt;
+  }
+  auto it = index->entries.find(path);
+  if (it == index->entries.end()) {
+    return kENoEnt;
+  }
+  // Acquire pairs with SysWrite's release size store; the Inode stays
+  // valid under this syscall's EpochGuard even if an unlink races.
+  return std::atomic_ref<uint64_t>(it->second->size)
+      .load(std::memory_order_acquire);
 }
 
 Result<uint64_t> Kernel::SysUnlink(uint64_t path_uaddr) {
@@ -1152,13 +1421,31 @@ Result<uint64_t> Kernel::SysUnlink(uint64_t path_uaddr) {
   if (it == namespace_.end() || it->second == 0) {
     return kENoEnt;
   }
-  Inode& inode = inodes_[it->second];
-  for (uint64_t block : inode.blocks) {
-    SVA_RETURN_IF_ERROR(allocators_->Kfree(block));
+  auto inode_it = inodes_.find(it->second);
+  if (inode_it == inodes_.end()) {
+    return kENoEnt;
   }
-  SVA_RETURN_IF_ERROR(allocators_->CacheFree(inode_cache_, inode.addr));
-  inodes_.erase(it->second);
+  // Publish-then-retire (docs/CONCURRENCY.md §5): extract the map node (the
+  // Inode pointer stays stable inside it), drop the name, republish the
+  // directory index WITHOUT the entry — then hand the node and its data
+  // blocks to the epoch machinery. A SysStat pinned on the outgoing index
+  // snapshot finishes its size load against intact memory; the frees run
+  // only after that reader's grace period ends. (shared_ptr because
+  // std::function requires a copyable callable; the node itself is
+  // move-only.)
+  auto holder = std::make_shared<std::map<int, Inode>::node_type>(
+      inodes_.extract(inode_it));
   namespace_.erase(it);
+  RepublishDirIndex();
+  KernelAllocators* allocators = allocators_.get();
+  smp::EpochDomain::Global().Retire(
+      [allocators, cache = inode_cache_, holder] {
+        Inode& dead = holder->mapped();
+        for (uint64_t block : dead.blocks) {
+          (void)allocators->Kfree(block);
+        }
+        (void)allocators->CacheFree(cache, dead.addr);
+      });
   return uint64_t{0};
 }
 
@@ -1342,12 +1629,19 @@ Result<uint64_t> Kernel::SysFork() {
   // grew its table hands the child an equally grown one first.
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-    SVA_RETURN_IF_ERROR(EnsureFdCapacity(child, parent.fds.size()));
-    for (size_t fd = 0; fd < parent.fds.size(); ++fd) {
-      child.fds[fd] = parent.fds[fd];
-      int index = parent.fds[fd];
-      if (index >= 0 && open_files_[static_cast<size_t>(index)] != nullptr) {
-        ++open_files_[static_cast<size_t>(index)]->refs;
+    FdTable* parent_fdt = parent.fds.load_plain();
+    SVA_RETURN_IF_ERROR(EnsureFdCapacity(child, parent_fdt->capacity));
+    FdTable* child_fdt = child.fds.load_plain();
+    OpenFileTable* tab = open_files_tab_.load(std::memory_order_relaxed);
+    for (uint64_t fd = 0; fd < parent_fdt->capacity; ++fd) {
+      int index = parent_fdt->slots[fd].load(std::memory_order_relaxed);
+      child_fdt->slots[fd].store(index, std::memory_order_release);
+      if (index >= 0 && tab != nullptr) {
+        OpenFile* file =
+            tab->entries[index].load(std::memory_order_relaxed);
+        if (file != nullptr) {
+          ++file->refs;
+        }
       }
     }
     child.fd_next_hint = parent.fd_next_hint;
@@ -1416,13 +1710,19 @@ Result<uint64_t> Kernel::SysExecve(uint64_t path_uaddr) {
 Result<uint64_t> Kernel::SysExit(uint64_t code) {
   (void)code;
   Task& task = *current_task();
-  for (size_t fd = 0; fd < task.fds.size(); ++fd) {
+  FdTable* fdt = task.fds.load_plain();
+  for (uint64_t fd = 0; fd < fdt->capacity; ++fd) {
     int index;
     {
       std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-      index = task.fds[fd];
-      task.fds[fd] = -1;
-      if (index < 0 || open_files_[static_cast<size_t>(index)] == nullptr) {
+      index = fdt->slots[fd].load(std::memory_order_relaxed);
+      fdt->slots[fd].store(-1, std::memory_order_release);
+      if (index < 0) {
+        continue;
+      }
+      OpenFileTable* tab = open_files_tab_.load(std::memory_order_relaxed);
+      if (tab == nullptr ||
+          tab->entries[index].load(std::memory_order_relaxed) == nullptr) {
         continue;
       }
     }
@@ -1449,6 +1749,8 @@ Result<uint64_t> Kernel::SysExit(uint64_t code) {
 Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
   uint64_t child_addr;
   uint64_t child_fd_block;
+  FdTable* child_fdt = nullptr;
+  std::shared_ptr<std::map<int, Task>::node_type> child_node;
   std::unique_ptr<mm::AddressSpace> child_aspace;
   {
     // Validate and detach under one tasks_lock_ hold: two concurrent
@@ -1462,10 +1764,25 @@ Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
       return kEInval;  // Would block; the minikernel has no blocking waits.
     }
     child_addr = it->second.addr;
-    child_fd_block = it->second.fd_block;
+    child_fd_block = std::atomic_ref<uint64_t>(it->second.fd_block)
+                         .load(std::memory_order_relaxed);
     child_aspace = std::move(it->second.aspace);
-    tasks_.erase(it);
+    // Unpublish before reclaim: republish the task index without the pid,
+    // then EXTRACT the map node rather than erasing it — a current_task()
+    // reader pinned on the outgoing index snapshot still holds a Task*
+    // into this node, so the node (and the child's fd table) must survive
+    // the grace period.
+    RepublishTaskIndex(static_cast<int>(pid));
+    child_fdt = it->second.fds.exchange(nullptr);
+    child_node = std::make_shared<std::map<int, Task>::node_type>(
+        tasks_.extract(it));
   }
+  if (child_fdt != nullptr) {
+    smp::RetireDelete(child_fdt);
+  }
+  // Empty-bodied retiree: the capture alone keeps the Task node alive until
+  // every reader that could have resolved the pid has unpinned.
+  smp::EpochDomain::Global().Retire([holder = std::move(child_node)] {});
   // Tear the address space down outside tasks_lock_ (the AS lock ranks
   // above it anyway): unmap everything, release the frames for reuse —
   // COW-shared frames survive until the other side drops its reference —
@@ -1474,8 +1791,13 @@ Result<uint64_t> Kernel::SysWaitPid(uint64_t pid) {
     SVA_RETURN_IF_ERROR(vm_.Destroy(*child_aspace));
   }
   if (child_fd_block != 0) {
-    // A grown fd table dies with the task, like free_fdtable at release.
-    SVA_RETURN_IF_ERROR(allocators_->Kfree(child_fd_block));
+    // A grown fd table dies with the task, like free_fdtable at release —
+    // deferred past a grace period because a lock-free FileForFd may still
+    // be bounds-checking against the old block registration.
+    KernelAllocators* allocators = allocators_.get();
+    smp::EpochDomain::Global().Retire([allocators, child_fd_block] {
+      (void)allocators->Kfree(child_fd_block);
+    });
   }
   // Reap: free the task struct and its user pages' registration (external
   // lock classes; no kernel lock held).
@@ -1496,8 +1818,23 @@ Result<uint64_t> Kernel::SysDup(uint64_t fd) {
   int index;
   {
     std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-    index = task.fds[fd];
-    ++open_files_[static_cast<size_t>(index)]->refs;
+    // Re-read under the lock: the lock-free validation above may have raced
+    // a close of the same fd. Bumping refs through a stale index would
+    // resurrect a file that is already retiring (the close-during-dup
+    // regression test pins exactly this interleaving).
+    FdTable* fdt = task.fds.load_plain();
+    index = fd < fdt->capacity
+                ? fdt->slots[fd].load(std::memory_order_relaxed)
+                : -1;
+    if (index < 0) {
+      return kEBadF;
+    }
+    OpenFileTable* tab = open_files_tab_.load(std::memory_order_relaxed);
+    OpenFile* file = tab->entries[index].load(std::memory_order_relaxed);
+    if (file == nullptr) {
+      return kEBadF;
+    }
+    ++file->refs;
   }
   auto new_fd = AllocateFd(task, index);
   if (!new_fd.ok()) {
@@ -1605,20 +1942,15 @@ Result<uint64_t> Kernel::SysRecv(uint64_t fd, uint64_t uaddr, uint64_t len) {
 // --- Net-stack syscalls (off the big kernel lock) ---------------------------------
 
 int Kernel::NetSocketIdForFd(uint64_t fd) {
+  // Routing probe: runs in RouteSyscall, BEFORE HandleSyscall pins its
+  // epoch, so it takes a guard of its own around the lock-free lookup.
   Task* task = current_task();
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  if (fd >= task->fds.size()) {
-    return -1;
-  }
-  int index = task->fds[fd];
-  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
-      open_files_[static_cast<size_t>(index)] == nullptr) {
-    return -1;
-  }
-  return open_files_[static_cast<size_t>(index)]->net_socket_id;
+  smp::EpochGuard guard;
+  auto file = FileForFd(*task, fd);
+  return file.ok() ? (*file)->net_socket_id : -1;
 }
 
 int Kernel::PipeIdForFd(uint64_t fd) {
@@ -1626,16 +1958,9 @@ int Kernel::PipeIdForFd(uint64_t fd) {
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  if (fd >= task->fds.size()) {
-    return -1;
-  }
-  int index = task->fds[fd];
-  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
-      open_files_[static_cast<size_t>(index)] == nullptr) {
-    return -1;
-  }
-  return open_files_[static_cast<size_t>(index)]->pipe_id;
+  smp::EpochGuard guard;
+  auto file = FileForFd(*task, fd);
+  return file.ok() ? (*file)->pipe_id : -1;
 }
 
 int Kernel::EvqIdForFd(uint64_t fd) {
@@ -1643,16 +1968,9 @@ int Kernel::EvqIdForFd(uint64_t fd) {
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  if (fd >= task->fds.size()) {
-    return -1;
-  }
-  int index = task->fds[fd];
-  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
-      open_files_[static_cast<size_t>(index)] == nullptr) {
-    return -1;
-  }
-  return open_files_[static_cast<size_t>(index)]->evq_id;
+  smp::EpochGuard guard;
+  auto file = FileForFd(*task, fd);
+  return file.ok() ? (*file)->evq_id : -1;
 }
 
 Result<uint64_t> Kernel::SysNetBind(uint64_t fd, uint64_t port,

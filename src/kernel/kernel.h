@@ -27,6 +27,7 @@
 #include "src/mm/vm.h"
 #include "src/net/net_stack.h"
 #include "src/runtime/metapool_runtime.h"
+#include "src/smp/epoch.h"
 #include "src/smp/lock_order.h"
 #include "src/smp/sync.h"
 #include "src/support/status.h"
@@ -45,6 +46,10 @@ enum class Sys : uint64_t {
   kWaitPid = 7,
   kUnlink = 10,
   kExecve = 11,
+  // stat(path): returns the file's size in bytes (kENoEnt if absent).
+  // Resolves the path through the epoch-protected directory index — the
+  // whole syscall is lock-free, the canonical read-mostly fast path.
+  kStat = 18,
   kLseek = 19,
   kGetPid = 20,
   kKill = 37,
@@ -114,6 +119,66 @@ struct SigAction {
   uint64_t handler = 0;
 };
 
+// The epoch-published fd table: a fixed-capacity array of atomic open-file
+// indices (-1 = free). Readers resolve fd -> index lock-free under an
+// EpochGuard; writers (who hold files_lock_) mutate slots in place and
+// grow by publishing a copy, retiring the old table through the epoch
+// machinery. See docs/CONCURRENCY.md §5.
+struct FdTable {
+  explicit FdTable(uint64_t cap)
+      : capacity(cap), slots(new std::atomic<int>[cap]) {
+    for (uint64_t i = 0; i < cap; ++i) {
+      slots[i].store(-1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t capacity;
+  std::unique_ptr<std::atomic<int>[]> slots;
+};
+
+// Movable holder for a task's FdTable pointer. Task must stay movable (it
+// is inserted into the pid map by value) and std::atomic<T*> is not, so
+// this wraps one; moves only happen before the task is published, so they
+// can be plain exchanges. Destruction deletes the table directly — by
+// then the owning task is reaped and no reader can hold its fds (reaping
+// a task still running syscalls is a caller bug, per FindTask).
+class FdTablePtr {
+ public:
+  FdTablePtr() = default;
+  explicit FdTablePtr(FdTable* table) : ptr_(table) {}
+  FdTablePtr(FdTablePtr&& other) noexcept
+      : ptr_(other.ptr_.exchange(nullptr, std::memory_order_relaxed)) {}
+  FdTablePtr& operator=(FdTablePtr&& other) noexcept {
+    if (this != &other) {
+      delete ptr_.exchange(
+          other.ptr_.exchange(nullptr, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  FdTablePtr(const FdTablePtr&) = delete;
+  FdTablePtr& operator=(const FdTablePtr&) = delete;
+  ~FdTablePtr() { delete ptr_.load(std::memory_order_relaxed); }
+
+  // Reader side: acquire pairs with publish()'s release, so a reader that
+  // sees a grown table also sees the fd_block store that preceded it.
+  FdTable* load_acquire() const {
+    return ptr_.load(std::memory_order_acquire);
+  }
+  // Writer side (files_lock_ held): no ordering needed to read own state.
+  FdTable* load_plain() const {
+    return ptr_.load(std::memory_order_relaxed);
+  }
+  void publish(FdTable* table) {
+    ptr_.store(table, std::memory_order_release);
+  }
+  FdTable* exchange(FdTable* table) {
+    return ptr_.exchange(table, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<FdTable*> ptr_{nullptr};
+};
+
 struct Task {
   uint64_t addr = 0;  // Address of the task struct in the task cache.
   int pid = 0;
@@ -124,8 +189,9 @@ struct Task {
   // Open-file table indices; -1 = free. The first max_fds slots live inside
   // the task-cache object (the object size scales with max_fds); growth past
   // that moves the modeled array to a kmalloc'd block (fd_block), the Linux
-  // files_struct/fdtable expansion scheme.
-  std::vector<int> fds;
+  // files_struct/fdtable expansion scheme. Epoch-published: readers resolve
+  // slots under an EpochGuard, writers mutate under files_lock_.
+  FdTablePtr fds;
   // SVA-PORT(alloc): external fd-array block once the table outgrew the
   // embedded array; 0 while embedded. Bounds checks for fd slots go against
   // the kmalloc class pool instead of the task cache pool then.
@@ -171,6 +237,8 @@ struct Socket {
 
 struct OpenFile {
   uint64_t addr = 0;  // File cache object address.
+  // Guarded by files_lock_ (writers only — lock-free readers never read
+  // refcounts; liveness comes from the epoch grace period instead).
   int refs = 0;
   int ino = -1;        // Ramfs inode, or
   int pipe_id = -1;    // pipe (with end), or
@@ -179,7 +247,26 @@ struct OpenFile {
   int net_socket_id = -1;  // a socket in the net stack (src/net), or
   int evq_id = -1;         // an event queue (kEvqCreate), or
   int prof_id = -1;        // a profiling session (kProfStart).
+  // Accessed via std::atomic_ref: mutated under the backing subsystem's
+  // lock (vfs_lock_ for regular files), read lock-free by the
+  // lseek(fd, 0, SEEK_CUR) fast path.
   uint64_t offset = 0;
+};
+
+// The epoch-published open-file table: a fixed-capacity array of atomic
+// OpenFile pointers. Indices are append-only and never reused (ABA-free by
+// construction); a closed file's entry is nulled (release) and the object
+// retired. Readers index it lock-free under an EpochGuard; AddOpenFile
+// grows it copy-on-update under files_lock_.
+struct OpenFileTable {
+  explicit OpenFileTable(uint64_t cap)
+      : capacity(cap), entries(new std::atomic<OpenFile*>[cap]) {
+    for (uint64_t i = 0; i < cap; ++i) {
+      entries[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t capacity;
+  std::unique_ptr<std::atomic<OpenFile*>[]> entries;
 };
 
 // One perf_event-style self-profiling session (kProfStart). The fd is the
@@ -270,9 +357,11 @@ class Kernel {
   // selected by the configuration. Safe to call from multiple worker
   // threads: every steady-state syscall dispatches onto its subsystem's
   // leaf lock (vfs_lock_, tasks_lock_, sockets_lock_, pipes_lock_, or the
-  // net stack's own locks) with files_lock_ as the shared fd-table leaf;
-  // the big kernel lock survives only for the scheduler and unknown
-  // syscall numbers. See docs/CONCURRENCY.md for the full hierarchy.
+  // net stack's own locks); fd -> file resolution and ramfs path lookup
+  // are LOCK-FREE under an epoch guard (files_lock_ and vfs_lock_ are
+  // writer-only); the big kernel lock survives only for the scheduler and
+  // unknown syscall numbers. See docs/CONCURRENCY.md for the hierarchy
+  // and §5 for the epoch contract.
   Result<uint64_t> Syscall(Sys number, uint64_t a0 = 0, uint64_t a1 = 0,
                            uint64_t a2 = 0, uint64_t a3 = 0);
 
@@ -288,7 +377,13 @@ class Kernel {
   // Writes a NUL-terminated path into user memory at `uaddr`.
   Status PokeUserString(uint64_t uaddr, const std::string& text);
 
-  Task* current_task() { return FindTask(current_pid()); }
+  // Resolves the current task through the epoch-published pid index —
+  // lock-free on the hot path (every syscall prologue), falling back to
+  // the locked map walk for pids created since the last publish. The
+  // returned pointer stays valid after the internal guard drops: task map
+  // nodes are stable until SysWaitPid reaps them, and reaping a task that
+  // is still running syscalls is a caller bug (see FindTask).
+  Task* current_task();
   Task* FindTask(int pid);
   int current_pid() const {
     return current_pid_.load(std::memory_order_relaxed);
@@ -331,6 +426,12 @@ class Kernel {
                            uint64_t len);
   // Safe mode: bounds-check a user range against the userspace object.
   Status CheckUserRange(Task& task, uint64_t uaddr, uint64_t len);
+  // Copies a NUL-terminated path out of user memory byte-by-byte through
+  // the per-CPU TLB, bounds-checking each byte against the userspace
+  // object (safe mode). Takes no lock and no kernel allocation — the
+  // lock-free path-resolution syscalls (kStat, non-creating kOpen) use it
+  // instead of the Kmalloc + CopyFromUser staging the mutating path keeps.
+  Status ReadUserPath(Task& task, uint64_t path_uaddr, std::string* out);
 
   // --- Syscall implementations ---------------------------------------------------
   Result<uint64_t> SysGetPid();
@@ -341,6 +442,7 @@ class Kernel {
   Result<uint64_t> SysRead(uint64_t fd, uint64_t uaddr, uint64_t len);
   Result<uint64_t> SysWrite(uint64_t fd, uint64_t uaddr, uint64_t len);
   Result<uint64_t> SysLseek(uint64_t fd, uint64_t offset, uint64_t whence);
+  Result<uint64_t> SysStat(uint64_t path_uaddr);
   Result<uint64_t> SysUnlink(uint64_t path_uaddr);
   Result<uint64_t> SysPipe(uint64_t uaddr_out);
   // Pipe read/write backends (run OFF the big kernel lock under
@@ -417,6 +519,7 @@ class Kernel {
   // The event queue id behind fd `a0` of the current task, or -1.
   int EvqIdForFd(uint64_t fd);
   // Appends to the open-file table under files_lock_; returns the index.
+  // Grows the table copy-on-update (publish new, epoch-retire old).
   int AddOpenFile(std::unique_ptr<OpenFile> file);
   Result<int> AllocateFd(Task& task, int file_index);
   // Doubles the task's fd table toward KernelConfig::max_fds_limit, moving
@@ -428,6 +531,10 @@ class Kernel {
   // Safe-mode bounds check for fd slot `fd` of `task`, against the embedded
   // array or the external block, whichever currently backs the table.
   Status FdSlotCheck(Task& task, uint64_t fd);
+  // Lock-free fd -> OpenFile resolution. The caller must hold an
+  // EpochGuard (HandleSyscall pins one for the whole syscall body) and may
+  // use the returned pointer only while it is held; never takes
+  // files_lock_.
   Result<OpenFile*> FileForFd(Task& task, uint64_t fd);
   Result<Inode*> LookupInode(const std::string& name, bool create);
   Status ReleaseFile(int file_index);
@@ -463,9 +570,11 @@ class Kernel {
   // the cooperative scheduler (Yield), the PokeUser/PeekUser host helpers,
   // and unknown syscall numbers. No steady-state syscall takes it.
   mutable smp::OrderedSpinLock bkl_{smp::LockRank::kBkl};
-  // Guards the ramfs: inodes_, namespace_, next_ino_, inode block lists and
-  // sizes, and regular-file OpenFile offsets. Nests files_lock_ (fd
-  // resolution) inside it.
+  // Guards ramfs MUTATION: inodes_, namespace_, next_ino_, inode block
+  // lists and sizes, regular-file OpenFile offsets, and dir_index_
+  // republication. Writer-only since the epoch conversion: path lookup
+  // (kStat, non-creating kOpen) walks the epoch-published dir_index_
+  // without it.
   mutable smp::OrderedSpinLock vfs_lock_{smp::LockRank::kVfs};
   // Guards the pid->task map structure, next_pid_, and task lifecycle
   // fields (alive/zombie/parent links). Per-field task state that other
@@ -486,10 +595,13 @@ class Kernel {
   // ranked held. Per-queue EventQueue::lock is a separate unranked leaf
   // taken after this is released.
   mutable smp::OrderedSpinLock evq_lock_{smp::LockRank::kEvq};
-  // The shared leaf: open-file table vector, fd arrays, and refcounts.
-  // Every route resolves fds through it; nothing ranked is acquired while
-  // holding it. Task/OpenFile node addresses are stable, so pointers stay
-  // valid after release.
+  // The fd-table WRITER lock: open-file table growth/append, fd-slot
+  // allocation and teardown, and refcounts. Writer-only since the epoch
+  // conversion — fd -> file READS (SysRead/SysWrite/SysSend/SysRecv and
+  // the route probes) resolve through the epoch-published tables under an
+  // EpochGuard and never take it. Nothing ranked is acquired while
+  // holding it; retired OpenFile objects outlive pinned readers via the
+  // epoch grace period.
   mutable smp::OrderedSpinLock files_lock_{smp::LockRank::kFiles};
   svaos::SvaOS svaos_;
   // The VM subsystem: physical-frame refcounts + per-task address spaces.
@@ -510,8 +622,33 @@ class Kernel {
   runtime::MetaPool* user_pool_ = nullptr;
   std::unique_ptr<net::NetStack> net_;
 
+  // Epoch-published read-mostly indexes (docs/CONCURRENCY.md §5). Each is
+  // an immutable snapshot: writers rebuild a copy under the owning lock,
+  // publish it with a release store, and retire the old snapshot through
+  // smp::EpochDomain. Readers load (acquire) under an EpochGuard.
+  //
+  // Snapshot of the ramfs namespace: path -> inode. Inode pointers are
+  // map-node-stable; unlink unpublishes first, then retires the extracted
+  // node so pinned readers finish against the intact inode.
+  struct DirIndex {
+    std::map<std::string, Inode*> entries;
+  };
+  // Snapshot of the pid map for lock-free current_task(). Task pointers
+  // are map-node-stable until SysWaitPid reaps them (which republishes
+  // without the pid before erasing the node).
+  struct TaskIndex {
+    std::vector<std::pair<int, Task*>> by_pid;  // Sorted by pid.
+  };
+  // Rebuild + publish + retire-old; callers hold vfs_lock_ / tasks_lock_.
+  void RepublishDirIndex();
+  void RepublishTaskIndex(int skip_pid = -1);
+
   std::map<int, Task> tasks_;               // pid -> task
-  std::vector<std::unique_ptr<OpenFile>> open_files_;
+  // The open-file table (see OpenFileTable). open_files_count_ (the
+  // append cursor) is guarded by files_lock_; the table pointer itself is
+  // epoch-published for the lock-free readers.
+  std::atomic<OpenFileTable*> open_files_tab_{nullptr};
+  uint64_t open_files_count_ = 0;
   // Event queues (index = evq id; entries stay allocated after close —
   // pointer stability for waiters racing a close — with open = false).
   std::vector<std::unique_ptr<EventQueue>> evqs_;
@@ -529,6 +666,8 @@ class Kernel {
   std::vector<std::unique_ptr<Pipe>> pipes_;
   std::vector<std::unique_ptr<Socket>> sockets_;
   std::map<std::string, int> namespace_;    // path -> ino
+  std::atomic<DirIndex*> dir_index_{nullptr};
+  std::atomic<TaskIndex*> task_index_{nullptr};
 
   std::atomic<int> current_pid_{0};  // Read off-lock by the net fast path.
   int next_pid_ = 1;

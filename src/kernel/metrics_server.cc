@@ -105,6 +105,15 @@ std::string MetricsServer::RenderText() const {
         StrCat("{pool=\"", name, "\"}"));
   }
 
+  // Epoch-based reclamation (docs/CONCURRENCY.md §5). pinned_readers is a
+  // gauge: it reports readers inside a critical section right now and must
+  // return to 0 at quiescence (the check_epoch_reclaim gate asserts this).
+  const smp::EpochDomain& epoch = smp::EpochDomain::Global();
+  Add(counters, "sva_epoch_advances_total", epoch.advances());
+  Add(counters, "sva_epoch_retired_total", epoch.retired());
+  Add(counters, "sva_epoch_reclaimed_total", epoch.reclaimed());
+  Add(counters, "sva_epoch_pinned_readers", epoch.pinned_readers());
+
   smp::SvaOsStats os = kernel_.svaos().stats();
   Add(counters, "sva_svaos_save_integer_total", os.save_integer);
   Add(counters, "sva_svaos_load_integer_total", os.load_integer);

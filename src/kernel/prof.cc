@@ -222,20 +222,15 @@ void Kernel::DestroyProfSession(int prof_id) {
 }
 
 int Kernel::ProfIdForFd(uint64_t fd) {
+  // Routing probe: runs before HandleSyscall pins its epoch, so it takes a
+  // guard of its own around the lock-free lookup.
   Task* task = current_task();
   if (task == nullptr) {
     return -1;
   }
-  std::lock_guard<smp::OrderedSpinLock> guard(files_lock_);
-  if (fd >= task->fds.size()) {
-    return -1;
-  }
-  int index = task->fds[fd];
-  if (index < 0 || static_cast<size_t>(index) >= open_files_.size() ||
-      open_files_[static_cast<size_t>(index)] == nullptr) {
-    return -1;
-  }
-  return open_files_[static_cast<size_t>(index)]->prof_id;
+  smp::EpochGuard guard;
+  auto file = FileForFd(*task, fd);
+  return file.ok() ? (*file)->prof_id : -1;
 }
 
 }  // namespace sva::kernel

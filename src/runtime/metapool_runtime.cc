@@ -1,7 +1,9 @@
 #include "src/runtime/metapool_runtime.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "src/smp/epoch.h"
 #include "src/support/strings.h"
 #include "src/trace/trace.h"
 
@@ -38,6 +40,10 @@ namespace {
 struct TlsPoolCache {
   uint64_t pool_id = 0;  // 0 = empty slot.
   uint64_t generation = 0;
+  // Global epoch in which `generation` was last verified against the pool.
+  // While the epoch has not advanced, TlsProbe skips the generation
+  // acquire load entirely (see the soundness argument there).
+  uint64_t epoch = 0;
   LookupCache cache;
 };
 
@@ -149,32 +155,74 @@ bool MetaPool::RegisterRange(uint64_t start, uint64_t size) {
 
 std::optional<ObjectRange> MetaPool::RemoveStart(uint64_t start) {
   constexpr uint32_t kAllStripes = (1u << kNumStripes) - 1;
-  // Drops are rare next to checks: take every stripe, so the removal is
-  // atomic with respect to lookups without a two-phase size probe.
-  StripeMaskLock guard(stripes_, kAllStripes);
-  std::optional<ObjectRange> removed =
-      stripes_[StripeFor(start)].tree.RemoveAt(start);
-  if (!removed.has_value()) {
-    return std::nullopt;
-  }
-  const uint32_t mask = StripeMaskFor(removed->start, removed->size);
-  for (size_t i = 0; i < kNumStripes; ++i) {
-    if (i != StripeFor(start) && (mask & (1u << i)) != 0) {
-      stripes_[i].tree.RemoveAt(start);
+  std::optional<ObjectRange> removed;
+  // The detached splay nodes outlive the removal by a grace period
+  // (shared_ptr because std::function requires a copyable callable).
+  auto detached = std::make_shared<std::vector<void*>>();
+  {
+    // Drops are rare next to checks: take every stripe, so the removal is
+    // atomic with respect to lookups without a two-phase size probe.
+    StripeMaskLock guard(stripes_, kAllStripes);
+    void* node = nullptr;
+    removed = stripes_[StripeFor(start)].tree.ExtractAt(start, &node);
+    if (!removed.has_value()) {
+      return std::nullopt;
     }
+    if (node != nullptr) {
+      detached->push_back(node);
+    }
+    const uint32_t mask = StripeMaskFor(removed->start, removed->size);
+    for (size_t i = 0; i < kNumStripes; ++i) {
+      if (i != StripeFor(start) && (mask & (1u << i)) != 0) {
+        node = nullptr;
+        stripes_[i].tree.ExtractAt(start, &node);
+        if (node != nullptr) {
+          detached->push_back(node);
+        }
+      }
+    }
+    live_objects_.fetch_sub(1, std::memory_order_release);
+    // The per-thread cache contract: bump only after the trees no longer
+    // hold the object, so every cached copy of it is generation-stale from
+    // here on. Other threads' epoch-fresh entries may still serve it until
+    // the next epoch advance — see TlsProbe for why that is sound.
+    generation_.fetch_add(1, std::memory_order_release);
   }
-  live_objects_.fetch_sub(1, std::memory_order_release);
-  // The per-thread cache contract: bump only after the trees no longer hold
-  // the object, so every cached copy of it is generation-stale from here on.
-  generation_.fetch_add(1, std::memory_order_release);
+  // Same-thread drop-then-check must miss immediately, not at the next
+  // epoch boundary: kill this thread's own slot for the pool.
+  TlsPoolCache& slot = tls_pool_caches[cache_id_ % kTlsPoolCacheSlots];
+  if (slot.pool_id == cache_id_) {
+    slot.pool_id = 0;
+  }
+  smp::EpochDomain::Global().Retire([detached] {
+    for (void* node : *detached) {
+      SplayTree::FreeNode(node);
+    }
+  });
   return removed;
 }
 
 const ObjectRange* MetaPool::TlsProbe(uint64_t addr) const {
-  const TlsPoolCache& slot = tls_pool_caches[cache_id_ % kTlsPoolCacheSlots];
-  if (slot.pool_id != cache_id_ ||
-      slot.generation != generation_.load(std::memory_order_acquire)) {
+  TlsPoolCache& slot = tls_pool_caches[cache_id_ % kTlsPoolCacheSlots];
+  if (slot.pool_id != cache_id_) {
     return nullptr;
+  }
+  // Epoch-fresh fast path (docs/CONCURRENCY.md §5): a slot whose generation
+  // was verified in the current global epoch skips the pool-generation
+  // acquire load — the hot check path becomes one relaxed epoch load plus
+  // the TLS cache probe. Soundness: every drop retires its memory through
+  // the same epoch machinery, and a retiree from epoch E is reclaimed only
+  // once the global epoch reaches E+2; a hit served here is stale by less
+  // than one epoch, so it can only approve access to memory that is still
+  // intact. RemoveStart additionally self-invalidates the dropping
+  // thread's own slot, so a same-thread drop-then-check misses
+  // deterministically, with no epoch lag.
+  const uint64_t now = smp::EpochDomain::Global().epoch();
+  if (slot.epoch != now) {
+    if (slot.generation != generation_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    slot.epoch = now;  // Verified: fresh for the rest of this epoch.
   }
   return slot.cache.Find(addr);
 }
@@ -186,6 +234,10 @@ void MetaPool::TlsFill(uint64_t generation, const ObjectRange& range) {
     slot.generation = generation;
     slot.cache.Reset();
   }
+  // Tag with the fill-time epoch: drops that raced the locked lookup are at
+  // most epoch-current, so their memory outlives every hit this tag can
+  // authorize (same argument as in TlsProbe).
+  slot.epoch = smp::EpochDomain::Global().epoch();
   slot.cache.Remember(range);
 }
 

@@ -69,6 +69,15 @@ class SplayTree {
   // range, or nullopt if no range starts there (an illegal free).
   std::optional<ObjectRange> RemoveAt(uint64_t start);
 
+  // Like RemoveAt, but hands the detached node back through `node_out`
+  // (untyped, because Node is private) instead of deleting it, so the
+  // caller can defer the free through the epoch machinery (MetaPool
+  // retires replaced nodes past a grace period; see docs/CONCURRENCY.md
+  // §5). Pass the pointer to FreeNode when the grace period ends.
+  // `*node_out` is left null when nothing starts at `start`.
+  std::optional<ObjectRange> ExtractAt(uint64_t start, void** node_out);
+  static void FreeNode(void* node);
+
   // Finds the range containing `addr`, splaying the found node to the root.
   std::optional<ObjectRange> LookupContaining(uint64_t addr);
 

@@ -84,6 +84,8 @@ class LockOrderChecker {
       ++held.depth;
     }
     checked_.fetch_add(1, std::memory_order_relaxed);
+    per_rank_[static_cast<uint8_t>(rank) % kRankSlots].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   // Removes the most recent entry for `rank` (scoped guards release LIFO;
@@ -107,6 +109,15 @@ class LockOrderChecker {
   static uint64_t acquisitions_checked() {
     return checked_.load(std::memory_order_relaxed);
   }
+  // Validated acquisitions of one specific rank. Lets a test prove a code
+  // path is lock-free with respect to a given kernel lock: enable the
+  // checker, snapshot acquisitions_of(kFiles), run the path, assert the
+  // count did not move (the epoch torture test does exactly this for
+  // kFiles and kVfs on the fd-read / path-lookup fast paths).
+  static uint64_t acquisitions_of(LockRank rank) {
+    return per_rank_[static_cast<uint8_t>(rank) % kRankSlots].load(
+        std::memory_order_relaxed);
+  }
 
  private:
   static constexpr int kMaxHeld = 8;
@@ -121,8 +132,13 @@ class LockOrderChecker {
   [[noreturn]] static void FatalInversion(LockRank incoming,
                                           const uint8_t* held, int depth);
 
+  // Ranks are sparse uint8 values (max today: kAddrSpace = 60); one slot
+  // per possible value keeps acquisitions_of O(1) with no registration.
+  static constexpr int kRankSlots = 64;
+
   inline static std::atomic<bool> enabled_{kEnabledByDefault};
   inline static std::atomic<uint64_t> checked_{0};
+  inline static std::atomic<uint64_t> per_rank_[kRankSlots]{};
 };
 
 // A SpinLock that participates in the rank order above. Meets the C++

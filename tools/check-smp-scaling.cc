@@ -1,10 +1,17 @@
-// check-smp-scaling: gates the big-kernel-lock split. Reads a JSON report
-// written by `smp_scaling --json` and asserts the kernel syscall phase
-// scales: throughput at 4 workers must be >= 1.3x the 1-worker rate (a
-// deliberately loose threshold so scheduler noise on shared CI hosts never
-// flakes it; the real speedup on a quiet 4-core host is well above 2x).
+// check-smp-scaling: gates the big-kernel-lock split and the epoch-based
+// read path. Reads a JSON report written by `smp_scaling --json` and asserts
+// two phases scale from 1 to 4 workers:
 //
-// Exit codes: 0 = speedup holds, 1 = regression (or malformed report),
+//   - kernel syscall phase (mixed read/write): >= 1.3x. Deliberately loose
+//     so scheduler noise on shared CI hosts never flakes it; the real
+//     speedup on a quiet 4-core host is well above 2x. This phase still
+//     takes leaf locks on its write paths, so contention bounds it.
+//   - read-mostly phase (stat/getpid/lseek fd-lookup mix): >= 2.5x. These
+//     syscalls resolve fds and paths under epoch protection with no shared
+//     lock at all, so they must scale near-linearly; falling under 2.5x
+//     means a reader path regressed onto files_lock_ or vfs_lock_.
+//
+// Exit codes: 0 = both speedups hold, 1 = regression (or malformed report),
 // 77 = skipped because the host cannot run 4 workers in parallel (fewer
 // than 4 hardware threads — ctest maps 77 to SKIP via SKIP_RETURN_CODE).
 #include <cstdio>
@@ -16,7 +23,8 @@
 
 namespace {
 
-constexpr double kRequiredSpeedup = 1.3;
+constexpr double kKernelRequiredSpeedup = 1.3;
+constexpr double kReadMostlyRequiredSpeedup = 2.5;
 constexpr int kExitSkip = 77;
 
 // Extracts the number following `key` (e.g. "\"cpus\": ") in `text` starting
@@ -34,6 +42,49 @@ size_t FindNumber(const std::string& text, const std::string& key,
     return std::string::npos;
   }
   return pos;
+}
+
+// Walks the records for `metric` and checks the 4-worker rate against the
+// 1-worker rate. Returns true if the phase holds its speedup floor.
+bool CheckPhase(const std::string& text, const std::string& metric_name,
+                const char* phase_label, double required) {
+  double rate1 = 0;
+  double rate4 = 0;
+  const std::string metric = "\"metric\": \"" + metric_name + "\"";
+  for (size_t pos = text.find(metric); pos != std::string::npos;
+       pos = text.find(metric, pos + metric.size())) {
+    double value = 0;
+    double cpus = 0;
+    if (FindNumber(text, "\"value\": ", pos, &value) == std::string::npos ||
+        FindNumber(text, "\"cpus\": ", pos, &cpus) == std::string::npos) {
+      continue;
+    }
+    if (cpus == 1) {
+      rate1 = value;
+    } else if (cpus == 4) {
+      rate4 = value;
+    }
+  }
+  if (rate1 <= 0 || rate4 <= 0) {
+    std::fprintf(stderr,
+                 "check-smp-scaling: report has no %s records for 1 and 4 "
+                 "workers (run smp_scaling with --cpus >= 4)\n",
+                 phase_label);
+    return false;
+  }
+  double speedup = rate4 / rate1;
+  std::printf(
+      "check-smp-scaling: %s phase %.3g -> %.3g calls/s (1 -> 4 workers), "
+      "speedup %.2fx (required >= %.2fx)\n",
+      phase_label, rate1, rate4, speedup, required);
+  if (speedup < required) {
+    std::fprintf(stderr,
+                 "check-smp-scaling: FAIL — the %s phase no longer scales; "
+                 "did a syscall path fall back onto a shared lock?\n",
+                 phase_label);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -66,41 +117,11 @@ int main(int argc, char** argv) {
     return kExitSkip;
   }
 
-  // Walk the kernel-phase records and pick out the 1- and 4-worker rates.
-  double rate1 = 0;
-  double rate4 = 0;
-  const std::string metric = "\"metric\": \"kernel syscalls/sec\"";
-  for (size_t pos = text.find(metric); pos != std::string::npos;
-       pos = text.find(metric, pos + metric.size())) {
-    double value = 0;
-    double cpus = 0;
-    if (FindNumber(text, "\"value\": ", pos, &value) == std::string::npos ||
-        FindNumber(text, "\"cpus\": ", pos, &cpus) == std::string::npos) {
-      continue;
-    }
-    if (cpus == 1) {
-      rate1 = value;
-    } else if (cpus == 4) {
-      rate4 = value;
-    }
-  }
-  if (rate1 <= 0 || rate4 <= 0) {
-    std::fprintf(stderr,
-                 "check-smp-scaling: report has no kernel-phase records for "
-                 "1 and 4 workers (run smp_scaling with --cpus >= 4)\n");
-    return 1;
-  }
-
-  double speedup = rate4 / rate1;
-  std::printf(
-      "check-smp-scaling: kernel phase %.3g -> %.3g calls/s (1 -> 4 "
-      "workers), speedup %.2fx (required >= %.2fx)\n",
-      rate1, rate4, speedup, kRequiredSpeedup);
-  if (speedup < kRequiredSpeedup) {
-    std::fprintf(stderr,
-                 "check-smp-scaling: FAIL — the kernel phase no longer "
-                 "scales; did a syscall path fall back onto the big kernel "
-                 "lock?\n");
+  bool ok = CheckPhase(text, "kernel syscalls/sec", "kernel",
+                       kKernelRequiredSpeedup);
+  ok &= CheckPhase(text, "readmostly syscalls/sec", "read-mostly",
+                   kReadMostlyRequiredSpeedup);
+  if (!ok) {
     return 1;
   }
   std::printf("check-smp-scaling: OK\n");
